@@ -1,0 +1,289 @@
+// Package atom is a from-scratch Go implementation of Atom, the
+// horizontally scaling strong-anonymity system of Kwon, Corrigan-Gibbs,
+// Devadas and Ford (SOSP 2017).
+//
+// Atom is an anonymous broadcast primitive for short, latency-tolerant
+// messages. Servers are organized into many small "anytrust" groups —
+// each containing at least one honest server with overwhelming
+// probability — wired into a random permutation network. Each group
+// collectively shuffles and re-encrypts the small batch of ciphertexts
+// it holds and forwards slices of it to its neighbor groups; after T
+// iterations the network as a whole has applied a near-uniform random
+// permutation to all messages, and the exit groups reveal the
+// anonymized plaintexts. Each server touches only O(M/N) of the M
+// messages, so capacity scales with the number of servers N, yet every
+// user is anonymous among all honest users against an adversary
+// controlling the network, a constant fraction of servers, and any
+// number of users.
+//
+// Two defenses against actively malicious servers are provided: the
+// NIZK variant (every shuffle and re-encryption carries a verifiable
+// proof) and the cheaper trap variant (each user plants a committed
+// trap message; tampering trips a trap with probability ½ per removed
+// message and the trustees then destroy the round's decryption key).
+//
+// The package runs complete deployments in-process with real
+// cryptography; cmd/atomd serves the same protocol over TCP, and
+// cmd/atomsim regenerates the paper's evaluation tables and figures.
+//
+// Basic usage:
+//
+//	net, _ := atom.NewNetwork(atom.Config{
+//		Servers: 12, Groups: 4, GroupSize: 3,
+//		MessageSize: 32, Variant: atom.Trap,
+//	})
+//	for u := 0; u < 16; u++ {
+//		_ = net.SubmitMessage(u, []byte("hello"))
+//	}
+//	result, _ := net.Run()
+//	// result.Messages holds the anonymized batch.
+package atom
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"atom/internal/protocol"
+)
+
+// Variant selects Atom's defense against actively malicious servers.
+type Variant int
+
+const (
+	// NIZK is the verifiable-shuffle variant (paper §4.3): proactive
+	// detection at ~4× the trap variant's computational cost.
+	NIZK Variant = iota
+	// Trap is the trap-message variant (paper §4.4): cheaper, with the
+	// slightly weaker guarantee that removing κ honest messages succeeds
+	// only with probability 2^−κ and never deanonymizes anyone.
+	Trap
+)
+
+func (v Variant) internal() protocol.Variant {
+	if v == Trap {
+		return protocol.VariantTrap
+	}
+	return protocol.VariantNIZK
+}
+
+// Config describes an Atom deployment.
+type Config struct {
+	// Servers is the total server roster size N.
+	Servers int
+	// Groups is G, the number of anytrust groups (one per vertex and
+	// layer of the permutation network).
+	Groups int
+	// GroupSize is k, the servers per group. Use RequiredGroupSize to
+	// derive it from the adversarial fraction.
+	GroupSize int
+	// HonestServers is h: the deployment tolerates h−1 benign failures
+	// per group. Zero means 1 (plain anytrust).
+	HonestServers int
+	// Fraction is the assumed adversarial server fraction f (default
+	// 0.2, the paper's evaluation setting).
+	Fraction float64
+	// MessageSize is the fixed plaintext size; submissions are padded.
+	MessageSize int
+	// Variant selects the active-attack defense.
+	Variant Variant
+	// Iterations is T, the number of mixing iterations (default 10).
+	Iterations int
+	// Topology is "square" (default) or "butterfly".
+	Topology string
+	// Trustees is the trap variant's trustee-group size (default: k).
+	Trustees int
+	// Buddies is the number of buddy groups escrowing each group's key
+	// shares for crash recovery (0 disables escrow).
+	Buddies int
+	// Seed seeds the public randomness beacon (group formation);
+	// deployments must agree on it.
+	Seed []byte
+}
+
+func (c Config) internal() protocol.Config {
+	return protocol.Config{
+		NumServers:  c.Servers,
+		NumGroups:   c.Groups,
+		GroupSize:   c.GroupSize,
+		HonestMin:   c.HonestServers,
+		Fraction:    c.Fraction,
+		MessageSize: c.MessageSize,
+		Variant:     c.Variant.internal(),
+		Iterations:  c.Iterations,
+		Topology:    c.Topology,
+		NumTrustees: c.Trustees,
+		BuddyCount:  c.Buddies,
+		Seed:        c.Seed,
+	}
+}
+
+// Network is a complete Atom deployment: groups with threshold keys,
+// the permutation-network wiring, and (in the trap variant) the
+// trustees.
+type Network struct {
+	d      *protocol.Deployment
+	client *protocol.Client
+}
+
+// NewNetwork forms groups from the beacon, runs distributed key
+// generation in every group, and prepares the network for rounds.
+func NewNetwork(cfg Config) (*Network, error) {
+	icfg := cfg.internal()
+	d, err := protocol.NewDeployment(icfg)
+	if err != nil {
+		return nil, err
+	}
+	valid := d.Config()
+	client, err := protocol.NewClient(&valid)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{d: d, client: client}, nil
+}
+
+// Groups returns G, the number of groups per layer.
+func (n *Network) Groups() int { return n.d.NumGroups() }
+
+// SubmitMessage pads, encrypts and submits msg for the given user,
+// choosing the entry group as user mod G (an untrusted load balancer's
+// policy; the choice does not affect anonymity — users are anonymous
+// among all honest users, not just those sharing their entry group).
+func (n *Network) SubmitMessage(user int, msg []byte) error {
+	return n.SubmitMessageTo(user, user%n.d.NumGroups(), msg)
+}
+
+// SubmitMessageTo is SubmitMessage with an explicit entry group.
+func (n *Network) SubmitMessageTo(user, gid int, msg []byte) error {
+	pk, err := n.d.GroupPK(gid)
+	if err != nil {
+		return err
+	}
+	switch n.d.Config().Variant {
+	case protocol.VariantNIZK:
+		sub, err := n.client.Submit(msg, pk, gid, rand.Reader)
+		if err != nil {
+			return err
+		}
+		return n.d.SubmitUser(user, sub)
+	case protocol.VariantTrap:
+		tpk, err := n.d.TrusteePK()
+		if err != nil {
+			return err
+		}
+		sub, err := n.client.SubmitTrap(msg, pk, tpk, gid, rand.Reader)
+		if err != nil {
+			return err
+		}
+		return n.d.SubmitTrapUser(user, sub)
+	default:
+		return fmt.Errorf("atom: unknown variant")
+	}
+}
+
+// Result is the outcome of one anonymous broadcast round.
+type Result struct {
+	// Messages holds the anonymized plaintexts in canonical (sorted)
+	// order; the mixing has destroyed any correspondence to submission
+	// order.
+	Messages [][]byte
+}
+
+// Run executes the round: T mixing iterations across all groups plus
+// the variant-specific finale. A detected attack aborts the round with
+// an error; in the trap variant the trustees destroy the decryption key
+// first, so no tampered message is ever revealed.
+func (n *Network) Run() (*Result, error) {
+	res, err := n.d.RunRound()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Messages: res.Messages}, nil
+}
+
+// EntryKey returns the wire encoding of group gid's public key, for
+// remote clients building submissions with Client.
+func (n *Network) EntryKey(gid int) ([]byte, error) {
+	pk, err := n.d.GroupPK(gid)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Bytes(), nil
+}
+
+// TrusteeKey returns the wire encoding of the trustees' round key
+// (trap variant only).
+func (n *Network) TrusteeKey() ([]byte, error) {
+	pk, err := n.d.TrusteePK()
+	if err != nil {
+		return nil, err
+	}
+	return pk.Bytes(), nil
+}
+
+// SubmitEncoded accepts a wire-encoded submission produced by
+// Client.EncryptSubmission — the path cmd/atomd uses for remote users.
+func (n *Network) SubmitEncoded(user int, wire []byte) error {
+	switch n.d.Config().Variant {
+	case protocol.VariantNIZK:
+		sub, err := protocol.DecodeSubmission(wire)
+		if err != nil {
+			return err
+		}
+		return n.d.SubmitUser(user, sub)
+	default:
+		sub, err := protocol.DecodeTrapSubmission(wire)
+		if err != nil {
+			return err
+		}
+		return n.d.SubmitTrapUser(user, sub)
+	}
+}
+
+// FailServer simulates a crash of the given server everywhere it
+// serves; it returns the affected group ids.
+func (n *Network) FailServer(server int) []int { return n.d.FailServer(server) }
+
+// FailGroupMember crashes one member position of one group.
+func (n *Network) FailGroupMember(gid, pos int) error { return n.d.FailGroupMember(gid, pos) }
+
+// NeedsRecovery reports whether a group has lost more members than its
+// h−1 budget and requires buddy-group recovery.
+func (n *Network) NeedsRecovery(gid int) (bool, error) { return n.d.GroupNeedsRecovery(gid) }
+
+// Recover rebuilds a group's failed positions from buddy-group share
+// escrow, installing the given replacement servers.
+func (n *Network) Recover(gid int, replacements []int) error {
+	return n.d.RecoverGroup(gid, replacements)
+}
+
+// IdentifyMaliciousUsers runs the trap variant's retroactive blame
+// procedure after an aborted round, returning the offending user ids
+// and per-user explanations.
+func (n *Network) IdentifyMaliciousUsers() ([]int, map[int]string, error) {
+	report, err := n.d.IdentifyMaliciousUsers()
+	if err != nil {
+		return nil, nil, err
+	}
+	return report.BadUsers, report.Reasons, nil
+}
+
+// ResetRound discards the pending round's submissions (after handling
+// an aborted round); successful rounds reset automatically.
+func (n *Network) ResetRound() error { return n.d.ResetRound() }
+
+// SwitchVariant changes the active-attack defense for subsequent rounds
+// — the paper's §4.6 escalation path from traps to NIZKs under a
+// persistent denial-of-service attack. Clients must be rebuilt with the
+// new variant.
+func (n *Network) SwitchVariant(v Variant) error {
+	if err := n.d.SwitchVariant(v.internal()); err != nil {
+		return err
+	}
+	cfg := n.d.Config()
+	client, err := protocol.NewClient(&cfg)
+	if err != nil {
+		return err
+	}
+	n.client = client
+	return nil
+}

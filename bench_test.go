@@ -1,0 +1,397 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (§6). Real-cryptography benchmarks (Tables 3–4,
+// Figures 5–7 at laptop-scale loads) measure this repository's actual
+// primitives; network-scale results (Figures 9–11, Table 12) run the
+// calibrated simulator exactly as the paper itself does for ≥2¹⁰
+// servers, reporting the simulated latency as a custom metric.
+//
+//	go test -bench 'BenchmarkTable3' -benchmem     # Table 3
+//	go test -bench 'BenchmarkFigure5' -benchtime 1x
+//	go test -bench . -benchmem                     # everything
+//
+// EXPERIMENTS.md records paper-vs-measured values for each experiment.
+package atom
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"atom/internal/baseline"
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/groupmgr"
+	"atom/internal/nizk"
+	"atom/internal/protocol"
+	"atom/internal/sim"
+)
+
+// --- Table 3: cryptographic primitive latencies (32-byte messages). ---
+
+func benchKeyAndMsg(b *testing.B) (*elgamal.KeyPair, *ecc.Point) {
+	b.Helper()
+	kp, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ecc.EmbedChunk([]byte("a thirty-two byte benchmark!"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return kp, m
+}
+
+func BenchmarkTable3_Enc(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := elgamal.Encrypt(kp.PK, m, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_ReEnc(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	ct, _, _ := elgamal.Encrypt(kp.PK, m, rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := elgamal.ReEnc(kp.SK, kp.PK, ct, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatch(b *testing.B, kp *elgamal.KeyPair, n int) []elgamal.Vector {
+	b.Helper()
+	batch := make([]elgamal.Vector, n)
+	for i := range batch {
+		m, err := ecc.EmbedChunk([]byte(fmt.Sprintf("message %06d", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, _, err := elgamal.Encrypt(kp.PK, m, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch[i] = elgamal.Vector{ct}
+	}
+	return batch
+}
+
+func BenchmarkTable3_Shuffle1024(b *testing.B) {
+	kp, _ := benchKeyAndMsg(b)
+	batch := benchBatch(b, kp, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := elgamal.ShuffleBatch(kp.PK, batch, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_EncProofProve(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	ct, r, _ := elgamal.Encrypt(kp.PK, m, rand.Reader)
+	vec, rs := elgamal.Vector{ct}, []*ecc.Scalar{r}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nizk.ProveEnc(kp.PK, vec, rs, 0, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_EncProofVerify(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	ct, r, _ := elgamal.Encrypt(kp.PK, m, rand.Reader)
+	vec, rs := elgamal.Vector{ct}, []*ecc.Scalar{r}
+	proof, _ := nizk.ProveEnc(kp.PK, vec, rs, 0, rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nizk.VerifyEnc(kp.PK, vec, 0, proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_ReEncProofProve(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	ct, _, _ := elgamal.Encrypt(kp.PK, m, rand.Reader)
+	in := elgamal.Vector{ct}
+	out, rs, _ := elgamal.ReEncVector(kp.SK, kp.PK, in, rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nizk.ProveReEnc(kp.SK, kp.PK, kp.PK, in, out, rs, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_ReEncProofVerify(b *testing.B) {
+	kp, m := benchKeyAndMsg(b)
+	ct, _, _ := elgamal.Encrypt(kp.PK, m, rand.Reader)
+	in := elgamal.Vector{ct}
+	out, rs, _ := elgamal.ReEncVector(kp.SK, kp.PK, in, rand.Reader)
+	proof, _ := nizk.ProveReEnc(kp.SK, kp.PK, kp.PK, in, out, rs, rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nizk.VerifyReEnc(kp.PK, kp.PK, in, out, proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_ShufProofProve1024(b *testing.B) {
+	kp, _ := benchKeyAndMsg(b)
+	in := benchBatch(b, kp, 1024)
+	out, perm, rands, err := elgamal.ShuffleBatch(kp.PK, in, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nizk.ProveShuffle(kp.PK, in, out, perm, rands, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_ShufProofVerify1024(b *testing.B) {
+	kp, _ := benchKeyAndMsg(b)
+	in := benchBatch(b, kp, 1024)
+	out, perm, rands, _ := elgamal.ShuffleBatch(kp.PK, in, rand.Reader)
+	proof, err := nizk.ProveShuffle(kp.PK, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nizk.VerifyShuffle(kp.PK, in, out, proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4: anytrust group setup latency (DVSS keygen). ---
+
+func BenchmarkTable4_GroupSetup(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("size=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dvss.RunDKG(k, k-1, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5: time per mixing iteration vs message count (real
+// crypto at laptop scale: a full group chain with shuffles, division,
+// and reencryption; NIZK variant includes proof generation and
+// verification). The paper uses 32 servers; we use 8 so a single
+// iteration stays benchmarkable, and sweep the message load. ---
+
+func BenchmarkFigure5_MixIteration(b *testing.B) {
+	for _, variant := range []protocol.Variant{protocol.VariantTrap, protocol.VariantNIZK} {
+		for _, msgs := range []int{32, 128, 512} {
+			name := fmt.Sprintf("%v/msgs=%d", variant, msgs)
+			b.Run(name, func(b *testing.B) {
+				h, err := protocol.NewBenchHarness(8, msgs, 1, variant)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := h.RunIteration(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 6: time per mixing iteration vs group size at a fixed
+// message load (real crypto). ---
+
+func BenchmarkFigure6_GroupSize(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("size=%d", k), func(b *testing.B) {
+			h, err := protocol.NewBenchHarness(k, 128, 1, protocol.VariantTrap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.RunIteration(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 7: multi-core speed-up of one mixing iteration (real
+// crypto, worker-parallel batch processing; the machine's core count
+// bounds the useful worker count). ---
+
+func BenchmarkFigure7_Parallelism(b *testing.B) {
+	for _, variant := range []protocol.Variant{protocol.VariantTrap, protocol.VariantNIZK} {
+		for _, workers := range []int{1, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%v/workers=%d", variant, workers), func(b *testing.B) {
+				h, err := protocol.NewBenchHarness(8, 256, 1, variant)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := h.RunIterationParallel(workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figures 9–11 and Table 12: network-scale results via the
+// calibrated simulator (the paper's own methodology beyond one
+// machine). The simulated round latency is attached as the
+// "sim-latency-min" metric. ---
+
+func reportSim(b *testing.B, cfg sim.Config) {
+	b.Helper()
+	var last *sim.Result
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Total.Minutes(), "sim-latency-min")
+}
+
+func BenchmarkFigure9_LatencyVsMessages(b *testing.B) {
+	model := sim.PaperCostModel()
+	for _, app := range []string{"microblog", "dialing"} {
+		for _, m := range []int{250_000, 1_000_000, 2_000_000} {
+			b.Run(fmt.Sprintf("%s/msgs=%d", app, m), func(b *testing.B) {
+				cfg := sim.MicroblogScenario(1024, m, model)
+				if app == "dialing" {
+					cfg = sim.DialingScenario(1024, m, model)
+				}
+				reportSim(b, cfg)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure10_Scalability(b *testing.B) {
+	model := sim.PaperCostModel()
+	for _, n := range []int{128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			reportSim(b, sim.MicroblogScenario(n, 1_000_000, model))
+		})
+	}
+}
+
+func BenchmarkFigure11_BillionMessages(b *testing.B) {
+	model := sim.PaperCostModel()
+	for exp := 10; exp <= 15; exp++ {
+		n := 1 << exp
+		b.Run(fmt.Sprintf("servers=2^%d", exp), func(b *testing.B) {
+			reportSim(b, sim.MicroblogScenario(n, 1_000_000_000, model))
+		})
+	}
+}
+
+func BenchmarkTable12_Comparison(b *testing.B) {
+	model := sim.PaperCostModel()
+	b.Run("atom-microblog-1024", func(b *testing.B) {
+		reportSim(b, sim.MicroblogScenario(1024, 1_000_000, model))
+	})
+	b.Run("atom-dialing-1024", func(b *testing.B) {
+		reportSim(b, sim.DialingScenario(1024, 1_000_000, model))
+	})
+	b.Run("riposte-model", func(b *testing.B) {
+		var v float64
+		for i := 0; i < b.N; i++ {
+			v = baseline.RiposteLatency(1_000_000).Minutes()
+		}
+		b.ReportMetric(v, "sim-latency-min")
+	})
+	b.Run("vuvuzela-model", func(b *testing.B) {
+		var v float64
+		for i := 0; i < b.N; i++ {
+			v = baseline.VuvuzelaDialLatency(1_000_000).Minutes()
+		}
+		b.ReportMetric(v, "sim-latency-min")
+	})
+	// A real-crypto head-to-head at laptop scale: a centralized 3-server
+	// verifiable mix-net (every server shuffles everything) vs an Atom
+	// group handling only its 1/G share — the vertical-vs-horizontal
+	// contrast of §6.2 in measurable form.
+	b.Run("central-mixnet-256msgs", func(b *testing.B) {
+		mx, err := baseline.NewCentralMixnet(3, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]elgamal.Vector, 256)
+		for i := range batch {
+			vec, err := mx.Submit([]byte(fmt.Sprintf("msg %d", i)), rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch[i] = vec
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mx.Run(batch, true, rand.Reader); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 13: required group size vs honest-server requirement. ---
+
+func BenchmarkFigure13_GroupSize(b *testing.B) {
+	var k int
+	for i := 0; i < b.N; i++ {
+		for h := 1; h <= 20; h++ {
+			var err error
+			k, err = groupmgr.RequiredGroupSize(0.2, 1024, h, groupmgr.DefaultSecurityBits)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(k), "k-at-h20")
+}
+
+// --- Ablation: square vs butterfly topology (DESIGN.md's topology
+// choice — the square network's shallower depth wins, §3). ---
+
+func BenchmarkAblation_Topology(b *testing.B) {
+	model := sim.PaperCostModel()
+	base := sim.MicroblogScenario(1024, 1_000_000, model)
+	b.Run("square-T10", func(b *testing.B) { reportSim(b, base) })
+	butterfly := base
+	butterfly.Iterations = 21 // 2 reps × log2(1024) + output layer
+	b.Run("butterfly-T21", func(b *testing.B) { reportSim(b, butterfly) })
+}
+
+// --- Ablation: NIZK vs trap at network scale (§6.1's ≈4× claim). ---
+
+func BenchmarkAblation_Variant(b *testing.B) {
+	model := sim.PaperCostModel()
+	trap := sim.MicroblogScenario(1024, 1_000_000, model)
+	b.Run("trap", func(b *testing.B) { reportSim(b, trap) })
+	nizkCfg := trap
+	nizkCfg.Variant = sim.VariantNIZK
+	b.Run("nizk", func(b *testing.B) { reportSim(b, nizkCfg) })
+}

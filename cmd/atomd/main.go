@@ -1,0 +1,74 @@
+// Command atomd hosts an Atom deployment behind a TCP endpoint: it
+// forms the anytrust groups, runs their distributed key generation, and
+// serves the daemon protocol (key discovery, submission intake, round
+// execution) to remote atomclient instances.
+//
+//	atomd -listen :9000 -servers 12 -groups 4 -groupsize 3 -variant trap
+//
+// Clients keep all secrets: they encrypt and prove locally and ship
+// opaque submissions (see cmd/atomclient).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"atom"
+	"atom/internal/daemon"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9000", "TCP listen address")
+		servers     = flag.Int("servers", 12, "server roster size N")
+		groups      = flag.Int("groups", 4, "number of anytrust groups G")
+		groupSize   = flag.Int("groupsize", 3, "servers per group k")
+		honest      = flag.Int("honest", 1, "required honest servers per group h (tolerates h-1 failures)")
+		messageSize = flag.Int("msgsize", 160, "fixed message size in bytes")
+		variant     = flag.String("variant", "trap", "active-attack defense: nizk or trap")
+		iterations  = flag.Int("iterations", 3, "mixing iterations T")
+		topo        = flag.String("topology", "square", "permutation network: square or butterfly")
+		seed        = flag.String("seed", "atomd", "beacon seed (all participants must agree)")
+	)
+	flag.Parse()
+
+	v := atom.Trap
+	switch *variant {
+	case "trap":
+	case "nizk":
+		v = atom.NIZK
+	default:
+		log.Fatalf("atomd: unknown variant %q (want nizk or trap)", *variant)
+	}
+
+	cfg := atom.Config{
+		Servers:       *servers,
+		Groups:        *groups,
+		GroupSize:     *groupSize,
+		HonestServers: *honest,
+		MessageSize:   *messageSize,
+		Variant:       v,
+		Iterations:    *iterations,
+		Topology:      *topo,
+		Seed:          []byte(*seed),
+	}
+	log.Printf("atomd: forming %d groups of %d from %d servers (%s variant, T=%d)…",
+		cfg.Groups, cfg.GroupSize, cfg.Servers, *variant, cfg.Iterations)
+	srv, err := daemon.NewServer(*listen, cfg)
+	if err != nil {
+		log.Fatalf("atomd: %v", err)
+	}
+	fmt.Printf("atomd: serving on %s\n", srv.Addr())
+
+	go srv.Serve()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("atomd: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("atomd: close: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+// Command atomsim regenerates the tables and figures of the paper's
+// evaluation section (§6): Tables 3, 4, 12 and Figures 5, 6, 7, 9, 10,
+// 11, 13.
+//
+//	atomsim -all               # everything, cost model measured locally
+//	atomsim -fig 9             # one figure
+//	atomsim -table 12 -paper   # one table, using published Table 3 costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"atom"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure to regenerate (5, 6, 7, 9, 10, 11, 13)")
+		table = flag.Int("table", 0, "table to regenerate (3, 4, 12)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		paper = flag.Bool("paper", false, "use the paper's published primitive costs instead of measuring this machine")
+	)
+	flag.Parse()
+	if !*all && *fig == 0 && *table == 0 {
+		*all = true
+	}
+
+	ev, err := atom.NewEvaluation(!*paper)
+	if err != nil {
+		log.Fatalf("atomsim: calibrating: %v", err)
+	}
+	emit := func(s string, err error) {
+		if err != nil {
+			log.Fatalf("atomsim: %v", err)
+		}
+		fmt.Println(s)
+	}
+
+	if *all {
+		emit(ev.All())
+		return
+	}
+	switch *table {
+	case 0:
+	case 3:
+		emit(ev.Table3(), nil)
+	case 4:
+		emit(ev.Table4())
+	case 12:
+		emit(ev.Table12())
+	default:
+		log.Fatalf("atomsim: no table %d (have 3, 4, 12)", *table)
+	}
+	switch *fig {
+	case 0:
+	case 5:
+		emit(ev.Figure5(), nil)
+	case 6:
+		emit(ev.Figure6(), nil)
+	case 7:
+		emit(ev.Figure7(), nil)
+	case 9:
+		emit(ev.Figure9())
+	case 10:
+		emit(ev.Figure10())
+	case 11:
+		emit(ev.Figure11())
+	case 13:
+		emit(ev.Figure13())
+	default:
+		log.Fatalf("atomsim: no figure %d (have 5, 6, 7, 9, 10, 11, 13)", *fig)
+	}
+}

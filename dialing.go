@@ -1,0 +1,120 @@
+package atom
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"atom/internal/dialing"
+	"atom/internal/ecc"
+)
+
+// DialRequestSize is the wire size of one dialing request. (The paper
+// quotes ~80 bytes for its minimal scheme; ours is 102 with stdlib AEAD
+// framing, see internal/dialing.)
+const DialRequestSize = dialing.RequestSize
+
+// DialMessageSize is the Config.MessageSize a dialing deployment must
+// use: the request plus the protocol's 2-byte padding frame.
+const DialMessageSize = DialRequestSize + 2
+
+// DialIdentity is a user's long-term dialing identity: the keypair under
+// which others encrypt dial requests to them.
+type DialIdentity struct {
+	id *dialing.Identity
+}
+
+// NewDialIdentity generates a fresh identity.
+func NewDialIdentity() (*DialIdentity, error) {
+	id, err := dialing.NewIdentity(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &DialIdentity{id: id}, nil
+}
+
+// Public returns the identity's public key encoding — what callers need
+// to dial this user.
+func (d *DialIdentity) Public() []byte { return d.id.Keys.PK.Bytes() }
+
+// MailboxID returns the identifier that routes this user's incoming
+// dials to a mailbox (mailbox = id mod m, §5).
+func (d *DialIdentity) MailboxID() uint64 { return d.id.ID() }
+
+// OpenDialRequest attempts to decrypt one downloaded mailbox entry; on
+// success it returns the caller's public key encoding.
+func (d *DialIdentity) OpenDialRequest(req []byte) ([]byte, bool) {
+	pk, ok := d.id.Open(req)
+	if !ok {
+		return nil, false
+	}
+	return pk.Bytes(), true
+}
+
+// NewDialRequest builds the dialing message Alice sends through Atom to
+// hand Bob her public key: recipientPublic is Bob's Public() encoding,
+// callerPublic is the key Alice wants to deliver (typically her own
+// DialIdentity's Public()).
+func NewDialRequest(recipientPublic, callerPublic []byte) ([]byte, error) {
+	bobPK, err := ecc.PointFromBytes(recipientPublic)
+	if err != nil {
+		return nil, fmt.Errorf("atom: bad recipient key: %w", err)
+	}
+	alicePK, err := ecc.PointFromBytes(callerPublic)
+	if err != nil {
+		return nil, fmt.Errorf("atom: bad caller key: %w", err)
+	}
+	return dialing.Dial(bobPK, alicePK, rand.Reader)
+}
+
+// Mailboxes sorts a round's anonymized dialing output into m mailboxes
+// for download (§5: "each dialing message is forwarded to mailbox id
+// mod m").
+type Mailboxes struct {
+	mb *dialing.Mailboxes
+}
+
+// NewMailboxes allocates m mailboxes and sorts the round result into
+// them.
+func NewMailboxes(m int, result *Result) (*Mailboxes, error) {
+	mb, err := dialing.NewMailboxes(m)
+	if err != nil {
+		return nil, err
+	}
+	mb.Deliver(result.Messages)
+	return &Mailboxes{mb: mb}, nil
+}
+
+// BoxFor returns the mailbox contents a recipient with the given
+// MailboxID downloads.
+func (m *Mailboxes) BoxFor(id uint64) [][]byte {
+	return m.mb.Box(dialing.MailboxFor(id, m.mb.Size()))
+}
+
+// Total returns the number of well-formed requests delivered.
+func (m *Mailboxes) Total() int { return m.mb.Total() }
+
+// Dropped returns the number of malformed outputs discarded.
+func (m *Mailboxes) Dropped() int { return m.mb.Dropped() }
+
+// DialNoise parameterizes the differential-privacy cover traffic an
+// anytrust group injects so observers cannot count a user's incoming
+// calls (Vuvuzela's mechanism; the paper's evaluation uses μ = 13,000
+// per server, §6.2).
+type DialNoise struct {
+	// Mu is the mean dummy count contributed per noise server.
+	Mu float64
+	// Scale is the Laplace noise scale.
+	Scale float64
+}
+
+// SampleDummies draws a differentially-private dummy count and
+// generates that many indistinguishable dummy dial requests, ready to
+// submit through the network alongside real traffic.
+func (dn DialNoise) SampleDummies() ([][]byte, error) {
+	nc := dialing.NoiseConfig{Mu: dn.Mu, Scale: dn.Scale}
+	count, err := nc.SampleDummyCount(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return dialing.GenerateDummies(count, rand.Reader)
+}

@@ -1,0 +1,33 @@
+// Command evaluation regenerates every table and figure of the paper's
+// evaluation section (§6) in text form: Tables 3, 4, 12 and Figures 5,
+// 6, 7, 9, 10, 11, 13.
+//
+// By default the cost model is calibrated against this machine's real
+// cryptography (a few seconds of measurement); pass -paper to use the
+// paper's published Table 3 numbers instead.
+//
+//	go run ./examples/evaluation [-paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"atom"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's published primitive costs instead of measuring")
+	flag.Parse()
+
+	ev, err := atom.NewEvaluation(!*paper)
+	if err != nil {
+		log.Fatalf("building evaluation harness: %v", err)
+	}
+	out, err := ev.All()
+	if err != nil {
+		log.Fatalf("evaluation failed: %v", err)
+	}
+	fmt.Print(out)
+}

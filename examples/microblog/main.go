@@ -1,0 +1,63 @@
+// Command microblog demonstrates Atom's anonymous microblogging
+// application (paper §5): activists post Tweet-length messages through
+// the trap-variant network; the exit groups publish the anonymized
+// batch to a public bulletin board.
+//
+//	go run ./examples/microblog
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atom"
+)
+
+func main() {
+	// Trap variant: each post travels with a committed trap message; if
+	// any server tampers, the trustees destroy the round key.
+	net, err := atom.NewNetwork(atom.Config{
+		Servers:     16,
+		Groups:      4,
+		GroupSize:   4,
+		MessageSize: atom.MicroblogMessageSize, // 160 bytes, like the paper
+		Variant:     atom.Trap,
+		Iterations:  3,
+		Seed:        []byte("microblog-demo"),
+	})
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+	blog, err := atom.NewMicroblog(net)
+	if err != nil {
+		log.Fatalf("attaching microblog: %v", err)
+	}
+
+	posts := []string{
+		"The vote count in district 9 does not match the posted tallies.",
+		"Meet at the old library steps, 18:00. Bring candles, not phones.",
+		"Director signed the waiver himself — documents to follow.",
+		"They cannot arrest an idea. Round 2 tomorrow.",
+		"If this account goes quiet, the mirrors have the archive.",
+		"Checkpoint on 5th moved two blocks north. Route around via the park.",
+		"Medical volunteers: white armbands, north entrance.",
+		"Remember: film everything, upload nothing until you are home.",
+	}
+	for user, text := range posts {
+		if err := blog.Post(user, text); err != nil {
+			log.Fatalf("user %d: %v", user, err)
+		}
+	}
+	fmt.Printf("%d posts submitted through %d groups (trap variant)\n", len(posts), net.Groups())
+
+	published, err := blog.Publish()
+	if err != nil {
+		log.Fatalf("round failed: %v", err)
+	}
+	fmt.Println("\n=== public bulletin board ===")
+	for _, p := range published {
+		fmt.Printf("[round %d / %02d] %s\n", p.Round, p.Seq, p.Message)
+	}
+	fmt.Println("\nEvery server touched only a fraction of the batch, yet each post")
+	fmt.Println("is anonymous among all honest users of the round.")
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"atom/internal/elgamal"
+)
+
+func TestRiposteAnchor(t *testing.T) {
+	// The model must reproduce the published anchor: 669.2 min at 1M.
+	got := RiposteLatency(1_000_000)
+	want := time.Duration(669.2 * float64(time.Minute))
+	if diff := got - want; diff > time.Second || diff < -time.Second {
+		t.Errorf("RiposteLatency(1M) = %v, want %v", got, want)
+	}
+	// Superlinear growth: doubling messages costs more than 2×.
+	r := float64(RiposteLatency(2_000_000)) / float64(got)
+	if r <= 2.0 {
+		t.Errorf("Riposte growth factor %.2f for 2× messages, want >2 (superlinear)", r)
+	}
+}
+
+func TestVuvuzelaAnchorAndLinearity(t *testing.T) {
+	got := VuvuzelaDialLatency(1_000_000)
+	want := 30 * time.Second
+	if got != want {
+		t.Errorf("VuvuzelaDialLatency(1M) = %v, want %v", got, want)
+	}
+	if VuvuzelaDialLatency(2_000_000) != 2*want {
+		t.Error("Vuvuzela model should be linear")
+	}
+	if AlpenhornDialLatency(1_000_000) != want {
+		t.Error("Alpenhorn anchor mismatch")
+	}
+}
+
+func TestScalingModelHorizontalVsVertical(t *testing.T) {
+	vertical := ScalingModel{BaseLatency: time.Hour, Anchor: 1_000_000, Exponent: 1, Horizontal: false}
+	horizontal := ScalingModel{BaseLatency: time.Hour, Anchor: 1_000_000, Exponent: 1, Horizontal: true}
+	// Adding 8× servers leaves the vertical system unchanged but speeds
+	// the horizontal one 8× — the core contrast of the paper.
+	if vertical.Latency(1_000_000, 8) != time.Hour {
+		t.Error("vertical system should ignore added servers")
+	}
+	if horizontal.Latency(1_000_000, 8) != time.Hour/8 {
+		t.Error("horizontal system should speed up linearly")
+	}
+	if vertical.Latency(2_000_000, 1) != 2*time.Hour {
+		t.Error("linear growth expected")
+	}
+}
+
+func TestCentralMixnetRoundTrip(t *testing.T) {
+	mx, err := NewCentralMixnet(3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []string{"one", "two", "three", "four", "five"}
+	batch := make([]elgamal.Vector, len(msgs))
+	for i, m := range msgs {
+		vec, err := mx.Submit([]byte(m), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = vec
+	}
+	out, err := mx.Run(batch, true, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(msgs) {
+		t.Fatalf("mixnet returned %d messages, want %d", len(out), len(msgs))
+	}
+	got := map[string]bool{}
+	for _, m := range out {
+		got[string(m)] = true
+	}
+	for _, m := range msgs {
+		if !got[m] {
+			t.Errorf("message %q lost in the mix", m)
+		}
+	}
+}
+
+func TestCentralMixnetUnverifiedMode(t *testing.T) {
+	mx, _ := NewCentralMixnet(2, rand.Reader)
+	vec, err := mx.Submit([]byte("fast path"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mx.Run([]elgamal.Vector{vec}, false, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0]) != "fast path" {
+		t.Fatalf("unverified run returned %q", out)
+	}
+}
+
+func TestCentralMixnetEmptyAndErrors(t *testing.T) {
+	if _, err := NewCentralMixnet(0, rand.Reader); err == nil {
+		t.Fatal("0-server mixnet accepted")
+	}
+	mx, _ := NewCentralMixnet(1, rand.Reader)
+	out, err := mx.Run(nil, true, rand.Reader)
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: %v/%v", out, err)
+	}
+}

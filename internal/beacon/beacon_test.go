@@ -1,0 +1,96 @@
+package beacon
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRoundDeterministicAndDistinct(t *testing.T) {
+	b1 := New([]byte("seed"))
+	b2 := New([]byte("seed"))
+	if !bytes.Equal(b1.Round(1), b2.Round(1)) {
+		t.Fatal("same seed+round produced different values")
+	}
+	if bytes.Equal(b1.Round(1), b1.Round(2)) {
+		t.Fatal("different rounds produced equal values")
+	}
+	b3 := New([]byte("other"))
+	if bytes.Equal(b1.Round(1), b3.Round(1)) {
+		t.Fatal("different seeds produced equal values")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	b := New([]byte("seed"))
+	s1 := b.Stream(3, "groups")
+	s2 := b.Stream(3, "groups")
+	buf1 := make([]byte, 100)
+	buf2 := make([]byte, 100)
+	s1.Read(buf1)
+	s2.Read(buf2)
+	if !bytes.Equal(buf1, buf2) {
+		t.Fatal("streams from identical parameters diverged")
+	}
+	s3 := b.Stream(3, "topology")
+	buf3 := make([]byte, 100)
+	s3.Read(buf3)
+	if bytes.Equal(buf1, buf3) {
+		t.Fatal("different purposes produced equal streams")
+	}
+}
+
+func TestStreamReadSplitInvariance(t *testing.T) {
+	b := New([]byte("seed"))
+	whole := make([]byte, 64)
+	b.Stream(0, "p").Read(whole)
+	split := make([]byte, 64)
+	s := b.Stream(0, "p")
+	s.Read(split[:7])
+	s.Read(split[7:40])
+	s.Read(split[40:])
+	if !bytes.Equal(whole, split) {
+		t.Fatal("reading in pieces differs from reading at once")
+	}
+}
+
+func TestIntnBoundsAndDistribution(t *testing.T) {
+	s := New([]byte("seed")).Stream(0, "intn")
+	counts := make([]int, 10)
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Loose uniformity check: each bucket within 30% of expectation.
+	for i, c := range counts {
+		if c < draws/10*7/10 || c > draws/10*13/10 {
+			t.Errorf("bucket %d has %d draws, expected ≈%d", i, c, draws/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New([]byte("s")).Stream(0, "p").Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New([]byte("seed")).Stream(0, "perm")
+	for _, n := range []int{1, 2, 17, 100} {
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("invalid permutation of %d: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}

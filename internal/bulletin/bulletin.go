@@ -1,0 +1,99 @@
+// Package bulletin implements the public bulletin board that Atom's
+// exit servers publish anonymized microblog messages to (paper §5:
+// "the servers then put the plaintext messages on a public bulletin
+// board where other users can read them").
+//
+// The board is an append-only, per-round log. It is deliberately dumb:
+// all anonymity comes from the mix-net; the board just has to be public
+// and consistent.
+package bulletin
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Post is one published message.
+type Post struct {
+	Round   uint64
+	Seq     int // position within the round's batch
+	Message []byte
+}
+
+// Board is a thread-safe append-only bulletin board.
+type Board struct {
+	mu     sync.RWMutex
+	rounds map[uint64][]Post
+}
+
+// NewBoard creates an empty board.
+func NewBoard() *Board {
+	return &Board{rounds: make(map[uint64][]Post)}
+}
+
+// Publish appends a round's batch of messages. Publishing the same round
+// twice is an error: exit groups publish exactly once per round.
+func (b *Board) Publish(round uint64, msgs [][]byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.rounds[round]; dup {
+		return fmt.Errorf("bulletin: round %d already published", round)
+	}
+	posts := make([]Post, len(msgs))
+	for i, m := range msgs {
+		posts[i] = Post{Round: round, Seq: i, Message: append([]byte(nil), m...)}
+	}
+	b.rounds[round] = posts
+	return nil
+}
+
+// Round returns the posts of one round (nil if unpublished).
+func (b *Board) Round(round uint64) []Post {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	posts := b.rounds[round]
+	out := make([]Post, len(posts))
+	copy(out, posts)
+	return out
+}
+
+// All returns every post in (round, seq) order.
+func (b *Board) All() []Post {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Post
+	for _, posts := range b.rounds {
+		out = append(out, posts...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Rounds returns the published round numbers in ascending order.
+func (b *Board) Rounds() []uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]uint64, 0, len(b.rounds))
+	for r := range b.rounds {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of posts.
+func (b *Board) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := 0
+	for _, posts := range b.rounds {
+		n += len(posts)
+	}
+	return n
+}

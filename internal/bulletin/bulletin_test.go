@@ -1,0 +1,102 @@
+package bulletin
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPublishAndRead(t *testing.T) {
+	b := NewBoard()
+	msgs := [][]byte{[]byte("first"), []byte("second")}
+	if err := b.Publish(0, msgs); err != nil {
+		t.Fatal(err)
+	}
+	posts := b.Round(0)
+	if len(posts) != 2 {
+		t.Fatalf("round 0 has %d posts, want 2", len(posts))
+	}
+	for i, p := range posts {
+		if p.Round != 0 || p.Seq != i || !bytes.Equal(p.Message, msgs[i]) {
+			t.Errorf("post %d = %+v", i, p)
+		}
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestPublishRejectsDuplicateRound(t *testing.T) {
+	b := NewBoard()
+	b.Publish(1, [][]byte{[]byte("x")})
+	if err := b.Publish(1, [][]byte{[]byte("y")}); err == nil {
+		t.Fatal("duplicate round published")
+	}
+}
+
+func TestPublishCopiesMessages(t *testing.T) {
+	b := NewBoard()
+	msg := []byte("mutable")
+	b.Publish(0, [][]byte{msg})
+	msg[0] = 'X'
+	if string(b.Round(0)[0].Message) != "mutable" {
+		t.Fatal("board retained a reference to caller memory")
+	}
+}
+
+func TestAllOrdersAcrossRounds(t *testing.T) {
+	b := NewBoard()
+	b.Publish(2, [][]byte{[]byte("c")})
+	b.Publish(0, [][]byte{[]byte("a1"), []byte("a2")})
+	b.Publish(1, [][]byte{[]byte("b")})
+	all := b.All()
+	wantOrder := []string{"a1", "a2", "b", "c"}
+	if len(all) != len(wantOrder) {
+		t.Fatalf("All returned %d posts", len(all))
+	}
+	for i, p := range all {
+		if string(p.Message) != wantOrder[i] {
+			t.Errorf("position %d: %q, want %q", i, p.Message, wantOrder[i])
+		}
+	}
+	rounds := b.Rounds()
+	if len(rounds) != 3 || rounds[0] != 0 || rounds[2] != 2 {
+		t.Errorf("Rounds = %v", rounds)
+	}
+}
+
+func TestEmptyRound(t *testing.T) {
+	b := NewBoard()
+	if got := b.Round(42); len(got) != 0 {
+		t.Errorf("unpublished round returned %d posts", len(got))
+	}
+	if err := b.Publish(42, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Round(42); len(got) != 0 {
+		t.Errorf("empty round returned %d posts", len(got))
+	}
+}
+
+func TestConcurrentPublishAndRead(t *testing.T) {
+	b := NewBoard()
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b.Publish(uint64(r), [][]byte{[]byte(fmt.Sprintf("round %d", r))})
+		}(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			b.Round(uint64(r))
+			b.Len()
+		}(r)
+	}
+	wg.Wait()
+	if b.Len() != 16 {
+		t.Errorf("Len = %d, want 16", b.Len())
+	}
+}

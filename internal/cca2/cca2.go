@@ -1,0 +1,144 @@
+// Package cca2 implements the IND-CCA2-secure encryption scheme Atom uses
+// for inner ciphertexts in the trap variant (paper §4.4 and Appendix A):
+// an ElGamal key-encapsulation mechanism combined with an authenticated
+// symmetric cipher (the paper uses NaCl; we use AES-256-GCM from the
+// standard library, which provides the same authenticated-encryption
+// contract).
+//
+// The non-malleability of these ciphertexts is what prevents a malicious
+// server from tampering with a real message without detection: any bit
+// flip in an inner ciphertext makes decryption fail loudly.
+package cca2
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha3"
+	"errors"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// Overhead is the ciphertext expansion in bytes: a compressed KEM point
+// (33), a GCM nonce (12), and the GCM tag (16).
+const Overhead = 33 + 12 + 16
+
+// ErrDecrypt is returned when decryption or authentication fails —
+// evidence of tampering in the trap variant.
+var ErrDecrypt = errors.New("cca2: decryption failed")
+
+// KeyPair is a long-term or per-round CCA2 keypair (e.g. the trustees'
+// round key, with the secret key secret-shared among the trustees).
+type KeyPair struct {
+	SK *ecc.Scalar
+	PK *ecc.Point
+}
+
+// KeyGen generates a fresh keypair.
+func KeyGen(rnd io.Reader) (*KeyPair, error) {
+	sk, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("cca2: keygen: %w", err)
+	}
+	return &KeyPair{SK: sk, PK: ecc.BaseMul(sk)}, nil
+}
+
+// deriveAEAD turns the raw ECDH shared point into an AES-256-GCM AEAD.
+func deriveAEAD(shared *ecc.Point, kemPub *ecc.Point) (cipher.AEAD, error) {
+	h := sha3.New256()
+	h.Write([]byte("atom/cca2/kdf/v1"))
+	h.Write(kemPub.Bytes())
+	h.Write(shared.Bytes())
+	block, err := aes.NewCipher(h.Sum(nil))
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// Encrypt encapsulates a fresh key to pk and encrypts msg under it.
+// Output layout: kemPoint(33) ‖ nonce(12) ‖ sealed.
+func Encrypt(pk *ecc.Point, msg []byte, rnd io.Reader) ([]byte, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	r, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("cca2: encrypt: %w", err)
+	}
+	kemPub := ecc.BaseMul(r)
+	shared := pk.Mul(r)
+	aead, err := deriveAEAD(shared, kemPub)
+	if err != nil {
+		return nil, fmt.Errorf("cca2: encrypt: %w", err)
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
+		return nil, fmt.Errorf("cca2: encrypt: %w", err)
+	}
+	out := make([]byte, 0, 33+len(nonce)+len(msg)+aead.Overhead())
+	out = append(out, kemPub.Bytes()...)
+	out = append(out, nonce...)
+	out = aead.Seal(out, nonce, msg, kemPub.Bytes())
+	return out, nil
+}
+
+// Decrypt reverses Encrypt. It returns ErrDecrypt on any malformed or
+// tampered ciphertext.
+func Decrypt(sk *ecc.Scalar, ct []byte) ([]byte, error) {
+	if len(ct) < Overhead {
+		return nil, fmt.Errorf("%w: ciphertext too short (%d bytes)", ErrDecrypt, len(ct))
+	}
+	kemPub, err := ecc.PointFromBytes(ct[:33])
+	if err != nil || kemPub.IsIdentity() {
+		return nil, fmt.Errorf("%w: bad KEM point", ErrDecrypt)
+	}
+	shared := kemPub.Mul(sk)
+	aead, err := deriveAEAD(shared, kemPub)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecrypt, err)
+	}
+	nonce := ct[33 : 33+aead.NonceSize()]
+	msg, err := aead.Open(nil, nonce, ct[33+aead.NonceSize():], ct[:33])
+	if err != nil {
+		return nil, fmt.Errorf("%w: authentication failed", ErrDecrypt)
+	}
+	return msg, nil
+}
+
+// DecryptWithShares decrypts using additive shares of the secret key, as
+// the trustees do after all release their shares (§4.4 step 5–6): the
+// effective secret is the sum of the shares.
+func DecryptWithShares(shares []*ecc.Scalar, ct []byte) ([]byte, error) {
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("%w: no key shares", ErrDecrypt)
+	}
+	sk := ecc.NewScalar(0)
+	for _, s := range shares {
+		sk = sk.Add(s)
+	}
+	return Decrypt(sk, ct)
+}
+
+// SplitKey additively splits sk into n shares (the trustees' shared
+// secret key). The shares are uniformly random subject to summing to sk.
+func SplitKey(sk *ecc.Scalar, n int, rnd io.Reader) ([]*ecc.Scalar, error) {
+	if n < 1 {
+		return nil, errors.New("cca2: need at least one share")
+	}
+	shares := make([]*ecc.Scalar, n)
+	sum := ecc.NewScalar(0)
+	for i := 0; i < n-1; i++ {
+		s, err := ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("cca2: splitkey: %w", err)
+		}
+		shares[i] = s
+		sum = sum.Add(s)
+	}
+	shares[n-1] = sk.Sub(sum)
+	return shares, nil
+}

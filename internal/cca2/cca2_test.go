@@ -1,0 +1,161 @@
+package cca2
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"atom/internal/ecc"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	kp, err := KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range [][]byte{
+		{},
+		[]byte("x"),
+		[]byte("a dialing message of exactly eighty bytes padded out to that size for testing!"),
+		bytes.Repeat([]byte("m"), 160),
+	} {
+		ct, err := Encrypt(kp.PK, msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != len(msg)+Overhead {
+			t.Errorf("ciphertext length %d, want %d", len(ct), len(msg)+Overhead)
+		}
+		got, err := Decrypt(kp.SK, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round trip failed for %d-byte message", len(msg))
+		}
+	}
+}
+
+func TestDecryptRejectsTampering(t *testing.T) {
+	// Non-malleability is the property §4.4 depends on: "IND-CCA2
+	// encryption … creates non-malleable ciphertexts". Flip every byte
+	// position and confirm decryption always fails.
+	kp, _ := KeyGen(rand.Reader)
+	msg := []byte("do not touch this message")
+	ct, err := Encrypt(kp.PK, msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 0x01
+		if got, err := Decrypt(kp.SK, bad); err == nil && bytes.Equal(got, msg) {
+			t.Fatalf("tampering at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecryptRejectsWrongKey(t *testing.T) {
+	kp1, _ := KeyGen(rand.Reader)
+	kp2, _ := KeyGen(rand.Reader)
+	ct, _ := Encrypt(kp1.PK, []byte("secret"), rand.Reader)
+	if _, err := Decrypt(kp2.SK, ct); err == nil {
+		t.Fatal("wrong key decrypted successfully")
+	}
+}
+
+func TestDecryptRejectsTruncation(t *testing.T) {
+	kp, _ := KeyGen(rand.Reader)
+	ct, _ := Encrypt(kp.PK, []byte("msg"), rand.Reader)
+	for _, n := range []int{0, 1, 32, Overhead - 1, len(ct) - 1} {
+		if _, err := Decrypt(kp.SK, ct[:n]); err == nil {
+			t.Fatalf("truncated ciphertext of %d bytes decrypted", n)
+		}
+	}
+}
+
+func TestCiphertextsAreRandomized(t *testing.T) {
+	kp, _ := KeyGen(rand.Reader)
+	msg := []byte("same message")
+	ct1, _ := Encrypt(kp.PK, msg, rand.Reader)
+	ct2, _ := Encrypt(kp.PK, msg, rand.Reader)
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("two encryptions of the same message are identical")
+	}
+}
+
+func TestSplitKeyAndSharedDecryption(t *testing.T) {
+	// The trustees hold additive shares of the round secret key; all
+	// shares together decrypt (§4.4 steps 5–6), any proper subset fails.
+	kp, _ := KeyGen(rand.Reader)
+	shares, err := SplitKey(kp.SK, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("trap-variant inner ciphertext")
+	ct, _ := Encrypt(kp.PK, msg, rand.Reader)
+
+	got, err := DecryptWithShares(shares, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("shared decryption failed")
+	}
+	if _, err := DecryptWithShares(shares[:4], ct); err == nil {
+		t.Fatal("subset of shares decrypted successfully")
+	}
+	if _, err := DecryptWithShares(nil, ct); err == nil {
+		t.Fatal("empty share set decrypted successfully")
+	}
+}
+
+func TestSplitKeySingleShare(t *testing.T) {
+	kp, _ := KeyGen(rand.Reader)
+	shares, err := SplitKey(kp.SK, 1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 1 || !shares[0].Equal(kp.SK) {
+		t.Fatal("single-share split should equal the key itself")
+	}
+	if _, err := SplitKey(kp.SK, 0, rand.Reader); err == nil {
+		t.Fatal("zero shares should be rejected")
+	}
+}
+
+func TestQuickRoundTripArbitraryMessages(t *testing.T) {
+	kp, _ := KeyGen(rand.Reader)
+	f := func(msg []byte) bool {
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		ct, err := Encrypt(kp.PK, msg, rand.Reader)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(kp.SK, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg) || (len(msg) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 32}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySharesAreNotTheKey(t *testing.T) {
+	// Sanity: individual shares leak nothing about sk on their own — at
+	// minimum, no share should equal sk except with negligible chance.
+	kp, _ := KeyGen(rand.Reader)
+	shares, _ := SplitKey(kp.SK, 8, rand.Reader)
+	sum := ecc.NewScalar(0)
+	for _, s := range shares {
+		sum = sum.Add(s)
+	}
+	if !sum.Equal(kp.SK) {
+		t.Fatal("shares do not sum to the key")
+	}
+}

@@ -1,0 +1,249 @@
+// Package daemon serves an Atom deployment over TCP: remote clients
+// fetch the round's public keys, perform all cryptography locally
+// (padding, onion encryption, NIZKs, traps), and ship opaque wire
+// submissions; an operator triggers rounds and reads anonymized
+// results. cmd/atomd and cmd/atomclient are thin wrappers around this
+// package.
+//
+// The daemon hosts the full multi-group deployment in one process —
+// the configuration the paper's single-machine experiments use. The
+// wire protocol is the package's contribution; scaling the groups out
+// across machines reuses the same transport.
+package daemon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"atom"
+	"atom/internal/transport"
+)
+
+// Message types of the daemon protocol.
+const (
+	msgInfo        = "info"
+	msgInfoReply   = "info-reply"
+	msgSubmit      = "submit"
+	msgSubmitReply = "submit-reply"
+	msgRun         = "run"
+	msgRunReply    = "run-reply"
+)
+
+// Info describes a deployment to clients.
+type Info struct {
+	Groups      int
+	MessageSize int
+	Trap        bool
+	EntryKeys   [][]byte
+	TrusteeKey  []byte
+}
+
+// reply is the generic response envelope.
+type reply struct {
+	OK       bool
+	Error    string
+	Info     *Info
+	Messages [][]byte
+}
+
+func encodeReply(r *reply) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		// A reply that cannot be encoded is a programming error; encode a
+		// plain failure instead.
+		buf.Reset()
+		_ = gob.NewEncoder(&buf).Encode(&reply{Error: "internal encoding error"})
+	}
+	return buf.Bytes()
+}
+
+func decodeReply(b []byte) (*reply, error) {
+	var r reply
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("daemon: decoding reply: %w", err)
+	}
+	return &r, nil
+}
+
+// Server hosts a deployment behind a TCP endpoint.
+type Server struct {
+	node    *transport.TCPNode
+	network *atom.Network
+	cfg     atom.Config
+
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// NewServer builds the deployment and starts listening on addr
+// (":0" for an ephemeral port).
+func NewServer(addr string, cfg atom.Config) (*Server, error) {
+	network, err := atom.NewNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	node, err := transport.ListenTCP(addr, 1024)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{node: node, network: network, cfg: cfg, done: make(chan struct{})}, nil
+}
+
+// Addr returns the daemon's listen address.
+func (s *Server) Addr() string { return s.node.Addr() }
+
+// Serve processes requests until Close. It is safe to run in a
+// goroutine.
+func (s *Server) Serve() {
+	for msg := range s.node.Inbox() {
+		resp := s.handle(msg)
+		_ = s.node.Send(msg.From, resp)
+	}
+	close(s.done)
+}
+
+func (s *Server) handle(msg *transport.Message) *transport.Message {
+	switch msg.Type {
+	case msgInfo:
+		info := &Info{
+			Groups:      s.network.Groups(),
+			MessageSize: s.cfg.MessageSize,
+			Trap:        s.cfg.Variant == atom.Trap,
+		}
+		for gid := 0; gid < s.network.Groups(); gid++ {
+			key, err := s.network.EntryKey(gid)
+			if err != nil {
+				return fail(msgInfoReply, err)
+			}
+			info.EntryKeys = append(info.EntryKeys, key)
+		}
+		if s.cfg.Variant == atom.Trap {
+			key, err := s.network.TrusteeKey()
+			if err != nil {
+				return fail(msgInfoReply, err)
+			}
+			info.TrusteeKey = key
+		}
+		return &transport.Message{Type: msgInfoReply, Payload: encodeReply(&reply{OK: true, Info: info})}
+
+	case msgSubmit:
+		if len(msg.Payload) < 8 {
+			return fail(msgSubmitReply, fmt.Errorf("daemon: short submit payload"))
+		}
+		user := int(binary.BigEndian.Uint64(msg.Payload[:8]))
+		s.mu.Lock()
+		err := s.network.SubmitEncoded(user, msg.Payload[8:])
+		s.mu.Unlock()
+		if err != nil {
+			return fail(msgSubmitReply, err)
+		}
+		return &transport.Message{Type: msgSubmitReply, Payload: encodeReply(&reply{OK: true})}
+
+	case msgRun:
+		s.mu.Lock()
+		res, err := s.network.Run()
+		s.mu.Unlock()
+		if err != nil {
+			return fail(msgRunReply, err)
+		}
+		return &transport.Message{Type: msgRunReply, Payload: encodeReply(&reply{OK: true, Messages: res.Messages})}
+
+	default:
+		return fail(msg.Type+"-reply", fmt.Errorf("daemon: unknown request %q", msg.Type))
+	}
+}
+
+func fail(typ string, err error) *transport.Message {
+	return &transport.Message{Type: typ, Payload: encodeReply(&reply{Error: err.Error()})}
+}
+
+// Close shuts the daemon down.
+func (s *Server) Close() error {
+	err := s.node.Close()
+	<-s.done
+	return err
+}
+
+// Client talks to a daemon. Each client owns its own TCP endpoint (the
+// reply channel).
+type Client struct {
+	node   *transport.TCPNode
+	server string
+	// timeout bounds each request round trip.
+	timeout time.Duration
+}
+
+// Dial creates a client for the daemon at serverAddr.
+func Dial(serverAddr string) (*Client, error) {
+	node, err := transport.ListenTCP("127.0.0.1:0", 64)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{node: node, server: serverAddr, timeout: 30 * time.Second}, nil
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close() error { return c.node.Close() }
+
+func (c *Client) roundTrip(req *transport.Message, wantType string) (*reply, error) {
+	if err := c.node.Send(c.server, req); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case msg, ok := <-c.node.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("daemon: client closed")
+			}
+			if msg.Type != wantType {
+				continue // stale reply from an earlier timeout
+			}
+			r, err := decodeReply(msg.Payload)
+			if err != nil {
+				return nil, err
+			}
+			if r.Error != "" {
+				return nil, fmt.Errorf("daemon: %s", r.Error)
+			}
+			return r, nil
+		case <-timer.C:
+			return nil, fmt.Errorf("daemon: timeout waiting for %s", wantType)
+		}
+	}
+}
+
+// Info fetches the deployment description.
+func (c *Client) Info() (*Info, error) {
+	r, err := c.roundTrip(&transport.Message{Type: msgInfo}, msgInfoReply)
+	if err != nil {
+		return nil, err
+	}
+	if r.Info == nil {
+		return nil, fmt.Errorf("daemon: empty info reply")
+	}
+	return r.Info, nil
+}
+
+// Submit ships a wire-encoded submission for the given user.
+func (c *Client) Submit(user int, wire []byte) error {
+	payload := make([]byte, 8+len(wire))
+	binary.BigEndian.PutUint64(payload[:8], uint64(user))
+	copy(payload[8:], wire)
+	_, err := c.roundTrip(&transport.Message{Type: msgSubmit, Payload: payload}, msgSubmitReply)
+	return err
+}
+
+// RunRound triggers a mixing round and returns the anonymized messages.
+func (c *Client) RunRound() ([][]byte, error) {
+	r, err := c.roundTrip(&transport.Message{Type: msgRun}, msgRunReply)
+	if err != nil {
+		return nil, err
+	}
+	return r.Messages, nil
+}

@@ -1,0 +1,173 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+
+	"atom"
+)
+
+func startServer(t *testing.T, variant atom.Variant) (*Server, atom.Config) {
+	t.Helper()
+	cfg := atom.Config{
+		Servers:     12,
+		Groups:      4,
+		GroupSize:   3,
+		MessageSize: 32,
+		Variant:     variant,
+		Iterations:  2,
+		Seed:        []byte("daemon-test"),
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv, cfg
+}
+
+func TestDaemonEndToEndNIZK(t *testing.T) {
+	srv, cfg := startServer(t, atom.NIZK)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	info, err := cli.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Groups != 4 || info.MessageSize != 32 || info.Trap {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	if len(info.EntryKeys) != 4 {
+		t.Fatalf("%d entry keys", len(info.EntryKeys))
+	}
+
+	ac, err := atom.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for u := 0; u < 8; u++ {
+		gid := u % info.Groups
+		msg := fmt.Sprintf("over the wire %d", u)
+		want[msg] = true
+		wire, err := ac.EncryptSubmission([]byte(msg), info.EntryKeys[gid], nil, gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Submit(u, wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := cli.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 8 {
+		t.Fatalf("round returned %d messages", len(msgs))
+	}
+	for _, m := range msgs {
+		if !want[string(m)] {
+			t.Errorf("unexpected message %q", m)
+		}
+	}
+}
+
+func TestDaemonEndToEndTrap(t *testing.T) {
+	srv, cfg := startServer(t, atom.Trap)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	info, err := cli.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Trap || len(info.TrusteeKey) == 0 {
+		t.Fatalf("trap deployment not advertised: %+v", info)
+	}
+	ac, err := atom.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 8; u++ {
+		gid := u % info.Groups
+		wire, err := ac.EncryptSubmission([]byte(fmt.Sprintf("trap wire %d", u)),
+			info.EntryKeys[gid], info.TrusteeKey, gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Submit(u, wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := cli.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 8 {
+		t.Fatalf("round returned %d messages", len(msgs))
+	}
+}
+
+func TestDaemonRejectsGarbageSubmission(t *testing.T) {
+	srv, _ := startServer(t, atom.NIZK)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Submit(0, []byte("not a submission")); err == nil {
+		t.Fatal("garbage submission accepted")
+	}
+	// Replay rejection over the wire.
+	info, _ := cli.Info()
+	cfg := atom.Config{Servers: 12, Groups: 4, GroupSize: 3, MessageSize: 32,
+		Variant: atom.NIZK, Iterations: 2, Seed: []byte("daemon-test")}
+	ac, _ := atom.NewClient(cfg)
+	wire, err := ac.EncryptSubmission([]byte("once"), info.EntryKeys[0], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Submit(1, wire); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Submit(2, wire); err == nil {
+		t.Fatal("replayed submission accepted over the wire")
+	}
+}
+
+func TestDaemonMultipleRounds(t *testing.T) {
+	srv, cfg := startServer(t, atom.Trap)
+	cli, _ := Dial(srv.Addr())
+	defer cli.Close()
+	info, _ := cli.Info()
+	ac, _ := atom.NewClient(cfg)
+	for round := 0; round < 2; round++ {
+		// The trustee key rotates per round; refetch it.
+		info, _ = cli.Info()
+		for u := 0; u < 4; u++ {
+			wire, err := ac.EncryptSubmission([]byte(fmt.Sprintf("r%d u%d", round, u)),
+				info.EntryKeys[u%info.Groups], info.TrusteeKey, u%info.Groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.Submit(u, wire); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs, err := cli.RunRound()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(msgs) != 4 {
+			t.Fatalf("round %d returned %d messages", round, len(msgs))
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package dialing implements Atom's dialing application (paper §5):
+// the bootstrapping protocol by which Alice anonymously hands Bob her
+// public key so the two can later converse over a private-messaging
+// system (Vuvuzela, Alpenhorn, …).
+//
+// To dial, Alice encrypts her public key under Bob's long-term key and
+// routes "Bob's identifier ‖ ciphertext" through the Atom network. Exit
+// servers deposit each request into mailbox (id mod m); Bob downloads
+// his mailbox and trial-decrypts its contents. To hide how many calls a
+// user receives, an anytrust group injects differentially-private dummy
+// requests per mailbox, following Vuvuzela's noise mechanism (§5:
+// "the number of dummies is determined using differential privacy").
+package dialing
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"atom/internal/cca2"
+	"atom/internal/ecc"
+)
+
+// RequestSize is the wire size of one dialing request: an 8-byte
+// recipient identifier plus the CCA2 encryption of the caller's
+// 33-byte compressed public key. The paper quotes ~80 bytes for the
+// simplest scheme; ours is 102 because the stdlib AEAD framing (12-byte
+// nonce, 16-byte tag) and compressed-point KEM are slightly larger.
+const RequestSize = 8 + 33 + cca2.Overhead
+
+// Identity is a dialing participant's long-term keypair.
+type Identity struct {
+	Keys *cca2.KeyPair
+}
+
+// NewIdentity generates a fresh dialing identity.
+func NewIdentity(rnd io.Reader) (*Identity, error) {
+	kp, err := cca2.KeyGen(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("dialing: identity: %w", err)
+	}
+	return &Identity{Keys: kp}, nil
+}
+
+// ID derives the numeric identifier used for mailbox routing from the
+// public key (§5: "each dialing message is forwarded to mailbox id
+// mod m").
+func (id *Identity) ID() uint64 { return IDForKey(id.Keys.PK) }
+
+// IDForKey derives a mailbox identifier for any public key.
+func IDForKey(pk *ecc.Point) uint64 {
+	b := pk.Bytes()
+	// The low 8 bytes of the compressed encoding are already
+	// pseudorandom group-element bytes; fold the whole encoding anyway.
+	var h uint64 = 14695981039346656037
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Dial builds Alice's dialing request to Bob: Bob's identifier followed
+// by Enc_CCA2(bobPK, alicePub).
+func Dial(bobPK *ecc.Point, alicePub *ecc.Point, rnd io.Reader) ([]byte, error) {
+	ct, err := cca2.Encrypt(bobPK, alicePub.Bytes(), rnd)
+	if err != nil {
+		return nil, fmt.Errorf("dialing: %w", err)
+	}
+	out := make([]byte, 8, RequestSize)
+	binary.BigEndian.PutUint64(out, IDForKey(bobPK))
+	out = append(out, ct...)
+	if len(out) != RequestSize {
+		return nil, fmt.Errorf("dialing: request is %d bytes, want %d", len(out), RequestSize)
+	}
+	return out, nil
+}
+
+// Open attempts to decrypt a dialing request with Bob's identity. It
+// returns Alice's public key and true on success, or false for requests
+// addressed to other users sharing the mailbox (or dummies).
+func (id *Identity) Open(req []byte) (*ecc.Point, bool) {
+	if len(req) != RequestSize {
+		return nil, false
+	}
+	plain, err := cca2.Decrypt(id.Keys.SK, req[8:])
+	if err != nil {
+		return nil, false
+	}
+	pk, err := ecc.PointFromBytes(plain)
+	if err != nil {
+		return nil, false
+	}
+	return pk, true
+}
+
+// RecipientID extracts the mailbox identifier from a request.
+func RecipientID(req []byte) (uint64, error) {
+	if len(req) < 8 {
+		return 0, fmt.Errorf("dialing: request too short (%d bytes)", len(req))
+	}
+	return binary.BigEndian.Uint64(req[:8]), nil
+}
+
+// MailboxFor maps an identifier to one of m mailboxes.
+func MailboxFor(id uint64, m int) int { return int(id % uint64(m)) }
+
+// Mailboxes is the exit-side mailbox array for one dialing round.
+type Mailboxes struct {
+	m     int
+	boxes [][][]byte
+	drops int
+}
+
+// NewMailboxes allocates m empty mailboxes.
+func NewMailboxes(m int) (*Mailboxes, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("dialing: need at least one mailbox")
+	}
+	return &Mailboxes{m: m, boxes: make([][][]byte, m)}, nil
+}
+
+// Deliver sorts the round's anonymized outputs into mailboxes.
+// Malformed requests are counted and dropped.
+func (mb *Mailboxes) Deliver(msgs [][]byte) {
+	for _, msg := range msgs {
+		id, err := RecipientID(msg)
+		if err != nil || len(msg) != RequestSize {
+			mb.drops++
+			continue
+		}
+		box := MailboxFor(id, mb.m)
+		mb.boxes[box] = append(mb.boxes[box], msg)
+	}
+}
+
+// Box returns the contents of mailbox i (what a recipient downloads).
+func (mb *Mailboxes) Box(i int) [][]byte {
+	if i < 0 || i >= mb.m {
+		return nil
+	}
+	return mb.boxes[i]
+}
+
+// Size returns the number of mailboxes.
+func (mb *Mailboxes) Size() int { return mb.m }
+
+// Dropped returns the count of malformed requests discarded.
+func (mb *Mailboxes) Dropped() int { return mb.drops }
+
+// Total returns the number of delivered requests.
+func (mb *Mailboxes) Total() int {
+	n := 0
+	for _, b := range mb.boxes {
+		n += len(b)
+	}
+	return n
+}
+
+// SampleLaplace draws from a zero-mean Laplace distribution with the
+// given scale using inverse-CDF sampling on cryptographic randomness.
+func SampleLaplace(scale float64, rnd io.Reader) (float64, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(rnd, buf[:]); err != nil {
+		return 0, fmt.Errorf("dialing: noise: %w", err)
+	}
+	// u uniform in (0,1), avoiding exact endpoints.
+	u := (float64(binary.BigEndian.Uint64(buf[:])>>11) + 0.5) / (1 << 53)
+	centered := u - 0.5
+	sign := 1.0
+	if centered < 0 {
+		sign = -1.0
+		centered = -centered
+	}
+	return -sign * scale * math.Log(1-2*centered), nil
+}
+
+// NoiseConfig parameterizes the differential-privacy dummy generation
+// (Vuvuzela's mechanism [72], used by §6.2 with μ = 13,000 per trustee).
+type NoiseConfig struct {
+	// Mu is the mean dummy count per anytrust-group server.
+	Mu float64
+	// Scale is the Laplace scale b (Vuvuzela uses b = 1/ε per exposure).
+	Scale float64
+}
+
+// SampleDummyCount draws the number of dummy requests one noise server
+// adds: max(0, round(μ + Laplace(b))).
+func (nc NoiseConfig) SampleDummyCount(rnd io.Reader) (int, error) {
+	noise, err := SampleLaplace(nc.Scale, rnd)
+	if err != nil {
+		return 0, err
+	}
+	n := int(math.Round(nc.Mu + noise))
+	if n < 0 {
+		n = 0
+	}
+	return n, nil
+}
+
+// GenerateDummies builds count indistinguishable dummy dialing requests
+// addressed to uniformly random mailbox identifiers. Dummies are
+// encryptions of a throwaway key under a throwaway identity, so they
+// are undecryptable by every real recipient — exactly like a real
+// request addressed to somebody else.
+func GenerateDummies(count int, rnd io.Reader) ([][]byte, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		throwaway, err := cca2.KeyGen(rnd)
+		if err != nil {
+			return nil, err
+		}
+		filler, err := ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, err
+		}
+		req, err := Dial(throwaway.PK, ecc.BaseMul(filler), rnd)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+	return out, nil
+}

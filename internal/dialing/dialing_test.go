@@ -1,0 +1,211 @@
+package dialing
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+
+	"atom/internal/ecc"
+)
+
+func TestDialAndOpen(t *testing.T) {
+	bob, err := NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alicePub := ecc.BaseMul(ecc.MustRandomScalar(rand.Reader))
+	req, err := Dial(bob.Keys.PK, alicePub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req) != RequestSize {
+		t.Fatalf("request is %d bytes, want %d", len(req), RequestSize)
+	}
+	id, err := RecipientID(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != bob.ID() {
+		t.Fatal("request carries the wrong recipient id")
+	}
+	got, ok := bob.Open(req)
+	if !ok {
+		t.Fatal("Bob failed to open his own request")
+	}
+	if !got.Equal(alicePub) {
+		t.Fatal("recovered key differs from Alice's")
+	}
+}
+
+func TestOpenRejectsOthersRequests(t *testing.T) {
+	bob, _ := NewIdentity(rand.Reader)
+	carol, _ := NewIdentity(rand.Reader)
+	alicePub := ecc.BaseMul(ecc.MustRandomScalar(rand.Reader))
+	req, _ := Dial(bob.Keys.PK, alicePub, rand.Reader)
+	if _, ok := carol.Open(req); ok {
+		t.Fatal("Carol opened a request addressed to Bob")
+	}
+	if _, ok := bob.Open(req[:RequestSize-1]); ok {
+		t.Fatal("truncated request opened")
+	}
+	tampered := append([]byte(nil), req...)
+	tampered[20] ^= 1
+	if _, ok := bob.Open(tampered); ok {
+		t.Fatal("tampered request opened")
+	}
+}
+
+func TestMailboxRouting(t *testing.T) {
+	mb, err := NewMailboxes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs [][]byte
+	ids := make([]uint64, 0, 20)
+	for i := 0; i < 20; i++ {
+		bob, _ := NewIdentity(rand.Reader)
+		alicePub := ecc.BaseMul(ecc.MustRandomScalar(rand.Reader))
+		req, _ := Dial(bob.Keys.PK, alicePub, rand.Reader)
+		msgs = append(msgs, req)
+		ids = append(ids, bob.ID())
+	}
+	msgs = append(msgs, []byte("garbage")) // malformed
+	mb.Deliver(msgs)
+	if mb.Dropped() != 1 {
+		t.Errorf("dropped %d, want 1", mb.Dropped())
+	}
+	if mb.Total() != 20 {
+		t.Errorf("delivered %d, want 20", mb.Total())
+	}
+	// Every request must be in the mailbox its id names.
+	for i, id := range ids {
+		box := mb.Box(MailboxFor(id, 8))
+		found := false
+		for _, m := range box {
+			if string(m) == string(msgs[i]) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("request %d not in its mailbox", i)
+		}
+	}
+	if mb.Box(-1) != nil || mb.Box(8) != nil {
+		t.Error("out-of-range mailbox should be nil")
+	}
+}
+
+func TestNewMailboxesRejectsZero(t *testing.T) {
+	if _, err := NewMailboxes(0); err == nil {
+		t.Fatal("0 mailboxes accepted")
+	}
+}
+
+func TestEndToEndDialThroughMailboxes(t *testing.T) {
+	// Alice dials Bob among a crowd; Bob finds exactly Alice's key.
+	bob, _ := NewIdentity(rand.Reader)
+	alicePub := ecc.BaseMul(ecc.MustRandomScalar(rand.Reader))
+	aliceReq, _ := Dial(bob.Keys.PK, alicePub, rand.Reader)
+
+	crowd, err := GenerateDummies(30, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := NewMailboxes(4)
+	mb.Deliver(append(crowd, aliceReq))
+
+	box := mb.Box(MailboxFor(bob.ID(), 4))
+	var recovered []*ecc.Point
+	for _, req := range box {
+		if pk, ok := bob.Open(req); ok {
+			recovered = append(recovered, pk)
+		}
+	}
+	if len(recovered) != 1 || !recovered[0].Equal(alicePub) {
+		t.Fatalf("Bob recovered %d keys, want exactly Alice's", len(recovered))
+	}
+}
+
+func TestSampleLaplaceStatistics(t *testing.T) {
+	const n = 4000
+	const scale = 10.0
+	sum, absSum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x, err := SampleLaplace(scale, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += x
+		absSum += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := absSum / n
+	// Laplace(b): mean 0, E|X| = b. Loose 20% tolerances.
+	if math.Abs(mean) > 2 {
+		t.Errorf("sample mean %v too far from 0", mean)
+	}
+	if meanAbs < scale*0.8 || meanAbs > scale*1.2 {
+		t.Errorf("mean |X| = %v, want ≈ %v", meanAbs, scale)
+	}
+}
+
+func TestSampleDummyCount(t *testing.T) {
+	nc := NoiseConfig{Mu: 100, Scale: 5}
+	for i := 0; i < 50; i++ {
+		n, err := nc.SampleDummyCount(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 0 {
+			t.Fatal("negative dummy count")
+		}
+		if n < 40 || n > 160 {
+			t.Errorf("dummy count %d wildly far from μ=100 (possible but ~never)", n)
+		}
+	}
+	// Negative clamping: μ = 0 with large noise must floor at 0.
+	nc0 := NoiseConfig{Mu: 0, Scale: 50}
+	sawZero := false
+	for i := 0; i < 50; i++ {
+		n, _ := nc0.SampleDummyCount(rand.Reader)
+		if n == 0 {
+			sawZero = true
+		}
+		if n < 0 {
+			t.Fatal("negative dummy count")
+		}
+	}
+	if !sawZero {
+		t.Error("clamping to zero never occurred with μ=0")
+	}
+}
+
+func TestDummiesAreWellFormedAndUndecryptable(t *testing.T) {
+	bob, _ := NewIdentity(rand.Reader)
+	dummies, err := GenerateDummies(20, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dummies) != 20 {
+		t.Fatalf("generated %d dummies", len(dummies))
+	}
+	for i, d := range dummies {
+		if len(d) != RequestSize {
+			t.Fatalf("dummy %d is %d bytes", i, len(d))
+		}
+		if _, ok := bob.Open(d); ok {
+			t.Fatalf("dummy %d decrypted by a real user", i)
+		}
+	}
+}
+
+func TestIDForKeyDeterministic(t *testing.T) {
+	id, _ := NewIdentity(rand.Reader)
+	if id.ID() != IDForKey(id.Keys.PK) {
+		t.Fatal("ID not derived from key")
+	}
+	other, _ := NewIdentity(rand.Reader)
+	if id.ID() == other.ID() {
+		t.Fatal("two identities collided (astronomically unlikely)")
+	}
+}

@@ -1,0 +1,210 @@
+// Package distributed executes one anytrust group's mixing iteration
+// (Algorithm 1) as a true message-passing protocol: every group member
+// is an independent actor owning only its own key share, exchanging
+// batches over a transport.Endpoint. It is the bridge between the
+// in-process deployment (internal/protocol, which invokes members
+// directly) and a real multi-machine deployment: the same member logic
+// runs unchanged over the in-memory network (with or without a WAN
+// latency model) or the TCP transport.
+//
+// Wire protocol for one iteration (all payloads are framed
+// elgamal.Vector encodings):
+//
+//	"shuffle"  leader → member 0 → … → member k−1: each member shuffles
+//	           the batch under the group key and forwards it.
+//	"reenc"    member k−1 divides into β batches and restarts the chain
+//	           at member 0; each member peels its layer of every batch
+//	           and re-encrypts toward the destination keys.
+//	"out"      member k−1 clears the Y slots and delivers the β batches
+//	           to the collector.
+//	"abort"    any member that fails notifies the collector.
+package distributed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/transport"
+)
+
+// Member is one group member's identity and key material for a round.
+type Member struct {
+	Pos       int          // 0-based position in the group's serial chain
+	Secret    *ecc.Scalar  // effective secret (λ·share in threshold mode)
+	GroupPK   *ecc.Point   // this group's public key
+	DestPKs   []*ecc.Point // β destination group keys (nil entries = ⊥/exit)
+	Peers     []string     // transport addresses of all members, in chain order
+	Collector string       // address receiving "out"/"abort"
+}
+
+// encodeBatches frames β batches of vectors.
+func encodeBatches(batches [][]elgamal.Vector) []byte {
+	var buf bytes.Buffer
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(batches)))
+	buf.Write(n[:])
+	for _, batch := range batches {
+		binary.BigEndian.PutUint32(n[:], uint32(len(batch)))
+		buf.Write(n[:])
+		for _, vec := range batch {
+			enc := vec.Marshal()
+			binary.BigEndian.PutUint32(n[:], uint32(len(enc)))
+			buf.Write(n[:])
+			buf.Write(enc)
+		}
+	}
+	return buf.Bytes()
+}
+
+// decodeBatches reverses encodeBatches.
+func decodeBatches(data []byte) ([][]elgamal.Vector, error) {
+	rd := bytes.NewReader(data)
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(rd, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(b[:]), nil
+	}
+	nb, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("distributed: decode batches: %w", err)
+	}
+	if nb > 1<<16 {
+		return nil, fmt.Errorf("distributed: absurd batch count %d", nb)
+	}
+	out := make([][]elgamal.Vector, nb)
+	for i := range out {
+		nv, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nv > 1<<20 {
+			return nil, fmt.Errorf("distributed: absurd vector count %d", nv)
+		}
+		out[i] = make([]elgamal.Vector, nv)
+		for j := range out[i] {
+			ln, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			raw := make([]byte, ln)
+			if _, err := io.ReadFull(rd, raw); err != nil {
+				return nil, err
+			}
+			if out[i][j], err = elgamal.UnmarshalVector(raw); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Serve runs the member's side of one iteration on its endpoint,
+// processing messages until its part is done (a member is done after
+// it forwards its reenc output, or immediately after an abort). rnd
+// supplies the member's secret shuffle and re-encryption randomness.
+func (m *Member) Serve(ep transport.Endpoint, rnd io.Reader) error {
+	k := len(m.Peers)
+	shuffled := false
+	for msg := range ep.Inbox() {
+		switch msg.Type {
+		case "shuffle":
+			batches, err := decodeBatches(msg.Payload)
+			if err != nil || len(batches) != 1 {
+				return m.abort(ep, fmt.Errorf("bad shuffle payload: %v", err))
+			}
+			out, _, _, err := elgamal.ShuffleBatch(m.GroupPK, batches[0], rnd)
+			if err != nil {
+				return m.abort(ep, err)
+			}
+			shuffled = true
+			if m.Pos < k-1 {
+				if err := ep.Send(m.Peers[m.Pos+1], &transport.Message{
+					Type: "shuffle", Payload: encodeBatches([][]elgamal.Vector{out}),
+				}); err != nil {
+					return m.abort(ep, err)
+				}
+				continue
+			}
+			// Last member divides into β batches and starts the
+			// decrypt-and-reencrypt chain back at member 0 (Algorithm 1
+			// step 2: "It sends (B1,…,Bβ) to the first server").
+			beta := len(m.DestPKs)
+			sizes := splitSizes(len(out), beta)
+			divided := make([][]elgamal.Vector, beta)
+			off := 0
+			for i := 0; i < beta; i++ {
+				divided[i] = out[off : off+sizes[i]]
+				off += sizes[i]
+			}
+			if err := ep.Send(m.Peers[0], &transport.Message{
+				Type: "reenc", Payload: encodeBatches(divided),
+			}); err != nil {
+				return m.abort(ep, err)
+			}
+
+		case "reenc":
+			if !shuffled {
+				return m.abort(ep, fmt.Errorf("reenc before shuffle phase"))
+			}
+			batches, err := decodeBatches(msg.Payload)
+			if err != nil || len(batches) != len(m.DestPKs) {
+				return m.abort(ep, fmt.Errorf("bad reenc payload: %v", err))
+			}
+			for i := range batches {
+				for vi := range batches[i] {
+					out, _, err := elgamal.ReEncVector(m.Secret, m.DestPKs[i], batches[i][vi], rnd)
+					if err != nil {
+						return m.abort(ep, err)
+					}
+					batches[i][vi] = out
+				}
+			}
+			if m.Pos < k-1 {
+				err = ep.Send(m.Peers[m.Pos+1], &transport.Message{
+					Type: "reenc", Payload: encodeBatches(batches),
+				})
+			} else {
+				// Last member clears Y and ships the outputs.
+				for i := range batches {
+					for vi := range batches[i] {
+						batches[i][vi] = elgamal.ClearYVector(batches[i][vi])
+					}
+				}
+				err = ep.Send(m.Collector, &transport.Message{
+					Type: "out", Payload: encodeBatches(batches),
+				})
+			}
+			if err != nil {
+				return m.abort(ep, err)
+			}
+			return nil // this member's work for the iteration is done
+
+		case "stop":
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *Member) abort(ep transport.Endpoint, cause error) error {
+	_ = ep.Send(m.Collector, &transport.Message{Type: "abort", Payload: []byte(cause.Error())})
+	return fmt.Errorf("distributed: member %d: %w", m.Pos, cause)
+}
+
+func splitSizes(n, dests int) []int {
+	out := make([]int, dests)
+	base, rem := n/dests, n%dests
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

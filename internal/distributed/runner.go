@@ -1,0 +1,119 @@
+package distributed
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/transport"
+)
+
+// Group is a fully wired distributed group: member actors attached to a
+// network plus the collector endpoint that injects batches and gathers
+// outputs.
+type Group struct {
+	PK        *ecc.Point
+	members   []*Member
+	endpoints []transport.Endpoint
+	collector transport.Endpoint
+	done      chan error
+}
+
+// NewGroup builds a k-member group on the given network: it runs the
+// DVSS locally (each member ends up holding only its own share inside
+// its actor), attaches one endpoint per member, and starts the member
+// goroutines for one iteration toward the destination keys.
+func NewGroup(net *transport.MemNetwork, name string, k int, destPKs []*ecc.Point) (*Group, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("distributed: need at least one member")
+	}
+	keys, err := dvss.RunDKG(k, k, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	collector, err := net.Attach(name + "/collector")
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{PK: keys[0].PK, collector: collector, done: make(chan error, k)}
+
+	peers := make([]string, k)
+	for i := 0; i < k; i++ {
+		peers[i] = fmt.Sprintf("%s/member/%d", name, i)
+	}
+	active := make([]int, k)
+	for i := range active {
+		active[i] = i + 1
+	}
+	for i := 0; i < k; i++ {
+		ep, err := net.Attach(peers[i])
+		if err != nil {
+			return nil, err
+		}
+		eff, _, err := keys[i].EffectiveKey(active)
+		if err != nil {
+			return nil, err
+		}
+		m := &Member{
+			Pos:       i,
+			Secret:    eff,
+			GroupPK:   keys[0].PK,
+			DestPKs:   destPKs,
+			Peers:     peers,
+			Collector: collector.Addr(),
+		}
+		g.members = append(g.members, m)
+		g.endpoints = append(g.endpoints, ep)
+		go func(m *Member, ep transport.Endpoint) {
+			g.done <- m.Serve(ep, rand.Reader)
+		}(m, ep)
+	}
+	return g, nil
+}
+
+// RunIteration injects the batch at member 0 and waits for the group's
+// β output batches (or an abort).
+func (g *Group) RunIteration(batch []elgamal.Vector, timeout time.Duration) ([][]elgamal.Vector, error) {
+	err := g.collector.Send(g.members[0].Peers[0], &transport.Message{
+		Type: "shuffle", Payload: encodeBatches([][]elgamal.Vector{batch}),
+	})
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg, ok := <-g.collector.Inbox():
+		if !ok {
+			return nil, fmt.Errorf("distributed: collector closed")
+		}
+		switch msg.Type {
+		case "out":
+			return decodeBatches(msg.Payload)
+		case "abort":
+			return nil, fmt.Errorf("distributed: group aborted: %s", msg.Payload)
+		default:
+			return nil, fmt.Errorf("distributed: unexpected %q", msg.Type)
+		}
+	case <-timer.C:
+		return nil, fmt.Errorf("distributed: iteration timed out after %v", timeout)
+	}
+}
+
+// Close tears down the group's endpoints and waits for the member
+// goroutines to drain.
+func (g *Group) Close() {
+	for i, ep := range g.endpoints {
+		_ = ep.Send(g.members[i].Peers[i], &transport.Message{Type: "stop"})
+	}
+	for _, ep := range g.endpoints {
+		ep.Close()
+	}
+	for range g.members {
+		<-g.done
+	}
+	g.collector.Close()
+}

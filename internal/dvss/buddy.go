@@ -1,0 +1,62 @@
+package dvss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// Buddy-group share escrow (paper §4.5): "each server then secret shares
+// its share of the group private key with the servers in each of the
+// buddy groups. When more than h−1 servers in a group fail, a new
+// anytrust group is formed. Each server in the new group then collects
+// the shares of the private key from one of the buddy groups, and
+// reconstructs a share of the group private key."
+//
+// We implement the escrow with a second layer of Feldman VSS so buddy
+// servers can verify what they hold, and recovery by Lagrange
+// reconstruction of the escrowed share.
+
+// Escrow is the re-sharing of one group member's share to a buddy group.
+type Escrow struct {
+	OwnerIndex  int           // whose share is escrowed (1-based in owner group)
+	Commitments []*ecc.Point  // Feldman commitments of the re-sharing
+	Pieces      []*ecc.Scalar // Pieces[i] goes to buddy member i+1
+}
+
+// EscrowShare re-shares a member's group-key share to a buddy group of
+// size n with threshold t.
+func EscrowShare(ownerIndex int, share *ecc.Scalar, n, t int, rnd io.Reader) (*Escrow, error) {
+	d, err := Deal(share, t, n, rnd)
+	if err != nil {
+		return nil, fmt.Errorf("dvss: escrow: %w", err)
+	}
+	return &Escrow{OwnerIndex: ownerIndex, Commitments: d.Commitments, Pieces: d.Shares}, nil
+}
+
+// VerifyEscrowPiece lets buddy member idx check its escrow piece, and —
+// crucially — lets it check that the escrow really hides the owner's
+// share by comparing the degree-0 commitment with the owner's public
+// share image g^{share} (computable from the group's aggregated Feldman
+// commitments via GroupKey.ShareCommit).
+func VerifyEscrowPiece(e *Escrow, idx int, piece *ecc.Scalar, ownerShareCommit *ecc.Point) error {
+	if err := VerifyShare(e.Commitments, idx, piece); err != nil {
+		return err
+	}
+	if ownerShareCommit != nil && !e.Commitments[0].Equal(ownerShareCommit) {
+		return fmt.Errorf("%w: escrow does not hide the owner's share", ErrShare)
+	}
+	return nil
+}
+
+// RecoverShare reconstructs an escrowed group-key share from t buddy
+// pieces. The recovering server (a member of a freshly formed replacement
+// group) then holds the failed server's share of the group key.
+func RecoverShare(indices []int, pieces []*ecc.Scalar) (*ecc.Scalar, error) {
+	if len(indices) < 1 {
+		return nil, errors.New("dvss: no escrow pieces")
+	}
+	return Reconstruct(indices, pieces)
+}

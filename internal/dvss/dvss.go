@@ -1,0 +1,246 @@
+// Package dvss implements the dealer-less distributed verifiable secret
+// sharing protocol Atom uses to generate threshold group keys for its
+// many-trust groups (paper §4.5, citing Stinson–Strobl [67]).
+//
+// Every group member acts as a Feldman-VSS dealer of a fresh random
+// secret. The group secret is the (never reconstructed) sum of all
+// dealt secrets; the group public key is the product of the dealers'
+// degree-0 commitments; and each member's share of the group secret is
+// the sum of the sub-shares it received, verifiable against the public
+// Feldman commitments. Any t = k−(h−1) members can then apply the group
+// secret key to a ciphertext via Lagrange-weighted partial operations,
+// which is how a group that lost up to h−1 servers keeps mixing.
+package dvss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// ErrShare is returned when a share fails verification against the
+// dealer's Feldman commitments.
+var ErrShare = errors.New("dvss: share verification failed")
+
+// Dealing is one dealer's contribution: Feldman commitments to the
+// coefficients of its secret polynomial, plus one share per participant.
+// Shares[i] belongs to participant index i+1 (participant indices are
+// 1-based so that index 0 can denote the secret itself).
+type Dealing struct {
+	Commitments []*ecc.Point  // g^{a_0}, …, g^{a_{t-1}}
+	Shares      []*ecc.Scalar // f(1), …, f(n); sent privately to each member
+}
+
+// Deal shares secret among n participants with reconstruction threshold
+// t (any t shares reconstruct; t−1 reveal nothing).
+func Deal(secret *ecc.Scalar, t, n int, rnd io.Reader) (*Dealing, error) {
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("dvss: invalid threshold %d of %d", t, n)
+	}
+	coeffs := make([]*ecc.Scalar, t)
+	coeffs[0] = secret.Clone()
+	for j := 1; j < t; j++ {
+		c, err := ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("dvss: deal: %w", err)
+		}
+		coeffs[j] = c
+	}
+	d := &Dealing{
+		Commitments: make([]*ecc.Point, t),
+		Shares:      make([]*ecc.Scalar, n),
+	}
+	for j, c := range coeffs {
+		d.Commitments[j] = ecc.BaseMul(c)
+	}
+	for i := 1; i <= n; i++ {
+		d.Shares[i-1] = evalPoly(coeffs, i)
+	}
+	return d, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at the
+// 1-based participant index x using Horner's rule.
+func evalPoly(coeffs []*ecc.Scalar, x int) *ecc.Scalar {
+	xs := ecc.NewScalar(int64(x))
+	acc := ecc.NewScalar(0)
+	for j := len(coeffs) - 1; j >= 0; j-- {
+		acc = acc.Mul(xs).Add(coeffs[j])
+	}
+	return acc
+}
+
+// ShareCommitment computes g^{f(idx)} from the Feldman commitments: the
+// public image of participant idx's share.
+func ShareCommitment(commitments []*ecc.Point, idx int) *ecc.Point {
+	x := ecc.NewScalar(int64(idx))
+	xPow := ecc.NewScalar(1)
+	acc := ecc.Identity()
+	for _, c := range commitments {
+		acc = acc.Add(c.Mul(xPow))
+		xPow = xPow.Mul(x)
+	}
+	return acc
+}
+
+// VerifyShare checks that share is participant idx's valid share under
+// the dealer's commitments: g^{share} = Π C_j^{idx^j}.
+func VerifyShare(commitments []*ecc.Point, idx int, share *ecc.Scalar) error {
+	if idx < 1 {
+		return fmt.Errorf("%w: participant index %d", ErrShare, idx)
+	}
+	if !ecc.BaseMul(share).Equal(ShareCommitment(commitments, idx)) {
+		return fmt.Errorf("%w: participant %d", ErrShare, idx)
+	}
+	return nil
+}
+
+// LagrangeCoeff returns the Lagrange coefficient λ_i for interpolating
+// f(0) from the shares of the (1-based) participant subset: λ_i =
+// Π_{j∈subset, j≠i} j/(j−i). The subset must contain i and have no
+// duplicates.
+func LagrangeCoeff(subset []int, i int) (*ecc.Scalar, error) {
+	found := false
+	num := ecc.NewScalar(1)
+	den := ecc.NewScalar(1)
+	for _, j := range subset {
+		if j == i {
+			found = true
+			continue
+		}
+		num = num.Mul(ecc.NewScalar(int64(j)))
+		den = den.Mul(ecc.NewScalar(int64(j - i)))
+	}
+	if !found {
+		return nil, fmt.Errorf("dvss: %d not in subset %v", i, subset)
+	}
+	return num.Mul(den.Inv()), nil
+}
+
+// Reconstruct interpolates the secret f(0) from t (index, share) pairs.
+// It is used only for buddy-group recovery (§4.5) — during normal
+// operation the group secret is never assembled in one place.
+func Reconstruct(indices []int, shares []*ecc.Scalar) (*ecc.Scalar, error) {
+	if len(indices) != len(shares) || len(indices) == 0 {
+		return nil, errors.New("dvss: mismatched reconstruction input")
+	}
+	acc := ecc.NewScalar(0)
+	for pos, i := range indices {
+		lambda, err := LagrangeCoeff(indices, i)
+		if err != nil {
+			return nil, err
+		}
+		acc = acc.Add(lambda.Mul(shares[pos]))
+	}
+	return acc, nil
+}
+
+// GroupKey is the outcome of a DVSS run from one member's perspective.
+type GroupKey struct {
+	PK          *ecc.Point   // group public key X = g^{Σ secrets}
+	Share       *ecc.Scalar  // this member's share of the group secret
+	Index       int          // this member's 1-based participant index
+	Threshold   int          // t: number of members needed to operate
+	Size        int          // k: total group size
+	Commitments []*ecc.Point // aggregated Feldman commitments (length t)
+}
+
+// ShareCommit returns the public image g^{share} of participant idx's
+// aggregated share, computable by anyone from the aggregated commitments.
+// Servers publish ReEnc proofs against these images in threshold mode.
+func (gk *GroupKey) ShareCommit(idx int) *ecc.Point {
+	return ShareCommitment(gk.Commitments, idx)
+}
+
+// EffectiveKey returns the (secret, public) pair a participating member
+// uses during a threshold mixing step with the given active subset: the
+// Lagrange-weighted share λ_i·share_i and its public image. Summed over
+// any qualified subset the secrets equal the group secret, so chaining
+// elgamal.ReEnc over the subset peels the group layer exactly as in the
+// anytrust case.
+func (gk *GroupKey) EffectiveKey(subset []int) (*ecc.Scalar, *ecc.Point, error) {
+	lambda, err := LagrangeCoeff(subset, gk.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	eff := lambda.Mul(gk.Share)
+	pub := gk.ShareCommit(gk.Index).Mul(lambda)
+	return eff, pub, nil
+}
+
+// EffectivePub returns the public image of participant idx's effective
+// key for the given subset, so that verifiers who never see secrets can
+// check ReEnc proofs.
+func (gk *GroupKey) EffectivePub(idx int, subset []int) (*ecc.Point, error) {
+	lambda, err := LagrangeCoeff(subset, idx)
+	if err != nil {
+		return nil, err
+	}
+	return gk.ShareCommit(idx).Mul(lambda), nil
+}
+
+// RunDKG executes the full dealer-less key generation among n simulated
+// participants with threshold t and returns every member's view. The
+// group's servers run exactly this exchange over their mutual channels;
+// tests and the in-process deployment call it directly.
+func RunDKG(n, t int, rnd io.Reader) ([]*GroupKey, error) {
+	dealings := make([]*Dealing, n)
+	for d := 0; d < n; d++ {
+		secret, err := ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, err
+		}
+		if dealings[d], err = Deal(secret, t, n, rnd); err != nil {
+			return nil, err
+		}
+	}
+	return AggregateDealings(dealings, n, t)
+}
+
+// AggregateDealings verifies every dealer's shares and combines them into
+// per-member GroupKeys. A dealing whose shares fail verification aborts
+// the whole DKG (the caller excludes the cheater and reruns; in Atom the
+// exposure of a cheating dealer is public evidence of misbehavior).
+func AggregateDealings(dealings []*Dealing, n, t int) ([]*GroupKey, error) {
+	if len(dealings) == 0 {
+		return nil, errors.New("dvss: no dealings")
+	}
+	// Verify all shares against all commitments (each member does this for
+	// the shares it received; we do it for everyone).
+	for di, d := range dealings {
+		if len(d.Shares) != n || len(d.Commitments) != t {
+			return nil, fmt.Errorf("dvss: dealer %d produced malformed dealing", di)
+		}
+		for i := 1; i <= n; i++ {
+			if err := VerifyShare(d.Commitments, i, d.Shares[i-1]); err != nil {
+				return nil, fmt.Errorf("dvss: dealer %d: %w", di, err)
+			}
+		}
+	}
+	// Aggregate commitments coefficient-wise and shares member-wise.
+	aggComms := make([]*ecc.Point, t)
+	for j := 0; j < t; j++ {
+		aggComms[j] = ecc.Identity()
+		for _, d := range dealings {
+			aggComms[j] = aggComms[j].Add(d.Commitments[j])
+		}
+	}
+	out := make([]*GroupKey, n)
+	for i := 1; i <= n; i++ {
+		share := ecc.NewScalar(0)
+		for _, d := range dealings {
+			share = share.Add(d.Shares[i-1])
+		}
+		out[i-1] = &GroupKey{
+			PK:          aggComms[0].Clone(),
+			Share:       share,
+			Index:       i,
+			Threshold:   t,
+			Size:        n,
+			Commitments: aggComms,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+package dvss
+
+import (
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+func TestDealAndVerifyShares(t *testing.T) {
+	secret := ecc.MustRandomScalar(rand.Reader)
+	d, err := Deal(secret, 3, 5, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Shares) != 5 || len(d.Commitments) != 3 {
+		t.Fatalf("malformed dealing: %d shares, %d commitments", len(d.Shares), len(d.Commitments))
+	}
+	for i := 1; i <= 5; i++ {
+		if err := VerifyShare(d.Commitments, i, d.Shares[i-1]); err != nil {
+			t.Errorf("share %d: %v", i, err)
+		}
+	}
+	// Commitment 0 must be g^secret.
+	if !d.Commitments[0].Equal(ecc.BaseMul(secret)) {
+		t.Error("degree-0 commitment is not g^secret")
+	}
+}
+
+func TestVerifyShareRejectsTampered(t *testing.T) {
+	secret := ecc.MustRandomScalar(rand.Reader)
+	d, _ := Deal(secret, 2, 4, rand.Reader)
+	bad := d.Shares[0].Add(ecc.NewScalar(1))
+	if err := VerifyShare(d.Commitments, 1, bad); err == nil {
+		t.Fatal("tampered share verified")
+	}
+	if err := VerifyShare(d.Commitments, 2, d.Shares[0]); err == nil {
+		t.Fatal("share verified under wrong index")
+	}
+	if err := VerifyShare(d.Commitments, 0, d.Shares[0]); err == nil {
+		t.Fatal("index 0 accepted")
+	}
+}
+
+func TestDealInvalidThreshold(t *testing.T) {
+	secret := ecc.MustRandomScalar(rand.Reader)
+	if _, err := Deal(secret, 0, 4, rand.Reader); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := Deal(secret, 5, 4, rand.Reader); err == nil {
+		t.Error("threshold > n accepted")
+	}
+}
+
+func TestReconstructFromAnySubset(t *testing.T) {
+	secret := ecc.MustRandomScalar(rand.Reader)
+	d, _ := Deal(secret, 3, 6, rand.Reader)
+	subsets := [][]int{{1, 2, 3}, {4, 5, 6}, {1, 3, 5}, {2, 4, 6}, {1, 2, 3, 4, 5, 6}}
+	for _, sub := range subsets {
+		shares := make([]*ecc.Scalar, len(sub))
+		for i, idx := range sub {
+			shares[i] = d.Shares[idx-1]
+		}
+		got, err := Reconstruct(sub, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(secret) {
+			t.Errorf("subset %v reconstructed wrong secret", sub)
+		}
+	}
+}
+
+func TestReconstructBelowThresholdFails(t *testing.T) {
+	secret := ecc.MustRandomScalar(rand.Reader)
+	d, _ := Deal(secret, 3, 6, rand.Reader)
+	got, err := Reconstruct([]int{1, 2}, []*ecc.Scalar{d.Shares[0], d.Shares[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(secret) {
+		t.Fatal("2 shares reconstructed a threshold-3 secret")
+	}
+}
+
+func TestLagrangeCoeffErrors(t *testing.T) {
+	if _, err := LagrangeCoeff([]int{1, 2, 3}, 4); err == nil {
+		t.Error("index outside subset accepted")
+	}
+}
+
+func TestRunDKGProducesConsistentKeys(t *testing.T) {
+	keys, err := RunDKG(5, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !k.PK.Equal(keys[0].PK) {
+			t.Fatalf("member %d sees a different group key", i)
+		}
+		if k.Index != i+1 || k.Threshold != 3 || k.Size != 5 {
+			t.Fatalf("member %d metadata wrong: %+v", i, k)
+		}
+		// Each member's share must match the public share commitment.
+		if !ecc.BaseMul(k.Share).Equal(k.ShareCommit(k.Index)) {
+			t.Fatalf("member %d share does not match commitment", i)
+		}
+	}
+	// Reconstructing from any 3 shares must give the secret behind PK.
+	sub := []int{1, 3, 5}
+	shares := []*ecc.Scalar{keys[0].Share, keys[2].Share, keys[4].Share}
+	secret, err := Reconstruct(sub, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ecc.BaseMul(secret).Equal(keys[0].PK) {
+		t.Fatal("reconstructed secret does not match group public key")
+	}
+}
+
+func TestAggregateDealingsRejectsCheater(t *testing.T) {
+	n, th := 4, 2
+	dealings := make([]*Dealing, n)
+	for i := 0; i < n; i++ {
+		s := ecc.MustRandomScalar(rand.Reader)
+		d, _ := Deal(s, th, n, rand.Reader)
+		dealings[i] = d
+	}
+	// Dealer 2 hands member 3 a corrupted share.
+	dealings[2].Shares[2] = dealings[2].Shares[2].Add(ecc.NewScalar(1))
+	if _, err := AggregateDealings(dealings, n, th); err == nil {
+		t.Fatal("cheating dealer went undetected")
+	}
+}
+
+// TestThresholdReEncChain exercises the paper's §4.5 flow end to end:
+// a many-trust group of k=5 with h=2 (threshold t=4) mixes with one
+// member missing, using Lagrange-weighted effective keys in the standard
+// elgamal.ReEnc chain.
+func TestThresholdReEncChain(t *testing.T) {
+	const k, h = 5, 2
+	th := k - (h - 1) // 4
+	keys, err := RunDKG(k, th, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupPK := keys[0].PK
+
+	m, err := ecc.EmbedChunk([]byte("fault tolerant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _, err := elgamal.Encrypt(groupPK, m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Member 2 has failed; members {1,3,4,5} mix.
+	subset := []int{1, 3, 4, 5}
+	cur := ct
+	for _, idx := range subset {
+		gk := keys[idx-1]
+		eff, effPub, err := gk.EffectiveKey(subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The public image others use to verify must match.
+		if !ecc.BaseMul(eff).Equal(effPub) {
+			t.Fatalf("member %d effective key image mismatch", idx)
+		}
+		pub2, err := gk.EffectivePub(idx, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pub2.Equal(effPub) {
+			t.Fatalf("member %d EffectivePub mismatch", idx)
+		}
+		cur, _, err = elgamal.ReEnc(eff, next.PK, cur, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur = elgamal.ClearY(cur)
+	got, err := elgamal.Decrypt(next.SK, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("threshold chain did not preserve the plaintext")
+	}
+}
+
+func TestThresholdChainFailsBelowThreshold(t *testing.T) {
+	const k, th = 4, 3
+	keys, _ := RunDKG(k, th, rand.Reader)
+	m, _ := ecc.EmbedChunk([]byte("x"))
+	ct, _, _ := elgamal.Encrypt(keys[0].PK, m, rand.Reader)
+
+	// Only 2 members participate, using Lagrange weights for the pair —
+	// the peeled key is wrong, so the plaintext must not appear.
+	subset := []int{1, 2}
+	cur := ct
+	for _, idx := range subset {
+		lambda, err := LagrangeCoeff(subset, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff := lambda.Mul(keys[idx-1].Share)
+		cur, _, err = elgamal.ReEnc(eff, nil, cur, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elgamal.Plaintext(cur).Equal(m) {
+		t.Fatal("below-threshold subset recovered the plaintext")
+	}
+}
+
+func TestEscrowAndRecovery(t *testing.T) {
+	// §4.5 buddy groups: member 3's share is escrowed to a 4-member buddy
+	// group with threshold 3; after "failure", 3 buddies reconstruct it.
+	keys, _ := RunDKG(5, 4, rand.Reader)
+	owner := keys[2]
+	esc, err := EscrowShare(owner.Index, owner.Share, 4, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerCommit := owner.ShareCommit(owner.Index)
+	for i := 1; i <= 4; i++ {
+		if err := VerifyEscrowPiece(esc, i, esc.Pieces[i-1], ownerCommit); err != nil {
+			t.Fatalf("buddy %d: %v", i, err)
+		}
+	}
+	recovered, err := RecoverShare([]int{1, 2, 4}, []*ecc.Scalar{esc.Pieces[0], esc.Pieces[1], esc.Pieces[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.Equal(owner.Share) {
+		t.Fatal("recovered share differs from the original")
+	}
+}
+
+func TestEscrowDetectsWrongSecret(t *testing.T) {
+	keys, _ := RunDKG(3, 2, rand.Reader)
+	owner := keys[0]
+	// Escrow a DIFFERENT value while claiming it is the owner's share.
+	fake := ecc.MustRandomScalar(rand.Reader)
+	esc, _ := EscrowShare(owner.Index, fake, 3, 2, rand.Reader)
+	err := VerifyEscrowPiece(esc, 1, esc.Pieces[0], owner.ShareCommit(owner.Index))
+	if err == nil {
+		t.Fatal("escrow of a fake share verified against the owner's commitment")
+	}
+}
+
+func TestSharesSumProperty(t *testing.T) {
+	// Property: for random subsets of size t of a DKG, the Lagrange
+	// combination of effective keys equals the group secret's action:
+	// Π (g^{λ_i·share_i}) = PK.
+	f := func(seed uint8) bool {
+		keys, err := RunDKG(5, 3, rand.Reader)
+		if err != nil {
+			return false
+		}
+		subsets := [][]int{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {1, 3, 5}, {1, 4, 5}}
+		sub := subsets[int(seed)%len(subsets)]
+		acc := ecc.Identity()
+		for _, idx := range sub {
+			eff, _, err := keys[idx-1].EffectiveKey(sub)
+			if err != nil {
+				return false
+			}
+			acc = acc.Add(ecc.BaseMul(eff))
+		}
+		return acc.Equal(keys[0].PK)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

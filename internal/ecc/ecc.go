@@ -1,0 +1,365 @@
+// Package ecc provides the elliptic-curve group underlying all of Atom's
+// cryptography. It wraps the NIST P-256 curve (the curve used by the Atom
+// paper, §5) with the operations the rest of the system needs: scalar
+// arithmetic modulo the group order, point arithmetic including the
+// identity element, deterministic hashing to scalars, and Koblitz-style
+// embedding of message bytes into curve points.
+//
+// All operations are constant-size and allocation-conscious but favor
+// clarity over micro-optimization; the heavy lifting is done by
+// crypto/elliptic's assembly P-256 implementation.
+package ecc
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha3"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	curve = elliptic.P256()
+	// Order is the order of the P-256 base point (the scalar field modulus).
+	Order = curve.Params().N
+	// P is the prime of the underlying field.
+	P = curve.Params().P
+	// b is the curve coefficient in y² = x³ - 3x + b.
+	curveB = curve.Params().B
+	// sqrtExp = (P+1)/4; since P ≡ 3 (mod 4), v^sqrtExp is a square root
+	// of v whenever v is a quadratic residue mod P.
+	sqrtExp = new(big.Int).Div(new(big.Int).Add(P, big.NewInt(1)), big.NewInt(4))
+)
+
+// Scalar is an element of the scalar field Z_q where q is the order of the
+// P-256 base point. The zero value is the scalar 0.
+type Scalar struct {
+	v big.Int
+}
+
+// NewScalar returns a scalar with the given int64 value reduced mod q.
+func NewScalar(v int64) *Scalar {
+	s := new(Scalar)
+	s.v.SetInt64(v)
+	s.v.Mod(&s.v, Order)
+	return s
+}
+
+// RandomScalar returns a uniformly random nonzero scalar read from r.
+// If r is nil, crypto/rand.Reader is used.
+func RandomScalar(r io.Reader) (*Scalar, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		k, err := rand.Int(r, Order)
+		if err != nil {
+			return nil, fmt.Errorf("ecc: sampling scalar: %w", err)
+		}
+		if k.Sign() != 0 {
+			s := new(Scalar)
+			s.v.Set(k)
+			return s, nil
+		}
+	}
+}
+
+// MustRandomScalar is RandomScalar with a panic on failure; it is intended
+// for tests and for callers using crypto/rand where failure means the
+// platform RNG is broken.
+func MustRandomScalar(r io.Reader) *Scalar {
+	s, err := RandomScalar(r)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ScalarFromBytes interprets b as a big-endian integer reduced mod q.
+func ScalarFromBytes(b []byte) *Scalar {
+	s := new(Scalar)
+	s.v.SetBytes(b)
+	s.v.Mod(&s.v, Order)
+	return s
+}
+
+// ScalarFromBig returns a scalar equal to v mod q. v is not retained.
+func ScalarFromBig(v *big.Int) *Scalar {
+	s := new(Scalar)
+	s.v.Mod(v, Order)
+	return s
+}
+
+// HashToScalar hashes the concatenation of the given byte slices with
+// SHA3-256 and reduces the digest mod q. It is used to derive Fiat–Shamir
+// challenges; domain separation is the caller's responsibility (by
+// prefixing a domain tag as the first slice).
+func HashToScalar(parts ...[]byte) *Scalar {
+	h := sha3.New256()
+	for _, p := range parts {
+		// Length-prefix each part so concatenation is unambiguous.
+		var ln [4]byte
+		ln[0] = byte(len(p) >> 24)
+		ln[1] = byte(len(p) >> 16)
+		ln[2] = byte(len(p) >> 8)
+		ln[3] = byte(len(p))
+		h.Write(ln[:])
+		h.Write(p)
+	}
+	return ScalarFromBytes(h.Sum(nil))
+}
+
+// Big returns a copy of the scalar's value as a big.Int.
+func (s *Scalar) Big() *big.Int { return new(big.Int).Set(&s.v) }
+
+// Bytes returns the scalar as a fixed 32-byte big-endian encoding.
+func (s *Scalar) Bytes() []byte {
+	out := make([]byte, 32)
+	s.v.FillBytes(out)
+	return out
+}
+
+// Clone returns an independent copy of s.
+func (s *Scalar) Clone() *Scalar {
+	c := new(Scalar)
+	c.v.Set(&s.v)
+	return c
+}
+
+// IsZero reports whether s is the zero scalar.
+func (s *Scalar) IsZero() bool { return s.v.Sign() == 0 }
+
+// Equal reports whether s and t are the same scalar.
+func (s *Scalar) Equal(t *Scalar) bool { return s.v.Cmp(&t.v) == 0 }
+
+// Add returns s + t mod q.
+func (s *Scalar) Add(t *Scalar) *Scalar {
+	r := new(Scalar)
+	r.v.Add(&s.v, &t.v)
+	r.v.Mod(&r.v, Order)
+	return r
+}
+
+// Sub returns s - t mod q.
+func (s *Scalar) Sub(t *Scalar) *Scalar {
+	r := new(Scalar)
+	r.v.Sub(&s.v, &t.v)
+	r.v.Mod(&r.v, Order)
+	return r
+}
+
+// Mul returns s * t mod q.
+func (s *Scalar) Mul(t *Scalar) *Scalar {
+	r := new(Scalar)
+	r.v.Mul(&s.v, &t.v)
+	r.v.Mod(&r.v, Order)
+	return r
+}
+
+// Neg returns -s mod q.
+func (s *Scalar) Neg() *Scalar {
+	r := new(Scalar)
+	r.v.Neg(&s.v)
+	r.v.Mod(&r.v, Order)
+	return r
+}
+
+// Inv returns s⁻¹ mod q. It panics if s is zero, which indicates a protocol
+// bug (challenges and blinding factors are sampled nonzero).
+func (s *Scalar) Inv() *Scalar {
+	if s.IsZero() {
+		panic("ecc: inverse of zero scalar")
+	}
+	r := new(Scalar)
+	r.v.ModInverse(&s.v, Order)
+	return r
+}
+
+// String implements fmt.Stringer with a short hex prefix for debugging.
+func (s *Scalar) String() string {
+	b := s.Bytes()
+	return fmt.Sprintf("scalar(%x…)", b[:4])
+}
+
+// Point is an element of the P-256 group. The identity element (point at
+// infinity) is represented with x == nil. The zero value of Point is the
+// identity.
+type Point struct {
+	x, y *big.Int
+}
+
+// Identity returns the group identity element.
+func Identity() *Point { return &Point{} }
+
+// Generator returns the standard P-256 base point g.
+func Generator() *Point {
+	return &Point{x: new(big.Int).Set(curve.Params().Gx), y: new(big.Int).Set(curve.Params().Gy)}
+}
+
+// IsIdentity reports whether p is the identity element.
+func (p *Point) IsIdentity() bool { return p.x == nil }
+
+// Equal reports whether p and q are the same group element.
+func (p *Point) Equal(q *Point) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() && q.IsIdentity()
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// Clone returns an independent copy of p.
+func (p *Point) Clone() *Point {
+	if p.IsIdentity() {
+		return &Point{}
+	}
+	return &Point{x: new(big.Int).Set(p.x), y: new(big.Int).Set(p.y)}
+}
+
+// Add returns p + q.
+func (p *Point) Add(q *Point) *Point {
+	if p.IsIdentity() {
+		return q.Clone()
+	}
+	if q.IsIdentity() {
+		return p.Clone()
+	}
+	// crypto/elliptic's Add mishandles P + (-P); detect it explicitly.
+	if p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) != 0 {
+		return Identity()
+	}
+	x, y := curve.Add(p.x, p.y, q.x, q.y)
+	return pointOrIdentity(x, y)
+}
+
+// Sub returns p - q.
+func (p *Point) Sub(q *Point) *Point { return p.Add(q.Neg()) }
+
+// Neg returns -p (the point with negated y coordinate).
+func (p *Point) Neg() *Point {
+	if p.IsIdentity() {
+		return Identity()
+	}
+	ny := new(big.Int).Sub(P, p.y)
+	ny.Mod(ny, P)
+	return &Point{x: new(big.Int).Set(p.x), y: ny}
+}
+
+// Mul returns k·p.
+func (p *Point) Mul(k *Scalar) *Point {
+	if p.IsIdentity() || k.IsZero() {
+		return Identity()
+	}
+	x, y := curve.ScalarMult(p.x, p.y, k.Bytes())
+	return pointOrIdentity(x, y)
+}
+
+// BaseMul returns k·g for the group generator g. It is faster than
+// Generator().Mul(k) because it uses the precomputed base tables.
+func BaseMul(k *Scalar) *Point {
+	if k.IsZero() {
+		return Identity()
+	}
+	x, y := curve.ScalarBaseMult(k.Bytes())
+	return pointOrIdentity(x, y)
+}
+
+func pointOrIdentity(x, y *big.Int) *Point {
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return Identity()
+	}
+	return &Point{x: x, y: y}
+}
+
+// identityEncoding is the single-byte wire form of the identity element.
+var identityEncoding = []byte{0}
+
+// Bytes returns a canonical encoding of the point: a single 0 byte for the
+// identity, or 0x02/0x03-prefixed 33-byte compressed form otherwise.
+func (p *Point) Bytes() []byte {
+	if p.IsIdentity() {
+		return append([]byte(nil), identityEncoding...)
+	}
+	return elliptic.MarshalCompressed(curve, p.x, p.y)
+}
+
+// PointFromBytes decodes a point encoded with Point.Bytes, validating that
+// it lies on the curve.
+func PointFromBytes(b []byte) (*Point, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return Identity(), nil
+	}
+	if len(b) != 33 {
+		return nil, fmt.Errorf("ecc: bad point encoding length %d", len(b))
+	}
+	x, y := elliptic.UnmarshalCompressed(curve, b)
+	if x == nil {
+		return nil, errors.New("ecc: invalid point encoding")
+	}
+	return &Point{x: x, y: y}, nil
+}
+
+// String implements fmt.Stringer with a short hex prefix for debugging.
+func (p *Point) String() string {
+	if p.IsIdentity() {
+		return "point(identity)"
+	}
+	b := p.Bytes()
+	return fmt.Sprintf("point(%x…)", b[1:5])
+}
+
+// OnCurve reports whether the point is the identity or satisfies the curve
+// equation. Decoded points are always on the curve; this is a defensive
+// check for hand-constructed values.
+func (p *Point) OnCurve() bool {
+	if p.IsIdentity() {
+		return true
+	}
+	return curve.IsOnCurve(p.x, p.y)
+}
+
+// HashToPoint derives a curve point from the input by hashing to an x
+// coordinate and incrementing until a point is found (try-and-increment).
+// The resulting point has unknown discrete log with respect to g, which is
+// what makes it usable as an independent Pedersen commitment base.
+func HashToPoint(parts ...[]byte) *Point {
+	h := sha3.New256()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	seed := h.Sum(nil)
+	x := new(big.Int).SetBytes(seed)
+	x.Mod(x, P)
+	for {
+		if pt := pointWithX(x); pt != nil {
+			return pt
+		}
+		x.Add(x, big.NewInt(1))
+		x.Mod(x, P)
+	}
+}
+
+// pointWithX returns the curve point with the given x coordinate and even
+// y, or nil if x is not on the curve.
+func pointWithX(x *big.Int) *Point {
+	// y² = x³ - 3x + b  (mod P)
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	threeX := new(big.Int).Lsh(x, 1)
+	threeX.Add(threeX, x)
+	y2.Sub(y2, threeX)
+	y2.Add(y2, curveB)
+	y2.Mod(y2, P)
+
+	y := new(big.Int).Exp(y2, sqrtExp, P)
+	check := new(big.Int).Mul(y, y)
+	check.Mod(check, P)
+	if check.Cmp(y2) != 0 {
+		return nil
+	}
+	if y.Bit(0) == 1 {
+		y.Sub(P, y)
+	}
+	return &Point{x: x, y: y}
+}

@@ -1,0 +1,305 @@
+package ecc
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarArithmetic(t *testing.T) {
+	a := NewScalar(7)
+	b := NewScalar(5)
+	if got := a.Add(b); !got.Equal(NewScalar(12)) {
+		t.Errorf("7+5 = %v, want 12", got)
+	}
+	if got := a.Sub(b); !got.Equal(NewScalar(2)) {
+		t.Errorf("7-5 = %v, want 2", got)
+	}
+	if got := a.Mul(b); !got.Equal(NewScalar(35)) {
+		t.Errorf("7*5 = %v, want 35", got)
+	}
+	if got := a.Add(a.Neg()); !got.IsZero() {
+		t.Errorf("a + (-a) = %v, want 0", got)
+	}
+	if got := a.Mul(a.Inv()); !got.Equal(NewScalar(1)) {
+		t.Errorf("a * a^-1 = %v, want 1", got)
+	}
+}
+
+func TestScalarModularReduction(t *testing.T) {
+	big := ScalarFromBig(new(bigIntAlias).Add(Order, oneBig()))
+	if !big.Equal(NewScalar(1)) {
+		t.Errorf("Order+1 should reduce to 1, got %v", big)
+	}
+	neg := NewScalar(-1)
+	if !neg.Equal(ScalarFromBig(new(bigIntAlias).Sub(Order, oneBig()))) {
+		t.Errorf("-1 should reduce to Order-1")
+	}
+}
+
+type bigIntAlias = big.Int
+
+func oneBig() *big.Int { return big.NewInt(1) }
+
+func TestScalarBytesRoundTrip(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		s := MustRandomScalar(rand.Reader)
+		got := ScalarFromBytes(s.Bytes())
+		if !got.Equal(s) {
+			t.Fatalf("round trip failed: %v != %v", got, s)
+		}
+		if len(s.Bytes()) != 32 {
+			t.Fatalf("scalar encoding must be 32 bytes, got %d", len(s.Bytes()))
+		}
+	}
+}
+
+func TestScalarInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv of zero scalar should panic")
+		}
+	}()
+	NewScalar(0).Inv()
+}
+
+func TestPointIdentityLaws(t *testing.T) {
+	g := Generator()
+	id := Identity()
+	if !g.Add(id).Equal(g) {
+		t.Error("g + 0 != g")
+	}
+	if !id.Add(g).Equal(g) {
+		t.Error("0 + g != g")
+	}
+	if !g.Add(g.Neg()).IsIdentity() {
+		t.Error("g + (-g) != 0")
+	}
+	if !id.Neg().IsIdentity() {
+		t.Error("-0 != 0")
+	}
+	if !id.Mul(NewScalar(42)).IsIdentity() {
+		t.Error("42·0 != 0")
+	}
+	if !g.Mul(NewScalar(0)).IsIdentity() {
+		t.Error("0·g != 0")
+	}
+}
+
+func TestPointAddMulConsistency(t *testing.T) {
+	g := Generator()
+	two := g.Add(g)
+	if !two.Equal(g.Mul(NewScalar(2))) {
+		t.Error("g+g != 2g")
+	}
+	three := two.Add(g)
+	if !three.Equal(g.Mul(NewScalar(3))) {
+		t.Error("g+g+g != 3g")
+	}
+	if !three.Sub(g).Equal(two) {
+		t.Error("3g - g != 2g")
+	}
+}
+
+func TestBaseMulMatchesGeneratorMul(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		k := MustRandomScalar(rand.Reader)
+		if !BaseMul(k).Equal(Generator().Mul(k)) {
+			t.Fatalf("BaseMul(%v) != k·g", k)
+		}
+	}
+}
+
+func TestPointBytesRoundTrip(t *testing.T) {
+	cases := []*Point{Identity(), Generator(), BaseMul(MustRandomScalar(rand.Reader))}
+	for _, p := range cases {
+		got, err := PointFromBytes(p.Bytes())
+		if err != nil {
+			t.Fatalf("decode %v: %v", p, err)
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip: %v != %v", got, p)
+		}
+	}
+}
+
+func TestPointFromBytesRejectsGarbage(t *testing.T) {
+	if _, err := PointFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("short encoding should fail")
+	}
+	bad := Generator().Bytes()
+	bad[1] ^= 0xFF
+	bad[2] ^= 0xFF
+	if p, err := PointFromBytes(bad); err == nil && p.OnCurve() {
+		// Flipping bytes may still land on the curve with tiny probability;
+		// what must never happen is an off-curve point decoding cleanly.
+		if !p.OnCurve() {
+			t.Error("decoded off-curve point")
+		}
+	}
+	var zero33 [33]byte
+	if _, err := PointFromBytes(zero33[:]); err == nil {
+		t.Error("all-zero 33-byte encoding should fail")
+	}
+}
+
+func TestScalarMulDistributesOverAdd(t *testing.T) {
+	// (a+b)·g == a·g + b·g, exercised via testing/quick on random scalars.
+	f := func(seedA, seedB [16]byte) bool {
+		a := ScalarFromBytes(seedA[:])
+		b := ScalarFromBytes(seedB[:])
+		left := BaseMul(a.Add(b))
+		right := BaseMul(a).Add(BaseMul(b))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMulAssociativity(t *testing.T) {
+	// (a·b)·g == a·(b·g)
+	f := func(seedA, seedB [16]byte) bool {
+		a := ScalarFromBytes(seedA[:])
+		b := ScalarFromBytes(seedB[:])
+		return BaseMul(a.Mul(b)).Equal(BaseMul(b).Mul(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashToScalarDeterministicAndDomainSeparated(t *testing.T) {
+	a := HashToScalar([]byte("domain"), []byte("msg"))
+	b := HashToScalar([]byte("domain"), []byte("msg"))
+	if !a.Equal(b) {
+		t.Error("HashToScalar not deterministic")
+	}
+	c := HashToScalar([]byte("domainm"), []byte("sg"))
+	if a.Equal(c) {
+		t.Error("length-prefixing failed: different splits collided")
+	}
+}
+
+func TestHashToPointOnCurve(t *testing.T) {
+	p := HashToPoint([]byte("atom pedersen base"))
+	if p.IsIdentity() || !p.OnCurve() {
+		t.Fatal("HashToPoint returned invalid point")
+	}
+	q := HashToPoint([]byte("atom pedersen base"))
+	if !p.Equal(q) {
+		t.Error("HashToPoint not deterministic")
+	}
+}
+
+func TestEmbedChunkRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("hello, world"),
+		bytes.Repeat([]byte{0xAB}, PointPayload),
+		bytes.Repeat([]byte{0x00}, PointPayload),
+		bytes.Repeat([]byte{0xFF}, PointPayload),
+	}
+	for _, c := range cases {
+		p, err := EmbedChunk(c)
+		if err != nil {
+			t.Fatalf("embed %q: %v", c, err)
+		}
+		if !p.OnCurve() {
+			t.Fatalf("embedded point off curve for %q", c)
+		}
+		got, err := ExtractChunk(p)
+		if err != nil {
+			t.Fatalf("extract %q: %v", c, err)
+		}
+		if !bytes.Equal(got, c) && !(len(c) == 0 && len(got) == 0) {
+			t.Fatalf("round trip %q -> %q", c, got)
+		}
+	}
+}
+
+func TestEmbedChunkTooLong(t *testing.T) {
+	if _, err := EmbedChunk(make([]byte, PointPayload+1)); err == nil {
+		t.Error("oversized chunk should fail")
+	}
+}
+
+func TestEmbedMessageMultiPoint(t *testing.T) {
+	msg := bytes.Repeat([]byte("microblogging!"), 12) // 168 bytes
+	n := PointsPerMessage(len(msg))
+	if n != 6 {
+		t.Fatalf("168 bytes should need 6 points, got %d", n)
+	}
+	pts, err := EmbedMessage(msg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtractMessage(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("multi-point round trip failed")
+	}
+}
+
+func TestEmbedMessagePadding(t *testing.T) {
+	msg := []byte("short")
+	pts, err := EmbedMessage(msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
+	}
+	got, err := ExtractMessage(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("padded round trip: %q != %q", got, msg)
+	}
+}
+
+func TestEmbedMessageTooBig(t *testing.T) {
+	if _, err := EmbedMessage(make([]byte, 100), 1); err == nil {
+		t.Error("oversized message should fail")
+	}
+}
+
+func TestEmbedQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		n := PointsPerMessage(len(raw))
+		pts, err := EmbedMessage(raw, n)
+		if err != nil {
+			return false
+		}
+		got, err := ExtractMessage(pts)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw) || (len(raw) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointsPerMessage(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {30, 1}, {31, 2}, {32, 2}, {60, 2}, {61, 3},
+		{80, 3}, {160, 6},
+	}
+	for _, c := range cases {
+		if got := PointsPerMessage(c.n); got != c.want {
+			t.Errorf("PointsPerMessage(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Message embedding (§6.1 of the paper: "we use more points to embed
+// larger messages; a 32-byte message is one elliptic curve point").
+//
+// We use the classic Koblitz try-and-increment embedding. A P-256 x
+// coordinate holds 32 bytes; we reserve the leading byte as a retry
+// counter and the second byte as the payload length, leaving
+// PointPayload = 30 bytes of message per point. For each candidate
+// counter value we test whether the resulting x is on the curve; each
+// attempt succeeds with probability ~1/2, so 256 retries fail with
+// probability ~2⁻²⁵⁶.
+
+const (
+	// PointPayload is the number of message bytes carried by one point.
+	PointPayload = 30
+	// embedLen is the total x-coordinate width in bytes.
+	embedLen = 32
+)
+
+// ErrEmbed is returned when a chunk cannot be embedded (astronomically
+// unlikely) or when a decoded point does not carry a valid embedding.
+var ErrEmbed = errors.New("ecc: message embedding failed")
+
+// EmbedChunk embeds up to PointPayload bytes into a single curve point.
+func EmbedChunk(chunk []byte) (*Point, error) {
+	if len(chunk) > PointPayload {
+		return nil, fmt.Errorf("%w: chunk of %d bytes exceeds %d", ErrEmbed, len(chunk), PointPayload)
+	}
+	var buf [embedLen]byte
+	buf[1] = byte(len(chunk))
+	copy(buf[2:], chunk)
+	x := new(big.Int)
+	for counter := 0; counter < 256; counter++ {
+		buf[0] = byte(counter)
+		x.SetBytes(buf[:])
+		if x.Cmp(P) >= 0 {
+			continue
+		}
+		if pt := pointWithX(x); pt != nil {
+			return pt, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no embedding found after 256 attempts", ErrEmbed)
+}
+
+// ExtractChunk recovers the bytes embedded in a point by EmbedChunk.
+func ExtractChunk(p *Point) ([]byte, error) {
+	if p.IsIdentity() {
+		return nil, fmt.Errorf("%w: identity point carries no message", ErrEmbed)
+	}
+	var buf [embedLen]byte
+	p.x.FillBytes(buf[:])
+	n := int(buf[1])
+	if n > PointPayload {
+		return nil, fmt.Errorf("%w: invalid embedded length %d", ErrEmbed, n)
+	}
+	out := make([]byte, n)
+	copy(out, buf[2:2+n])
+	return out, nil
+}
+
+// PointsPerMessage returns the number of curve points needed to embed a
+// message of n bytes. Every message occupies at least one point so that
+// the all-messages-same-size invariant (§2 "each user pads her message up
+// to a fixed length") maps to a fixed point count.
+func PointsPerMessage(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + PointPayload - 1) / PointPayload
+}
+
+// EmbedMessage embeds msg into exactly numPoints curve points, padding
+// with empty chunks as needed. It fails if msg does not fit.
+func EmbedMessage(msg []byte, numPoints int) ([]*Point, error) {
+	if need := PointsPerMessage(len(msg)); need > numPoints {
+		return nil, fmt.Errorf("%w: message of %d bytes needs %d points, have %d",
+			ErrEmbed, len(msg), need, numPoints)
+	}
+	pts := make([]*Point, numPoints)
+	for i := 0; i < numPoints; i++ {
+		lo := i * PointPayload
+		hi := lo + PointPayload
+		var chunk []byte
+		if lo < len(msg) {
+			if hi > len(msg) {
+				hi = len(msg)
+			}
+			chunk = msg[lo:hi]
+		}
+		pt, err := EmbedChunk(chunk)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = pt
+	}
+	return pts, nil
+}
+
+// ExtractMessage recovers the message embedded across a vector of points
+// by EmbedMessage. Trailing empty chunks are dropped.
+func ExtractMessage(pts []*Point) ([]byte, error) {
+	var out []byte
+	for _, p := range pts {
+		chunk, err := ExtractChunk(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"atom/internal/ecc"
+)
+
+func TestClearYVectorAndPlaintextVector(t *testing.T) {
+	kp := mustKey(t)
+	pts, _ := ecc.EmbedMessage([]byte("edge"), 2)
+	v, _, _ := EncryptVector(kp.PK, pts, rand.Reader)
+	mid, _, err := ReEncVector(kp.SK, kp.PK, v, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range mid {
+		if ct.Y == nil {
+			t.Fatalf("component %d lost Y mid-chain", i)
+		}
+	}
+	cleared := ClearYVector(mid)
+	for i, ct := range cleared {
+		if ct.Y != nil {
+			t.Fatalf("component %d still has Y after ClearYVector", i)
+		}
+		// Clearing must not alias the input.
+		if ct == mid[i] {
+			t.Fatal("ClearYVector aliased its input")
+		}
+	}
+	// PlaintextVector on a decrypted vector.
+	exit, _, err := ReEncVector(kp.SK, nil, v, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PlaintextVector(exit)
+	got, err := ecc.ExtractMessage(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "edge" {
+		t.Fatalf("plaintext %q", got)
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	kp := mustKey(t)
+	pts, _ := ecc.EmbedMessage([]byte("clone"), 1)
+	v, _, _ := EncryptVector(kp.PK, pts, rand.Reader)
+	cp := v.Clone()
+	if !cp.Equal(v) {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	cp[0].Y = ecc.Generator()
+	if v[0].Y != nil {
+		t.Fatal("clone shares ciphertext storage with original")
+	}
+}
+
+func TestEmptyVectorMarshal(t *testing.T) {
+	var v Vector
+	enc := v.Marshal()
+	got, err := UnmarshalVector(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty vector decoded to %d components", len(got))
+	}
+}
+
+func TestVectorEqualShapes(t *testing.T) {
+	kp := mustKey(t)
+	pts1, _ := ecc.EmbedMessage([]byte("a"), 1)
+	pts2, _ := ecc.EmbedMessage([]byte("a"), 2)
+	v1, _, _ := EncryptVector(kp.PK, pts1, rand.Reader)
+	v2, _, _ := EncryptVector(kp.PK, pts2, rand.Reader)
+	if v1.Equal(v2) {
+		t.Fatal("vectors of different lengths compare equal")
+	}
+	mid, _, _ := ReEncVector(kp.SK, kp.PK, v1, rand.Reader)
+	if v1.Equal(mid) {
+		t.Fatal("⊥-Y and set-Y vectors compare equal")
+	}
+}
+
+func TestShuffleBatchEmptyAndSingle(t *testing.T) {
+	kp := mustKey(t)
+	out, perm, rands, err := ShuffleBatch(kp.PK, nil, rand.Reader)
+	if err != nil || len(out) != 0 || len(perm) != 0 || len(rands) != 0 {
+		t.Fatalf("empty batch: %v/%v/%v/%v", out, perm, rands, err)
+	}
+	pts, _ := ecc.EmbedMessage([]byte("solo"), 1)
+	v, _, _ := EncryptVector(kp.PK, pts, rand.Reader)
+	out, perm, _, err = ShuffleBatch(kp.PK, []Vector{v}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || perm[0] != 0 {
+		t.Fatalf("single batch: %v/%v", out, perm)
+	}
+	m, err := DecryptVector(kp.SK, out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ecc.ExtractMessage(m)
+	if string(got) != "solo" {
+		t.Fatalf("single-element shuffle corrupted the message: %q", got)
+	}
+}

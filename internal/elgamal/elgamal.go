@@ -1,0 +1,201 @@
+// Package elgamal implements the rerandomizable variant of ElGamal
+// encryption that Atom is built on (paper §2.3 and Appendix A).
+//
+// A ciphertext is a triple (R, C, Y) of group elements. Y is the extra
+// element Atom adds to plain ElGamal: it holds the encryption randomness
+// for the *current* group while R accumulates randomness for the *next*
+// group, which is what lets a chain of servers decrypt "out of order" —
+// peeling the current group's layer while simultaneously re-encrypting to
+// a group whose key was never seen by the sender.
+//
+// Lifecycle of a ciphertext inside one anytrust group (Appendix A):
+//
+//	arrive:  (R, C, ⊥)      C = m·X^r, R = g^r, encrypted under this
+//	                        group's key X only
+//	shuffle: rerandomized under X (requires Y = ⊥)
+//	ReEnc by server 1: Y ← R, R ← 1, then C ← C/Y^x₁ · X'^r'₁, R ← g^r'₁
+//	ReEnc by server s: C ← C/Y^xₛ · X'^r'ₛ, R ← R·g^r'ₛ
+//	depart:  last server sets Y ← ⊥; now C = m·X'^{Σr'} and R = g^{Σr'},
+//	         i.e. a fresh ciphertext under the next group's key X'.
+//
+// Messages longer than one embedded point are encrypted component-wise as
+// a Vector of triples (the paper: "when the operations … are applied to a
+// vector of ciphertexts C, we apply the operation to each component").
+package elgamal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// ErrY is returned when an operation that requires Y = ⊥ (Dec,
+// Rerandomize) encounters a mid-chain ciphertext, or vice versa.
+var ErrY = errors.New("elgamal: ciphertext Y-slot in wrong state for operation")
+
+// KeyPair is an ElGamal keypair over P-256.
+type KeyPair struct {
+	SK *ecc.Scalar // secret key x
+	PK *ecc.Point  // public key X = g^x
+}
+
+// KeyGen generates a fresh keypair using randomness from r (crypto/rand
+// if nil).
+func KeyGen(r io.Reader) (*KeyPair, error) {
+	sk, err := ecc.RandomScalar(r)
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: keygen: %w", err)
+	}
+	return &KeyPair{SK: sk, PK: ecc.BaseMul(sk)}, nil
+}
+
+// CombineKeys returns the product of the given public keys. Encrypting
+// under the product key requires all corresponding secret keys to decrypt,
+// which is how a non-threshold anytrust group forms its group key
+// (§4.2: "pk would be the product of the public keys of all servers").
+func CombineKeys(pks ...*ecc.Point) *ecc.Point {
+	acc := ecc.Identity()
+	for _, pk := range pks {
+		acc = acc.Add(pk)
+	}
+	return acc
+}
+
+// Ciphertext is the Atom ElGamal triple (R, C, Y). Y == nil encodes ⊥.
+type Ciphertext struct {
+	R *ecc.Point
+	C *ecc.Point
+	Y *ecc.Point
+}
+
+// Clone returns a deep copy of the ciphertext.
+func (ct *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{R: ct.R.Clone(), C: ct.C.Clone()}
+	if ct.Y != nil {
+		out.Y = ct.Y.Clone()
+	}
+	return out
+}
+
+// Equal reports componentwise equality (⊥ matches only ⊥).
+func (ct *Ciphertext) Equal(other *Ciphertext) bool {
+	if (ct.Y == nil) != (other.Y == nil) {
+		return false
+	}
+	if ct.Y != nil && !ct.Y.Equal(other.Y) {
+		return false
+	}
+	return ct.R.Equal(other.R) && ct.C.Equal(other.C)
+}
+
+// Encrypt encrypts the message point m under public key pk and returns
+// the ciphertext (g^r, m·pk^r, ⊥) along with the randomness r, which the
+// caller needs for EncProof generation.
+func Encrypt(pk *ecc.Point, m *ecc.Point, rnd io.Reader) (*Ciphertext, *ecc.Scalar, error) {
+	r, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("elgamal: encrypt: %w", err)
+	}
+	return EncryptWithRandomness(pk, m, r), r, nil
+}
+
+// EncryptWithRandomness is Encrypt with caller-supplied randomness; it is
+// deterministic and used by tests and by proof re-derivations.
+func EncryptWithRandomness(pk *ecc.Point, m *ecc.Point, r *ecc.Scalar) *Ciphertext {
+	return &Ciphertext{R: ecc.BaseMul(r), C: m.Add(pk.Mul(r)), Y: nil}
+}
+
+// Decrypt recovers m = C / R^sk. Per Appendix A it fails if Y ≠ ⊥
+// (a mid-chain ciphertext is not decryptable by a single key).
+func Decrypt(sk *ecc.Scalar, ct *Ciphertext) (*ecc.Point, error) {
+	if ct.Y != nil {
+		return nil, fmt.Errorf("%w: Dec requires Y = ⊥", ErrY)
+	}
+	return ct.C.Sub(ct.R.Mul(sk)), nil
+}
+
+// Rerandomize re-blinds a Y = ⊥ ciphertext under pk with fresh randomness
+// r': (g^r'·R, C·pk^r', ⊥). It returns the randomness used so the caller
+// can build shuffle proofs.
+func Rerandomize(pk *ecc.Point, ct *Ciphertext, rnd io.Reader) (*Ciphertext, *ecc.Scalar, error) {
+	if ct.Y != nil {
+		return nil, nil, fmt.Errorf("%w: Shuffle requires Y = ⊥", ErrY)
+	}
+	r, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, nil, fmt.Errorf("elgamal: rerandomize: %w", err)
+	}
+	return RerandomizeWithRandomness(pk, ct, r), r, nil
+}
+
+// RerandomizeWithRandomness is Rerandomize with caller-supplied randomness.
+func RerandomizeWithRandomness(pk *ecc.Point, ct *Ciphertext, r *ecc.Scalar) *Ciphertext {
+	return &Ciphertext{
+		R: ecc.BaseMul(r).Add(ct.R),
+		C: ct.C.Add(pk.Mul(r)),
+		Y: nil,
+	}
+}
+
+// ReEnc strips one layer of encryption using sk and adds a layer under
+// nextPK (Appendix A). If nextPK is nil (⊥), the operation is a pure
+// partial decryption: no new randomness is added. The returned scalar is
+// the fresh randomness r' (zero for nextPK = nil), needed for ReEncProof.
+//
+// For threshold (many-trust) groups the caller passes sk = λ_s·share_s so
+// that the k−(h−1) participating servers' contributions sum to the group
+// secret; the algebra here is unchanged.
+func ReEnc(sk *ecc.Scalar, nextPK *ecc.Point, ct *Ciphertext, rnd io.Reader) (*Ciphertext, *ecc.Scalar, error) {
+	var r *ecc.Scalar
+	if nextPK == nil {
+		r = ecc.NewScalar(0)
+	} else {
+		var err error
+		r, err = ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("elgamal: reenc: %w", err)
+		}
+	}
+	return ReEncWithRandomness(sk, nextPK, ct, r), r, nil
+}
+
+// ReEncWithRandomness is ReEnc with caller-supplied randomness r'.
+func ReEncWithRandomness(sk *ecc.Scalar, nextPK *ecc.Point, ct *Ciphertext, r *ecc.Scalar) *Ciphertext {
+	out := &Ciphertext{}
+	// First touch within a group: move the accumulated randomness into the
+	// Y slot and reset R to the identity.
+	y := ct.Y
+	rr := ct.R
+	if y == nil {
+		y = ct.R
+		rr = ecc.Identity()
+	}
+	// Peel: C ← C / Y^sk.
+	c := ct.C.Sub(y.Mul(sk))
+	out.Y = y.Clone()
+	if nextPK == nil {
+		// Exit layer: pure decryption, keep R as-is (it stays identity for
+		// the whole exit group since no fresh randomness is added).
+		out.R = rr.Clone()
+		out.C = c
+		return out
+	}
+	// Re-encrypt for the next group's key.
+	out.R = ecc.BaseMul(r).Add(rr)
+	out.C = c.Add(nextPK.Mul(r))
+	return out
+}
+
+// ClearY returns a copy of ct with Y set to ⊥. The last server of a group
+// applies this before forwarding (Appendix A: "at this point, all layers
+// of encryption by the current group have been peeled off").
+func ClearY(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{R: ct.R.Clone(), C: ct.C.Clone(), Y: nil}
+}
+
+// Plaintext extracts the message from a fully-decrypted ciphertext (one
+// that has passed through the exit group with nextPK = ⊥): the message is
+// simply the C component once all layers are removed.
+func Plaintext(ct *Ciphertext) *ecc.Point { return ct.C }

@@ -1,0 +1,353 @@
+package elgamal
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"atom/internal/ecc"
+)
+
+func mustKey(t testing.TB) *KeyPair {
+	t.Helper()
+	kp, err := KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func msgPoint(t testing.TB, s string) *ecc.Point {
+	t.Helper()
+	p, err := ecc.EmbedChunk([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	kp := mustKey(t)
+	m := msgPoint(t, "hello atom")
+	ct, _, err := Encrypt(kp.PK, m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt(kp.SK, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption mismatch")
+	}
+}
+
+func TestDecryptWrongKeyFails(t *testing.T) {
+	kp, kp2 := mustKey(t), mustKey(t)
+	m := msgPoint(t, "secret")
+	ct, _, _ := Encrypt(kp.PK, m, rand.Reader)
+	got, err := Decrypt(kp2.SK, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(m) {
+		t.Fatal("wrong key decrypted the message")
+	}
+}
+
+func TestRerandomizePreservesPlaintext(t *testing.T) {
+	kp := mustKey(t)
+	m := msgPoint(t, "blinded")
+	ct, _, _ := Encrypt(kp.PK, m, rand.Reader)
+	ct2, _, err := Rerandomize(kp.PK, ct, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct2.R.Equal(ct.R) || ct2.C.Equal(ct.C) {
+		t.Error("rerandomization did not change the ciphertext")
+	}
+	got, err := Decrypt(kp.SK, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("rerandomized ciphertext decrypts to wrong plaintext")
+	}
+}
+
+func TestCombinedKeyRequiresAllShares(t *testing.T) {
+	// An anytrust group key is the product of member keys; the sum of the
+	// member secrets decrypts, any single secret does not.
+	k1, k2, k3 := mustKey(t), mustKey(t), mustKey(t)
+	groupPK := CombineKeys(k1.PK, k2.PK, k3.PK)
+	groupSK := k1.SK.Add(k2.SK).Add(k3.SK)
+	m := msgPoint(t, "anytrust")
+	ct, _, _ := Encrypt(groupPK, m, rand.Reader)
+
+	if got, _ := Decrypt(groupSK, ct); !got.Equal(m) {
+		t.Fatal("combined secret failed to decrypt")
+	}
+	if got, _ := Decrypt(k1.SK, ct); got.Equal(m) {
+		t.Fatal("single share should not decrypt")
+	}
+}
+
+// TestOutOfOrderReEncChain is the heart of Atom's crypto: a message
+// encrypted only for group A is passed through groups A → B → C, each
+// group peeling its own layer while re-encrypting for the next, and the
+// exit group (⊥) reveals the plaintext. No group's key is ever known to
+// the sender except A's.
+func TestOutOfOrderReEncChain(t *testing.T) {
+	const groupSize = 4
+	type group struct {
+		members []*KeyPair
+		pk      *ecc.Point
+	}
+	newGroup := func() *group {
+		g := &group{}
+		pks := make([]*ecc.Point, groupSize)
+		for i := 0; i < groupSize; i++ {
+			kp := mustKey(t)
+			g.members = append(g.members, kp)
+			pks[i] = kp.PK
+		}
+		g.pk = CombineKeys(pks...)
+		return g
+	}
+	groups := []*group{newGroup(), newGroup(), newGroup()}
+
+	m := msgPoint(t, "out of order!")
+	ct, _, err := Encrypt(groups[0].pk, m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur := ct
+	for gi, g := range groups {
+		var nextPK *ecc.Point // ⊥ for the exit group
+		if gi+1 < len(groups) {
+			nextPK = groups[gi+1].pk
+		}
+		for _, member := range g.members {
+			var err error
+			cur, _, err = ReEnc(member.SK, nextPK, cur, rand.Reader)
+			if err != nil {
+				t.Fatalf("group %d ReEnc: %v", gi, err)
+			}
+		}
+		if cur.Y == nil {
+			t.Fatalf("group %d: Y should be set mid-group", gi)
+		}
+		cur = ClearY(cur)
+	}
+	if !Plaintext(cur).Equal(m) {
+		t.Fatal("out-of-order chain did not recover the plaintext")
+	}
+}
+
+// TestReEncMidChainCiphertextNotDecryptable checks the paper's invariant
+// that "all messages remain encrypted under at least one honest server's
+// key until the last layer": after only some of a group's servers have
+// re-encrypted, the combined keys of all *other* parties do not reveal m.
+func TestReEncMidChainCiphertextNotDecryptable(t *testing.T) {
+	a1, a2 := mustKey(t), mustKey(t) // group A: a2 is honest
+	b1 := mustKey(t)                 // group B
+	groupAPK := CombineKeys(a1.PK, a2.PK)
+	m := msgPoint(t, "still hidden")
+	ct, _, _ := Encrypt(groupAPK, m, rand.Reader)
+
+	// Server a1 (malicious) re-encrypts toward B.
+	mid, _, err := ReEnc(a1.SK, b1.PK, ct, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even knowing a1's and b1's secrets, the adversary cannot recover m:
+	// C still contains the factor Y^{a2.SK}.
+	peeled := mid.C.Sub(mid.Y.Mul(a1.SK)) // what a1 could remove again? no-op check
+	_ = peeled
+	adv := mid.C.Sub(mid.Y.Mul(a1.SK.Add(b1.SK)))
+	if adv.Equal(m) {
+		t.Fatal("adversary recovered plaintext without honest server's key")
+	}
+	// Completing the chain honestly works.
+	mid2, _, err := ReEnc(a2.SK, b1.PK, mid, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := ClearY(mid2)
+	got, err := Decrypt(b1.SK, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("honest completion failed")
+	}
+}
+
+func TestDecryptRejectsMidChainY(t *testing.T) {
+	kp := mustKey(t)
+	m := msgPoint(t, "x")
+	ct, _, _ := Encrypt(kp.PK, m, rand.Reader)
+	mid, _, _ := ReEnc(kp.SK, kp.PK, ct, rand.Reader)
+	if _, err := Decrypt(kp.SK, mid); err == nil {
+		t.Fatal("Decrypt should reject Y != ⊥")
+	}
+	if _, _, err := Rerandomize(kp.PK, mid, rand.Reader); err == nil {
+		t.Fatal("Rerandomize should reject Y != ⊥")
+	}
+}
+
+func TestReEncExitGroupRevealsPlaintext(t *testing.T) {
+	// Exit group: nextPK = ⊥ (nil). After all members apply ReEnc, the C
+	// slot holds the plaintext.
+	k1, k2 := mustKey(t), mustKey(t)
+	pk := CombineKeys(k1.PK, k2.PK)
+	m := msgPoint(t, "published")
+	ct, _, _ := Encrypt(pk, m, rand.Reader)
+	s1, r1, err := ReEnc(k1.SK, nil, ct, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.IsZero() {
+		t.Error("exit-layer ReEnc must not add randomness")
+	}
+	s2, _, err := ReEnc(k2.SK, nil, s1, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Plaintext(s2).Equal(m) {
+		t.Fatal("exit group did not reveal plaintext")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	kp := mustKey(t)
+	msg := bytes.Repeat([]byte("tweet "), 26) // 156 bytes ≈ microblog size
+	pts, err := ecc.EmbedMessage(msg, ecc.PointsPerMessage(len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := EncryptVector(kp.PK, pts, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecryptVector(kp.SK, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ecc.ExtractMessage(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("vector round trip failed")
+	}
+}
+
+func TestVectorMarshalRoundTrip(t *testing.T) {
+	kp := mustKey(t)
+	pts, _ := ecc.EmbedMessage([]byte("wire format"), 2)
+	v, _, _ := EncryptVector(kp.PK, pts, rand.Reader)
+	// Also exercise a mid-chain component (Y set).
+	mid, _, _ := ReEnc(kp.SK, kp.PK, v[0], rand.Reader)
+	v[0] = mid
+
+	enc := v.Marshal()
+	got, err := UnmarshalVector(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("marshal round trip failed")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	kp := mustKey(t)
+	pts, _ := ecc.EmbedMessage([]byte("x"), 1)
+	v, _, _ := EncryptVector(kp.PK, pts, rand.Reader)
+	enc := v.Marshal()
+	if _, err := UnmarshalVector(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated encoding should fail")
+	}
+	if _, err := UnmarshalVector(append(enc, 0xFF)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	if _, err := UnmarshalVector(nil); err == nil {
+		t.Error("empty encoding should fail")
+	}
+}
+
+func TestHomomorphicRerandomizationProperty(t *testing.T) {
+	// Property: for any message and any two randomizers, rerandomizing
+	// twice equals rerandomizing once with the sum.
+	kp := mustKey(t)
+	f := func(seed1, seed2 [16]byte) bool {
+		r1 := ecc.ScalarFromBytes(seed1[:])
+		r2 := ecc.ScalarFromBytes(seed2[:])
+		m := msgPoint(t, "prop")
+		ct, _, _ := Encrypt(kp.PK, m, rand.Reader)
+		a := RerandomizeWithRandomness(kp.PK, RerandomizeWithRandomness(kp.PK, ct, r1), r2)
+		b := RerandomizeWithRandomness(kp.PK, ct, r1.Add(r2))
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReEncChainRandomGroupSizes(t *testing.T) {
+	// Property test across random chain shapes: any sequence of groups of
+	// size 1..5 recovers the message at the exit.
+	f := func(shape [4]uint8) bool {
+		sizes := make([]int, 0, 4)
+		for _, s := range shape {
+			sizes = append(sizes, int(s%5)+1)
+		}
+		type grp struct {
+			keys []*KeyPair
+			pk   *ecc.Point
+		}
+		groups := make([]*grp, len(sizes))
+		for i, sz := range sizes {
+			g := &grp{}
+			pks := make([]*ecc.Point, sz)
+			for j := 0; j < sz; j++ {
+				kp, err := KeyGen(rand.Reader)
+				if err != nil {
+					return false
+				}
+				g.keys = append(g.keys, kp)
+				pks[j] = kp.PK
+			}
+			g.pk = CombineKeys(pks...)
+			groups[i] = g
+		}
+		m, err := ecc.EmbedChunk([]byte("chain"))
+		if err != nil {
+			return false
+		}
+		cur, _, err := Encrypt(groups[0].pk, m, rand.Reader)
+		if err != nil {
+			return false
+		}
+		for gi, g := range groups {
+			var next *ecc.Point
+			if gi+1 < len(groups) {
+				next = groups[gi+1].pk
+			}
+			for _, kp := range g.keys {
+				cur, _, err = ReEnc(kp.SK, next, cur, rand.Reader)
+				if err != nil {
+					return false
+				}
+			}
+			cur = ClearY(cur)
+		}
+		return Plaintext(cur).Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

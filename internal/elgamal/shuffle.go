@@ -1,0 +1,70 @@
+package elgamal
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"math/big"
+
+	"atom/internal/ecc"
+)
+
+// RandomPerm returns a uniformly random permutation of [0, n) using
+// rejection-sampled randomness from rnd (crypto/rand if nil). It is a
+// cryptographic Fisher–Yates: the permutation quality is what the final
+// mix-net permutation's indistinguishability rests on, so math/rand is
+// not acceptable here.
+func RandomPerm(n int, rnd io.Reader) ([]int, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		jBig, err := rand.Int(rnd, big.NewInt(int64(i+1)))
+		if err != nil {
+			return nil, fmt.Errorf("elgamal: random permutation: %w", err)
+		}
+		j := int(jBig.Int64())
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm, nil
+}
+
+// ShuffleBatch implements the Shuffle operation of §2.3 on a batch of
+// ciphertext vectors: it rerandomizes every component under pk and
+// permutes the batch with a fresh random permutation. It returns the
+// shuffled batch along with the permutation and per-component randomness
+// (out[i] = Rerandomize(in[perm[i]], rands[i][j])), which the caller
+// feeds to nizk.ProveShuffle in the NIZK variant and then discards.
+func ShuffleBatch(pk *ecc.Point, in []Vector, rnd io.Reader) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
+	n := len(in)
+	perm, err = RandomPerm(n, rnd)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out = make([]Vector, n)
+	rands = make([][]*ecc.Scalar, n)
+	for i := 0; i < n; i++ {
+		src := in[perm[i]]
+		v := make(Vector, len(src))
+		rs := make([]*ecc.Scalar, len(src))
+		for j, ct := range src {
+			var r *ecc.Scalar
+			if ct.Y != nil {
+				return nil, nil, nil, fmt.Errorf("%w: shuffle input (%d,%d)", ErrY, perm[i], j)
+			}
+			r, err = ecc.RandomScalar(rnd)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			v[j] = RerandomizeWithRandomness(pk, ct, r)
+			rs[j] = r
+		}
+		out[i] = v
+		rands[i] = rs
+	}
+	return out, perm, rands, nil
+}

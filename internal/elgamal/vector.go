@@ -1,0 +1,187 @@
+package elgamal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// Vector is the encryption of one user message: one Ciphertext per
+// embedded curve point. All Atom operations apply componentwise.
+type Vector []*Ciphertext
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for i, ct := range v {
+		out[i] = ct.Clone()
+	}
+	return out
+}
+
+// Equal reports componentwise equality.
+func (v Vector) Equal(other Vector) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Equal(other[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EncryptVector encrypts a message (as embedded points) under pk,
+// returning the vector and the per-component randomness.
+func EncryptVector(pk *ecc.Point, msg []*ecc.Point, rnd io.Reader) (Vector, []*ecc.Scalar, error) {
+	v := make(Vector, len(msg))
+	rs := make([]*ecc.Scalar, len(msg))
+	for i, m := range msg {
+		ct, r, err := Encrypt(pk, m, rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		v[i], rs[i] = ct, r
+	}
+	return v, rs, nil
+}
+
+// DecryptVector decrypts every component with sk.
+func DecryptVector(sk *ecc.Scalar, v Vector) ([]*ecc.Point, error) {
+	out := make([]*ecc.Point, len(v))
+	for i, ct := range v {
+		m, err := Decrypt(sk, ct)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %w", i, err)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// RerandomizeVector re-blinds every component under pk, returning the
+// fresh randomness for proof generation.
+func RerandomizeVector(pk *ecc.Point, v Vector, rnd io.Reader) (Vector, []*ecc.Scalar, error) {
+	out := make(Vector, len(v))
+	rs := make([]*ecc.Scalar, len(v))
+	for i, ct := range v {
+		c, r, err := Rerandomize(pk, ct, rnd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("component %d: %w", i, err)
+		}
+		out[i], rs[i] = c, r
+	}
+	return out, rs, nil
+}
+
+// ReEncVector applies ReEnc to every component.
+func ReEncVector(sk *ecc.Scalar, nextPK *ecc.Point, v Vector, rnd io.Reader) (Vector, []*ecc.Scalar, error) {
+	out := make(Vector, len(v))
+	rs := make([]*ecc.Scalar, len(v))
+	for i, ct := range v {
+		c, r, err := ReEnc(sk, nextPK, ct, rnd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("component %d: %w", i, err)
+		}
+		out[i], rs[i] = c, r
+	}
+	return out, rs, nil
+}
+
+// ClearYVector clears the Y slot of every component.
+func ClearYVector(v Vector) Vector {
+	out := make(Vector, len(v))
+	for i, ct := range v {
+		out[i] = ClearY(ct)
+	}
+	return out
+}
+
+// PlaintextVector extracts the message points from a fully-decrypted
+// vector.
+func PlaintextVector(v Vector) []*ecc.Point {
+	out := make([]*ecc.Point, len(v))
+	for i, ct := range v {
+		out[i] = Plaintext(ct)
+	}
+	return out
+}
+
+// Marshal encodes the vector for transport. Layout per component:
+// 1 flag byte (bit0: Y present) followed by R, C[, Y] point encodings,
+// each length-prefixed with one byte.
+func (v Vector) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(len(v)))
+	for _, ct := range v {
+		var flag byte
+		if ct.Y != nil {
+			flag |= 1
+		}
+		buf.WriteByte(flag)
+		writePoint(&buf, ct.R)
+		writePoint(&buf, ct.C)
+		if ct.Y != nil {
+			writePoint(&buf, ct.Y)
+		}
+	}
+	return buf.Bytes()
+}
+
+func writePoint(buf *bytes.Buffer, p *ecc.Point) {
+	b := p.Bytes()
+	buf.WriteByte(byte(len(b)))
+	buf.Write(b)
+}
+
+// UnmarshalVector decodes a vector encoded by Marshal.
+func UnmarshalVector(data []byte) (Vector, error) {
+	rd := bytes.NewReader(data)
+	n, err := rd.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("elgamal: unmarshal: %w", err)
+	}
+	v := make(Vector, n)
+	for i := range v {
+		flag, err := rd.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("elgamal: unmarshal component %d: %w", i, err)
+		}
+		ct := &Ciphertext{}
+		if ct.R, err = readPoint(rd); err != nil {
+			return nil, fmt.Errorf("elgamal: unmarshal R[%d]: %w", i, err)
+		}
+		if ct.C, err = readPoint(rd); err != nil {
+			return nil, fmt.Errorf("elgamal: unmarshal C[%d]: %w", i, err)
+		}
+		if flag&1 != 0 {
+			if ct.Y, err = readPoint(rd); err != nil {
+				return nil, fmt.Errorf("elgamal: unmarshal Y[%d]: %w", i, err)
+			}
+		}
+		v[i] = ct
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("elgamal: unmarshal: %d trailing bytes", rd.Len())
+	}
+	return v, nil
+}
+
+func readPoint(rd *bytes.Reader) (*ecc.Point, error) {
+	ln, err := rd.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return nil, err
+	}
+	return ecc.PointFromBytes(b)
+}
+
+// Fingerprint returns a canonical byte encoding suitable for hashing and
+// duplicate detection (it is simply Marshal, named for intent).
+func (v Vector) Fingerprint() []byte { return v.Marshal() }

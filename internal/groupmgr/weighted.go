@@ -1,0 +1,110 @@
+package groupmgr
+
+import (
+	"fmt"
+	"math"
+
+	"atom/internal/beacon"
+)
+
+// Weighted (capacity-aware) group formation — the §7 "Load balancing"
+// discussion: "it would be beneficial to have the more powerful servers
+// appear in more groups. Such non-uniform assignments of servers to
+// groups, however, could result in an adversary controlling a full Atom
+// group." This file implements the weighted sampler and quantifies the
+// security cost so deployments can make the §7 trade-off deliberately.
+
+// FormWeighted samples groups like Form, but draws each member with
+// probability proportional to its weight (e.g., core count or
+// bandwidth). Members within one group remain distinct; servers with
+// larger weights serve in more groups overall.
+func FormWeighted(cfg Config, weights []float64, b *beacon.Beacon, round uint64) ([]*Group, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != cfg.NumServers {
+		return nil, fmt.Errorf("groupmgr: %d weights for %d servers", len(weights), cfg.NumServers)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("groupmgr: invalid weight %v for server %d", w, i)
+		}
+		total += w
+	}
+	// Cumulative distribution for inverse-transform sampling.
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc / total
+	}
+	stream := b.Stream(round, "group-formation-weighted")
+	draw := func() int {
+		// 53-bit uniform in [0,1).
+		u := float64(stream.Intn(1<<31)) / float64(1<<31)
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	groups := make([]*Group, cfg.NumGroups)
+	for gid := 0; gid < cfg.NumGroups; gid++ {
+		seen := make(map[int]bool, cfg.GroupSize)
+		members := make([]int, 0, cfg.GroupSize)
+		for len(members) < cfg.GroupSize {
+			s := draw()
+			if !seen[s] {
+				seen[s] = true
+				members = append(members, s)
+			}
+		}
+		rot := gid % cfg.GroupSize
+		rotated := append(append([]int(nil), members[rot:]...), members[:rot]...)
+		g := &Group{ID: gid, Members: rotated}
+		for bIdx := 1; bIdx <= cfg.BuddyCount; bIdx++ {
+			g.Buddies = append(g.Buddies, (gid+bIdx)%cfg.NumGroups)
+		}
+		groups[gid] = g
+	}
+	return groups, nil
+}
+
+// WeightedFailureProb estimates, by Monte Carlo over the beacon stream,
+// the probability that at least one of G weighted-sampled groups of
+// size k consists entirely of adversarial servers, when the adversary
+// controls the given member set. It makes the §7 warning concrete: an
+// adversary that concentrates on high-weight servers gets a far larger
+// slice of each group than its head-count fraction suggests.
+func WeightedFailureProb(cfg Config, weights []float64, adversarial map[int]bool, trials int, b *beacon.Beacon) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("groupmgr: need at least one trial")
+	}
+	bad := 0
+	for trial := 0; trial < trials; trial++ {
+		groups, err := FormWeighted(cfg, weights, b, uint64(trial))
+		if err != nil {
+			return 0, err
+		}
+		for _, g := range groups {
+			allBad := true
+			for _, m := range g.Members {
+				if !adversarial[m] {
+					allBad = false
+					break
+				}
+			}
+			if allBad {
+				bad++
+				break
+			}
+		}
+	}
+	return float64(bad) / float64(trials), nil
+}

@@ -1,0 +1,128 @@
+package groupmgr
+
+import (
+	"testing"
+
+	"atom/internal/beacon"
+)
+
+func TestFormWeightedBasics(t *testing.T) {
+	cfg := Config{NumServers: 20, NumGroups: 8, GroupSize: 4, HonestMin: 1, BuddyCount: 1}
+	weights := make([]float64, 20)
+	for i := range weights {
+		weights[i] = 1
+	}
+	b := beacon.New([]byte("weighted"))
+	groups, err := FormWeighted(cfg, weights, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 8 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	for _, g := range groups {
+		seen := map[int]bool{}
+		for _, m := range g.Members {
+			if m < 0 || m >= 20 || seen[m] {
+				t.Fatalf("group %d has invalid/duplicate member %d", g.ID, m)
+			}
+			seen[m] = true
+		}
+	}
+	// Determinism.
+	again, _ := FormWeighted(cfg, weights, b, 1)
+	for i := range groups {
+		for j := range groups[i].Members {
+			if groups[i].Members[j] != again[i].Members[j] {
+				t.Fatal("weighted formation not deterministic")
+			}
+		}
+	}
+}
+
+func TestFormWeightedRejectsBadWeights(t *testing.T) {
+	cfg := Config{NumServers: 4, NumGroups: 2, GroupSize: 2, HonestMin: 1}
+	b := beacon.New([]byte("w"))
+	if _, err := FormWeighted(cfg, []float64{1, 1, 1}, b, 0); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := FormWeighted(cfg, []float64{1, 0, 1, 1}, b, 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := FormWeighted(cfg, []float64{1, -2, 1, 1}, b, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestWeightedFavorsHeavyServers(t *testing.T) {
+	// Server 0 has 20× the weight of everyone else: it must serve in far
+	// more groups than an average server.
+	const n = 40
+	cfg := Config{NumServers: n, NumGroups: 64, GroupSize: 4, HonestMin: 1}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[0] = 20
+	b := beacon.New([]byte("heavy"))
+	groups, err := FormWeighted(cfg, weights, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make([]int, n)
+	for _, g := range groups {
+		for _, m := range g.Members {
+			count[m]++
+		}
+	}
+	avg := float64(64*4) / n
+	if float64(count[0]) < 3*avg {
+		t.Errorf("heavy server appears in %d groups, average %.1f — weighting inert", count[0], avg)
+	}
+}
+
+// TestWeightedLoadBalancingSecurityTradeoff quantifies §7's warning:
+// with uniform sampling an adversary controlling 20%% of servers almost
+// never owns a full group of 8, but if the deployment gives those same
+// servers 10× weight (say, they offer the most bandwidth), all-bad
+// groups become common. This is the measurement a deployment should
+// look at before enabling FormWeighted.
+func TestWeightedLoadBalancingSecurityTradeoff(t *testing.T) {
+	const n = 50
+	cfg := Config{NumServers: n, NumGroups: 16, GroupSize: 6, HonestMin: 1}
+	adversarial := map[int]bool{}
+	for i := 0; i < n/5; i++ { // 20% malicious
+		adversarial[i] = true
+	}
+	uniform := make([]float64, n)
+	skewed := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1
+		if adversarial[i] {
+			skewed[i] = 10 // the adversary volunteers the beefy machines
+		} else {
+			skewed[i] = 1
+		}
+	}
+	b := beacon.New([]byte("tradeoff"))
+	const trials = 60
+	pUniform, err := WeightedFailureProb(cfg, uniform, adversarial, trials, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSkewed, err := WeightedFailureProb(cfg, skewed, adversarial, trials, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform: Pr[one group all-bad] ≈ 16·0.2⁶ ≈ 10⁻³ — should be ~0 in
+	// 60 trials. Skewed: drawing 6 adversaries without replacement from
+	// weight mass 100-of-140 has probability ≈0.07 per group, so ≈0.68
+	// per 16-group round — the hazard fires in most trials.
+	if pUniform > 0.1 {
+		t.Errorf("uniform sampling yielded all-bad groups at rate %.2f", pUniform)
+	}
+	if pSkewed < 0.5 {
+		t.Errorf("skewed weighting yielded all-bad groups at rate %.2f; expected the §7 hazard to be visible", pSkewed)
+	}
+	t.Logf("all-bad-group probability: uniform %.3f vs 10×-weighted adversary %.3f", pUniform, pSkewed)
+}

@@ -1,0 +1,107 @@
+// Package microblog is Atom's anonymous microblogging application
+// (paper §5): users broadcast short fixed-size messages (the evaluation
+// uses 160 bytes — roughly a Tweet) through the mix-net, and the exit
+// servers publish the anonymized batch to a public bulletin board.
+package microblog
+
+import (
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"atom/internal/bulletin"
+	"atom/internal/protocol"
+)
+
+// MessageSize is the paper's microblog message size: "We use 160 byte
+// messages in our evaluation" (§5).
+const MessageSize = 160
+
+// Service glues a protocol deployment to a bulletin board.
+type Service struct {
+	deployment *protocol.Deployment
+	client     *protocol.Client
+	board      *bulletin.Board
+	round      uint64
+	posted     int
+}
+
+// NewService creates a microblogging service over an existing
+// deployment. The deployment's MessageSize must be MessageSize.
+func NewService(d *protocol.Deployment, board *bulletin.Board) (*Service, error) {
+	cfg := d.Config()
+	if cfg.MessageSize != MessageSize {
+		return nil, fmt.Errorf("microblog: deployment message size %d, want %d", cfg.MessageSize, MessageSize)
+	}
+	client, err := protocol.NewClient(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{deployment: d, client: client, board: board}, nil
+}
+
+// Post submits one microblog message for the given user into the
+// current round, choosing the entry group by user id (an untrusted
+// load balancer would do this in a deployment, §3).
+func (s *Service) Post(user int, text string, rnd io.Reader) error {
+	if !utf8.ValidString(text) {
+		return fmt.Errorf("microblog: post is not valid UTF-8")
+	}
+	if len(text) > MessageSize-2 { // 2 bytes of length framing
+		return fmt.Errorf("microblog: post of %d bytes exceeds %d", len(text), MessageSize-2)
+	}
+	gid := user % s.deployment.NumGroups()
+	pk, err := s.deployment.GroupPK(gid)
+	if err != nil {
+		return err
+	}
+	cfg := s.deployment.Config()
+	switch cfg.Variant {
+	case protocol.VariantNIZK:
+		sub, err := s.client.Submit([]byte(text), pk, gid, rnd)
+		if err != nil {
+			return err
+		}
+		if err := s.deployment.SubmitUser(user, sub); err != nil {
+			return err
+		}
+	case protocol.VariantTrap:
+		tpk, err := s.deployment.TrusteePK()
+		if err != nil {
+			return err
+		}
+		sub, err := s.client.SubmitTrap([]byte(text), pk, tpk, gid, rnd)
+		if err != nil {
+			return err
+		}
+		if err := s.deployment.SubmitTrapUser(user, sub); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("microblog: unknown variant %v", cfg.Variant)
+	}
+	s.posted++
+	return nil
+}
+
+// Posted returns the number of accepted posts for the current round.
+func (s *Service) Posted() int { return s.posted }
+
+// RunRound mixes the collected posts and publishes the anonymized batch
+// to the bulletin board, returning the published posts.
+func (s *Service) RunRound() ([]bulletin.Post, error) {
+	res, err := s.deployment.RunRound()
+	if err != nil {
+		return nil, err
+	}
+	round := s.round
+	if err := s.board.Publish(round, res.Messages); err != nil {
+		return nil, err
+	}
+	s.round++
+	s.posted = 0
+	return s.board.Round(round), nil
+}
+
+// Board exposes the bulletin board for readers.
+func (s *Service) Board() *bulletin.Board { return s.board }

@@ -1,0 +1,119 @@
+package microblog
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"atom/internal/bulletin"
+	"atom/internal/protocol"
+)
+
+func testDeployment(t *testing.T, variant protocol.Variant) *protocol.Deployment {
+	t.Helper()
+	d, err := protocol.NewDeployment(protocol.Config{
+		NumServers:  12,
+		NumGroups:   4,
+		GroupSize:   3,
+		HonestMin:   1,
+		MessageSize: MessageSize,
+		Variant:     variant,
+		Iterations:  2,
+		Seed:        []byte("microblog-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMicroblogRoundTrap(t *testing.T) {
+	d := testDeployment(t, protocol.VariantTrap)
+	svc, err := NewService(d, bulletin.NewBoard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := []string{
+		"protest at the square, noon tomorrow",
+		"leak: the ministry numbers are fabricated",
+		"whistleblowing works when nobody knows who blew",
+		"anonymous tip: check the harbor manifests",
+	}
+	for u, p := range posts {
+		if err := svc.Post(u, p, rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if svc.Posted() != len(posts) {
+		t.Fatalf("Posted = %d, want %d", svc.Posted(), len(posts))
+	}
+	published, err := svc.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(published) != len(posts) {
+		t.Fatalf("published %d posts, want %d", len(published), len(posts))
+	}
+	got := map[string]bool{}
+	for _, p := range published {
+		got[string(p.Message)] = true
+	}
+	for _, p := range posts {
+		if !got[p] {
+			t.Errorf("post %q missing from board", p)
+		}
+	}
+	if svc.Posted() != 0 {
+		t.Error("Posted counter not reset after round")
+	}
+}
+
+func TestMicroblogRoundNIZK(t *testing.T) {
+	d := testDeployment(t, protocol.VariantNIZK)
+	svc, err := NewService(d, bulletin.NewBoard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		if err := svc.Post(u, "nizk-protected post", rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	published, err := svc.RunRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(published) != 4 {
+		t.Fatalf("published %d posts, want 4", len(published))
+	}
+}
+
+func TestPostRejectsOversized(t *testing.T) {
+	d := testDeployment(t, protocol.VariantTrap)
+	svc, _ := NewService(d, bulletin.NewBoard())
+	long := strings.Repeat("x", MessageSize-1)
+	if err := svc.Post(0, long, rand.Reader); err == nil {
+		t.Fatal("oversized post accepted")
+	}
+	if err := svc.Post(0, string([]byte{0xff, 0xfe}), rand.Reader); err == nil {
+		t.Fatal("invalid UTF-8 accepted")
+	}
+}
+
+func TestNewServiceRejectsWrongMessageSize(t *testing.T) {
+	d, err := protocol.NewDeployment(protocol.Config{
+		NumServers:  4,
+		NumGroups:   2,
+		GroupSize:   2,
+		MessageSize: 32, // not MessageSize
+		Variant:     protocol.VariantTrap,
+		Iterations:  2,
+		Seed:        []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(d, bulletin.NewBoard()); err == nil {
+		t.Fatal("service accepted a 32-byte deployment")
+	}
+}

@@ -1,0 +1,86 @@
+package nizk
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// ErrVerify is returned by every Verify function on a proof that does not
+// check out. Callers treat it as evidence of misbehavior (paper §4.3:
+// "abort the protocol if any server reports failure").
+var ErrVerify = errors.New("nizk: proof verification failed")
+
+// EncProof proves knowledge of the randomness (and hence the plaintext)
+// of a user-submitted ElGamal ciphertext vector. It is the NIZK of
+// Appendix A: for each component, pi = (g^s, u) with
+// t = H(c ‖ g^s ‖ X ‖ gid) and u = s + t·r; the verifier checks
+// g^u = g^s · R^t.
+//
+// Binding the group id (gid) into the challenge prevents a malicious user
+// from resubmitting an honest user's ciphertext-and-proof at a different
+// entry group (§3), and binding the ciphertext prevents proof reuse on a
+// rerandomized copy.
+type EncProof struct {
+	Commit []*ecc.Point  // g^s per component
+	Resp   []*ecc.Scalar // u = s + t·r per component
+}
+
+func encTranscript(pk *ecc.Point, v elgamal.Vector, gid uint64) *Transcript {
+	tr := NewTranscript("encproof")
+	tr.AppendPoint("pk", pk)
+	tr.AppendUint64("gid", gid)
+	tr.AppendBytes("ct", v.Marshal())
+	return tr
+}
+
+// ProveEnc builds an EncProof for the vector v encrypted under pk with
+// per-component randomness rs, destined for entry group gid.
+func ProveEnc(pk *ecc.Point, v elgamal.Vector, rs []*ecc.Scalar, gid uint64, rnd io.Reader) (*EncProof, error) {
+	if len(v) != len(rs) {
+		return nil, fmt.Errorf("nizk: %d ciphertext components but %d randomizers", len(v), len(rs))
+	}
+	tr := encTranscript(pk, v, gid)
+	proof := &EncProof{
+		Commit: make([]*ecc.Point, len(v)),
+		Resp:   make([]*ecc.Scalar, len(v)),
+	}
+	ws := make([]*ecc.Scalar, len(v))
+	for i := range v {
+		w, err := ecc.RandomScalar(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("nizk: proveenc: %w", err)
+		}
+		ws[i] = w
+		proof.Commit[i] = ecc.BaseMul(w)
+	}
+	tr.AppendPoints("commit", proof.Commit)
+	t := tr.Challenge("t")
+	for i := range v {
+		proof.Resp[i] = ws[i].Add(t.Mul(rs[i]))
+	}
+	return proof, nil
+}
+
+// VerifyEnc checks an EncProof against the ciphertext vector, public key,
+// and entry group id.
+func VerifyEnc(pk *ecc.Point, v elgamal.Vector, gid uint64, proof *EncProof) error {
+	if proof == nil || len(proof.Commit) != len(v) || len(proof.Resp) != len(v) {
+		return fmt.Errorf("%w: malformed EncProof", ErrVerify)
+	}
+	tr := encTranscript(pk, v, gid)
+	tr.AppendPoints("commit", proof.Commit)
+	t := tr.Challenge("t")
+	for i, ct := range v {
+		// g^u ?= commit · R^t
+		lhs := ecc.BaseMul(proof.Resp[i])
+		rhs := proof.Commit[i].Add(ct.R.Mul(t))
+		if !lhs.Equal(rhs) {
+			return fmt.Errorf("%w: EncProof component %d", ErrVerify, i)
+		}
+	}
+	return nil
+}

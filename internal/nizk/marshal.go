@@ -1,0 +1,66 @@
+package nizk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// Wire encoding for EncProof, the one proof that travels from users to
+// servers (shuffle and reencryption proofs travel between servers, which
+// in this codebase share a process or use the daemon's gob framing).
+// Layout: u16 count ‖ count × (33-byte commit point ‖ 32-byte response).
+
+// Marshal encodes the proof.
+func (p *EncProof) Marshal() []byte {
+	var buf bytes.Buffer
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(p.Commit)))
+	buf.Write(n[:])
+	for i := range p.Commit {
+		cb := p.Commit[i].Bytes()
+		buf.WriteByte(byte(len(cb)))
+		buf.Write(cb)
+		buf.Write(p.Resp[i].Bytes())
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalEncProof decodes a proof encoded by Marshal.
+func UnmarshalEncProof(data []byte) (*EncProof, error) {
+	rd := bytes.NewReader(data)
+	var n [2]byte
+	if _, err := io.ReadFull(rd, n[:]); err != nil {
+		return nil, fmt.Errorf("nizk: unmarshal encproof: %w", err)
+	}
+	count := int(binary.BigEndian.Uint16(n[:]))
+	p := &EncProof{
+		Commit: make([]*ecc.Point, count),
+		Resp:   make([]*ecc.Scalar, count),
+	}
+	for i := 0; i < count; i++ {
+		ln, err := rd.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("nizk: unmarshal encproof commit %d: %w", i, err)
+		}
+		pb := make([]byte, ln)
+		if _, err := io.ReadFull(rd, pb); err != nil {
+			return nil, fmt.Errorf("nizk: unmarshal encproof commit %d: %w", i, err)
+		}
+		if p.Commit[i], err = ecc.PointFromBytes(pb); err != nil {
+			return nil, fmt.Errorf("nizk: unmarshal encproof commit %d: %w", i, err)
+		}
+		sb := make([]byte, 32)
+		if _, err := io.ReadFull(rd, sb); err != nil {
+			return nil, fmt.Errorf("nizk: unmarshal encproof resp %d: %w", i, err)
+		}
+		p.Resp[i] = ecc.ScalarFromBytes(sb)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("nizk: unmarshal encproof: %d trailing bytes", rd.Len())
+	}
+	return p, nil
+}

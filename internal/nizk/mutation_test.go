@@ -1,0 +1,162 @@
+package nizk
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// Mutation tests: every field of every proof structure is perturbed in
+// turn, and verification must reject each mutant. These are soundness
+// regression tests — a refactor that drops a field from a Fiat–Shamir
+// transcript or a verification equation turns some mutant green.
+
+func mutateScalar(s *ecc.Scalar) *ecc.Scalar { return s.Add(ecc.NewScalar(1)) }
+func mutatePoint(p *ecc.Point) *ecc.Point    { return p.Add(ecc.Generator()) }
+
+func TestEncProofEveryFieldMatters(t *testing.T) {
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "mutation target", 2)
+	mutants := []struct {
+		name   string
+		mutate func(p *EncProof)
+	}{
+		{"commit[0]", func(p *EncProof) { p.Commit[0] = mutatePoint(p.Commit[0]) }},
+		{"commit[1]", func(p *EncProof) { p.Commit[1] = mutatePoint(p.Commit[1]) }},
+		{"resp[0]", func(p *EncProof) { p.Resp[0] = mutateScalar(p.Resp[0]) }},
+		{"resp[1]", func(p *EncProof) { p.Resp[1] = mutateScalar(p.Resp[1]) }},
+		{"drop-commit", func(p *EncProof) { p.Commit = p.Commit[:1] }},
+		{"drop-resp", func(p *EncProof) { p.Resp = p.Resp[:1] }},
+	}
+	for _, m := range mutants {
+		proof, err := ProveEnc(kp.PK, v, rs, 3, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.mutate(proof)
+		if err := VerifyEnc(kp.PK, v, 3, proof); err == nil {
+			t.Errorf("EncProof mutant %q verified", m.name)
+		}
+	}
+}
+
+func TestReEncProofEveryFieldMatters(t *testing.T) {
+	server, nextPK, in, out, rs := reencFixture(t, false)
+	mutants := []struct {
+		name   string
+		mutate func(p *ReEncProof)
+	}{
+		{"commit-key", func(p *ReEncProof) { p.CommitKey[0] = mutatePoint(p.CommitKey[0]) }},
+		{"commit-r", func(p *ReEncProof) { p.CommitR[0] = mutatePoint(p.CommitR[0]) }},
+		{"commit-c", func(p *ReEncProof) { p.CommitC[0] = mutatePoint(p.CommitC[0]) }},
+		{"resp-x", func(p *ReEncProof) { p.RespX[0] = mutateScalar(p.RespX[0]) }},
+		{"resp-r", func(p *ReEncProof) { p.RespR[0] = mutateScalar(p.RespR[0]) }},
+		{"truncate", func(p *ReEncProof) { p.RespX = p.RespX[:1] }},
+	}
+	for _, m := range mutants {
+		proof, err := ProveReEnc(server.SK, server.PK, nextPK, in, out, rs, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.mutate(proof)
+		if err := VerifyReEnc(server.PK, nextPK, in, out, proof); err == nil {
+			t.Errorf("ReEncProof mutant %q verified", m.name)
+		}
+	}
+}
+
+func TestShufProofEveryFieldMatters(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 6, 2)
+	mutants := []struct {
+		name   string
+		mutate func(p *ShufProof)
+	}{
+		{"gamma", func(p *ShufProof) { p.Gamma = mutatePoint(p.Gamma) }},
+		{"u[0]", func(p *ShufProof) { p.U[0] = mutatePoint(p.U[0]) }},
+		{"ss-commit", func(p *ShufProof) { p.SS.Proof.Commit[0] = mutatePoint(p.SS.Proof.Commit[0]) }},
+		{"ss-resp", func(p *ShufProof) { p.SS.Proof.Resp[0] = mutateScalar(p.SS.Proof.Resp[0]) }},
+		{"pr[0]", func(p *ShufProof) { p.PR[0] = mutatePoint(p.PR[0]) }},
+		{"pc[1]", func(p *ShufProof) { p.PC[1] = mutatePoint(p.PC[1]) }},
+		{"au[2]", func(p *ShufProof) { p.AU[2] = mutatePoint(p.AU[2]) }},
+		{"br[0]", func(p *ShufProof) { p.BR[0] = mutatePoint(p.BR[0]) }},
+		{"bc[1]", func(p *ShufProof) { p.BC[1] = mutatePoint(p.BC[1]) }},
+		{"zu[3]", func(p *ShufProof) { p.ZU[3] = mutateScalar(p.ZU[3]) }},
+		{"a-gamma", func(p *ShufProof) { p.AGamma = mutatePoint(p.AGamma) }},
+		{"ar[0]", func(p *ShufProof) { p.AR[0] = mutatePoint(p.AR[0]) }},
+		{"ac[1]", func(p *ShufProof) { p.AC[1] = mutatePoint(p.AC[1]) }},
+		{"zc", func(p *ShufProof) { p.ZC = mutateScalar(p.ZC) }},
+		{"zs[0]", func(p *ShufProof) { p.ZS[0] = mutateScalar(p.ZS[0]) }},
+		{"swap-u", func(p *ShufProof) { p.U[0], p.U[1] = p.U[1], p.U[0] }},
+		{"truncate-u", func(p *ShufProof) { p.U = p.U[:5] }},
+	}
+	for _, m := range mutants {
+		proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.mutate(proof)
+		if err := VerifyShuffle(pk, in, out, proof); err == nil {
+			t.Errorf("ShufProof mutant %q verified", m.name)
+		}
+	}
+}
+
+// TestShufProofNotTransferable: a proof for one batch must not verify
+// for another batch of the same shape (statement binding).
+func TestShufProofNotTransferable(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 4, 1)
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := make([]elgamal.Vector, len(in))
+	for i := range in2 {
+		in2[i], _ = encryptMsg(t, pk, "other batch", 1)
+	}
+	out2, _, _, err := elgamal.ShuffleBatch(pk, in2, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(pk, in2, out2, proof); err == nil {
+		t.Fatal("proof transferred to a different statement")
+	}
+}
+
+// TestEncProofMarshalRoundTrip covers the wire encoding used by remote
+// clients.
+func TestEncProofMarshalRoundTrip(t *testing.T) {
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "wire", 3)
+	proof, err := ProveEnc(kp.PK, v, rs, 9, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := proof.Marshal()
+	got, err := UnmarshalEncProof(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEnc(kp.PK, v, 9, got); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+	// Corruptions must fail decode or verification, never panic.
+	for _, n := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+		if p2, err := UnmarshalEncProof(enc[:n]); err == nil {
+			if err := VerifyEnc(kp.PK, v, 9, p2); err == nil {
+				t.Errorf("truncation to %d bytes still verified", n)
+			}
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[5] ^= 0xFF
+	if p2, err := UnmarshalEncProof(bad); err == nil {
+		if err := VerifyEnc(kp.PK, v, 9, p2); err == nil {
+			t.Error("bit-flipped encoding still verified")
+		}
+	}
+	if _, err := UnmarshalEncProof(append(enc, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,457 @@
+package nizk
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+func mustKey(t testing.TB) *elgamal.KeyPair {
+	t.Helper()
+	kp, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kp
+}
+
+func encryptMsg(t testing.TB, pk *ecc.Point, msg string, points int) (elgamal.Vector, []*ecc.Scalar) {
+	t.Helper()
+	pts, err := ecc.EmbedMessage([]byte(msg), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, rs, err := elgamal.EncryptVector(pk, pts, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, rs
+}
+
+// --- EncProof ---
+
+func TestEncProofRoundTrip(t *testing.T) {
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "hello entry group", 2)
+	proof, err := ProveEnc(kp.PK, v, rs, 7, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEnc(kp.PK, v, 7, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncProofBindsGroupID(t *testing.T) {
+	// §3: a proof generated for entry group 7 must not verify at group 8,
+	// or a malicious user could replay an honest user's submission.
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "bound", 1)
+	proof, _ := ProveEnc(kp.PK, v, rs, 7, rand.Reader)
+	if err := VerifyEnc(kp.PK, v, 8, proof); err == nil {
+		t.Fatal("proof verified at the wrong group id")
+	}
+}
+
+func TestEncProofRejectsRerandomizedCopy(t *testing.T) {
+	// §3: submitting a rerandomized copy of an honest ciphertext with the
+	// original proof must fail — this is the duplicate-plaintext attack.
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "original", 1)
+	proof, _ := ProveEnc(kp.PK, v, rs, 1, rand.Reader)
+
+	copyV, _, err := elgamal.RerandomizeVector(kp.PK, v, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEnc(kp.PK, copyV, 1, proof); err == nil {
+		t.Fatal("proof verified on a rerandomized copy")
+	}
+}
+
+func TestEncProofRejectsWrongRandomness(t *testing.T) {
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "x", 1)
+	bad := []*ecc.Scalar{rs[0].Add(ecc.NewScalar(1))}
+	proof, _ := ProveEnc(kp.PK, v, bad, 1, rand.Reader)
+	if err := VerifyEnc(kp.PK, v, 1, proof); err == nil {
+		t.Fatal("proof with wrong witness verified")
+	}
+}
+
+func TestEncProofRejectsTamperedProof(t *testing.T) {
+	kp := mustKey(t)
+	v, rs := encryptMsg(t, kp.PK, "x", 2)
+	proof, _ := ProveEnc(kp.PK, v, rs, 1, rand.Reader)
+	proof.Resp[1] = proof.Resp[1].Add(ecc.NewScalar(1))
+	if err := VerifyEnc(kp.PK, v, 1, proof); err == nil {
+		t.Fatal("tampered proof verified")
+	}
+}
+
+func TestEncProofRejectsNilAndShort(t *testing.T) {
+	kp := mustKey(t)
+	v, _ := encryptMsg(t, kp.PK, "x", 2)
+	if err := VerifyEnc(kp.PK, v, 1, nil); err == nil {
+		t.Fatal("nil proof verified")
+	}
+	if err := VerifyEnc(kp.PK, v, 1, &EncProof{}); err == nil {
+		t.Fatal("empty proof verified")
+	}
+}
+
+// --- ReEncProof ---
+
+func reencFixture(t *testing.T, exit bool) (server *elgamal.KeyPair, nextPK *ecc.Point, in, out elgamal.Vector, rs []*ecc.Scalar) {
+	t.Helper()
+	server = mustKey(t)
+	other := mustKey(t)
+	groupPK := elgamal.CombineKeys(server.PK, other.PK)
+	in, _ = encryptMsg(t, groupPK, "through the mix", 2)
+	if !exit {
+		next := mustKey(t)
+		nextPK = next.PK
+	}
+	var err error
+	out, rs, err = elgamal.ReEncVector(server.SK, nextPK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestReEncProofRoundTrip(t *testing.T) {
+	server, nextPK, in, out, rs := reencFixture(t, false)
+	proof, err := ProveReEnc(server.SK, server.PK, nextPK, in, out, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReEnc(server.PK, nextPK, in, out, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReEncProofExitLayer(t *testing.T) {
+	server, _, in, out, rs := reencFixture(t, true)
+	proof, err := ProveReEnc(server.SK, server.PK, nil, in, out, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReEnc(server.PK, nil, in, out, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReEncProofMidChain(t *testing.T) {
+	// Second server in a group: input already has Y set.
+	s1, s2, next := mustKey(t), mustKey(t), mustKey(t)
+	groupPK := elgamal.CombineKeys(s1.PK, s2.PK)
+	in, _ := encryptMsg(t, groupPK, "mid chain", 1)
+	mid, _, err := elgamal.ReEncVector(s1.SK, next.PK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rs, err := elgamal.ReEncVector(s2.SK, next.PK, mid, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := ProveReEnc(s2.SK, s2.PK, next.PK, mid, out, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReEnc(s2.PK, next.PK, mid, out, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReEncProofDetectsSubstitutedCiphertext(t *testing.T) {
+	// A malicious server that swaps in a different ciphertext (the §4.3
+	// attack the NIZKs exist to stop) cannot produce a valid proof.
+	server, nextPK, in, out, rs := reencFixture(t, false)
+	evil, _ := encryptMsg(t, nextPK, "injected", 2)
+	// Give the substituted output a Y slot so it is structurally valid.
+	for j := range evil {
+		evil[j].Y = out[j].Y
+	}
+	proof, err := ProveReEnc(server.SK, server.PK, nextPK, in, evil, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReEnc(server.PK, nextPK, in, evil, proof); err == nil {
+		t.Fatal("substituted output passed verification")
+	}
+}
+
+func TestReEncProofDetectsWrongKey(t *testing.T) {
+	// Using a different secret than the published key must fail.
+	server, nextPK, in, _, _ := reencFixture(t, false)
+	impostor := mustKey(t)
+	out, rs, err := elgamal.ReEncVector(impostor.SK, nextPK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := ProveReEnc(impostor.SK, server.PK, nextPK, in, out, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReEnc(server.PK, nextPK, in, out, proof); err == nil {
+		t.Fatal("wrong-key reencryption passed verification")
+	}
+}
+
+func TestReEncProofDetectsTampering(t *testing.T) {
+	server, nextPK, in, out, rs := reencFixture(t, false)
+	proof, _ := ProveReEnc(server.SK, server.PK, nextPK, in, out, rs, rand.Reader)
+	proof.RespX[0] = proof.RespX[0].Add(ecc.NewScalar(1))
+	if err := VerifyReEnc(server.PK, nextPK, in, out, proof); err == nil {
+		t.Fatal("tampered ReEncProof verified")
+	}
+	if err := VerifyReEnc(server.PK, nextPK, in, out, nil); err == nil {
+		t.Fatal("nil ReEncProof verified")
+	}
+}
+
+// --- ILMPP ---
+
+func TestILMPPRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 16} {
+		xs := make([]*ecc.Scalar, n)
+		ys := make([]*ecc.Scalar, n)
+		Xs := make([]*ecc.Point, n)
+		Ys := make([]*ecc.Point, n)
+		prodX := ecc.NewScalar(1)
+		for i := 0; i < n; i++ {
+			xs[i] = ecc.MustRandomScalar(rand.Reader)
+			prodX = prodX.Mul(xs[i])
+		}
+		// Build ys with the same product: random except the last.
+		prodYPartial := ecc.NewScalar(1)
+		for i := 0; i < n-1; i++ {
+			ys[i] = ecc.MustRandomScalar(rand.Reader)
+			prodYPartial = prodYPartial.Mul(ys[i])
+		}
+		ys[n-1] = prodX.Mul(prodYPartial.Inv())
+		for i := 0; i < n; i++ {
+			Xs[i] = ecc.BaseMul(xs[i])
+			Ys[i] = ecc.BaseMul(ys[i])
+		}
+		tr := NewTranscript("test-ilmpp")
+		tr.AppendPoints("x", Xs)
+		tr.AppendPoints("y", Ys)
+		proof, err := proveILMPP(tr, xs, ys, Xs, Ys, rand.Reader)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		vtr := NewTranscript("test-ilmpp")
+		vtr.AppendPoints("x", Xs)
+		vtr.AppendPoints("y", Ys)
+		if err := verifyILMPP(vtr, Xs, Ys, proof); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestILMPPRejectsUnequalProducts(t *testing.T) {
+	n := 5
+	xs := make([]*ecc.Scalar, n)
+	ys := make([]*ecc.Scalar, n)
+	Xs := make([]*ecc.Point, n)
+	Ys := make([]*ecc.Point, n)
+	for i := 0; i < n; i++ {
+		xs[i] = ecc.MustRandomScalar(rand.Reader)
+		ys[i] = ecc.MustRandomScalar(rand.Reader) // products differ whp
+		Xs[i] = ecc.BaseMul(xs[i])
+		Ys[i] = ecc.BaseMul(ys[i])
+	}
+	tr := NewTranscript("test-ilmpp")
+	proof, err := proveILMPP(tr, xs, ys, Xs, Ys, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtr := NewTranscript("test-ilmpp")
+	if err := verifyILMPP(vtr, Xs, Ys, proof); err == nil {
+		t.Fatal("ILMPP verified with unequal products")
+	}
+}
+
+// --- ShufProof ---
+
+func shuffleFixture(t *testing.T, n, l int) (pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][]*ecc.Scalar) {
+	t.Helper()
+	kp := mustKey(t)
+	pk = kp.PK
+	in = make([]elgamal.Vector, n)
+	for i := 0; i < n; i++ {
+		in[i], _ = encryptMsg(t, pk, "msg", l)
+	}
+	var err error
+	out, perm, rands, err = elgamal.ShuffleBatch(pk, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestShuffleProofRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, l int }{{1, 1}, {2, 1}, {8, 1}, {8, 3}, {32, 2}} {
+		pk, in, out, perm, rands := shuffleFixture(t, tc.n, tc.l)
+		proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+		if err != nil {
+			t.Fatalf("n=%d l=%d: %v", tc.n, tc.l, err)
+		}
+		if err := VerifyShuffle(pk, in, out, proof); err != nil {
+			t.Fatalf("n=%d l=%d: %v", tc.n, tc.l, err)
+		}
+	}
+}
+
+func TestShuffleProofRejectsDroppedMessage(t *testing.T) {
+	// The §4.3 attack: a malicious server replaces one user's ciphertext
+	// with its own. The shuffle proof must not verify.
+	pk, in, out, perm, rands := shuffleFixture(t, 8, 2)
+	evil, _ := encryptMsg(t, pk, "replacement", 2)
+	out[3] = evil
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(pk, in, out, proof); err == nil {
+		t.Fatal("shuffle with a replaced message verified")
+	}
+}
+
+func TestShuffleProofRejectsDuplicatedMessage(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 8, 1)
+	out[5] = out[4].Clone()
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(pk, in, out, proof); err == nil {
+		t.Fatal("shuffle with a duplicated message verified")
+	}
+}
+
+func TestShuffleProofRejectsWrongKeyRerandomization(t *testing.T) {
+	// Rerandomizing under a different key than claimed must fail: the C
+	// components would no longer pair with the R components under pk.
+	kp, other := mustKey(t), mustKey(t)
+	n := 6
+	in := make([]elgamal.Vector, n)
+	for i := range in {
+		in[i], _ = encryptMsg(t, kp.PK, "m", 1)
+	}
+	out, perm, rands, err := elgamal.ShuffleBatch(other.PK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := ProveShuffle(kp.PK, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(kp.PK, in, out, proof); err == nil {
+		t.Fatal("wrong-key shuffle verified")
+	}
+}
+
+func TestShuffleProofRejectsTampering(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 4, 1)
+	proof, _ := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	proof.ZC = proof.ZC.Add(ecc.NewScalar(1))
+	if err := VerifyShuffle(pk, in, out, proof); err == nil {
+		t.Fatal("tampered shuffle proof verified")
+	}
+	if err := VerifyShuffle(pk, in, out, nil); err == nil {
+		t.Fatal("nil shuffle proof verified")
+	}
+}
+
+func TestShuffleProofRejectsMismatchedBatch(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 4, 1)
+	proof, _ := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err := VerifyShuffle(pk, in[:3], out, proof); err == nil {
+		t.Fatal("mismatched batch sizes verified")
+	}
+	if err := VerifyShuffle(pk, in, out[:3], proof); err == nil {
+		t.Fatal("mismatched batch sizes verified")
+	}
+}
+
+func TestShuffleProofRejectsMidChainInputs(t *testing.T) {
+	kp := mustKey(t)
+	in := make([]elgamal.Vector, 2)
+	in[0], _ = encryptMsg(t, kp.PK, "a", 1)
+	in[1], _ = encryptMsg(t, kp.PK, "b", 1)
+	mid, _, err := elgamal.ReEncVector(kp.SK, kp.PK, in[0], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = mid // Y ≠ ⊥
+	if _, _, _, err := elgamal.ShuffleBatch(kp.PK, in, rand.Reader); err == nil {
+		t.Fatal("ShuffleBatch accepted Y ≠ ⊥ input")
+	}
+}
+
+func TestShuffledBatchStillDecrypts(t *testing.T) {
+	kp := mustKey(t)
+	n := 5
+	msgs := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	in := make([]elgamal.Vector, n)
+	for i := 0; i < n; i++ {
+		in[i], _ = encryptMsg(t, kp.PK, msgs[i], 1)
+	}
+	out, perm, _, err := elgamal.ShuffleBatch(kp.PK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pts, err := elgamal.DecryptVector(kp.SK, out[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ecc.ExtractMessage(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != msgs[perm[i]] {
+			t.Fatalf("position %d: got %q want %q", i, got, msgs[perm[i]])
+		}
+	}
+}
+
+func TestRandomPermIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		perm, err := elgamal.RandomPerm(n, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("invalid permutation %v", perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestTranscriptDomainSeparation(t *testing.T) {
+	a := NewTranscript("a")
+	b := NewTranscript("b")
+	a.AppendBytes("x", []byte("data"))
+	b.AppendBytes("x", []byte("data"))
+	if a.Challenge("c").Equal(b.Challenge("c")) {
+		t.Fatal("transcripts with different domains produced equal challenges")
+	}
+}
+
+func TestTranscriptChallengeChaining(t *testing.T) {
+	tr := NewTranscript("chain")
+	c1 := tr.Challenge("c")
+	c2 := tr.Challenge("c")
+	if c1.Equal(c2) {
+		t.Fatal("consecutive challenges should differ (re-keying failed)")
+	}
+}

@@ -1,0 +1,153 @@
+package nizk
+
+import (
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// ReEncProof proves that a server applied elgamal.ReEnc correctly
+// (paper §2.3 ReEncProof, cf. Chaum–Pedersen [20]). For each vector
+// component, with the server's public key Xs = g^{xs}, next-group key X'
+// (possibly ⊥), input (R, C, Y) and output (R', C', Y'), the statement
+// after the deterministic Y-normalization (Y ← R, R ← 1 on first touch,
+// which the verifier recomputes) is:
+//
+//	Xs   = g^{xs}
+//	R'/R = g^{r'}                       (omitted when X' = ⊥)
+//	C'/C = Y^{-xs} · X'^{r'}            (X'^{r'} term omitted when X' = ⊥)
+//
+// proved with a generalized Schnorr sigma protocol over the two secrets
+// (xs, r') sharing a single Fiat–Shamir challenge across all components.
+type ReEncProof struct {
+	// Per component: commitments for the three equations.
+	CommitKey []*ecc.Point // g^{w_x}
+	CommitR   []*ecc.Point // g^{w_r} (nil entries when next key is ⊥)
+	CommitC   []*ecc.Point // Y^{-w_x} · X'^{w_r}
+	RespX     []*ecc.Scalar
+	RespR     []*ecc.Scalar
+}
+
+// normalizeY recomputes the deterministic first-touch transformation the
+// prover applied: if Y was ⊥ on input, ReEnc moved R into Y and reset R.
+func normalizeY(ct *elgamal.Ciphertext) (r, y *ecc.Point) {
+	if ct.Y == nil {
+		return ecc.Identity(), ct.R
+	}
+	return ct.R, ct.Y
+}
+
+func reencTranscript(serverPK, nextPK *ecc.Point, in, out elgamal.Vector) *Transcript {
+	tr := NewTranscript("reencproof")
+	tr.AppendPoint("server-pk", serverPK)
+	if nextPK != nil {
+		tr.AppendPoint("next-pk", nextPK)
+	} else {
+		tr.AppendBytes("next-pk", []byte("bottom"))
+	}
+	tr.AppendBytes("in", in.Marshal())
+	tr.AppendBytes("out", out.Marshal())
+	return tr
+}
+
+// ProveReEnc builds a ReEncProof. sk is the effective secret the server
+// used (its key, or λ·share in threshold mode — the caller publishes the
+// matching effective public key), rs is the per-component fresh
+// randomness returned by elgamal.ReEncVector, and nextPK is the next
+// group's key or nil for the exit layer.
+func ProveReEnc(sk *ecc.Scalar, serverPK, nextPK *ecc.Point, in, out elgamal.Vector, rs []*ecc.Scalar, rnd io.Reader) (*ReEncProof, error) {
+	if len(in) != len(out) || len(in) != len(rs) {
+		return nil, fmt.Errorf("nizk: provereenc: mismatched lengths %d/%d/%d", len(in), len(out), len(rs))
+	}
+	tr := reencTranscript(serverPK, nextPK, in, out)
+	n := len(in)
+	proof := &ReEncProof{
+		CommitKey: make([]*ecc.Point, n),
+		CommitR:   make([]*ecc.Point, n),
+		CommitC:   make([]*ecc.Point, n),
+		RespX:     make([]*ecc.Scalar, n),
+		RespR:     make([]*ecc.Scalar, n),
+	}
+	wx := make([]*ecc.Scalar, n)
+	wr := make([]*ecc.Scalar, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if wx[i], err = ecc.RandomScalar(rnd); err != nil {
+			return nil, fmt.Errorf("nizk: provereenc: %w", err)
+		}
+		if wr[i], err = ecc.RandomScalar(rnd); err != nil {
+			return nil, fmt.Errorf("nizk: provereenc: %w", err)
+		}
+		_, y := normalizeY(in[i])
+		proof.CommitKey[i] = ecc.BaseMul(wx[i])
+		commitC := y.Mul(wx[i].Neg())
+		if nextPK != nil {
+			proof.CommitR[i] = ecc.BaseMul(wr[i])
+			commitC = commitC.Add(nextPK.Mul(wr[i]))
+		} else {
+			proof.CommitR[i] = ecc.Identity()
+		}
+		proof.CommitC[i] = commitC
+	}
+	tr.AppendPoints("commit-key", proof.CommitKey)
+	tr.AppendPoints("commit-r", proof.CommitR)
+	tr.AppendPoints("commit-c", proof.CommitC)
+	gamma := tr.Challenge("gamma")
+	for i := 0; i < n; i++ {
+		proof.RespX[i] = wx[i].Add(gamma.Mul(sk))
+		proof.RespR[i] = wr[i].Add(gamma.Mul(rs[i]))
+	}
+	return proof, nil
+}
+
+// VerifyReEnc checks a ReEncProof for the transformation in → out under
+// the server's public key and the next group's key (nil for exit).
+func VerifyReEnc(serverPK, nextPK *ecc.Point, in, out elgamal.Vector, proof *ReEncProof) error {
+	if proof == nil {
+		return fmt.Errorf("%w: nil ReEncProof", ErrVerify)
+	}
+	n := len(in)
+	if len(out) != n || len(proof.CommitKey) != n || len(proof.CommitR) != n ||
+		len(proof.CommitC) != n || len(proof.RespX) != n || len(proof.RespR) != n {
+		return fmt.Errorf("%w: malformed ReEncProof", ErrVerify)
+	}
+	tr := reencTranscript(serverPK, nextPK, in, out)
+	tr.AppendPoints("commit-key", proof.CommitKey)
+	tr.AppendPoints("commit-r", proof.CommitR)
+	tr.AppendPoints("commit-c", proof.CommitC)
+	gamma := tr.Challenge("gamma")
+
+	for i := 0; i < n; i++ {
+		rIn, y := normalizeY(in[i])
+		// Structural checks: Y' must carry the normalized Y forward.
+		if out[i].Y == nil || !out[i].Y.Equal(y) {
+			return fmt.Errorf("%w: ReEnc output %d lost the Y slot", ErrVerify, i)
+		}
+		// Equation 1: g^{zx} = CommitKey · Xs^γ.
+		if !ecc.BaseMul(proof.RespX[i]).Equal(proof.CommitKey[i].Add(serverPK.Mul(gamma))) {
+			return fmt.Errorf("%w: ReEncProof key equation, component %d", ErrVerify, i)
+		}
+		if nextPK != nil {
+			// Equation 2: g^{zr} = CommitR · (R'/R)^γ.
+			dR := out[i].R.Sub(rIn)
+			if !ecc.BaseMul(proof.RespR[i]).Equal(proof.CommitR[i].Add(dR.Mul(gamma))) {
+				return fmt.Errorf("%w: ReEncProof randomness equation, component %d", ErrVerify, i)
+			}
+		} else if !out[i].R.Equal(rIn) {
+			return fmt.Errorf("%w: exit-layer ReEnc must not change R, component %d", ErrVerify, i)
+		}
+		// Equation 3: Y^{-zx} · X'^{zr} = CommitC · (C'/C)^γ.
+		lhs := y.Mul(proof.RespX[i].Neg())
+		if nextPK != nil {
+			lhs = lhs.Add(nextPK.Mul(proof.RespR[i]))
+		}
+		dC := out[i].C.Sub(in[i].C)
+		rhs := proof.CommitC[i].Add(dC.Mul(gamma))
+		if !lhs.Equal(rhs) {
+			return fmt.Errorf("%w: ReEncProof ciphertext equation, component %d", ErrVerify, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package nizk
+
+import (
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// ShufProof is the full verifiable-shuffle argument (paper §2.3
+// ShufProof; Neff [59]). It proves that an output batch of ElGamal
+// vectors is a rerandomized permutation of an input batch under public
+// key pk, i.e. out[i] = Rerandomize(pk, in[π(i)]) componentwise for a
+// secret permutation π and secret randomness.
+//
+// Construction (Fiat–Shamir challenges e_1..e_n bound to the statement):
+//
+//  1. The prover commits to the permutation applied to the challenges,
+//     blinded by a secret multiplier c: Γ = g^c, U_i = g^{c·e_{π(i)}}.
+//  2. A simple k-shuffle proves {dlog U_i} = {c·e_i} as multisets — U is
+//     a c-scaled permutation of the challenge vector.
+//  3. For each vector component j the prover publishes
+//     P_R[j] = Π_i R'_{i,j}^{d_i},  P_C[j] = Π_i C'_{i,j}^{d_i}
+//     (d_i = dlog U_i) and proves with a generalized Schnorr argument
+//     (a) knowledge of a single exponent vector d opening U, P_R, P_C;
+//     (b) knowledge of (c, S'_j) with P_R[j] = E_R[j]^c·g^{S'_j} and
+//     P_C[j] = E_C[j]^c·pk^{S'_j}, where E_R[j] = Π_i R_{i,j}^{e_i}
+//     and E_C[j] = Π_i C_{i,j}^{e_i} are publicly computable.
+//
+// Together these force Π_i (R'_{i,j})^{e_{π(i)}} = Π_i R_{i,j}^{e_i}·g^σ_j
+// and the matching C-equation with pk^{σ_j}, which by Schwartz–Zippel
+// over the random e_i holds only if the output is a rerandomized
+// permutation of the input. Sharing the same U (hence the same π) across
+// components ties all components of a message to one permutation.
+type ShufProof struct {
+	Gamma *ecc.Point
+	U     []*ecc.Point
+	SS    *simpleShuffle
+
+	PR, PC []*ecc.Point // per component
+
+	// Proof (a): d opens U and the P products.
+	AU     []*ecc.Point // g^{w_i}
+	BR, BC []*ecc.Point // per component: Π R'^{w}, Π C'^{w}
+	ZU     []*ecc.Scalar
+
+	// Proof (b): (c, S') ties P to E.
+	AGamma *ecc.Point
+	AR, AC []*ecc.Point // per component
+	ZC     *ecc.Scalar
+	ZS     []*ecc.Scalar // per component
+}
+
+// multiExp computes Π points[i]^{scalars[i]}.
+func multiExp(points []*ecc.Point, scalars []*ecc.Scalar) *ecc.Point {
+	acc := ecc.Identity()
+	for i, p := range points {
+		acc = acc.Add(p.Mul(scalars[i]))
+	}
+	return acc
+}
+
+// batchShape validates that in and out are non-empty rectangular batches
+// of the same shape with all Y slots ⊥, returning (n, L).
+func batchShape(in, out []elgamal.Vector) (int, int, error) {
+	n := len(in)
+	if n == 0 || len(out) != n {
+		return 0, 0, fmt.Errorf("nizk: shuffle: batch sizes %d/%d", n, len(out))
+	}
+	l := len(in[0])
+	for i := 0; i < n; i++ {
+		if len(in[i]) != l || len(out[i]) != l {
+			return 0, 0, fmt.Errorf("nizk: shuffle: ragged batch at row %d", i)
+		}
+		for j := 0; j < l; j++ {
+			if in[i][j].Y != nil || out[i][j].Y != nil {
+				return 0, 0, fmt.Errorf("nizk: shuffle: Y ≠ ⊥ at (%d,%d)", i, j)
+			}
+		}
+	}
+	return n, l, nil
+}
+
+func shuffleTranscript(pk *ecc.Point, in, out []elgamal.Vector) *Transcript {
+	tr := NewTranscript("shufproof")
+	tr.AppendPoint("pk", pk)
+	tr.AppendUint64("n", uint64(len(in)))
+	for _, v := range in {
+		tr.AppendBytes("in", v.Marshal())
+	}
+	for _, v := range out {
+		tr.AppendBytes("out", v.Marshal())
+	}
+	return tr
+}
+
+// ProveShuffle builds a ShufProof that out[i] = Rerandomize(pk, in[perm[i]])
+// with randomness rands[i][j] (as returned by elgamal.ShuffleBatch).
+func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][]*ecc.Scalar, rnd io.Reader) (*ShufProof, error) {
+	n, l, err := batchShape(in, out)
+	if err != nil {
+		return nil, err
+	}
+	if len(perm) != n || len(rands) != n {
+		return nil, fmt.Errorf("nizk: shuffle: witness lengths %d/%d, want %d", len(perm), len(rands), n)
+	}
+
+	tr := shuffleTranscript(pk, in, out)
+	e := tr.ChallengeVector("e", n)
+
+	// Step 1: permutation commitment.
+	c, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("nizk: shuffle: %w", err)
+	}
+	d := make([]*ecc.Scalar, n)
+	U := make([]*ecc.Point, n)
+	for i := 0; i < n; i++ {
+		d[i] = c.Mul(e[perm[i]])
+		U[i] = ecc.BaseMul(d[i])
+	}
+	Gamma := ecc.BaseMul(c)
+	tr.AppendPoint("gamma", Gamma)
+	tr.AppendPoints("u", U)
+
+	// Step 2: simple k-shuffle over the challenge exponents.
+	gE := make([]*ecc.Point, n)
+	for i := 0; i < n; i++ {
+		gE[i] = ecc.BaseMul(e[i])
+	}
+	ss, err := proveSimpleShuffle(tr, e, d, c, gE, U, Gamma, rnd)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: per-component products and the two Schnorr arguments.
+	proof := &ShufProof{
+		Gamma: Gamma, U: U, SS: ss,
+		PR: make([]*ecc.Point, l), PC: make([]*ecc.Point, l),
+		AU: make([]*ecc.Point, n),
+		BR: make([]*ecc.Point, l), BC: make([]*ecc.Point, l),
+		ZU: make([]*ecc.Scalar, n),
+		AR: make([]*ecc.Point, l), AC: make([]*ecc.Point, l),
+		ZS: make([]*ecc.Scalar, l),
+	}
+	outR := make([][]*ecc.Point, l) // column-major views of the output batch
+	outC := make([][]*ecc.Point, l)
+	for j := 0; j < l; j++ {
+		outR[j] = make([]*ecc.Point, n)
+		outC[j] = make([]*ecc.Point, n)
+		for i := 0; i < n; i++ {
+			outR[j][i] = out[i][j].R
+			outC[j][i] = out[i][j].C
+		}
+		proof.PR[j] = multiExp(outR[j], d)
+		proof.PC[j] = multiExp(outC[j], d)
+	}
+	tr.AppendPoints("pr", proof.PR)
+	tr.AppendPoints("pc", proof.PC)
+
+	// Proof (a).
+	w := make([]*ecc.Scalar, n)
+	for i := 0; i < n; i++ {
+		if w[i], err = ecc.RandomScalar(rnd); err != nil {
+			return nil, fmt.Errorf("nizk: shuffle: %w", err)
+		}
+		proof.AU[i] = ecc.BaseMul(w[i])
+	}
+	for j := 0; j < l; j++ {
+		proof.BR[j] = multiExp(outR[j], w)
+		proof.BC[j] = multiExp(outC[j], w)
+	}
+	tr.AppendPoints("au", proof.AU)
+	tr.AppendPoints("br", proof.BR)
+	tr.AppendPoints("bc", proof.BC)
+	gammaA := tr.Challenge("gamma-a")
+	for i := 0; i < n; i++ {
+		proof.ZU[i] = w[i].Add(gammaA.Mul(d[i]))
+	}
+
+	// Proof (b). S'_j = c·Σ_i s_{i,j}·e_{perm[i]}.
+	sPrime := make([]*ecc.Scalar, l)
+	for j := 0; j < l; j++ {
+		acc := ecc.NewScalar(0)
+		for i := 0; i < n; i++ {
+			acc = acc.Add(rands[i][j].Mul(e[perm[i]]))
+		}
+		sPrime[j] = c.Mul(acc)
+	}
+	wc, err := ecc.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("nizk: shuffle: %w", err)
+	}
+	proof.AGamma = ecc.BaseMul(wc)
+	ws := make([]*ecc.Scalar, l)
+	inR := make([][]*ecc.Point, l)
+	inC := make([][]*ecc.Point, l)
+	ER := make([]*ecc.Point, l)
+	EC := make([]*ecc.Point, l)
+	for j := 0; j < l; j++ {
+		inR[j] = make([]*ecc.Point, n)
+		inC[j] = make([]*ecc.Point, n)
+		for i := 0; i < n; i++ {
+			inR[j][i] = in[i][j].R
+			inC[j][i] = in[i][j].C
+		}
+		ER[j] = multiExp(inR[j], e)
+		EC[j] = multiExp(inC[j], e)
+		if ws[j], err = ecc.RandomScalar(rnd); err != nil {
+			return nil, fmt.Errorf("nizk: shuffle: %w", err)
+		}
+		proof.AR[j] = ER[j].Mul(wc).Add(ecc.BaseMul(ws[j]))
+		proof.AC[j] = EC[j].Mul(wc).Add(pk.Mul(ws[j]))
+	}
+	tr.AppendPoint("a-gamma", proof.AGamma)
+	tr.AppendPoints("a-r", proof.AR)
+	tr.AppendPoints("a-c", proof.AC)
+	gammaB := tr.Challenge("gamma-b")
+	proof.ZC = wc.Add(gammaB.Mul(c))
+	for j := 0; j < l; j++ {
+		proof.ZS[j] = ws[j].Add(gammaB.Mul(sPrime[j]))
+	}
+	return proof, nil
+}
+
+// VerifyShuffle checks that out is a rerandomized permutation of in under
+// pk.
+func VerifyShuffle(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof) error {
+	n, l, err := batchShape(in, out)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if proof == nil || len(proof.U) != n || len(proof.ZU) != n || len(proof.AU) != n ||
+		len(proof.PR) != l || len(proof.PC) != l || len(proof.BR) != l || len(proof.BC) != l ||
+		len(proof.AR) != l || len(proof.AC) != l || len(proof.ZS) != l ||
+		proof.Gamma == nil || proof.AGamma == nil || proof.ZC == nil {
+		return fmt.Errorf("%w: malformed ShufProof", ErrVerify)
+	}
+
+	tr := shuffleTranscript(pk, in, out)
+	e := tr.ChallengeVector("e", n)
+	tr.AppendPoint("gamma", proof.Gamma)
+	tr.AppendPoints("u", proof.U)
+
+	gE := make([]*ecc.Point, n)
+	for i := 0; i < n; i++ {
+		gE[i] = ecc.BaseMul(e[i])
+	}
+	if err := verifySimpleShuffle(tr, gE, proof.U, proof.Gamma, proof.SS); err != nil {
+		return fmt.Errorf("%w: permutation commitment: %v", ErrVerify, err)
+	}
+
+	tr.AppendPoints("pr", proof.PR)
+	tr.AppendPoints("pc", proof.PC)
+	tr.AppendPoints("au", proof.AU)
+	tr.AppendPoints("br", proof.BR)
+	tr.AppendPoints("bc", proof.BC)
+	gammaA := tr.Challenge("gamma-a")
+
+	// Proof (a): g^{z_i} = AU_i · U_i^{γa}; Π R'^{z} = BR·PR^{γa}; same for C.
+	outR := make([][]*ecc.Point, l)
+	outC := make([][]*ecc.Point, l)
+	for j := 0; j < l; j++ {
+		outR[j] = make([]*ecc.Point, n)
+		outC[j] = make([]*ecc.Point, n)
+		for i := 0; i < n; i++ {
+			outR[j][i] = out[i][j].R
+			outC[j][i] = out[i][j].C
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !ecc.BaseMul(proof.ZU[i]).Equal(proof.AU[i].Add(proof.U[i].Mul(gammaA))) {
+			return fmt.Errorf("%w: shuffle proof (a), element %d", ErrVerify, i)
+		}
+	}
+	for j := 0; j < l; j++ {
+		if !multiExp(outR[j], proof.ZU).Equal(proof.BR[j].Add(proof.PR[j].Mul(gammaA))) {
+			return fmt.Errorf("%w: shuffle proof (a) R-product, component %d", ErrVerify, j)
+		}
+		if !multiExp(outC[j], proof.ZU).Equal(proof.BC[j].Add(proof.PC[j].Mul(gammaA))) {
+			return fmt.Errorf("%w: shuffle proof (a) C-product, component %d", ErrVerify, j)
+		}
+	}
+
+	tr.AppendPoint("a-gamma", proof.AGamma)
+	tr.AppendPoints("a-r", proof.AR)
+	tr.AppendPoints("a-c", proof.AC)
+	gammaB := tr.Challenge("gamma-b")
+
+	// Proof (b): g^{zc} = AΓ·Γ^{γb}; E_R^{zc}·g^{zs} = AR·PR^{γb};
+	// E_C^{zc}·pk^{zs} = AC·PC^{γb}.
+	if !ecc.BaseMul(proof.ZC).Equal(proof.AGamma.Add(proof.Gamma.Mul(gammaB))) {
+		return fmt.Errorf("%w: shuffle proof (b) key equation", ErrVerify)
+	}
+	for j := 0; j < l; j++ {
+		inRj := make([]*ecc.Point, n)
+		inCj := make([]*ecc.Point, n)
+		for i := 0; i < n; i++ {
+			inRj[i] = in[i][j].R
+			inCj[i] = in[i][j].C
+		}
+		ER := multiExp(inRj, e)
+		EC := multiExp(inCj, e)
+		lhsR := ER.Mul(proof.ZC).Add(ecc.BaseMul(proof.ZS[j]))
+		if !lhsR.Equal(proof.AR[j].Add(proof.PR[j].Mul(gammaB))) {
+			return fmt.Errorf("%w: shuffle proof (b) R, component %d", ErrVerify, j)
+		}
+		lhsC := EC.Mul(proof.ZC).Add(pk.Mul(proof.ZS[j]))
+		if !lhsC.Equal(proof.AC[j].Add(proof.PC[j].Mul(gammaB))) {
+			return fmt.Errorf("%w: shuffle proof (b) C, component %d", ErrVerify, j)
+		}
+	}
+	return nil
+}

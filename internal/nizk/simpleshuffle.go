@@ -1,0 +1,98 @@
+package nizk
+
+import (
+	"fmt"
+	"io"
+
+	"atom/internal/ecc"
+)
+
+// simpleShuffle is Neff's simple k-shuffle: given public X_i = g^{x_i},
+// U_i = g^{d_i}, and Γ = g^c, the prover shows that {d_i} = {c·x_{π(i)}}
+// for some permutation π, without revealing π or c.
+//
+// It works by the Schwartz–Zippel polynomial identity: for a Fiat–Shamir
+// challenge t, {d_i/c} = {x_i} as multisets exactly when (with
+// overwhelming probability over t)
+//
+//	Π (d_i − c·t) = c^k · Π (x_i − t).
+//
+// Both sides are products of discrete logs of publicly computable
+// elements — (U_i/Γ^t) has exponent d_i − ct, (X_i/g^t) has exponent
+// x_i − t, and Γ has exponent c — so the identity reduces to one ILMPP
+// instance over vectors of length 2k:
+//
+//	X-side: [X_1/g^t, …, X_k/g^t, Γ, …, Γ]   product: Π(x_i − t)·c^k
+//	Y-side: [U_1/Γ^t, …, U_k/Γ^t, g, …, g]   product: Π(d_i − ct)·1
+type simpleShuffle struct {
+	Proof *ILMPP
+}
+
+// proveSimpleShuffle proves {d_i} = {c·x_{π(i)}}. The caller must have
+// absorbed X_i, U_i, and Γ into tr. xs and ds are the prover's secret
+// exponents (xs may be public challenges — the prover just needs to know
+// them), c is the secret multiplier.
+func proveSimpleShuffle(tr *Transcript, xs, ds []*ecc.Scalar, c *ecc.Scalar, Xs, Us []*ecc.Point, Gamma *ecc.Point, rnd io.Reader) (*simpleShuffle, error) {
+	k := len(xs)
+	if k == 0 || len(ds) != k || len(Xs) != k || len(Us) != k {
+		return nil, fmt.Errorf("nizk: simple shuffle: mismatched lengths")
+	}
+	t := tr.Challenge("simple-shuffle-t")
+
+	gT := ecc.BaseMul(t)    // g^t
+	gammaT := Gamma.Mul(t)  // Γ^t = g^{ct}
+	ct := c.Mul(t)          // c·t
+	one := ecc.NewScalar(1) // exponent of g
+	g := ecc.Generator()
+
+	exX := make([]*ecc.Scalar, 0, 2*k)
+	exY := make([]*ecc.Scalar, 0, 2*k)
+	ptX := make([]*ecc.Point, 0, 2*k)
+	ptY := make([]*ecc.Point, 0, 2*k)
+	for i := 0; i < k; i++ {
+		exX = append(exX, xs[i].Sub(t))
+		ptX = append(ptX, Xs[i].Sub(gT))
+		exY = append(exY, ds[i].Sub(ct))
+		ptY = append(ptY, Us[i].Sub(gammaT))
+	}
+	for i := 0; i < k; i++ {
+		exX = append(exX, c)
+		ptX = append(ptX, Gamma)
+		exY = append(exY, one)
+		ptY = append(ptY, g)
+	}
+	ilmpp, err := proveILMPP(tr, exX, exY, ptX, ptY, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &simpleShuffle{Proof: ilmpp}, nil
+}
+
+// verifySimpleShuffle checks the simple k-shuffle relation between Xs, Us
+// and Γ. The caller must have absorbed the same statement into tr as
+// during proving.
+func verifySimpleShuffle(tr *Transcript, Xs, Us []*ecc.Point, Gamma *ecc.Point, proof *simpleShuffle) error {
+	if proof == nil {
+		return fmt.Errorf("%w: nil simple-shuffle proof", ErrVerify)
+	}
+	k := len(Xs)
+	if len(Us) != k || k == 0 {
+		return fmt.Errorf("%w: malformed simple-shuffle statement", ErrVerify)
+	}
+	t := tr.Challenge("simple-shuffle-t")
+	gT := ecc.BaseMul(t)
+	gammaT := Gamma.Mul(t)
+	g := ecc.Generator()
+
+	ptX := make([]*ecc.Point, 0, 2*k)
+	ptY := make([]*ecc.Point, 0, 2*k)
+	for i := 0; i < k; i++ {
+		ptX = append(ptX, Xs[i].Sub(gT))
+		ptY = append(ptY, Us[i].Sub(gammaT))
+	}
+	for i := 0; i < k; i++ {
+		ptX = append(ptX, Gamma)
+		ptY = append(ptY, g)
+	}
+	return verifyILMPP(tr, ptX, ptY, proof.Proof)
+}

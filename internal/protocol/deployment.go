@@ -1,0 +1,468 @@
+package protocol
+
+import (
+	"crypto/rand"
+	"crypto/sha3"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"atom/internal/beacon"
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/groupmgr"
+	"atom/internal/nizk"
+	"atom/internal/topology"
+)
+
+// Adversary injects malicious-server behavior into a round for testing
+// and for demonstrating the two defenses. The hook fires in group GID at
+// mixing iteration Layer, after the active member at position Member has
+// shuffled; whatever batch it returns (non-nil) replaces that member's
+// output.
+type Adversary struct {
+	Layer  int
+	GID    int
+	Member int
+	Tamper func(batch []elgamal.Vector) []elgamal.Vector
+}
+
+// entryRecord remembers who submitted what, enabling the §4.6
+// malicious-user identification procedure.
+type entryRecord struct {
+	User int
+	Sub  *Submission
+	Trap *TrapSubmission
+}
+
+// escrowKey addresses one member's share escrow at one buddy group.
+type escrowKey struct {
+	gid   int
+	buddy int
+	pos   int
+}
+
+// Deployment is a complete in-process Atom network: G groups of k
+// servers each with DVSS keys, the trustee group (trap variant), and the
+// permutation-network wiring. It executes rounds with real cryptography.
+type Deployment struct {
+	cfg      Config
+	topo     topology.Topology
+	beacon   *beacon.Beacon
+	groups   []*GroupState
+	trustees *Trustees
+	rnd      io.Reader
+
+	mu        sync.Mutex
+	entries   map[int][]entryRecord
+	seen      map[string]bool // duplicate-submission filter (fingerprints)
+	escrows   map[escrowKey]*dvss.Escrow
+	adversary *Adversary
+	traces    []stepTrace
+}
+
+// NewDeployment forms groups from the beacon, runs every group's DVSS
+// (and the trustees' keygen in the trap variant), and escrows key shares
+// with buddy groups when configured.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := cfg.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	b := beacon.New(cfg.Seed)
+	infos, err := groupmgr.Form(groupmgr.Config{
+		NumServers: cfg.NumServers,
+		NumGroups:  cfg.NumGroups,
+		GroupSize:  cfg.GroupSize,
+		HonestMin:  cfg.HonestMin,
+		Fraction:   cfg.Fraction,
+		BuddyCount: cfg.BuddyCount,
+	}, b, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		cfg:     cfg,
+		topo:    topo,
+		beacon:  b,
+		groups:  make([]*GroupState, len(infos)),
+		rnd:     rand.Reader,
+		entries: make(map[int][]entryRecord),
+		seen:    make(map[string]bool),
+		escrows: make(map[escrowKey]*dvss.Escrow),
+	}
+
+	// DKGs are independent; run them in parallel (§4.1: "this operation
+	// will happen in the background").
+	var wg sync.WaitGroup
+	errs := make([]error, len(infos))
+	for i, info := range infos {
+		wg.Add(1)
+		go func(i int, info *groupmgr.Group) {
+			defer wg.Done()
+			gs, err := newGroupState(info, cfg.Threshold(), rand.Reader)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			d.groups[i] = gs
+		}(i, info)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Variant == VariantTrap {
+		if d.trustees, err = NewTrustees(cfg.NumTrustees, rand.Reader); err != nil {
+			return nil, err
+		}
+	}
+
+	// Buddy escrow of every member's share (§4.5).
+	if cfg.BuddyCount > 0 {
+		for _, g := range d.groups {
+			for _, buddy := range g.Info.Buddies {
+				bsize := len(d.groups[buddy].Info.Members)
+				for pos := range g.Info.Members {
+					esc, err := dvss.EscrowShare(pos+1, g.Keys[pos].Share, bsize, cfg.Threshold(), rand.Reader)
+					if err != nil {
+						return nil, fmt.Errorf("protocol: escrow group %d pos %d: %w", g.Info.ID, pos, err)
+					}
+					d.escrows[escrowKey{g.Info.ID, buddy, pos}] = esc
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Config returns a copy of the deployment's configuration.
+func (d *Deployment) Config() Config { return d.cfg }
+
+// NumGroups returns G.
+func (d *Deployment) NumGroups() int { return len(d.groups) }
+
+// GroupPK returns the public key of group gid (what users encrypt to).
+func (d *Deployment) GroupPK(gid int) (*ecc.Point, error) {
+	if gid < 0 || gid >= len(d.groups) {
+		return nil, fmt.Errorf("protocol: no group %d", gid)
+	}
+	return d.groups[gid].PK, nil
+}
+
+// TrusteePK returns the trustees' round key (trap variant only).
+func (d *Deployment) TrusteePK() (*ecc.Point, error) {
+	if d.trustees == nil {
+		return nil, fmt.Errorf("protocol: deployment has no trustees (variant %v)", d.cfg.Variant)
+	}
+	return d.trustees.PK(), nil
+}
+
+// SetAdversary installs a malicious-server hook for the next round.
+func (d *Deployment) SetAdversary(a *Adversary) { d.adversary = a }
+
+// SubmitUser accepts a NIZK-variant submission: all (simulated) servers
+// of the entry group verify the EncProof, and exact duplicates are
+// rejected (§3: the NIZK prevents rerandomized copies; the fingerprint
+// set prevents byte-identical replays within the round).
+func (d *Deployment) SubmitUser(user int, sub *Submission) error {
+	if d.cfg.Variant != VariantNIZK {
+		return fmt.Errorf("protocol: SubmitUser requires the NIZK variant")
+	}
+	g, err := d.groupFor(sub.GID)
+	if err != nil {
+		return err
+	}
+	if err := verifySubmissionVector(g.PK, sub.Ciphertext, sub.GID, sub.Proof, d.cfg.NumPoints()); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	fp := string(sub.Ciphertext.Fingerprint())
+	if d.seen[fp] {
+		return fmt.Errorf("protocol: duplicate submission rejected")
+	}
+	d.seen[fp] = true
+	g.batch = append(g.batch, sub.Ciphertext.Clone())
+	d.entries[sub.GID] = append(d.entries[sub.GID], entryRecord{User: user, Sub: sub})
+	return nil
+}
+
+// SubmitTrapUser accepts a trap-variant submission: both EncProofs are
+// verified, both ciphertexts enter the entry group's batch as
+// independent messages, and the trap commitment is stored (§4.4).
+func (d *Deployment) SubmitTrapUser(user int, sub *TrapSubmission) error {
+	if d.cfg.Variant != VariantTrap {
+		return fmt.Errorf("protocol: SubmitTrapUser requires the trap variant")
+	}
+	g, err := d.groupFor(sub.GID)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := verifySubmissionVector(g.PK, sub.Ciphertexts[i], sub.GID, sub.Proofs[i], d.cfg.NumPoints()); err != nil {
+			return fmt.Errorf("ciphertext %d: %w", i, err)
+		}
+	}
+	if len(sub.Commitment) != 32 {
+		return fmt.Errorf("protocol: trap commitment must be 32 bytes, got %d", len(sub.Commitment))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < 2; i++ {
+		fp := string(sub.Ciphertexts[i].Fingerprint())
+		if d.seen[fp] {
+			return fmt.Errorf("protocol: duplicate submission rejected")
+		}
+		d.seen[fp] = true
+	}
+	if _, dup := g.commitments[string(sub.Commitment)]; dup {
+		return fmt.Errorf("protocol: duplicate trap commitment rejected")
+	}
+	for i := 0; i < 2; i++ {
+		g.batch = append(g.batch, sub.Ciphertexts[i].Clone())
+	}
+	g.commitments[string(sub.Commitment)] = user
+	d.entries[sub.GID] = append(d.entries[sub.GID], entryRecord{User: user, Trap: sub})
+	return nil
+}
+
+func (d *Deployment) groupFor(gid int) (*GroupState, error) {
+	if gid < 0 || gid >= len(d.groups) {
+		return nil, fmt.Errorf("protocol: no group %d", gid)
+	}
+	return d.groups[gid], nil
+}
+
+func verifySubmissionVector(pk *ecc.Point, v elgamal.Vector, gid int, proof *nizk.EncProof, numPoints int) error {
+	if len(v) != numPoints {
+		return fmt.Errorf("protocol: submission has %d points, want %d", len(v), numPoints)
+	}
+	for _, ct := range v {
+		if ct.Y != nil {
+			return fmt.Errorf("protocol: submission carries a mid-chain Y slot")
+		}
+	}
+	return nizk.VerifyEnc(pk, v, uint64(gid), proof)
+}
+
+// RoundResult is the outcome of a successful round.
+type RoundResult struct {
+	// Messages are the anonymized plaintexts, deduplicated of protocol
+	// framing, in exit order (which the mixing has randomized).
+	Messages [][]byte
+	// ExitOutputs maps exit group id to the raw routed payloads it
+	// published (traps included in the trap variant).
+	ExitOutputs map[int][][]byte
+	// Traces records per-group per-layer work for accounting.
+	Traces []stepTrace
+}
+
+// RunRound executes T mixing iterations over the whole network and the
+// variant-specific finale. It returns ErrRoundAborted (wrapped) when a
+// defense trips.
+func (d *Deployment) RunRound() (*RoundResult, error) {
+	T := d.topo.Iterations()
+	G := len(d.groups)
+	d.traces = d.traces[:0]
+
+	for layer := 0; layer < T; layer++ {
+		type groupOut struct {
+			gid     int
+			batches [][]elgamal.Vector
+			dests   []int
+			trace   *stepTrace
+			err     error
+		}
+		outs := make([]groupOut, G)
+		var wg sync.WaitGroup
+		for gi := 0; gi < G; gi++ {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				g := d.groups[gi]
+				dests := d.topo.Neighbors(layer, gi)
+				pks := make([]*ecc.Point, len(dests))
+				for i, dst := range dests {
+					pks[i] = d.groups[dst].PK
+				}
+				p := mixParams{
+					layer:    layer,
+					variant:  d.cfg.Variant,
+					destGIDs: dests,
+					destPKs:  pks,
+					rnd:      rand.Reader,
+				}
+				if a := d.adversary; a != nil && a.Layer == layer && a.GID == gi {
+					p.tamper = a.Tamper
+					p.tamperMember = a.Member
+				}
+				batches, trace, err := g.runIteration(p)
+				outs[gi] = groupOut{gid: gi, batches: batches, dests: dests, trace: trace, err: err}
+			}(gi)
+		}
+		wg.Wait()
+
+		next := make([][]elgamal.Vector, G)
+		var exitPayloads map[int][][]byte
+		if layer == T-1 {
+			exitPayloads = make(map[int][][]byte, G)
+		}
+		for gi := 0; gi < G; gi++ {
+			o := outs[gi]
+			if o.err != nil {
+				return nil, o.err
+			}
+			d.traces = append(d.traces, *o.trace)
+			if layer == T-1 {
+				// Exit layer: single batch of plaintext vectors.
+				payloads, err := extractPayloads(o.batches[0])
+				if err != nil {
+					return nil, fmt.Errorf("protocol: exit group %d: %w", gi, err)
+				}
+				exitPayloads[gi] = payloads
+				continue
+			}
+			for bi, dst := range o.dests {
+				next[dst] = append(next[dst], o.batches[bi]...)
+			}
+		}
+		if layer == T-1 {
+			return d.finishRound(exitPayloads)
+		}
+		for gi := 0; gi < G; gi++ {
+			d.groups[gi].batch = next[gi]
+		}
+	}
+	return nil, fmt.Errorf("protocol: unreachable: no exit layer")
+}
+
+// extractPayloads converts fully-decrypted vectors into payload bytes.
+func extractPayloads(batch []elgamal.Vector) ([][]byte, error) {
+	out := make([][]byte, len(batch))
+	for i, vec := range batch {
+		pts := elgamal.PlaintextVector(vec)
+		payload, err := ecc.ExtractMessage(pts)
+		if err != nil {
+			return nil, fmt.Errorf("message %d: %w", i, err)
+		}
+		out[i] = payload
+	}
+	return out, nil
+}
+
+// finishRound applies the variant-specific finale to the exit outputs.
+// On success the round state is reset so the deployment can serve the
+// next round (the trap variant's trustee key is per-round and is
+// regenerated); on an abort the entry records are kept for the §4.6
+// blame procedure, and the caller resets explicitly with ResetRound.
+func (d *Deployment) finishRound(exitPayloads map[int][][]byte) (*RoundResult, error) {
+	res := &RoundResult{ExitOutputs: exitPayloads, Traces: append([]stepTrace(nil), d.traces...)}
+	switch d.cfg.Variant {
+	case VariantNIZK:
+		for _, payloads := range exitPayloads {
+			for _, p := range payloads {
+				body, kind, err := DecodePlaintext(p)
+				if err != nil || kind != kindMessage {
+					return nil, fmt.Errorf("protocol: NIZK round produced non-message payload")
+				}
+				msg, err := unpadMessage(body)
+				if err != nil {
+					return nil, err
+				}
+				res.Messages = append(res.Messages, msg)
+			}
+		}
+		sortMessages(res.Messages)
+	case VariantTrap:
+		msgs, err := d.trapFinale(exitPayloads)
+		if err != nil {
+			return nil, err
+		}
+		res.Messages = msgs
+	default:
+		return nil, fmt.Errorf("protocol: unknown variant %v", d.cfg.Variant)
+	}
+	if err := d.ResetRound(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ResetRound clears per-round state — collected batches, trap
+// commitments, duplicate filters, entry records — and, in the trap
+// variant, generates a fresh trustee round key (§4.4: "the group keys
+// change across rounds"; the trustees' key must change because a
+// successful round publishes its shares). Successful rounds reset
+// automatically; after an abort, call this once blame handling is done.
+func (d *Deployment) ResetRound() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, g := range d.groups {
+		g.batch = nil
+		g.commitments = make(map[string]int)
+	}
+	d.seen = make(map[string]bool)
+	d.entries = make(map[int][]entryRecord)
+	d.adversary = nil
+	if d.cfg.Variant == VariantTrap {
+		t, err := NewTrustees(d.cfg.NumTrustees, rand.Reader)
+		if err != nil {
+			return fmt.Errorf("protocol: rotating trustee key: %w", err)
+		}
+		d.trustees = t
+	}
+	return nil
+}
+
+// sortMessages orders messages lexicographically: the exit order is
+// already unlinkable to submission order, and a canonical order makes
+// results reproducible for bulletin publication.
+func sortMessages(msgs [][]byte) {
+	sort.Slice(msgs, func(i, j int) bool { return string(msgs[i]) < string(msgs[j]) })
+}
+
+// hashToGroup is the deterministic load-balancing function that assigns
+// an inner ciphertext to a checking group (§4.4: "chosen by a
+// deterministic function that will load-balance … e.g., using universal
+// hashing").
+func hashToGroup(payload []byte, G int) int {
+	h := sha3.New256()
+	h.Write([]byte("atom/inner-routing/v1"))
+	h.Write(payload)
+	return int(binary.BigEndian.Uint64(h.Sum(nil)[:8]) % uint64(G))
+}
+
+// SwitchVariant changes the active-attack defense for subsequent rounds
+// — the §4.6 escalation: "If the DoS attack is persistent after many
+// rounds, Atom can fall back to using NIZKs, effectively trading off
+// performance for availability." Switching resets the round state
+// (pending submissions are encoding-incompatible across variants); a
+// switch back to the trap variant provisions fresh trustees via
+// ResetRound.
+func (d *Deployment) SwitchVariant(v Variant) error {
+	d.mu.Lock()
+	if v == d.cfg.Variant {
+		d.mu.Unlock()
+		return nil
+	}
+	d.cfg.Variant = v
+	if v == VariantTrap && d.cfg.NumTrustees < 1 {
+		d.cfg.NumTrustees = d.cfg.GroupSize
+	}
+	if v != VariantTrap {
+		d.trustees = nil
+	}
+	d.mu.Unlock()
+	return d.ResetRound()
+}

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"atom/internal/elgamal"
+)
+
+// TestFallbackToNIZKAfterPersistentDisruption exercises the full §4.6
+// escalation: a malicious user disrupts a trap round, the blame
+// procedure names them, and the deployment falls back to the NIZK
+// variant, under which clean rounds proceed and server-side tampering
+// is caught proactively.
+func TestFallbackToNIZKAfterPersistentDisruption(t *testing.T) {
+	cfg := testConfig(VariantTrap)
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewClient(&cfg)
+	submitAll(t, d, c, 6)
+
+	// The disruptive user submits a trap with a bogus commitment.
+	pk, _ := d.GroupPK(0)
+	tpk, _ := d.TrusteePK()
+	evil, err := c.SubmitTrap([]byte("dos"), pk, tpk, 0, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil.Commitment = TrapCommitment([]byte("lies"))
+	if err := d.SubmitTrapUser(666, evil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunRound(); err == nil {
+		t.Fatal("disrupted round succeeded")
+	}
+	report, err := d.IdentifyMaliciousUsers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.BadUsers) != 1 || report.BadUsers[0] != 666 {
+		t.Fatalf("blame = %v", report.BadUsers)
+	}
+
+	// Escalate: fall back to NIZKs (§4.6), blacklisting user 666.
+	if err := d.SwitchVariant(VariantNIZK); err != nil {
+		t.Fatal(err)
+	}
+	nizkCfg := d.Config()
+	if nizkCfg.Variant != VariantNIZK {
+		t.Fatal("variant did not switch")
+	}
+	nc, err := NewClient(&nizkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for u := 0; u < 8; u++ {
+		gid := u % cfg.NumGroups
+		gpk, _ := d.GroupPK(gid)
+		msg := []byte{byte('a' + u)}
+		want[string(msg)] = true
+		sub, err := nc.Submit(msg, gpk, gid, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SubmitUser(u, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := d.RunRound()
+	if err != nil {
+		t.Fatalf("NIZK fallback round failed: %v", err)
+	}
+	checkMessages(t, res, want)
+
+	// Under NIZKs, server tampering is caught proactively.
+	want2 := map[string]bool{}
+	for u := 0; u < 8; u++ {
+		gid := u % cfg.NumGroups
+		gpk, _ := d.GroupPK(gid)
+		msg := []byte{byte('A' + u)}
+		want2[string(msg)] = true
+		sub, _ := nc.Submit(msg, gpk, gid, rand.Reader)
+		if err := d.SubmitUser(u, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetAdversary(&Adversary{
+		Layer: 0, GID: 1, Member: 0,
+		Tamper: func(batch []elgamal.Vector) []elgamal.Vector {
+			if len(batch) == 0 {
+				return nil
+			}
+			return batch[:len(batch)-1]
+		},
+	})
+	if _, err := d.RunRound(); err == nil {
+		t.Fatal("NIZK fallback failed to catch tampering")
+	}
+	// The trustee-free reset path must also work.
+	if err := d.ResetRound(); err != nil {
+		t.Fatal(err)
+	}
+	// And switching back to traps provisions fresh trustees.
+	if err := d.SwitchVariant(VariantTrap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TrusteePK(); err != nil {
+		t.Fatalf("no trustees after switching back: %v", err)
+	}
+	if err := d.SwitchVariant(VariantTrap); err != nil {
+		t.Fatal("no-op switch should succeed")
+	}
+}

@@ -1,0 +1,238 @@
+package protocol
+
+import (
+	"fmt"
+	"io"
+
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/groupmgr"
+	"atom/internal/nizk"
+)
+
+// GroupState is one anytrust/many-trust group's view of a round: its
+// sampled membership, its DVSS threshold key material, the set of failed
+// members, and the batch it is currently holding.
+type GroupState struct {
+	Info *groupmgr.Group
+	// Keys[pos] is member pos's share of this group's key (DVSS index
+	// pos+1). In a real deployment each server holds only its own entry;
+	// the in-process deployment holds all of them, but the mixing code
+	// only ever hands member pos its own share.
+	Keys []*dvss.GroupKey
+	// PK is the group public key users and prior groups encrypt to.
+	PK *ecc.Point
+	// failed marks member positions that have crashed (§4.5).
+	failed map[int]bool
+
+	// batch is the group's working set for the current mixing iteration.
+	batch []elgamal.Vector
+
+	// commitments holds the trap commitments of the users whose
+	// submissions this group accepted as entry group (§4.4); keyed by
+	// commitment bytes.
+	commitments map[string]int
+
+	// threshold is k−(h−1): how many members participate per step.
+	threshold int
+}
+
+// newGroupState runs the group's DVSS and initializes bookkeeping.
+func newGroupState(info *groupmgr.Group, threshold int, rnd io.Reader) (*GroupState, error) {
+	keys, err := dvss.RunDKG(len(info.Members), threshold, rnd)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: group %d DKG: %w", info.ID, err)
+	}
+	return &GroupState{
+		Info:        info,
+		Keys:        keys,
+		PK:          keys[0].PK,
+		failed:      make(map[int]bool),
+		commitments: make(map[string]int),
+		threshold:   threshold,
+	}, nil
+}
+
+// Active returns the 1-based DVSS indices of the members that execute
+// the current step: the first `threshold` live members in group order.
+// It fails when more than h−1 members are down, which is the trigger for
+// buddy-group recovery (§4.5).
+func (g *GroupState) Active() ([]int, error) {
+	active := make([]int, 0, g.threshold)
+	for pos := range g.Info.Members {
+		if g.failed[pos] {
+			continue
+		}
+		active = append(active, pos+1)
+		if len(active) == g.threshold {
+			return active, nil
+		}
+	}
+	return nil, fmt.Errorf("protocol: group %d has only %d live members, needs %d",
+		g.Info.ID, len(active), g.threshold)
+}
+
+// LiveMembers returns the count of non-failed members.
+func (g *GroupState) LiveMembers() int {
+	n := 0
+	for pos := range g.Info.Members {
+		if !g.failed[pos] {
+			n++
+		}
+	}
+	return n
+}
+
+// stepTrace captures what one group did in one mixing iteration so the
+// deployment can account for it (and tests can assert on it).
+type stepTrace struct {
+	GID           int
+	Layer         int
+	Shuffles      int
+	ReEncs        int
+	ProofsChecked int
+}
+
+// mixParams bundles what a group needs to execute one iteration.
+type mixParams struct {
+	layer   int
+	variant Variant
+	// destinations are the next-layer group ids (empty for the exit
+	// layer) and their public keys (nil entries mean ⊥).
+	destGIDs []int
+	destPKs  []*ecc.Point
+	rnd      io.Reader
+	// tamper, when non-nil, injects a malicious server: after the member
+	// at position tamperMember (0-based within the active subset)
+	// shuffles, the hook may replace that member's output batch. In the
+	// NIZK variant the member's shuffle proof then fails verification and
+	// the group aborts (Algorithm 2); in the trap variant the corruption
+	// flows on and is caught by trap accounting (§4.4).
+	tamper       func(batch []elgamal.Vector) []elgamal.Vector
+	tamperMember int
+}
+
+// runIteration executes Algorithm 1 (or Algorithm 2 when variant is
+// VariantNIZK) for this group: shuffle by every active member in order,
+// divide into β batches, and decrypt-and-reencrypt by every active
+// member in order. It returns the β output batches aligned with
+// destGIDs.
+//
+// In the NIZK variant every shuffle and reencryption is accompanied by a
+// proof which is verified immediately (standing in for "all servers in
+// the group verify the proof and report the result" — any failure aborts
+// the round, exactly as Algorithm 2 prescribes).
+func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, error) {
+	active, err := g.Active()
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := &stepTrace{GID: g.Info.ID, Layer: p.layer}
+
+	// --- Step 1: Shuffle, each active member in order. ---
+	// An empty batch (a group that received no ciphertexts this layer)
+	// passes through: there is nothing to permute or prove.
+	batch := g.batch
+	if len(batch) == 0 {
+		beta := len(p.destGIDs)
+		if beta == 0 {
+			beta = 1
+		}
+		return make([][]elgamal.Vector, beta), trace, nil
+	}
+	for pos, idx := range active {
+		out, perm, rands, err := elgamal.ShuffleBatch(g.PK, batch, p.rnd)
+		if err != nil {
+			return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle: %w", g.Info.ID, idx, err)
+		}
+		trace.Shuffles++
+		if p.tamper != nil && pos == p.tamperMember {
+			if evil := p.tamper(out); evil != nil {
+				out = evil
+			}
+		}
+		if p.variant == VariantNIZK {
+			proof, err := nizk.ProveShuffle(g.PK, batch, out, perm, rands, p.rnd)
+			if err != nil {
+				return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle proof: %w", g.Info.ID, idx, err)
+			}
+			if err := nizk.VerifyShuffle(g.PK, batch, out, proof); err != nil {
+				return nil, nil, fmt.Errorf("protocol: group %d aborts — member %d shuffle rejected: %w", g.Info.ID, idx, err)
+			}
+			trace.ProofsChecked++
+		}
+		batch = out
+	}
+
+	// --- Step 2: Divide into β batches. ---
+	beta := len(p.destGIDs)
+	if beta == 0 {
+		// Exit layer: one batch, decrypted to plaintext (pk = ⊥).
+		beta = 1
+		p.destGIDs = []int{-1}
+		p.destPKs = []*ecc.Point{nil}
+	}
+	sizes := batchSizes(len(batch), beta)
+	batches := make([][]elgamal.Vector, beta)
+	off := 0
+	for i := 0; i < beta; i++ {
+		batches[i] = batch[off : off+sizes[i]]
+		off += sizes[i]
+	}
+
+	// --- Step 3: Decrypt and reencrypt, each active member in order. ---
+	for i := range batches {
+		cur := batches[i]
+		if len(cur) == 0 {
+			continue
+		}
+		for _, idx := range active {
+			gk := g.Keys[idx-1]
+			eff, effPub, err := gk.EffectiveKey(active)
+			if err != nil {
+				return nil, nil, fmt.Errorf("protocol: group %d member %d key: %w", g.Info.ID, idx, err)
+			}
+			next := make([]elgamal.Vector, len(cur))
+			for vi, vec := range cur {
+				out, rs, err := elgamal.ReEncVector(eff, p.destPKs[i], vec, p.rnd)
+				if err != nil {
+					return nil, nil, fmt.Errorf("protocol: group %d member %d reenc: %w", g.Info.ID, idx, err)
+				}
+				trace.ReEncs++
+				if p.variant == VariantNIZK {
+					proof, err := nizk.ProveReEnc(eff, effPub, p.destPKs[i], vec, out, rs, p.rnd)
+					if err != nil {
+						return nil, nil, fmt.Errorf("protocol: group %d member %d reenc proof: %w", g.Info.ID, idx, err)
+					}
+					if err := nizk.VerifyReEnc(effPub, p.destPKs[i], vec, out, proof); err != nil {
+						return nil, nil, fmt.Errorf("protocol: group %d aborts — member %d reencryption rejected: %w", g.Info.ID, idx, err)
+					}
+					trace.ProofsChecked++
+				}
+				next[vi] = out
+			}
+			cur = next
+		}
+		// Last server clears the Y slot before forwarding (Appendix A).
+		for vi := range cur {
+			cur[vi] = elgamal.ClearYVector(cur[vi])
+		}
+		batches[i] = cur
+	}
+	return batches, trace, nil
+}
+
+// batchSizes mirrors topology.BatchSizes without importing it here (the
+// protocol must divide exactly as the topology declares).
+func batchSizes(n, dests int) []int {
+	out := make([]int, dests)
+	base, rem := n/dests, n%dests
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package protocol
+
+import (
+	"fmt"
+
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+)
+
+// FailServer marks the server as crashed in every group it belongs to
+// and returns the affected group ids. Groups keep operating as long as
+// at least k−(h−1) members remain (§4.5); beyond that RunRound fails and
+// RecoverGroup must be invoked.
+func (d *Deployment) FailServer(serverID int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var affected []int
+	for _, g := range d.groups {
+		for pos, m := range g.Info.Members {
+			if m == serverID {
+				if !g.failed[pos] {
+					g.failed[pos] = true
+					affected = append(affected, g.Info.ID)
+				}
+			}
+		}
+	}
+	return affected
+}
+
+// FailGroupMember fails the member at the given position of one group
+// only (useful for targeted fault-injection tests).
+func (d *Deployment) FailGroupMember(gid, pos int) error {
+	g, err := d.groupFor(gid)
+	if err != nil {
+		return err
+	}
+	if pos < 0 || pos >= len(g.Info.Members) {
+		return fmt.Errorf("protocol: group %d has no member position %d", gid, pos)
+	}
+	d.mu.Lock()
+	g.failed[pos] = true
+	d.mu.Unlock()
+	return nil
+}
+
+// GroupNeedsRecovery reports whether the group has lost more members
+// than its fault budget h−1 covers.
+func (d *Deployment) GroupNeedsRecovery(gid int) (bool, error) {
+	g, err := d.groupFor(gid)
+	if err != nil {
+		return false, err
+	}
+	_, aerr := g.Active()
+	return aerr != nil, nil
+}
+
+// RecoverGroup rebuilds the failed members of a group from the share
+// escrows held by one of its buddy groups (§4.5): for each failed
+// position, threshold-many buddy members contribute their escrow pieces,
+// the replacement server reconstructs the lost share, verifies it
+// against the group's public Feldman commitments, and takes over the
+// position. replacements[i] is the server id standing in for the i-th
+// failed position (extra entries ignored; too few is an error).
+func (d *Deployment) RecoverGroup(gid int, replacements []int) error {
+	g, err := d.groupFor(gid)
+	if err != nil {
+		return err
+	}
+	if len(g.Info.Buddies) == 0 {
+		return fmt.Errorf("protocol: group %d has no buddy groups (BuddyCount=0)", gid)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	var failedPositions []int
+	for pos := range g.Info.Members {
+		if g.failed[pos] {
+			failedPositions = append(failedPositions, pos)
+		}
+	}
+	if len(failedPositions) == 0 {
+		return nil
+	}
+	if len(replacements) < len(failedPositions) {
+		return fmt.Errorf("protocol: need %d replacement servers, have %d",
+			len(failedPositions), len(replacements))
+	}
+
+	// Find a live buddy group to recover from.
+	var buddy *GroupState
+	var buddyID int
+	for _, b := range g.Info.Buddies {
+		cand := d.groups[b]
+		if _, err := cand.Active(); err == nil {
+			buddy = cand
+			buddyID = b
+			break
+		}
+	}
+	if buddy == nil {
+		return fmt.Errorf("protocol: group %d has no live buddy group", gid)
+	}
+
+	for i, pos := range failedPositions {
+		esc, ok := d.escrows[escrowKey{gid, buddyID, pos}]
+		if !ok {
+			return fmt.Errorf("protocol: no escrow for group %d pos %d at buddy %d", gid, pos, buddyID)
+		}
+		// threshold-many live buddy members hand over their pieces.
+		active, err := buddy.Active()
+		if err != nil {
+			return err
+		}
+		pieces := make([]*ecc.Scalar, len(active))
+		for pi, idx := range active {
+			pieces[pi] = esc.Pieces[idx-1]
+		}
+		share, err := dvss.RecoverShare(active, pieces)
+		if err != nil {
+			return fmt.Errorf("protocol: recovering group %d pos %d: %w", gid, pos, err)
+		}
+		// The replacement verifies the recovered share against the
+		// group's public commitments before trusting it.
+		if err := dvss.VerifyShare(g.Keys[pos].Commitments, pos+1, share); err != nil {
+			return fmt.Errorf("protocol: recovered share invalid: %w", err)
+		}
+		g.Keys[pos] = &dvss.GroupKey{
+			PK:          g.PK,
+			Share:       share,
+			Index:       pos + 1,
+			Threshold:   g.threshold,
+			Size:        len(g.Info.Members),
+			Commitments: g.Keys[pos].Commitments,
+		}
+		g.Info.Members[pos] = replacements[i]
+		delete(g.failed, pos)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"atom/internal/elgamal"
+	"atom/internal/nizk"
+)
+
+// Wire encodings for user submissions, so remote clients (cmd/atomclient
+// and the public atom.Client) perform all cryptography locally and ship
+// opaque bytes to the entry group's servers.
+
+const (
+	wireKindSubmission     byte = 1
+	wireKindTrapSubmission byte = 2
+)
+
+func writeChunk(buf *bytes.Buffer, b []byte) {
+	var ln [4]byte
+	binary.BigEndian.PutUint32(ln[:], uint32(len(b)))
+	buf.Write(ln[:])
+	buf.Write(b)
+}
+
+func readChunk(rd *bytes.Reader, limit int) ([]byte, error) {
+	var ln [4]byte
+	if _, err := io.ReadFull(rd, ln[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(ln[:])
+	if int(n) > limit {
+		return nil, fmt.Errorf("protocol: wire chunk of %d bytes exceeds limit %d", n, limit)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rd, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+const wireChunkLimit = 1 << 20
+
+// Encode serializes a NIZK-variant submission.
+func (s *Submission) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(wireKindSubmission)
+	var gid [8]byte
+	binary.BigEndian.PutUint64(gid[:], uint64(s.GID))
+	buf.Write(gid[:])
+	writeChunk(&buf, s.Ciphertext.Marshal())
+	writeChunk(&buf, s.Proof.Marshal())
+	return buf.Bytes()
+}
+
+// DecodeSubmission parses a NIZK-variant submission.
+func DecodeSubmission(data []byte) (*Submission, error) {
+	rd := bytes.NewReader(data)
+	kind, err := rd.ReadByte()
+	if err != nil || kind != wireKindSubmission {
+		return nil, fmt.Errorf("protocol: not a submission (kind %d, err %v)", kind, err)
+	}
+	var gid [8]byte
+	if _, err := io.ReadFull(rd, gid[:]); err != nil {
+		return nil, err
+	}
+	ctb, err := readChunk(rd, wireChunkLimit)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: decode submission ciphertext: %w", err)
+	}
+	vec, err := elgamal.UnmarshalVector(ctb)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := readChunk(rd, wireChunkLimit)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: decode submission proof: %w", err)
+	}
+	proof, err := nizk.UnmarshalEncProof(pb)
+	if err != nil {
+		return nil, err
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("protocol: decode submission: trailing bytes")
+	}
+	return &Submission{GID: int(binary.BigEndian.Uint64(gid[:])), Ciphertext: vec, Proof: proof}, nil
+}
+
+// Encode serializes a trap-variant submission.
+func (s *TrapSubmission) Encode() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(wireKindTrapSubmission)
+	var gid [8]byte
+	binary.BigEndian.PutUint64(gid[:], uint64(s.GID))
+	buf.Write(gid[:])
+	for i := 0; i < 2; i++ {
+		writeChunk(&buf, s.Ciphertexts[i].Marshal())
+		writeChunk(&buf, s.Proofs[i].Marshal())
+	}
+	writeChunk(&buf, s.Commitment)
+	return buf.Bytes()
+}
+
+// DecodeTrapSubmission parses a trap-variant submission.
+func DecodeTrapSubmission(data []byte) (*TrapSubmission, error) {
+	rd := bytes.NewReader(data)
+	kind, err := rd.ReadByte()
+	if err != nil || kind != wireKindTrapSubmission {
+		return nil, fmt.Errorf("protocol: not a trap submission (kind %d, err %v)", kind, err)
+	}
+	var gid [8]byte
+	if _, err := io.ReadFull(rd, gid[:]); err != nil {
+		return nil, err
+	}
+	out := &TrapSubmission{GID: int(binary.BigEndian.Uint64(gid[:]))}
+	for i := 0; i < 2; i++ {
+		ctb, err := readChunk(rd, wireChunkLimit)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: decode trap ciphertext %d: %w", i, err)
+		}
+		if out.Ciphertexts[i], err = elgamal.UnmarshalVector(ctb); err != nil {
+			return nil, err
+		}
+		pb, err := readChunk(rd, wireChunkLimit)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: decode trap proof %d: %w", i, err)
+		}
+		if out.Proofs[i], err = nizk.UnmarshalEncProof(pb); err != nil {
+			return nil, err
+		}
+	}
+	if out.Commitment, err = readChunk(rd, wireChunkLimit); err != nil {
+		return nil, fmt.Errorf("protocol: decode trap commitment: %w", err)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("protocol: decode trap submission: trailing bytes")
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"atom/internal/cca2"
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/nizk"
+)
+
+// MeasuredCostModel builds a CostModel by timing this machine's actual
+// cryptographic primitives (the reproduction-grade analogue of Table 3).
+// batch controls the shuffle batch size used for amortized measurements;
+// 256 keeps calibration under a second on commodity hardware.
+func MeasuredCostModel(batch int) (*CostModel, error) {
+	if batch < 4 {
+		batch = 4
+	}
+	kp, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sim: calibrate: %w", err)
+	}
+	msg, err := ecc.EmbedChunk([]byte("calibration message, 32 bytes!"))
+	if err != nil {
+		return nil, err
+	}
+
+	m := &CostModel{}
+
+	// Enc.
+	const encReps = 64
+	start := time.Now()
+	var lastCT *elgamal.Ciphertext
+	var lastR *ecc.Scalar
+	for i := 0; i < encReps; i++ {
+		lastCT, lastR, err = elgamal.Encrypt(kp.PK, msg, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.Enc = time.Since(start) / encReps
+
+	// ReEnc.
+	start = time.Now()
+	for i := 0; i < encReps; i++ {
+		if _, _, err = elgamal.ReEnc(kp.SK, kp.PK, lastCT, rand.Reader); err != nil {
+			return nil, err
+		}
+	}
+	m.ReEnc = time.Since(start) / encReps
+
+	// EncProof prove/verify.
+	vec := elgamal.Vector{lastCT}
+	rs := []*ecc.Scalar{lastR}
+	start = time.Now()
+	var proof *nizk.EncProof
+	for i := 0; i < encReps; i++ {
+		if proof, err = nizk.ProveEnc(kp.PK, vec, rs, 0, rand.Reader); err != nil {
+			return nil, err
+		}
+	}
+	m.EncProofProve = time.Since(start) / encReps
+	start = time.Now()
+	for i := 0; i < encReps; i++ {
+		if err = nizk.VerifyEnc(kp.PK, vec, 0, proof); err != nil {
+			return nil, err
+		}
+	}
+	m.EncProofVerify = time.Since(start) / encReps
+
+	// ReEncProof prove/verify.
+	out, rr, err := elgamal.ReEncVector(kp.SK, kp.PK, vec, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	var rproof *nizk.ReEncProof
+	for i := 0; i < encReps; i++ {
+		if rproof, err = nizk.ProveReEnc(kp.SK, kp.PK, kp.PK, vec, out, rr, rand.Reader); err != nil {
+			return nil, err
+		}
+	}
+	m.ReEncProofProve = time.Since(start) / encReps
+	start = time.Now()
+	for i := 0; i < encReps; i++ {
+		if err = nizk.VerifyReEnc(kp.PK, kp.PK, vec, out, rproof); err != nil {
+			return nil, err
+		}
+	}
+	m.ReEncProofVerify = time.Since(start) / encReps
+
+	// Shuffle and ShufProof, amortized over a batch.
+	in := make([]elgamal.Vector, batch)
+	for i := range in {
+		ct, _, err := elgamal.Encrypt(kp.PK, msg, rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		in[i] = elgamal.Vector{ct}
+	}
+	start = time.Now()
+	shuffled, perm, rands, err := elgamal.ShuffleBatch(kp.PK, in, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	m.Shuffle = time.Since(start) / time.Duration(batch)
+	start = time.Now()
+	sproof, err := nizk.ProveShuffle(kp.PK, in, shuffled, perm, rands, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	m.ShufProofProve = time.Since(start) / time.Duration(batch)
+	start = time.Now()
+	if err := nizk.VerifyShuffle(kp.PK, in, shuffled, sproof); err != nil {
+		return nil, err
+	}
+	m.ShufProofVerify = time.Since(start) / time.Duration(batch)
+
+	// CCA2 decryption.
+	ckp, err := cca2.KeyGen(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := cca2.Encrypt(ckp.PK, make([]byte, 160), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for i := 0; i < encReps; i++ {
+		if _, err := cca2.Decrypt(ckp.SK, ct); err != nil {
+			return nil, err
+		}
+	}
+	m.CCA2Decrypt = time.Since(start) / encReps
+
+	return m, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pipelining (§4.7): "When we organize the servers, we can assign
+// different sets of servers to different layers of our network. The
+// network can then be pipelined layer by layer, and output messages
+// every one group's worth of latency."
+//
+// PipelineResult quantifies the trade: the fill latency for the first
+// batch is unchanged (T stages), but once full, a complete anonymized
+// batch emerges every stage interval instead of every round. Sustained
+// per-server throughput is compute-bound and therefore unchanged — the
+// gain is output cadence, which is why the paper recommends it only
+// when "throughput is more important than latency".
+type PipelineResult struct {
+	// StageInterval is the steady-state interval between output batches.
+	StageInterval time.Duration
+	// FillLatency is the latency of the first batch (T stages).
+	FillLatency time.Duration
+	// BatchesPerHour is the steady-state output rate.
+	BatchesPerHour float64
+	// MessagesPerHour is the steady-state anonymized-message rate.
+	MessagesPerHour float64
+}
+
+// SimulatePipelined evaluates the pipelined organization of a
+// deployment: the fleet is partitioned across the T layers (each layer
+// gets 1/T of the servers, so each layer's groups carry T× the
+// per-group load of the lock-step organization), and batches stream
+// through back-to-back.
+func SimulatePipelined(cfg Config) (*PipelineResult, error) {
+	cfg.Defaults()
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("sim: pipeline needs iterations")
+	}
+	if len(cfg.Servers) < cfg.Iterations {
+		return nil, fmt.Errorf("sim: pipeline needs ≥ T servers (%d < %d)", len(cfg.Servers), cfg.Iterations)
+	}
+	// One layer's slice of the deployment: 1/T of the servers and
+	// groups, the full batch, a single iteration.
+	layer := cfg
+	layer.Servers = cfg.Servers[:len(cfg.Servers)/cfg.Iterations]
+	layer.NumGroups = max(1, cfg.NumGroups/cfg.Iterations)
+	layer.Iterations = 1
+	res, err := Simulate(layer)
+	if err != nil {
+		return nil, err
+	}
+	stage := res.PerIteration
+	routed := cfg.Messages + cfg.Dummies
+	return &PipelineResult{
+		StageInterval:   stage,
+		FillLatency:     time.Duration(cfg.Iterations) * stage,
+		BatchesPerHour:  float64(time.Hour) / float64(stage),
+		MessagesPerHour: float64(routed) * float64(time.Hour) / float64(stage),
+	}, nil
+}
+
+// Staggering (§4.7): "To ensure that every server is active as much as
+// possible, we 'stagger' the position of a server when it appears in
+// different groups (e.g., server s is the first server in the first
+// group, second server in the second group, etc.)."
+//
+// StaggerUtilization models a server that serves in `memberships`
+// groups of size k during one mixing iteration whose group chains run
+// concurrently. Each chain occupies the server for 1/k of the
+// iteration; with staggered positions the busy slots tile the iteration
+// (utilization ≈ memberships/k, capped at 1), whereas with aligned
+// positions all of the server's slots coincide (utilization 1/k
+// regardless of memberships).
+func StaggerUtilization(memberships, groupSize int, staggered bool) float64 {
+	if memberships < 1 || groupSize < 1 {
+		return 0
+	}
+	if !staggered {
+		return 1.0 / float64(groupSize)
+	}
+	u := float64(memberships) / float64(groupSize)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatePipelinedCadence(t *testing.T) {
+	model := PaperCostModel()
+	cfg := MicroblogScenario(1024, 1_000_000, model)
+	pr, err := SimulatePipelined(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.StageInterval <= 0 || pr.FillLatency <= 0 {
+		t.Fatalf("non-positive pipeline timings: %+v", pr)
+	}
+	// §4.7: output "every one group's worth of latency" — the fill
+	// latency is exactly T stage intervals.
+	if pr.FillLatency != time.Duration(cfg.Iterations)*pr.StageInterval {
+		t.Errorf("fill latency %v != T × stage %v", pr.FillLatency, pr.StageInterval)
+	}
+	// The pipelined organization outputs batches T× as often as the
+	// lock-step organization completes rounds, at the cost of each batch
+	// taking about as long end-to-end (each layer has 1/T of the fleet,
+	// so carries ≈T× the load per group).
+	lockstep, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cadenceGain := float64(lockstep.Mixing) / float64(pr.StageInterval)
+	if cadenceGain < 0.7 || cadenceGain > 1.5 {
+		t.Errorf("pipelined stage interval %v vs lock-step round %v: cadence ratio %.2f, want ≈1 (T× more batches per unit time, each T× the per-group load)",
+			pr.StageInterval, lockstep.Mixing, cadenceGain)
+	}
+	if pr.MessagesPerHour <= 0 {
+		t.Error("no throughput reported")
+	}
+}
+
+func TestSimulatePipelinedRejectsTinyFleet(t *testing.T) {
+	cfg := MicroblogScenario(8, 1000, PaperCostModel())
+	cfg.Iterations = 10
+	if _, err := SimulatePipelined(cfg); err == nil {
+		t.Fatal("pipeline with fewer servers than layers accepted")
+	}
+}
+
+func TestStaggerUtilization(t *testing.T) {
+	// A server in one group of 32 is busy 1/32 of the iteration either
+	// way.
+	if got := StaggerUtilization(1, 32, true); got != 1.0/32 {
+		t.Errorf("1 membership staggered: %v", got)
+	}
+	// With 32 staggered memberships it is busy the whole time…
+	if got := StaggerUtilization(32, 32, true); got != 1.0 {
+		t.Errorf("32 staggered memberships: %v", got)
+	}
+	// …and capped beyond that.
+	if got := StaggerUtilization(64, 32, true); got != 1.0 {
+		t.Errorf("64 staggered memberships: %v", got)
+	}
+	// Aligned positions waste the extra memberships: the server's slots
+	// coincide, so utilization stays at 1/k.
+	if got := StaggerUtilization(32, 32, false); got != 1.0/32 {
+		t.Errorf("aligned memberships: %v", got)
+	}
+	// Degenerate inputs.
+	if StaggerUtilization(0, 32, true) != 0 || StaggerUtilization(1, 0, true) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+	// The paper's point: staggering strictly improves utilization for
+	// servers in several groups.
+	if StaggerUtilization(8, 32, true) <= StaggerUtilization(8, 32, false) {
+		t.Error("staggering should beat aligned positions")
+	}
+}

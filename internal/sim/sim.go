@@ -1,0 +1,285 @@
+// Package sim is the large-scale evaluation substrate: a cost-model
+// simulator for Atom deployments far beyond what one machine can run
+// with real cryptography. It reproduces the paper's own methodology for
+// Figure 11 — "we modified the implementation to model the expected
+// latency given an input using values shown in Table 3" — and drives
+// Figures 9 and 10 and the Atom rows of Table 12.
+//
+// The model executes the protocol's timing skeleton: per mixing
+// iteration, each group's serial chain of k−(h−1) member steps, where a
+// member's step costs per-message compute (shuffle + reencrypt, plus
+// proofs in the NIZK variant) scaled by its core count, plus
+// store-and-forward transfer over its bandwidth with WAN latency. The
+// per-iteration network time is the maximum over groups (layers are a
+// barrier), and Figure 11's sub-linear tail comes from two measured
+// overheads the paper calls out: per-layer connection management that
+// grows with G², and the single trustee group's per-server TLS session
+// cost.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"atom/internal/beacon"
+)
+
+// CostModel holds per-point (32-byte message unit) primitive costs on a
+// single core — the shape of the paper's Table 3.
+type CostModel struct {
+	Enc              time.Duration // Enc, per point
+	ReEnc            time.Duration // ReEnc, per point
+	Shuffle          time.Duration // Shuffle, per point (amortized from 1,024-batch)
+	EncProofProve    time.Duration
+	EncProofVerify   time.Duration
+	ReEncProofProve  time.Duration
+	ReEncProofVerify time.Duration
+	ShufProofProve   time.Duration // per point, amortized
+	ShufProofVerify  time.Duration // per point, amortized
+	CCA2Decrypt      time.Duration // inner-envelope decryption, per message
+}
+
+// PaperCostModel returns Table 3's published numbers (§6.1, 32-byte
+// messages on c4.xlarge).
+func PaperCostModel() *CostModel {
+	return &CostModel{
+		Enc:              140 * time.Microsecond,
+		ReEnc:            335 * time.Microsecond,
+		Shuffle:          time.Duration(0.107e9) / 1024, // 0.107 s / 1,024 msgs
+		EncProofProve:    162 * time.Microsecond,
+		EncProofVerify:   139 * time.Microsecond,
+		ReEncProofProve:  655 * time.Microsecond,
+		ReEncProofVerify: 446 * time.Microsecond,
+		ShufProofProve:   time.Duration(0.757e9) / 1024, // 0.757 s / 1,024 msgs
+		ShufProofVerify:  time.Duration(1.41e9) / 1024,  // 1.41 s / 1,024 msgs
+		CCA2Decrypt:      200 * time.Microsecond,
+	}
+}
+
+// Variant mirrors protocol.Variant without importing it (the simulator
+// is deliberately independent of the crypto packages).
+type Variant int
+
+const (
+	// VariantNIZK simulates Algorithm 2 (§4.3).
+	VariantNIZK Variant = iota
+	// VariantTrap simulates the trap protocol (§4.4).
+	VariantTrap
+)
+
+// ServerSpec is one simulated server.
+type ServerSpec struct {
+	Cores         int
+	BandwidthMBps float64 // usable bandwidth, megabytes/second
+}
+
+// Fleet is a set of simulated servers.
+type Fleet []ServerSpec
+
+// DefaultFleet reproduces the paper's heterogeneous EC2 deployment
+// (§6.2): 80% 4-core servers under 100 Mbps, 10% 8-core at 100–200 Mbps,
+// 5% 16-core at 200–300 Mbps, 5% 32-core over 300 Mbps (bandwidth
+// fractions taken from the Tor relay distribution). Deterministic given
+// the seed.
+func DefaultFleet(n int, seed string) Fleet {
+	classes := []struct {
+		frac  float64
+		cores int
+		mbps  float64 // megaBITS per second, converted below
+	}{
+		{0.80, 4, 80},
+		{0.10, 8, 150},
+		{0.05, 16, 250},
+		{0.05, 32, 350},
+	}
+	fleet := make(Fleet, n)
+	stream := beacon.New([]byte(seed)).Stream(0, "fleet")
+	// Deterministic counts per class, remainder to the first class.
+	idx := 0
+	for c := len(classes) - 1; c >= 1; c-- {
+		count := int(float64(n) * classes[c].frac)
+		for i := 0; i < count && idx < n; i++ {
+			fleet[idx] = ServerSpec{Cores: classes[c].cores, BandwidthMBps: classes[c].mbps / 8}
+			idx++
+		}
+	}
+	for ; idx < n; idx++ {
+		fleet[idx] = ServerSpec{Cores: classes[0].cores, BandwidthMBps: classes[0].mbps / 8}
+	}
+	// Shuffle deterministically so group assignment mixes classes.
+	perm := stream.Perm(n)
+	out := make(Fleet, n)
+	for i, p := range perm {
+		out[i] = fleet[p]
+	}
+	return out
+}
+
+// Config is one simulated deployment and workload.
+type Config struct {
+	Servers      Fleet
+	NumGroups    int
+	GroupSize    int // k
+	Threshold    int // k−(h−1) active members per step
+	Iterations   int // T
+	Messages     int // M: user messages entering the network
+	Dummies      int // extra cover messages (dialing DP dummies)
+	PointsPerMsg int // curve points per routed message
+	Variant      Variant
+	Model        *CostModel
+	// HopLatency is the one-way WAN latency per transfer (the paper
+	// emulates 40–160 ms; default 100 ms).
+	HopLatency time.Duration
+	// ConnCostPerGroup models per-iteration connection management for
+	// the G² inter-layer links (Figure 11's first sub-linearity source).
+	// Cost charged per group per iteration: ConnCostPerGroup × G.
+	ConnCostPerGroup time.Duration
+	// TrusteeTLSCost models the trustee group's per-server TLS session
+	// establishment (Figure 11's second source), charged once per round:
+	// TrusteeTLSCost × NumServers.
+	TrusteeTLSCost time.Duration
+	// StragglerFactor multiplies the mixing time to account for the gap
+	// between a clean cost model and a real WAN deployment (stragglers,
+	// GC pauses, TLS record overhead, memory pressure). The default 3.0
+	// calibrates the model to the paper's measured 1,024-server,
+	// 1M-message deployment (28 minutes, Table 12); it scales all
+	// configurations identically, so speed-up curves are unaffected.
+	StragglerFactor float64
+}
+
+// Defaults fills unset fields with the paper's parameters.
+func (c *Config) Defaults() {
+	if c.Model == nil {
+		c.Model = PaperCostModel()
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 100 * time.Millisecond
+	}
+	if c.Threshold == 0 {
+		c.Threshold = c.GroupSize
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.PointsPerMsg == 0 {
+		c.PointsPerMsg = 1
+	}
+	if c.ConnCostPerGroup == 0 {
+		c.ConnCostPerGroup = 5 * time.Millisecond
+	}
+	if c.TrusteeTLSCost == 0 {
+		c.TrusteeTLSCost = 20 * time.Millisecond
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 3.0
+	}
+}
+
+// Result is the simulated round outcome.
+type Result struct {
+	Total          time.Duration
+	Entry          time.Duration
+	PerIteration   time.Duration
+	Mixing         time.Duration
+	Exit           time.Duration
+	Overhead       time.Duration // connection + trustee overheads included in Total
+	MsgsPerGroup   int
+	BytesPerServer float64 // average bytes sent per server over the round
+}
+
+// pointBytes is the wire size of one ciphertext component triple
+// (compressed R, C and mid-chain Y points with framing).
+const pointBytes = 3*33 + 3
+
+// Simulate runs the cost model over one round.
+func Simulate(cfg Config) (*Result, error) {
+	cfg.Defaults()
+	if len(cfg.Servers) == 0 || cfg.NumGroups < 1 || cfg.GroupSize < 1 || cfg.Messages < 1 {
+		return nil, fmt.Errorf("sim: incomplete config: %d servers, %d groups, k=%d, M=%d",
+			len(cfg.Servers), cfg.NumGroups, cfg.GroupSize, cfg.Messages)
+	}
+	m := cfg.Model
+	L := float64(cfg.PointsPerMsg)
+
+	// Routed message count: the trap variant doubles every message (§6.1)
+	// and dummies ride along.
+	routed := cfg.Messages + cfg.Dummies
+	if cfg.Variant == VariantTrap {
+		routed *= 2
+	}
+	msgsPerGroup := (routed + cfg.NumGroups - 1) / cfg.NumGroups
+	n := float64(msgsPerGroup)
+
+	// Assign servers to group slots round-robin over the fleet: group g's
+	// member j is server (g*k + j) mod N. With the fleet pre-shuffled this
+	// mixes classes the way random group formation does.
+	memberOf := func(g, j int) ServerSpec {
+		return cfg.Servers[(g*cfg.GroupSize+j)%len(cfg.Servers)]
+	}
+
+	// Per-member compute for one iteration.
+	memberCompute := func(s ServerSpec) time.Duration {
+		perPoint := m.Shuffle + m.ReEnc
+		if cfg.Variant == VariantNIZK {
+			// The member proves its shuffle and its reencryption; every
+			// other member verifies, but verifications run in parallel
+			// across the group, so the chain pays prove + one verify.
+			perPoint += m.ShufProofProve + m.ShufProofVerify + m.ReEncProofProve + m.ReEncProofVerify
+		}
+		total := time.Duration(n * L * float64(perPoint))
+		return total / time.Duration(s.Cores)
+	}
+	// Per-member transfer: forwarding the whole working batch to the next
+	// member (or the next groups) at its bandwidth, plus WAN latency.
+	memberTransfer := func(s ServerSpec) time.Duration {
+		bytes := n * L * pointBytes
+		return time.Duration(bytes/(s.BandwidthMBps*1e6)*float64(time.Second)) + cfg.HopLatency
+	}
+
+	// One iteration: lock-step layers, so the network waits for the
+	// slowest group's serial chain.
+	var slowest time.Duration
+	var totalBytes float64
+	for g := 0; g < cfg.NumGroups; g++ {
+		var chain time.Duration
+		for j := 0; j < cfg.Threshold; j++ {
+			s := memberOf(g, j)
+			chain += memberCompute(s) + memberTransfer(s)
+			totalBytes += n * L * pointBytes
+		}
+		if chain > slowest {
+			slowest = chain
+		}
+	}
+	connOverhead := time.Duration(cfg.NumGroups) * cfg.ConnCostPerGroup
+	perIteration := time.Duration(float64(slowest)*cfg.StragglerFactor) + connOverhead
+	mixing := time.Duration(cfg.Iterations) * perIteration
+
+	// Entry: every entry-group member verifies its users' EncProofs (two
+	// per user in the trap variant), parallel across groups.
+	subsPerGroup := float64(routed) / float64(cfg.NumGroups)
+	entryServer := cfg.Servers[0]
+	entry := time.Duration(subsPerGroup*L*float64(m.EncProofVerify)) / time.Duration(entryServer.Cores)
+
+	// Exit (trap variant): route/commit checks are hash-speed; the
+	// dominant cost is trustee TLS fan-in plus CCA2 decryption of the
+	// inner ciphertexts, spread across groups.
+	var exit, trustee time.Duration
+	if cfg.Variant == VariantTrap {
+		innerPerGroup := float64(cfg.Messages+cfg.Dummies) / float64(cfg.NumGroups)
+		exit = time.Duration(innerPerGroup*float64(m.CCA2Decrypt)) / time.Duration(entryServer.Cores)
+		trustee = time.Duration(len(cfg.Servers)) * cfg.TrusteeTLSCost
+	}
+
+	res := &Result{
+		Total:          entry + mixing + exit + trustee,
+		Entry:          entry,
+		PerIteration:   perIteration,
+		Mixing:         mixing,
+		Exit:           exit + trustee,
+		Overhead:       time.Duration(cfg.Iterations)*connOverhead + trustee,
+		MsgsPerGroup:   msgsPerGroup,
+		BytesPerServer: totalBytes * float64(cfg.Iterations) / float64(len(cfg.Servers)),
+	}
+	return res, nil
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultFleetDistribution(t *testing.T) {
+	fleet := DefaultFleet(1000, "seed")
+	if len(fleet) != 1000 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	counts := map[int]int{}
+	for _, s := range fleet {
+		counts[s.Cores]++
+		if s.BandwidthMBps <= 0 {
+			t.Fatal("server with no bandwidth")
+		}
+	}
+	// §6.2: 80% 4-core, 10% 8-core, 5% 16-core, 5% 32-core.
+	if counts[4] != 800 || counts[8] != 100 || counts[16] != 50 || counts[32] != 50 {
+		t.Errorf("class counts = %v, want 800/100/50/50", counts)
+	}
+	// Determinism.
+	fleet2 := DefaultFleet(1000, "seed")
+	for i := range fleet {
+		if fleet[i] != fleet2[i] {
+			t.Fatal("fleet generation is not deterministic")
+		}
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestSimulateBasicMonotonicity(t *testing.T) {
+	model := PaperCostModel()
+	small, err := Simulate(MicroblogScenario(1024, 250_000, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(MicroblogScenario(1024, 1_000_000, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Total <= small.Total {
+		t.Error("more messages should take longer")
+	}
+	few, err := Simulate(MicroblogScenario(128, 1_000_000, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.Total <= big.Total {
+		t.Error("fewer servers should take longer")
+	}
+}
+
+// TestFigure9Shape checks Figure 9's properties: latency linear in the
+// message count, and the dialing curve at or below the microblog curve
+// (smaller messages offset the dummy traffic).
+func TestFigure9Shape(t *testing.T) {
+	mb, dial, err := Figure9Series(PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mb) != 8 || len(dial) != 8 {
+		t.Fatalf("series lengths %d/%d", len(mb), len(dial))
+	}
+	// Linearity: latency at 2M within 25% of 2× latency at 1M.
+	var at1M, at2M time.Duration
+	for _, p := range mb {
+		if p.X == 1_000_000 {
+			at1M = p.Result.Total
+		}
+		if p.X == 2_000_000 {
+			at2M = p.Result.Total
+		}
+	}
+	ratio := float64(at2M) / float64(at1M)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("microblog 2M/1M latency ratio %.2f, want ≈2 (linear)", ratio)
+	}
+	// Monotone increasing.
+	for i := 1; i < len(mb); i++ {
+		if mb[i].Result.Total <= mb[i-1].Result.Total {
+			t.Error("microblog series not increasing")
+		}
+		if dial[i].Result.Total <= dial[i-1].Result.Total {
+			t.Error("dialing series not increasing")
+		}
+	}
+	// The paper's 1,024-server 1M-message operating point is 28 minutes
+	// for both applications; the calibrated model must land in the same
+	// regime (within 2×) with near-equal microblog and dialing latency.
+	if at1M < 14*time.Minute || at1M > 56*time.Minute {
+		t.Errorf("1M-message microblog latency %v, want ≈28 min", at1M)
+	}
+	var dialAt1M time.Duration
+	for _, p := range dial {
+		if p.X == 1_000_000 {
+			dialAt1M = p.Result.Total
+		}
+	}
+	r := float64(dialAt1M) / float64(at1M)
+	if r < 0.6 || r > 1.3 {
+		t.Errorf("dialing/microblog latency ratio %.2f at 1M users, paper has ≈0.99", r)
+	}
+}
+
+// TestFigure10Shape checks the headline scalability claim: speed-up
+// linear in the number of servers — "an Atom network with 1,024 servers
+// is twice as fast as one with 512 servers" (§6.2).
+func TestFigure10Shape(t *testing.T) {
+	series, err := Figure10Series(PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series length %d", len(series))
+	}
+	base := series[0].Result.Total // 128 servers
+	for i := 1; i < len(series); i++ {
+		stepRatio := float64(series[i-1].Result.Total) / float64(series[i].Result.Total)
+		if stepRatio < 1.6 || stepRatio > 2.2 {
+			t.Errorf("doubling servers from %v gave %.2f× speed-up, want ≈2×", series[i-1].X, stepRatio)
+		}
+	}
+	overall := float64(base) / float64(series[3].Result.Total)
+	if overall < 5.5 || overall > 8.6 {
+		t.Errorf("1024 vs 128 servers speed-up %.1f×, paper has 8.1×", overall)
+	}
+}
+
+// TestFigure11Shape checks the simulated large-scale behavior: speed-up
+// grows with servers but turns sub-linear by 2¹⁵ (paper: 23.6× vs the
+// ideal 32×).
+func TestFigure11Shape(t *testing.T) {
+	series, err := Figure11Series(PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series length %d", len(series))
+	}
+	base := float64(series[0].Result.Total)
+	prevSpeedup := 1.0
+	for i := 1; i < len(series); i++ {
+		speedup := base / float64(series[i].Result.Total)
+		if speedup <= prevSpeedup {
+			t.Errorf("speed-up not increasing at %v servers", series[i].X)
+		}
+		prevSpeedup = speedup
+	}
+	final := base / float64(series[5].Result.Total)
+	if final < 14 || final >= 32 {
+		t.Errorf("2¹⁵-server speed-up %.1f×, want sub-linear (paper 23.6×, ideal 32×)", final)
+	}
+	// Efficiency must degrade: the last doubling buys less than 1.9×.
+	lastStep := float64(series[4].Result.Total) / float64(series[5].Result.Total)
+	if lastStep >= 1.95 {
+		t.Errorf("last doubling gained %.2f×; the sub-linear tail is missing", lastStep)
+	}
+}
+
+// TestTable12Shape checks the comparison table's relationships: Atom
+// scales with servers; Atom@1024 beats Riposte by roughly the paper's
+// 23.7×; Vuvuzela beats Atom dialing by roughly the paper's 56×.
+func TestTable12Shape(t *testing.T) {
+	rows, err := Table12(PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	atom1024 := rows[3]
+	if atom1024.Hardware != "1024×mixed" {
+		t.Fatalf("row 3 is %q", atom1024.Hardware)
+	}
+	if atom1024.SpeedupVsRiposte < 10 || atom1024.SpeedupVsRiposte > 60 {
+		t.Errorf("Atom@1024 vs Riposte %.1f×, paper has 23.7×", atom1024.SpeedupVsRiposte)
+	}
+	if atom1024.SlowdownVsVuvuzela < 20 || atom1024.SlowdownVsVuvuzela > 160 {
+		t.Errorf("Atom@1024 dialing slowdown vs Vuvuzela %.0f×, paper has 56×", atom1024.SlowdownVsVuvuzela)
+	}
+	// Atom rows halve in latency as servers double.
+	for i := 1; i < 4; i++ {
+		r := float64(rows[i-1].Microblog) / float64(rows[i].Microblog)
+		if r < 1.6 || r > 2.2 {
+			t.Errorf("Atom row %d→%d speed-up %.2f, want ≈2", i-1, i, r)
+		}
+	}
+	// Riposte-vs-Atom crossover direction: even Atom@128 wins.
+	if rows[0].SpeedupVsRiposte < 2 {
+		t.Errorf("Atom@128 vs Riposte %.1f×, paper has 2.9×", rows[0].SpeedupVsRiposte)
+	}
+}
+
+// TestFigure5Shape checks the single-group iteration model: linear in
+// messages, with NIZK ≈ 4× trap (§6.1: "The NIZK variant takes about
+// four times longer than the trap variant").
+func TestFigure5Shape(t *testing.T) {
+	model := PaperCostModel()
+	prevTrap := time.Duration(0)
+	for _, n := range []int{128, 1024, 16384} {
+		trap := SingleGroupIteration(32, n, VariantTrap, model)
+		nizk := SingleGroupIteration(32, n, VariantNIZK, model)
+		if trap <= prevTrap {
+			t.Errorf("trap time not increasing at %d messages", n)
+		}
+		prevTrap = trap
+		ratio := float64(nizk) / float64(trap)
+		if n >= 1024 && (ratio < 1.5 || ratio > 6) {
+			t.Errorf("NIZK/trap ratio %.1f at %d messages, paper has ≈4 (trap doubling included)", ratio, n)
+		}
+	}
+	// Linearity where compute dominates: 8× the messages costs 5–8.5×
+	// the time (the 32 serial WAN hops contribute a constant ≈3 s floor
+	// that flattens the low end, in the model as on the paper's testbed).
+	t2048 := SingleGroupIteration(32, 2048, VariantTrap, model)
+	t16384 := SingleGroupIteration(32, 16384, VariantTrap, model)
+	ratio := float64(t16384) / float64(t2048)
+	if ratio < 5 || ratio > 8.5 {
+		t.Errorf("16384/2048 message scaling %.1f×, want ≈8× (linear)", ratio)
+	}
+}
+
+// TestFigure6Shape checks linear growth of iteration time with group
+// size at a fixed 1,024-message load (§6.1 Figure 6).
+func TestFigure6Shape(t *testing.T) {
+	model := PaperCostModel()
+	t4 := SingleGroupIteration(4, 1024, VariantTrap, model)
+	t64 := SingleGroupIteration(64, 1024, VariantTrap, model)
+	ratio := float64(t64) / float64(t4)
+	if ratio < 12 || ratio > 20 {
+		t.Errorf("64/4 group-size scaling %.1f×, want ≈16× (linear)", ratio)
+	}
+	prev := time.Duration(0)
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		cur := SingleGroupIteration(k, 1024, VariantTrap, model)
+		if cur <= prev {
+			t.Errorf("iteration time not increasing at k=%d", k)
+		}
+		prev = cur
+	}
+}
+
+// TestFigure7Shape checks the parallelism figure: trap speed-up is
+// near-linear in cores, NIZK sub-linear (§6.1 Figure 7).
+func TestFigure7Shape(t *testing.T) {
+	model := PaperCostModel()
+	for _, c := range []int{4, 8, 16, 36} {
+		trap := Figure7Speedup(c, VariantTrap, model)
+		nizk := Figure7Speedup(c, VariantNIZK, model)
+		ideal := float64(c) / 4
+		if trap < ideal*0.9 || trap > ideal*1.1 {
+			t.Errorf("trap speed-up at %d cores = %.2f, want ≈%.1f (near-linear)", c, trap, ideal)
+		}
+		if c > 4 && nizk >= trap {
+			t.Errorf("NIZK speed-up %.2f not sub-linear vs trap %.2f at %d cores", nizk, trap, c)
+		}
+	}
+	if s := Figure7Speedup(36, VariantNIZK, model); s < 1.5 || s > 4 {
+		t.Errorf("NIZK speed-up at 36 cores = %.2f, paper's figure shows ≈2–3", s)
+	}
+}
+
+func TestMeasuredCostModel(t *testing.T) {
+	m, err := MeasuredCostModel(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: all costs positive, and the Table 3 ordering holds:
+	// ShufProofVerify > ShufProofProve > ReEncProof* > ReEnc > Enc.
+	if m.Enc <= 0 || m.ReEnc <= 0 || m.Shuffle <= 0 || m.CCA2Decrypt <= 0 {
+		t.Fatalf("non-positive costs: %+v", m)
+	}
+	if m.ReEnc <= m.Enc/2 {
+		t.Errorf("ReEnc (%v) should cost at least half of Enc (%v)… and usually more", m.ReEnc, m.Enc)
+	}
+	if m.ShufProofProve <= m.Shuffle {
+		t.Errorf("ShufProof prove (%v) should exceed plain Shuffle (%v)", m.ShufProofProve, m.Shuffle)
+	}
+	// The measured model must drive the simulator without errors.
+	if _, err := Simulate(MicroblogScenario(128, 100_000, m)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesPerServerReported(t *testing.T) {
+	res, err := Simulate(MicroblogScenario(1024, 1_000_000, PaperCostModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesPerServer <= 0 {
+		t.Fatal("no bandwidth accounting")
+	}
+	// §6.2: "Atom servers use less than 1 MB/sec of bandwidth". Check
+	// the average rate implied by the simulated round is in that regime
+	// (< 5 MB/s, to allow model slack).
+	rate := res.BytesPerServer / res.Total.Seconds()
+	if rate > 5e6 {
+		t.Errorf("implied bandwidth %.1f MB/s, paper reports <1 MB/s", rate/1e6)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"strconv"
+	"time"
+
+	"atom/internal/baseline"
+)
+
+// Table12Row is one row of the paper's Table 12: the latency for a
+// system to support one million users, for microblogging and dialing.
+type Table12Row struct {
+	System    string
+	Hardware  string
+	Microblog time.Duration // 0 when not applicable
+	Dial      time.Duration // 0 when not applicable
+	// SpeedupVsRiposte and SlowdownVsVuvuzela are filled for Atom rows.
+	SpeedupVsRiposte   float64
+	SlowdownVsVuvuzela float64
+}
+
+// Table12 regenerates the comparison table for one million users.
+func Table12(model *CostModel) ([]Table12Row, error) {
+	const users = 1_000_000
+	riposte := baseline.RiposteLatency(users)
+	vuvuzela := baseline.VuvuzelaDialLatency(users)
+	alpenhorn := baseline.AlpenhornDialLatency(users)
+
+	var rows []Table12Row
+	for _, n := range []int{128, 256, 512, 1024} {
+		mb, err := Simulate(MicroblogScenario(n, users, model))
+		if err != nil {
+			return nil, err
+		}
+		dial, err := Simulate(DialingScenario(n, users, model))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table12Row{
+			System:             "Atom",
+			Hardware:           strconv.Itoa(n) + "×mixed",
+			Microblog:          mb.Total,
+			Dial:               dial.Total,
+			SpeedupVsRiposte:   float64(riposte) / float64(mb.Total),
+			SlowdownVsVuvuzela: float64(dial.Total) / float64(vuvuzela),
+		})
+	}
+	rows = append(rows,
+		Table12Row{System: "Alpenhorn", Hardware: "3×c4.8xlarge", Dial: alpenhorn},
+		Table12Row{System: "Vuvuzela", Hardware: "3×c4.8xlarge", Dial: vuvuzela},
+		Table12Row{System: "Riposte", Hardware: "3×c4.8xlarge", Microblog: riposte},
+	)
+	return rows, nil
+}

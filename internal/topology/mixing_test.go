@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// routeTokens pushes M tokens through the topology with an ideal random
+// permutation at every group in every layer — the abstraction whose
+// realization is the cryptographic shuffle. It returns the final
+// position of every token.
+func routeTokens(t Topology, M int, rng *rand.Rand) []int {
+	G := t.Groups()
+	// Initial assignment: token i starts at group i mod G (balanced
+	// entry, like the paper's load-balanced submission).
+	batches := make([][]int, G)
+	for i := 0; i < M; i++ {
+		g := i % G
+		batches[g] = append(batches[g], i)
+	}
+	T := t.Iterations()
+	for layer := 0; layer < T-1; layer++ {
+		next := make([][]int, G)
+		for g := 0; g < G; g++ {
+			batch := batches[g]
+			rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+			dests := t.Neighbors(layer, g)
+			sizes := BatchSizes(len(batch), len(dests))
+			off := 0
+			for bi, dst := range dests {
+				next[dst] = append(next[dst], batch[off:off+sizes[bi]]...)
+				off += sizes[bi]
+			}
+		}
+		batches = next
+	}
+	// Final layer: one last shuffle within each exit group, then
+	// concatenate in group order.
+	positions := make([]int, M)
+	pos := 0
+	for g := 0; g < G; g++ {
+		batch := batches[g]
+		rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+		for _, tok := range batch {
+			positions[tok] = pos
+			pos++
+		}
+	}
+	return positions
+}
+
+// TestSquareNetworkMixesUniformly is an empirical check of the paper's
+// §3 claim (via Håstad [40]) that the square network with honest
+// per-group shuffles yields a near-uniform random permutation: over
+// many trials, a fixed input token must land in every output position
+// with roughly equal frequency. A chi-square statistic against the
+// uniform distribution catches gross non-uniformity (e.g., too few
+// iterations, mis-wired batch division).
+func TestSquareNetworkMixesUniformly(t *testing.T) {
+	const (
+		M      = 16
+		trials = 6000
+	)
+	topo, err := NewSquare(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42)) // deterministic test
+	counts := make([]int, M)
+	for trial := 0; trial < trials; trial++ {
+		positions := routeTokens(topo, M, rng)
+		counts[positions[0]]++
+	}
+	// Chi-square with M−1 = 15 degrees of freedom; 99.9th percentile is
+	// ≈ 37.7. A uniform mixer passes with huge margin; a broken one
+	// (e.g., token 0 stuck in a quadrant) explodes.
+	expected := float64(trials) / M
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Errorf("square network not mixing: chi² = %.1f (99.9th pct ≈ 37.7), counts %v", chi2, counts)
+	}
+}
+
+// TestSquareSingleIterationDoesNotMix sanity-checks the test method
+// itself: with T = 1 (a single shuffle inside the entry group, no
+// inter-group forwarding), token 0 can only appear in its own group's
+// slice of the output, so the distribution must be grossly non-uniform.
+func TestSquareSingleIterationDoesNotMix(t *testing.T) {
+	const (
+		M      = 16
+		trials = 2000
+	)
+	topo, err := NewSquare(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, M)
+	for trial := 0; trial < trials; trial++ {
+		positions := routeTokens(topo, M, rng)
+		counts[positions[0]]++
+	}
+	expected := float64(trials) / M
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 < 100 {
+		t.Errorf("single-iteration network unexpectedly mixed: chi² = %.1f", chi2)
+	}
+}
+
+// TestButterflyNetworkMixes runs the same uniformity check on the
+// iterated butterfly with enough repetitions (§3: O(log M) repetitions
+// give an almost-ideal permutation network).
+func TestButterflyNetworkMixes(t *testing.T) {
+	const (
+		M      = 16
+		trials = 6000
+	)
+	topo, err := NewButterfly(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	counts := make([]int, M)
+	for trial := 0; trial < trials; trial++ {
+		positions := routeTokens(topo, M, rng)
+		counts[positions[0]]++
+	}
+	expected := float64(trials) / M
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Errorf("butterfly not mixing: chi² = %.1f, counts %v", chi2, counts)
+	}
+}
+
+// TestMixingPreservesTokens guards the routing plumbing: every token
+// comes out exactly once regardless of topology or load imbalance.
+func TestMixingPreservesTokens(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	topos := []Topology{}
+	if s, err := NewSquare(4, 3); err == nil {
+		topos = append(topos, s)
+	}
+	if b, err := NewButterfly(8, 2); err == nil {
+		topos = append(topos, b)
+	}
+	for _, topo := range topos {
+		for _, M := range []int{1, 7, 16, 33, 100} {
+			positions := routeTokens(topo, M, rng)
+			seen := make([]bool, M)
+			for tok, p := range positions {
+				if p < 0 || p >= M || seen[p] {
+					t.Fatalf("%s M=%d: token %d mapped to invalid/duplicate position %d",
+						topo.Name(), M, tok, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}

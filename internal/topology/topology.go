@@ -1,0 +1,163 @@
+// Package topology implements the random permutation networks Atom
+// routes messages through (paper §3): Håstad's square-lattice network
+// and the iterated-butterfly network. Both connect G groups per layer
+// over T mixing iterations; the protocol layer asks each topology where
+// a group's β output batches go next.
+//
+// Square network (Håstad [40]): permuting a square matrix by repeatedly
+// permuting rows and columns gives a near-uniform permutation in T ∈ O(1)
+// iterations. On G groups this is the complete bipartite layering of
+// Figure 1: every group connects to all G groups of the next layer
+// (β = G), so each group handles M/G messages per iteration and O(M/G)
+// overall.
+//
+// Iterated butterfly (Czumaj–Vöcking [26]): each vertex connects to two
+// vertices in the next layer (β = 2); O(log M) repetitions of the
+// log-depth butterfly yield an almost-ideal permutation network, total
+// depth O(log² G) when G groups emulate the network.
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Topology describes the group-level mixing graph for one round.
+type Topology interface {
+	// Groups returns G, the number of groups per layer.
+	Groups() int
+	// Iterations returns T, the number of mixing iterations.
+	Iterations() int
+	// Neighbors returns the ordered ids of the groups that receive the
+	// β batches group gid emits after mixing iteration layer
+	// (0 ≤ layer < T−1). The last layer has no neighbors.
+	Neighbors(layer, gid int) []int
+	// Sources returns the group ids that feed group gid at the start of
+	// iteration layer (1 ≤ layer < T): the inverse of Neighbors.
+	Sources(layer, gid int) []int
+	// Name identifies the topology in logs and benchmarks.
+	Name() string
+}
+
+// Square is the Håstad square-lattice topology on G groups with T
+// iterations; every group forwards one batch to every group of the next
+// layer.
+type Square struct {
+	G int
+	T int
+}
+
+// NewSquare builds a square topology. The paper's deployment uses T = 10
+// (§6.2); Håstad's analysis needs only T ∈ O(1).
+func NewSquare(groups, iterations int) (*Square, error) {
+	if groups < 1 || iterations < 1 {
+		return nil, fmt.Errorf("topology: square needs ≥1 group and ≥1 iteration, got %d/%d", groups, iterations)
+	}
+	return &Square{G: groups, T: iterations}, nil
+}
+
+// Groups implements Topology.
+func (s *Square) Groups() int { return s.G }
+
+// Iterations implements Topology.
+func (s *Square) Iterations() int { return s.T }
+
+// Neighbors implements Topology: all groups of the next layer, in id
+// order, so batch i goes to group i.
+func (s *Square) Neighbors(layer, gid int) []int {
+	if layer >= s.T-1 {
+		return nil
+	}
+	out := make([]int, s.G)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Sources implements Topology.
+func (s *Square) Sources(layer, gid int) []int {
+	if layer < 1 || layer >= s.T {
+		return nil
+	}
+	out := make([]int, s.G)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Name implements Topology.
+func (s *Square) Name() string { return "square" }
+
+// Butterfly is the iterated-butterfly topology on G = 2^m groups. Each
+// repetition has m layers; in layer ℓ of a repetition, group i exchanges
+// with group i XOR 2^ℓ (β = 2). Total iterations T = Reps·m.
+type Butterfly struct {
+	G    int
+	m    int // log2 G
+	Reps int
+}
+
+// NewButterfly builds an iterated butterfly over a power-of-two group
+// count with the given number of repetitions (the paper's analysis [26]
+// wants O(log M) repetitions; callers choose).
+func NewButterfly(groups, reps int) (*Butterfly, error) {
+	if groups < 2 || bits.OnesCount(uint(groups)) != 1 {
+		return nil, fmt.Errorf("topology: butterfly needs a power-of-two group count, got %d", groups)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("topology: butterfly needs ≥1 repetition, got %d", reps)
+	}
+	return &Butterfly{G: groups, m: bits.TrailingZeros(uint(groups)), Reps: reps}, nil
+}
+
+// Groups implements Topology.
+func (b *Butterfly) Groups() int { return b.G }
+
+// Iterations implements Topology: Reps repetitions of an m-layer
+// butterfly, plus the final output layer.
+func (b *Butterfly) Iterations() int { return b.Reps*b.m + 1 }
+
+// Neighbors implements Topology: group gid keeps half its batch (sends
+// to itself) and sends the other half across the dimension-ℓ edge.
+func (b *Butterfly) Neighbors(layer, gid int) []int {
+	if layer >= b.Iterations()-1 {
+		return nil
+	}
+	dim := layer % b.m
+	return []int{gid, gid ^ (1 << dim)}
+}
+
+// Sources implements Topology: the butterfly's edges are symmetric, so
+// the sources of a layer equal the neighbors across the previous layer's
+// dimension.
+func (b *Butterfly) Sources(layer, gid int) []int {
+	if layer < 1 || layer >= b.Iterations() {
+		return nil
+	}
+	dim := (layer - 1) % b.m
+	return []int{gid, gid ^ (1 << dim)}
+}
+
+// Name implements Topology.
+func (b *Butterfly) Name() string { return "butterfly" }
+
+// BatchSizes splits n messages into len(dests) batches as evenly as
+// possible (the paper's "divide the ciphertexts into β batches of equal
+// size"; remainders spill one extra into the leading batches).
+func BatchSizes(n, dests int) []int {
+	if dests <= 0 {
+		return nil
+	}
+	out := make([]int, dests)
+	base := n / dests
+	rem := n % dests
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

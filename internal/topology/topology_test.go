@@ -1,0 +1,168 @@
+package topology
+
+import "testing"
+
+func TestSquareShape(t *testing.T) {
+	s, err := NewSquare(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Groups() != 4 || s.Iterations() != 10 || s.Name() != "square" {
+		t.Fatalf("unexpected square metadata: %+v", s)
+	}
+	for layer := 0; layer < 9; layer++ {
+		for gid := 0; gid < 4; gid++ {
+			n := s.Neighbors(layer, gid)
+			if len(n) != 4 {
+				t.Fatalf("square layer %d gid %d: %d neighbors, want 4", layer, gid, len(n))
+			}
+			for i, v := range n {
+				if v != i {
+					t.Fatalf("square neighbors must be id-ordered, got %v", n)
+				}
+			}
+		}
+	}
+	if s.Neighbors(9, 0) != nil {
+		t.Error("last layer should have no neighbors")
+	}
+	if s.Sources(0, 0) != nil {
+		t.Error("first layer should have no sources")
+	}
+	if got := s.Sources(5, 2); len(got) != 4 {
+		t.Errorf("square sources: %v", got)
+	}
+}
+
+func TestSquareRejectsBadParams(t *testing.T) {
+	if _, err := NewSquare(0, 1); err == nil {
+		t.Error("0 groups accepted")
+	}
+	if _, err := NewSquare(1, 0); err == nil {
+		t.Error("0 iterations accepted")
+	}
+}
+
+func TestButterflyShape(t *testing.T) {
+	b, err := NewButterfly(8, 2) // m=3, T = 2*3+1 = 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Groups() != 8 || b.Iterations() != 7 || b.Name() != "butterfly" {
+		t.Fatalf("unexpected butterfly metadata: %+v", b)
+	}
+	// Layer 0 flips bit 0, layer 1 bit 1, layer 2 bit 2, layer 3 bit 0…
+	cases := []struct {
+		layer, gid int
+		want       [2]int
+	}{
+		{0, 0, [2]int{0, 1}},
+		{1, 0, [2]int{0, 2}},
+		{2, 0, [2]int{0, 4}},
+		{3, 5, [2]int{5, 4}},
+		{4, 5, [2]int{5, 7}},
+	}
+	for _, c := range cases {
+		got := b.Neighbors(c.layer, c.gid)
+		if len(got) != 2 || got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Errorf("butterfly Neighbors(%d,%d) = %v, want %v", c.layer, c.gid, got, c.want)
+		}
+	}
+	if b.Neighbors(6, 0) != nil {
+		t.Error("last layer should have no neighbors")
+	}
+}
+
+func TestButterflySourcesMatchNeighbors(t *testing.T) {
+	b, _ := NewButterfly(16, 3)
+	for layer := 0; layer < b.Iterations()-1; layer++ {
+		for gid := 0; gid < 16; gid++ {
+			for _, dst := range b.Neighbors(layer, gid) {
+				srcs := b.Sources(layer+1, dst)
+				found := false
+				for _, s := range srcs {
+					if s == gid {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("layer %d: %d→%d not reflected in Sources", layer, gid, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestButterflyRejectsBadParams(t *testing.T) {
+	for _, g := range []int{0, 1, 3, 6, 12} {
+		if _, err := NewButterfly(g, 1); err == nil {
+			t.Errorf("butterfly accepted %d groups", g)
+		}
+	}
+	if _, err := NewButterfly(8, 0); err == nil {
+		t.Error("butterfly accepted 0 repetitions")
+	}
+}
+
+func TestButterflyConnectivity(t *testing.T) {
+	// After one full repetition (m layers), any source vertex must be able
+	// to reach any destination vertex — the defining property that makes
+	// the butterfly a permutation network.
+	b, _ := NewButterfly(8, 1)
+	reach := map[int]map[int]bool{}
+	for g := 0; g < 8; g++ {
+		reach[g] = map[int]bool{g: true}
+	}
+	for layer := 0; layer < 3; layer++ {
+		next := map[int]map[int]bool{}
+		for g := 0; g < 8; g++ {
+			next[g] = map[int]bool{}
+		}
+		for src, set := range reach {
+			for cur := range set {
+				for _, dst := range b.Neighbors(layer, cur) {
+					next[src][dst] = true
+				}
+			}
+		}
+		reach = next
+	}
+	for src := 0; src < 8; src++ {
+		if len(reach[src]) != 8 {
+			t.Errorf("source %d reaches only %d/8 vertices", src, len(reach[src]))
+		}
+	}
+}
+
+func TestBatchSizes(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want []int
+	}{
+		{10, 2, []int{5, 5}},
+		{10, 3, []int{4, 3, 3}},
+		{2, 4, []int{1, 1, 0, 0}},
+		{0, 3, []int{0, 0, 0}},
+		{7, 1, []int{7}},
+	}
+	for _, c := range cases {
+		got := BatchSizes(c.n, c.d)
+		if len(got) != len(c.want) {
+			t.Fatalf("BatchSizes(%d,%d) = %v", c.n, c.d, got)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("BatchSizes(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
+				break
+			}
+			sum += got[i]
+		}
+		if sum != c.n {
+			t.Errorf("BatchSizes(%d,%d) sums to %d", c.n, c.d, sum)
+		}
+	}
+	if BatchSizes(5, 0) != nil {
+		t.Error("0 destinations should return nil")
+	}
+}

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPNode is a TCP-backed Endpoint for real multi-process deployments
+// (cmd/atomd). Frames are length-prefixed gob-encoded Messages. Peers
+// are addressed by "host:port"; connections are dialed lazily and kept
+// open. A production deployment would wrap the dialed connections in
+// crypto/tls with pinned server certificates to realize the
+// authenticated channels of §2.1 — the framing below is agnostic to the
+// underlying net.Conn.
+type TCPNode struct {
+	addr     string
+	listener net.Listener
+	inbox    chan *Message
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn // outbound, keyed by peer address
+	inbound map[net.Conn]bool   // accepted connections, for Close
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// maxFrame bounds a frame to 64 MiB to stop a malformed length prefix
+// from allocating unbounded memory.
+const maxFrame = 64 << 20
+
+// ListenTCP starts a TCP endpoint on addr ("host:port", ":0" for an
+// ephemeral port).
+func ListenTCP(addr string, buffer int) (*TCPNode, error) {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		addr:     l.Addr().String(),
+		listener: l,
+		inbox:    make(chan *Message, buffer),
+		conns:    make(map[string]net.Conn),
+		inbound:  make(map[net.Conn]bool),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr implements Endpoint. It returns the bound listen address.
+func (n *TCPNode) Addr() string { return n.addr }
+
+// Inbox implements Endpoint.
+func (n *TCPNode) Inbox() <-chan *Message { return n.inbox }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer func() {
+				conn.Close()
+				n.mu.Lock()
+				delete(n.inbound, conn)
+				n.mu.Unlock()
+			}()
+			n.readLoop(conn)
+		}()
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	for {
+		msg, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		func() {
+			defer func() { _ = recover() }() // inbox may close concurrently
+			n.inbox <- msg
+		}()
+	}
+}
+
+// Send implements Endpoint: it dials (or reuses) a connection to the
+// peer address and writes one frame.
+func (n *TCPNode) Send(to string, msg *Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := n.conns[to]
+	n.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", to)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		n.mu.Lock()
+		if existing, race := n.conns[to]; race {
+			conn.Close()
+			conn = existing
+		} else {
+			n.conns[to] = conn
+		}
+		n.mu.Unlock()
+	}
+	cp := *msg
+	cp.From = n.addr
+	cp.To = to
+	if err := writeFrame(conn, &cp); err != nil {
+		// Connection went stale; drop it so the next send redials.
+		n.mu.Lock()
+		if n.conns[to] == conn {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, c := range n.conns {
+		c.Close()
+	}
+	n.conns = map[string]net.Conn{}
+	for c := range n.inbound {
+		c.Close()
+	}
+	n.mu.Unlock()
+
+	n.listener.Close()
+	n.wg.Wait()
+	close(n.inbox)
+	return nil
+}
+
+func writeFrame(w io.Writer, msg *Message) error {
+	var payload []byte
+	{
+		var buf frameBuffer
+		if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+			return err
+		}
+		payload = buf.b
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	}
+	var ln [4]byte
+	binary.BigEndian.PutUint32(ln[:], uint32(len(payload)))
+	if _, err := w.Write(ln[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (*Message, error) {
+	var ln [4]byte
+	if _, err := io.ReadFull(r, ln[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(ln[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	var msg Message
+	if err := gob.NewDecoder(&frameReader{b: payload}).Decode(&msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// frameBuffer is a minimal append-only writer (avoids importing bytes
+// for two call sites).
+type frameBuffer struct{ b []byte }
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+type frameReader struct {
+	b []byte
+	i int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.i >= len(f.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.b[f.i:])
+	f.i += n
+	return n, nil
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemNetworkBasicDelivery(t *testing.T) {
+	net := NewMemNetwork(nil, 16)
+	a, err := net.Attach("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Attach("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", &Message{Type: "ping", Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-b.Inbox()
+	if msg.Type != "ping" || msg.From != "a" || msg.To != "b" || string(msg.Payload) != "hello" {
+		t.Fatalf("unexpected message: %+v", msg)
+	}
+}
+
+func TestMemNetworkUnknownDestination(t *testing.T) {
+	net := NewMemNetwork(nil, 16)
+	a, _ := net.Attach("a")
+	if err := a.Send("ghost", &Message{Type: "x"}); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+}
+
+func TestMemNetworkDuplicateAttach(t *testing.T) {
+	net := NewMemNetwork(nil, 16)
+	if _, err := net.Attach("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Attach("a"); err == nil {
+		t.Fatal("duplicate attach succeeded")
+	}
+}
+
+func TestMemNetworkCloseSemantics(t *testing.T) {
+	net := NewMemNetwork(nil, 16)
+	a, _ := net.Attach("a")
+	b, _ := net.Attach("b")
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", &Message{Type: "x"}); err == nil {
+		t.Fatal("send to closed node succeeded")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	a.Close()
+	if err := a.Send("b", &Message{Type: "x"}); err == nil {
+		t.Fatal("send from closed endpoint succeeded")
+	}
+	if _, ok := <-b.Inbox(); ok {
+		t.Fatal("closed inbox should be drained and closed")
+	}
+}
+
+func TestMemNetworkStatsAccounting(t *testing.T) {
+	net := NewMemNetwork(nil, 16)
+	a, _ := net.Attach("a")
+	b, _ := net.Attach("b")
+	payload := make([]byte, 100)
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", &Message{Type: "data", Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		<-b.Inbox()
+	}
+	sa := net.Stats("a")
+	sb := net.Stats("b")
+	if sa.MessagesSent != 5 {
+		t.Errorf("a sent %d messages, want 5", sa.MessagesSent)
+	}
+	if sa.BytesSent < 500 {
+		t.Errorf("a sent %d bytes, want ≥ 500", sa.BytesSent)
+	}
+	if sb.BytesReceived != sa.BytesSent {
+		t.Errorf("received %d ≠ sent %d", sb.BytesReceived, sa.BytesSent)
+	}
+	if net.TotalBytes() != sa.BytesSent {
+		t.Errorf("total %d ≠ %d", net.TotalBytes(), sa.BytesSent)
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	net := NewMemNetwork(UniformLatency(delay), 16)
+	a, _ := net.Attach("a")
+	b, _ := net.Attach("b")
+	start := time.Now()
+	a.Send("b", &Message{Type: "timed"})
+	<-b.Inbox()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("message arrived after %v, want ≥ %v", elapsed, delay)
+	}
+}
+
+func TestMemNetworkConcurrentSenders(t *testing.T) {
+	net := NewMemNetwork(nil, 4096)
+	recv, _ := net.Attach("sink")
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep, err := net.Attach(fmt.Sprintf("s%d", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ep.Send("sink", &Message{Type: "burst"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	for i := 0; i < senders*per; i++ {
+		select {
+		case <-recv.Inbox():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d/%d messages arrived", i, senders*per)
+		}
+	}
+}
+
+func TestPairwiseLatencyProperties(t *testing.T) {
+	f := PairwiseLatency("seed", 40*time.Millisecond, 160*time.Millisecond)
+	if f("a", "a") != 0 {
+		t.Error("self-latency should be 0")
+	}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 20; i++ {
+		from := fmt.Sprintf("n%d", i)
+		to := fmt.Sprintf("n%d", i+1)
+		d := f(from, to)
+		if d < 40*time.Millisecond || d >= 160*time.Millisecond {
+			t.Errorf("latency %v outside [40ms,160ms)", d)
+		}
+		if d != f(to, from) {
+			t.Error("latency should be symmetric")
+		}
+		seen[d] = true
+	}
+	if len(seen) < 5 {
+		t.Error("latencies suspiciously uniform; hashing may be broken")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := a.Send(b.Addr(), &Message{Type: "bulk", Round: 3, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-b.Inbox():
+		if msg.Type != "bulk" || msg.Round != 3 || len(msg.Payload) != len(payload) {
+			t.Fatalf("unexpected message: type=%s round=%d len=%d", msg.Type, msg.Round, len(msg.Payload))
+		}
+		for i := range payload {
+			if msg.Payload[i] != payload[i] {
+				t.Fatalf("payload corrupted at byte %d", i)
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestTCPBidirectionalAndReuse(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0", 16)
+	defer a.Close()
+	b, _ := ListenTCP("127.0.0.1:0", 16)
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.Addr(), &Message{Type: "seq", Round: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		msg := <-b.Inbox()
+		if msg.Round != uint64(i) {
+			t.Fatalf("out of order: got round %d at position %d", msg.Round, i)
+		}
+	}
+	// Reply path.
+	if err := b.Send(a.Addr(), &Message{Type: "ack"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-a.Inbox():
+		if msg.Type != "ack" {
+			t.Fatalf("unexpected reply %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply never arrived")
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0", 16)
+	b, _ := ListenTCP("127.0.0.1:0", 16)
+	a.Close()
+	if err := a.Send(b.Addr(), &Message{Type: "x"}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	b.Close()
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	a, _ := ListenTCP("127.0.0.1:0", 16)
+	defer a.Close()
+	if err := a.Send("127.0.0.1:1", &Message{Type: "x"}); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

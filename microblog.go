@@ -1,0 +1,66 @@
+package atom
+
+import (
+	"crypto/rand"
+
+	"atom/internal/bulletin"
+	"atom/internal/microblog"
+)
+
+// MicroblogMessageSize is the paper's microblogging message size
+// (160 bytes, roughly a Tweet; §5). A Config used with NewMicroblog
+// must set MessageSize to this value.
+const MicroblogMessageSize = microblog.MessageSize
+
+// Post is one published microblog message.
+type Post struct {
+	Round   uint64
+	Seq     int
+	Message string
+}
+
+// Microblog is the anonymous microblogging application (§5): posts are
+// padded, onion-encrypted, mixed through the network, and the
+// anonymized batch is published to a bulletin board.
+type Microblog struct {
+	svc *microblog.Service
+}
+
+// NewMicroblog attaches the microblogging application to a network
+// whose MessageSize is MicroblogMessageSize.
+func NewMicroblog(n *Network) (*Microblog, error) {
+	svc, err := microblog.NewService(n.d, bulletin.NewBoard())
+	if err != nil {
+		return nil, err
+	}
+	return &Microblog{svc: svc}, nil
+}
+
+// Post submits one message for the given user into the current round.
+func (m *Microblog) Post(user int, text string) error {
+	return m.svc.Post(user, text, rand.Reader)
+}
+
+// Publish mixes the round and publishes the anonymized posts, returning
+// them in board order.
+func (m *Microblog) Publish() ([]Post, error) {
+	posts, err := m.svc.RunRound()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Post, len(posts))
+	for i, p := range posts {
+		out[i] = Post{Round: p.Round, Seq: p.Seq, Message: string(p.Message)}
+	}
+	return out, nil
+}
+
+// Board returns every post published so far, across rounds.
+func (m *Microblog) Board() []Post {
+	all := m.svc.Board().All()
+	out := make([]Post, len(all))
+	for i, p := range all {
+		out[i] = Post{Round: p.Round, Seq: p.Seq, Message: string(p.Message)}
+	}
+	return out
+}
