@@ -26,22 +26,36 @@
 // cryptography; cmd/atomd serves the same protocol over TCP, and
 // cmd/atomsim regenerates the paper's evaluation tables and figures.
 //
-// Basic usage:
+// Basic usage — the Round API. A Round is a handle on one batch:
+// Submit is safe for concurrent use, Mix honors the context's
+// cancellation and deadline, and a new round can open and ingest while
+// an earlier one mixes (the paper's §4.7 pipelined organization):
 //
 //	net, _ := atom.NewNetwork(atom.Config{
 //		Servers: 12, Groups: 4, GroupSize: 3,
 //		MessageSize: 32, Variant: atom.Trap,
 //	})
+//	round, _ := net.OpenRound(ctx)
 //	for u := 0; u < 16; u++ {
-//		_ = net.SubmitMessage(u, []byte("hello"))
+//		_ = round.Submit(u, []byte("hello")) // concurrency-safe
 //	}
-//	result, _ := net.Run()
-//	// result.Messages holds the anonymized batch.
+//	result, err := round.Mix(ctx)
+//	// result.Messages holds the anonymized batch;
+//	// result.Stats the per-iteration latencies.
+//
+// Failures are classified by a typed taxonomy — errors.Is(err,
+// atom.ErrTrapTripped), atom.ErrProofRejected, atom.ErrRoundAborted,
+// atom.ErrBadSubmission, … — and an Observer installed with
+// Network.SetObserver receives per-iteration and per-round
+// statistics. The one-shot surface (SubmitMessage, Run) remains as a
+// thin wrapper over an implicit current round.
 package atom
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
+	"sync/atomic"
 
 	"atom/internal/protocol"
 )
@@ -119,10 +133,13 @@ func (c Config) internal() protocol.Config {
 
 // Network is a complete Atom deployment: groups with threshold keys,
 // the permutation-network wiring, and (in the trap variant) the
-// trustees.
+// trustees. Rounds are opened against it with OpenRound; the
+// SubmitMessage/Run methods are the legacy one-round-at-a-time surface
+// over an implicit current round.
 type Network struct {
 	d      *protocol.Deployment
 	client *protocol.Client
+	obs    atomic.Value // *observerBox
 }
 
 // NewNetwork forms groups from the beacon, runs distributed key
@@ -152,29 +169,38 @@ func (n *Network) SubmitMessage(user int, msg []byte) error {
 	return n.SubmitMessageTo(user, user%n.d.NumGroups(), msg)
 }
 
-// SubmitMessageTo is SubmitMessage with an explicit entry group.
+// SubmitMessageTo is SubmitMessage with an explicit entry group. It
+// targets the implicit current round; Round.SubmitTo is the same
+// operation on an explicit round.
 func (n *Network) SubmitMessageTo(user, gid int, msg []byte) error {
+	return n.submitTo(n.d.CurrentRound(), user, gid, msg)
+}
+
+// submitTo encrypts msg for entry group gid and submits it into rs —
+// the single implementation behind both the legacy surface and
+// Round.SubmitTo.
+func (n *Network) submitTo(rs *protocol.RoundState, user, gid int, msg []byte) error {
 	pk, err := n.d.GroupPK(gid)
 	if err != nil {
-		return err
+		return wrapErr(err)
 	}
-	switch n.d.Config().Variant {
+	switch rs.Variant() {
 	case protocol.VariantNIZK:
 		sub, err := n.client.Submit(msg, pk, gid, rand.Reader)
 		if err != nil {
-			return err
+			return wrapErr(err)
 		}
-		return n.d.SubmitUser(user, sub)
+		return wrapErr(rs.SubmitUser(user, sub))
 	case protocol.VariantTrap:
-		tpk, err := n.d.TrusteePK()
+		tpk, err := rs.TrusteePK()
 		if err != nil {
-			return err
+			return wrapErr(err)
 		}
 		sub, err := n.client.SubmitTrap(msg, pk, tpk, gid, rand.Reader)
 		if err != nil {
-			return err
+			return wrapErr(err)
 		}
-		return n.d.SubmitTrapUser(user, sub)
+		return wrapErr(rs.SubmitTrapUser(user, sub))
 	default:
 		return fmt.Errorf("atom: unknown variant")
 	}
@@ -186,18 +212,37 @@ type Result struct {
 	// order; the mixing has destroyed any correspondence to submission
 	// order.
 	Messages [][]byte
+	// Stats reports the round's per-iteration latencies and work
+	// totals.
+	Stats RoundStats
 }
 
-// Run executes the round: T mixing iterations across all groups plus
-// the variant-specific finale. A detected attack aborts the round with
-// an error; in the trap variant the trustees destroy the decryption key
-// first, so no tampered message is ever revealed.
+// Run executes the current round: T mixing iterations across all
+// groups plus the variant-specific finale. A detected attack aborts
+// the round with an error classified by the package taxonomy
+// (errors.Is against ErrTrapTripped, ErrProofRejected,
+// ErrRoundAborted, …); in the trap variant the trustees destroy the
+// decryption key first, so no tampered message is ever revealed.
+//
+// Run is the blocking legacy surface; OpenRound/Round.Mix add
+// concurrency-safe submission, context cancellation and pipelining.
 func (n *Network) Run() (*Result, error) {
-	res, err := n.d.RunRound()
+	rs := n.d.CurrentRound()
+	submissions := rs.Pending()
+	res, err := n.d.RunRoundCtx(context.Background(), rs, n.hooksFor())
+	obs := n.observer()
 	if err != nil {
+		err = wrapErr(err)
+		if obs != nil && obs.RoundFailed != nil {
+			obs.RoundFailed(rs.ID(), err)
+		}
 		return nil, err
 	}
-	return &Result{Messages: res.Messages}, nil
+	stats := statsFromResult(res, submissions)
+	if obs != nil && obs.RoundMixed != nil {
+		obs.RoundMixed(stats)
+	}
+	return &Result{Messages: res.Messages, Stats: stats}, nil
 }
 
 // EntryKey returns the wire encoding of group gid's public key, for
@@ -205,38 +250,28 @@ func (n *Network) Run() (*Result, error) {
 func (n *Network) EntryKey(gid int) ([]byte, error) {
 	pk, err := n.d.GroupPK(gid)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return pk.Bytes(), nil
 }
 
-// TrusteeKey returns the wire encoding of the trustees' round key
-// (trap variant only).
+// TrusteeKey returns the wire encoding of the current round's trustee
+// key (trap variant only). Rounds opened with OpenRound carry their
+// own key — use Round.TrusteeKey for those.
 func (n *Network) TrusteeKey() ([]byte, error) {
 	pk, err := n.d.TrusteePK()
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return pk.Bytes(), nil
 }
 
 // SubmitEncoded accepts a wire-encoded submission produced by
 // Client.EncryptSubmission — the path cmd/atomd uses for remote users.
+// It targets the implicit current round; Round.SubmitEncoded is the
+// same operation on an explicit round.
 func (n *Network) SubmitEncoded(user int, wire []byte) error {
-	switch n.d.Config().Variant {
-	case protocol.VariantNIZK:
-		sub, err := protocol.DecodeSubmission(wire)
-		if err != nil {
-			return err
-		}
-		return n.d.SubmitUser(user, sub)
-	default:
-		sub, err := protocol.DecodeTrapSubmission(wire)
-		if err != nil {
-			return err
-		}
-		return n.d.SubmitTrapUser(user, sub)
-	}
+	return wrapErr(n.d.CurrentRound().SubmitEncoded(user, wire))
 }
 
 // FailServer simulates a crash of the given server everywhere it
@@ -249,6 +284,9 @@ func (n *Network) FailGroupMember(gid, pos int) error { return n.d.FailGroupMemb
 // NeedsRecovery reports whether a group has lost more members than its
 // h−1 budget and requires buddy-group recovery.
 func (n *Network) NeedsRecovery(gid int) (bool, error) { return n.d.GroupNeedsRecovery(gid) }
+
+// NumIterations returns T, the number of mixing iterations per round.
+func (n *Network) NumIterations() int { return n.d.Config().Iterations }
 
 // Recover rebuilds a group's failed positions from buddy-group share
 // escrow, installing the given replacement servers.

@@ -47,7 +47,7 @@ func (c *Client) EncryptSubmission(msg, entryKey, trusteeKey []byte, gid int) ([
 	case protocol.VariantNIZK:
 		sub, err := c.c.Submit(msg, pk, gid, rand.Reader)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(err)
 		}
 		return sub.Encode(), nil
 	default:
@@ -57,7 +57,7 @@ func (c *Client) EncryptSubmission(msg, entryKey, trusteeKey []byte, gid int) ([
 		}
 		sub, err := c.c.SubmitTrap(msg, pk, tpk, gid, rand.Reader)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(err)
 		}
 		return sub.Encode(), nil
 	}

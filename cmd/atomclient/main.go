@@ -2,21 +2,30 @@
 // fetches the round's public keys, performs all cryptography locally
 // (padding, onion encryption, proof of plaintext knowledge, and — in
 // the trap variant — trap generation and commitment), ships the opaque
-// submission, and can trigger and print a round.
+// submission, and can trigger and print a round. Every request is
+// bounded by -timeout, so a dead daemon fails fast instead of hanging.
 //
-// Submit a message:
+// One-round-at-a-time (legacy surface):
 //
 //	atomclient -server host:9000 -user 3 -submit "hello world"
-//
-// Run the round and print the anonymized batch:
-//
 //	atomclient -server host:9000 -run
+//
+// Pipelined rounds: open a round (printing its id and, in the trap
+// variant, its trustee key), submit into a specific round — possibly
+// while an earlier one mixes — then mix it:
+//
+//	atomclient -server host:9000 -open -user 3 -submit "hello"
+//	atomclient -server host:9000 -round 7 -user 4 -submit "hi" -trusteekey <hex from -open>
+//	atomclient -server host:9000 -round 7 -mix
 package main
 
 import (
+	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"atom"
 	"atom/internal/daemon"
@@ -24,14 +33,24 @@ import (
 
 func main() {
 	var (
-		server = flag.String("server", "127.0.0.1:9000", "atomd address")
-		user   = flag.Int("user", 0, "user id (picks the entry group: user mod G)")
-		submit = flag.String("submit", "", "message to submit")
-		run    = flag.Bool("run", false, "trigger the round and print results")
+		server  = flag.String("server", "127.0.0.1:9000", "atomd address")
+		user    = flag.Int("user", 0, "user id (picks the entry group: user mod G)")
+		submit  = flag.String("submit", "", "message to submit")
+		run     = flag.Bool("run", false, "trigger the legacy blocking round and print results")
+		open    = flag.Bool("open", false, "open a new round and print its id")
+		round   = flag.Uint64("round", 0, "round id for -submit/-mix (0 = the daemon's current round)")
+		mix     = flag.Bool("mix", false, "mix the round given by -round and print results")
+		tkey    = flag.String("trusteekey", "", "hex trustee key of the target round (trap variant, with -round)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline")
 	)
 	flag.Parse()
-	if *submit == "" && !*run {
-		log.Fatal("atomclient: nothing to do (use -submit and/or -run)")
+	if *submit == "" && !*run && !*open && !*mix {
+		log.Fatal("atomclient: nothing to do (use -open, -submit, -mix and/or -run)")
+	}
+
+	ctx := context.Background()
+	withDeadline := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(ctx, *timeout)
 	}
 
 	cli, err := daemon.Dial(*server)
@@ -40,9 +59,26 @@ func main() {
 	}
 	defer cli.Close()
 
-	info, err := cli.Info()
+	rctx, cancel := withDeadline()
+	info, err := cli.Info(rctx)
+	cancel()
 	if err != nil {
 		log.Fatalf("atomclient: fetching deployment info: %v", err)
+	}
+
+	var opened *daemon.RoundInfo
+	if *open {
+		rctx, cancel := withDeadline()
+		opened, err = cli.OpenRound(rctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("atomclient: opening round: %v", err)
+		}
+		if len(opened.TrusteeKey) > 0 {
+			fmt.Printf("opened round %d (trustee key %x)\n", opened.ID, opened.TrusteeKey)
+		} else {
+			fmt.Printf("opened round %d\n", opened.ID)
+		}
 	}
 
 	if *submit != "" {
@@ -59,25 +95,72 @@ func main() {
 		if err != nil {
 			log.Fatalf("atomclient: %v", err)
 		}
+		// Trustee keys are per-round: a submission must encrypt against
+		// the key of the round it targets. The current round's key comes
+		// from info; an explicitly opened round's from the open reply or
+		// the -trusteekey flag.
+		trusteeKey := info.TrusteeKey
+		target := *round
+		if opened != nil {
+			target = opened.ID
+			trusteeKey = opened.TrusteeKey
+		} else if target != 0 && info.Trap {
+			if *tkey == "" {
+				log.Fatal("atomclient: -round submissions on a trap deployment need -trusteekey (printed by -open)")
+			}
+			if trusteeKey, err = hex.DecodeString(*tkey); err != nil {
+				log.Fatalf("atomclient: bad -trusteekey: %v", err)
+			}
+		}
 		gid := *user % info.Groups
-		wire, err := ac.EncryptSubmission([]byte(*submit), info.EntryKeys[gid], info.TrusteeKey, gid)
+		wire, err := ac.EncryptSubmission([]byte(*submit), info.EntryKeys[gid], trusteeKey, gid)
 		if err != nil {
 			log.Fatalf("atomclient: encrypting: %v", err)
 		}
-		if err := cli.Submit(*user, wire); err != nil {
+		rctx, cancel := withDeadline()
+		if target != 0 {
+			err = cli.SubmitRound(rctx, target, *user, wire)
+		} else {
+			err = cli.Submit(rctx, *user, wire)
+		}
+		cancel()
+		if err != nil {
 			log.Fatalf("atomclient: submitting: %v", err)
 		}
 		fmt.Printf("submitted %d bytes to entry group %d\n", len(wire), gid)
 	}
 
+	if *mix {
+		target := *round
+		if opened != nil && target == 0 {
+			target = opened.ID
+		}
+		if target == 0 {
+			log.Fatal("atomclient: -mix needs -round (or -open)")
+		}
+		rctx, cancel := withDeadline()
+		msgs, err := cli.Mix(rctx, target)
+		cancel()
+		if err != nil {
+			log.Fatalf("atomclient: mixing round %d: %v", target, err)
+		}
+		printMessages(msgs)
+	}
+
 	if *run {
-		msgs, err := cli.RunRound()
+		rctx, cancel := withDeadline()
+		msgs, err := cli.RunRound(rctx)
+		cancel()
 		if err != nil {
 			log.Fatalf("atomclient: round: %v", err)
 		}
-		fmt.Printf("round complete — %d anonymized messages:\n", len(msgs))
-		for _, m := range msgs {
-			fmt.Printf("  %s\n", m)
-		}
+		printMessages(msgs)
+	}
+}
+
+func printMessages(msgs [][]byte) {
+	fmt.Printf("round complete — %d anonymized messages:\n", len(msgs))
+	for _, m := range msgs {
+		fmt.Printf("  %s\n", m)
 	}
 }

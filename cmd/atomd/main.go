@@ -32,6 +32,7 @@ func main() {
 		iterations  = flag.Int("iterations", 3, "mixing iterations T")
 		topo        = flag.String("topology", "square", "permutation network: square or butterfly")
 		seed        = flag.String("seed", "atomd", "beacon seed (all participants must agree)")
+		verbose     = flag.Bool("verbose", true, "log per-round and per-iteration statistics")
 	)
 	flag.Parse()
 
@@ -60,6 +61,25 @@ func main() {
 	srv, err := daemon.NewServer(*listen, cfg)
 	if err != nil {
 		log.Fatalf("atomd: %v", err)
+	}
+	if *verbose {
+		// Round lifecycle observability through the public hook surface.
+		srv.Network().SetObserver(&atom.Observer{
+			RoundOpened: func(round uint64) {
+				log.Printf("atomd: round %d open for submissions", round)
+			},
+			IterationDone: func(it atom.IterationStats) {
+				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs)",
+					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified)
+			},
+			RoundMixed: func(st atom.RoundStats) {
+				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations",
+					st.Round, st.Messages, st.Duration, st.Iterations)
+			},
+			RoundFailed: func(round uint64, err error) {
+				log.Printf("atomd: round %d FAILED: %v", round, err)
+			},
+		})
 	}
 	fmt.Printf("atomd: serving on %s\n", srv.Addr())
 

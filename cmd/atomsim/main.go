@@ -5,6 +5,11 @@
 //	atomsim -all               # everything, cost model measured locally
 //	atomsim -fig 9             # one figure
 //	atomsim -table 12 -paper   # one table, using published Table 3 costs
+//	atomsim -live              # run a real round, per-iteration stats
+//
+// -live executes a real in-process deployment (real cryptography) and
+// reports per-iteration latency, messages mixed and proofs verified
+// through the public Observer/RoundStats hooks.
 package main
 
 import (
@@ -17,17 +22,21 @@ import (
 
 func main() {
 	var (
-		fig   = flag.Int("fig", 0, "figure to regenerate (5, 6, 7, 9, 10, 11, 13)")
-		table = flag.Int("table", 0, "table to regenerate (3, 4, 12)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		paper = flag.Bool("paper", false, "use the paper's published primitive costs instead of measuring this machine")
+		fig      = flag.Int("fig", 0, "figure to regenerate (5, 6, 7, 9, 10, 11, 13)")
+		table    = flag.Int("table", 0, "table to regenerate (3, 4, 12)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		paper    = flag.Bool("paper", false, "use the paper's published primitive costs instead of measuring this machine")
+		live     = flag.Bool("live", false, "run a real round and print per-iteration Observer stats")
+		liveMsgs = flag.Int("livemsgs", 16, "messages to mix in -live mode")
+		liveNIZK = flag.Bool("livenizk", false, "use the NIZK variant in -live mode (default trap)")
 	)
 	flag.Parse()
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && !*live {
 		*all = true
 	}
 
-	ev, err := atom.NewEvaluation(!*paper)
+	// -live measures a real round directly; skip cost-model calibration.
+	ev, err := atom.NewEvaluation(!*paper && !*live)
 	if err != nil {
 		log.Fatalf("atomsim: calibrating: %v", err)
 	}
@@ -36,6 +45,20 @@ func main() {
 			log.Fatalf("atomsim: %v", err)
 		}
 		fmt.Println(s)
+	}
+
+	if *live {
+		variant := atom.Trap
+		if *liveNIZK {
+			variant = atom.NIZK
+		}
+		out, _, err := ev.LiveRound(atom.Config{
+			Servers: 12, Groups: 4, GroupSize: 3,
+			MessageSize: 64, Variant: variant, Iterations: 3,
+			Seed: []byte("atomsim-live"),
+		}, *liveMsgs)
+		emit(out, err)
+		return
 	}
 
 	if *all {

@@ -1,0 +1,113 @@
+package atom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"atom/internal/protocol"
+)
+
+// The public error taxonomy. Every error the package returns can be
+// classified with errors.Is against these sentinels — no string
+// matching required. The sentinels form a small hierarchy:
+//
+//	ErrRoundAborted            the round cannot complete
+//	├── ErrTrapTripped         trap variant: trustees destroyed the key
+//	├── ErrProofRejected       NIZK variant: a shuffle/re-enc proof failed
+//	└── (context errors)       Mix canceled or past its deadline
+//	ErrBadSubmission           a submission failed validation
+//	└── ErrDuplicateSubmission replayed ciphertext or reused commitment
+//
+// so errors.Is(err, ErrRoundAborted) is true for trap trips, proof
+// rejections and cancellations alike, while the specific sentinels
+// distinguish them.
+var (
+	// ErrRoundAborted is returned when a round cannot complete: a
+	// defense tripped, a group lost too many members mid-round, or the
+	// mix was canceled. The anonymity guarantee holds: no tampered
+	// message is ever revealed.
+	ErrRoundAborted = errors.New("atom: round aborted")
+
+	// ErrTrapTripped is the trap variant's abort (§4.4): trap
+	// accounting failed and the trustees deleted the round's decryption
+	// key. It matches ErrRoundAborted under errors.Is.
+	ErrTrapTripped = fmt.Errorf("%w: trap tripped — trustees destroyed the round key", ErrRoundAborted)
+
+	// ErrProofRejected is the NIZK variant's abort (§4.3): a member's
+	// shuffle or re-encryption proof failed verification. It matches
+	// ErrRoundAborted under errors.Is.
+	ErrProofRejected = fmt.Errorf("%w: NIZK proof rejected", ErrRoundAborted)
+
+	// ErrBadSubmission is returned for submissions that fail
+	// validation: malformed wire bytes, wrong vector shape, a bad trap
+	// commitment, or a rejected proof of plaintext knowledge.
+	ErrBadSubmission = errors.New("atom: bad submission")
+
+	// ErrDuplicateSubmission is returned for byte-identical replays and
+	// reused trap commitments. It matches ErrBadSubmission under
+	// errors.Is.
+	ErrDuplicateSubmission = fmt.Errorf("%w: duplicate", ErrBadSubmission)
+
+	// ErrRoundClosed is returned by Submit once the round's Mix has
+	// started; open the next round and submit there.
+	ErrRoundClosed = errors.New("atom: round closed to submissions")
+
+	// ErrRecoveryNeeded is returned when a group has lost more members
+	// than its h−1 budget; call Network.Recover before the next round.
+	ErrRecoveryNeeded = errors.New("atom: group needs buddy recovery")
+
+	// ErrVariantMismatch is returned for operations that require the
+	// other active-attack defense (e.g. TrusteeKey on a NIZK network).
+	ErrVariantMismatch = errors.New("atom: wrong variant for operation")
+
+	// ErrNoSuchGroup is returned for out-of-range entry group ids.
+	ErrNoSuchGroup = errors.New("atom: no such group")
+)
+
+// apiError pairs a public sentinel with the underlying internal error.
+// errors.Is matches the sentinel (and, because leaf sentinels wrap
+// their parents, the whole taxonomy branch); errors.Unwrap exposes the
+// internal chain, so errors.Is also still matches internal sentinels
+// like protocol.ErrRoundAborted and context.Canceled.
+type apiError struct {
+	sentinel error
+	err      error
+}
+
+func (e *apiError) Error() string { return e.sentinel.Error() + ": " + e.err.Error() }
+
+func (e *apiError) Unwrap() error { return e.err }
+
+func (e *apiError) Is(target error) bool { return errors.Is(e.sentinel, target) }
+
+// wrapErr translates an internal error into the public taxonomy,
+// preserving the full chain for errors.Is/errors.As. Errors that map to
+// no sentinel pass through unchanged.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, protocol.ErrRoundAborted):
+		return &apiError{sentinel: ErrTrapTripped, err: err}
+	case errors.Is(err, protocol.ErrProofRejected):
+		return &apiError{sentinel: ErrProofRejected, err: err}
+	case errors.Is(err, protocol.ErrDuplicateSubmission):
+		return &apiError{sentinel: ErrDuplicateSubmission, err: err}
+	case errors.Is(err, protocol.ErrBadSubmission):
+		return &apiError{sentinel: ErrBadSubmission, err: err}
+	case errors.Is(err, protocol.ErrRoundClosed):
+		return &apiError{sentinel: ErrRoundClosed, err: err}
+	case errors.Is(err, protocol.ErrRecoveryNeeded):
+		return &apiError{sentinel: ErrRecoveryNeeded, err: err}
+	case errors.Is(err, protocol.ErrWrongVariant):
+		return &apiError{sentinel: ErrVariantMismatch, err: err}
+	case errors.Is(err, protocol.ErrNoSuchGroup):
+		return &apiError{sentinel: ErrNoSuchGroup, err: err}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &apiError{sentinel: ErrRoundAborted, err: err}
+	default:
+		return err
+	}
+}

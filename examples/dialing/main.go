@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,6 +29,13 @@ func main() {
 		log.Fatalf("building network: %v", err)
 	}
 
+	// A dialing deployment runs rounds on a fixed schedule; each round
+	// is a handle that any number of callers submit into concurrently.
+	round, err := net.OpenRound(context.Background())
+	if err != nil {
+		log.Fatalf("opening round: %v", err)
+	}
+
 	// Long-term identities. Bob's public key is known (e.g., from a key
 	// server); his mailbox id derives from it.
 	alice, err := atom.NewDialIdentity()
@@ -45,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := net.SubmitMessage(0, req); err != nil {
+	if err := round.Submit(0, req); err != nil {
 		log.Fatal(err)
 	}
 
@@ -57,7 +65,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := net.SubmitMessage(user, r); err != nil {
+		if err := round.Submit(user, r); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -72,14 +80,14 @@ func main() {
 	}
 	user := 6
 	for _, d := range dummies {
-		if err := net.SubmitMessage(user, d); err != nil {
+		if err := round.Submit(user, d); err != nil {
 			log.Fatal(err)
 		}
 		user++
 	}
 	fmt.Printf("submitted 6 real dials + %d DP dummies\n", len(dummies))
 
-	res, err := net.Run()
+	res, err := round.Mix(context.Background())
 	if err != nil {
 		log.Fatalf("round failed: %v", err)
 	}

@@ -30,4 +30,17 @@ func main() {
 		log.Fatalf("evaluation failed: %v", err)
 	}
 	fmt.Print(out)
+
+	// A real (not simulated) round, instrumented through the public
+	// Observer/RoundStats hooks.
+	live, _, err := ev.LiveRound(atom.Config{
+		Servers: 12, Groups: 4, GroupSize: 3,
+		MessageSize: 64, Variant: atom.Trap, Iterations: 3,
+		Seed: []byte("evaluation-live"),
+	}, 16)
+	if err != nil {
+		log.Fatalf("live round failed: %v", err)
+	}
+	fmt.Println()
+	fmt.Print(live)
 }

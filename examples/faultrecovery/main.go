@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -63,6 +64,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("group 0 needs recovery: %v\n", need)
+
+	// Attempting to mix with a dead group fails with a typed error the
+	// operator can match on — errors.Is, not string parsing.
+	submit()
+	if _, err := net.Run(); !errors.Is(err, atom.ErrRecoveryNeeded) {
+		log.Fatalf("expected ErrRecoveryNeeded, got: %v", err)
+	}
+	fmt.Println("mixing refused: errors.Is(err, atom.ErrRecoveryNeeded) — recovering…")
+	if err := net.ResetRound(); err != nil { // discard the aborted round
+		log.Fatal(err)
+	}
 
 	// Buddy-group recovery: replacement servers collect escrowed share
 	// pieces from a live buddy group, reconstruct the lost shares, and

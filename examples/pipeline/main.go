@@ -1,0 +1,105 @@
+// Command pipeline demonstrates the paper's §4.7 pipelined
+// organization through the Round API: round r+1 opens and ingests
+// submissions while round r is still mixing, so the network's intake
+// never idles behind the mixing latency. An Observer reports
+// per-iteration latency as the rounds overlap.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"atom"
+)
+
+func main() {
+	net, err := atom.NewNetwork(atom.Config{
+		Servers:     12,
+		Groups:      4,
+		GroupSize:   3,
+		MessageSize: 64,
+		Variant:     atom.Trap,
+		Iterations:  3,
+		Seed:        []byte("pipeline-demo"),
+	})
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+
+	// The Observer hook surface replaces ad-hoc stopwatches: every
+	// iteration and round completion reports in.
+	net.SetObserver(&atom.Observer{
+		IterationDone: func(it atom.IterationStats) {
+			fmt.Printf("  [observer] round %d iteration %d: %d ciphertexts in %v\n",
+				it.Round, it.Layer, it.Messages, it.Duration.Round(time.Millisecond))
+		},
+		RoundMixed: func(st atom.RoundStats) {
+			fmt.Printf("  [observer] round %d done: %d msgs, %v total\n",
+				st.Round, st.Messages, st.Duration.Round(time.Millisecond))
+		},
+	})
+
+	ctx := context.Background()
+	submit := func(r *atom.Round, batch int) {
+		for u := 0; u < 8; u++ {
+			msg := fmt.Sprintf("batch %d message %d", batch, u)
+			if err := r.Submit(u, []byte(msg)); err != nil {
+				log.Fatalf("batch %d user %d: %v", batch, u, err)
+			}
+		}
+	}
+
+	// Round A opens and fills.
+	roundA, err := net.OpenRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	submit(roundA, 0)
+	fmt.Printf("round %d filled with %d submissions\n", roundA.ID(), roundA.Pending())
+
+	// Round A mixes in the background…
+	type outcome struct {
+		res *atom.Result
+		err error
+	}
+	mixA := make(chan outcome, 1)
+	go func() {
+		res, err := roundA.Mix(ctx)
+		mixA <- outcome{res, err}
+	}()
+
+	// …while round B opens and ingests the next batch. This is the
+	// pipelining: intake for batch 1 overlaps the mixing of batch 0.
+	roundB, err := net.OpenRound(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	submit(roundB, 1)
+	fmt.Printf("round %d filled with %d submissions while round %d was mixing\n",
+		roundB.ID(), roundB.Pending(), roundA.ID())
+
+	a := <-mixA
+	if a.err != nil {
+		log.Fatalf("round %d: %v", roundA.ID(), a.err)
+	}
+	resB, err := roundB.Mix(ctx)
+	if err != nil {
+		log.Fatalf("round %d: %v", roundB.ID(), err)
+	}
+
+	fmt.Printf("\nround %d output (%d messages):\n", roundA.ID(), len(a.res.Messages))
+	for _, m := range a.res.Messages {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Printf("round %d output (%d messages):\n", roundB.ID(), len(resB.Messages))
+	for _, m := range resB.Messages {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("\nWith T iterations per round and G groups per layer, a pipelined")
+	fmt.Println("deployment keeps every layer busy: batch latency is unchanged but")
+	fmt.Println("throughput multiplies by the number of in-flight batches (§4.7).")
+}

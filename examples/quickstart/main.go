@@ -1,13 +1,18 @@
 // Command quickstart is the smallest complete Atom round: a 12-server
 // network (4 anytrust groups of 3) anonymously broadcasts eight short
-// messages using the NIZK variant.
+// messages using the NIZK variant, through the Round API — open a
+// round, submit concurrently, mix under a deadline.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"atom"
 )
@@ -29,27 +34,53 @@ func main() {
 	}
 	fmt.Printf("network up: %d groups, NIZK variant\n", net.Groups())
 
-	// Eight users submit. Each message is padded, encrypted to the
-	// user's entry group with a proof of plaintext knowledge, and queued.
-	for user := 0; user < 8; user++ {
-		msg := fmt.Sprintf("anonymous note #%d", user)
-		if err := net.SubmitMessage(user, []byte(msg)); err != nil {
-			log.Fatalf("user %d: %v", user, err)
-		}
-	}
-	fmt.Println("8 messages submitted")
-
-	// Run the round: every group shuffles and re-encrypts with
-	// verifiable proofs, batches hop through the square network, and the
-	// exit groups reveal the anonymized batch.
-	res, err := net.Run()
+	// Open a round: the handle's Submit is safe for concurrent use, so
+	// the eight users submit from their own goroutines. Each message is
+	// padded, encrypted to the user's entry group with a proof of
+	// plaintext knowledge, and queued.
+	ctx := context.Background()
+	round, err := net.OpenRound(ctx)
 	if err != nil {
-		log.Fatalf("round failed: %v", err)
+		log.Fatalf("opening round: %v", err)
+	}
+	var wg sync.WaitGroup
+	for user := 0; user < 8; user++ {
+		wg.Add(1)
+		go func(user int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("anonymous note #%d", user)
+			if err := round.Submit(user, []byte(msg)); err != nil {
+				log.Fatalf("user %d: %v", user, err)
+			}
+		}(user)
+	}
+	wg.Wait()
+	fmt.Printf("%d messages submitted to round %d\n", round.Pending(), round.ID())
+
+	// Mix the round under a deadline: every group shuffles and
+	// re-encrypts with verifiable proofs, batches hop through the
+	// square network, and the exit groups reveal the anonymized batch.
+	mixCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	res, err := round.Mix(mixCtx)
+	if err != nil {
+		// Failures carry a typed taxonomy: errors.Is distinguishes a
+		// tripped defense from a cancellation or a dead group.
+		switch {
+		case errors.Is(err, atom.ErrProofRejected):
+			log.Fatalf("a server cheated and was caught: %v", err)
+		case errors.Is(err, atom.ErrRoundAborted):
+			log.Fatalf("round aborted: %v", err)
+		default:
+			log.Fatalf("round failed: %v", err)
+		}
 	}
 	fmt.Printf("round complete — %d anonymized messages:\n", len(res.Messages))
 	for _, m := range res.Messages {
 		fmt.Printf("  %s\n", m)
 	}
+	fmt.Printf("(%d iterations in %v; %d NIZK proofs verified)\n",
+		res.Stats.Iterations, res.Stats.Duration.Round(time.Millisecond), res.Stats.ProofsVerified)
 	fmt.Println("(the output order is a cryptographic shuffle — no server, and no")
 	fmt.Println(" observer of all traffic, can link a message to its sender)")
 }

@@ -1,9 +1,18 @@
 // Package daemon serves an Atom deployment over TCP: remote clients
 // fetch the round's public keys, perform all cryptography locally
 // (padding, onion encryption, NIZKs, traps), and ship opaque wire
-// submissions; an operator triggers rounds and reads anonymized
-// results. cmd/atomd and cmd/atomclient are thin wrappers around this
-// package.
+// submissions; an operator opens rounds, triggers mixing and reads
+// anonymized results. cmd/atomd and cmd/atomclient are thin wrappers
+// around this package.
+//
+// The RPC surface is round-aware and pipelined: OpenRound hands out a
+// round id (plus that round's trustee key in the trap variant), Submit
+// targets a specific round, and Mix runs asynchronously on the server —
+// so clients can open round r+1 and submit into it while round r is
+// still mixing. Every client method takes a context.Context whose
+// deadline bounds the request round trip, so a dead server fails the
+// call instead of hanging it. The legacy one-round-at-a-time calls
+// (Submit/RunRound without a round id) remain for compatibility.
 //
 // The daemon hosts the full multi-group deployment in one process —
 // the configuration the paper's single-machine experiments use. The
@@ -13,10 +22,14 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atom"
@@ -25,12 +38,18 @@ import (
 
 // Message types of the daemon protocol.
 const (
-	msgInfo        = "info"
-	msgInfoReply   = "info-reply"
-	msgSubmit      = "submit"
-	msgSubmitReply = "submit-reply"
-	msgRun         = "run"
-	msgRunReply    = "run-reply"
+	msgInfo         = "info"
+	msgInfoReply    = "info-reply"
+	msgSubmit       = "submit"
+	msgSubmitReply  = "submit-reply"
+	msgRun          = "run"
+	msgRunReply     = "run-reply"
+	msgOpen         = "open"
+	msgOpenReply    = "open-reply"
+	msgRSubmit      = "submit-round"
+	msgRSubmitReply = "submit-round-reply"
+	msgMix          = "mix"
+	msgMixReply     = "mix-reply"
 )
 
 // Info describes a deployment to clients.
@@ -42,12 +61,106 @@ type Info struct {
 	TrusteeKey  []byte
 }
 
+// RoundInfo describes one opened round.
+type RoundInfo struct {
+	// ID is the server-assigned round id, passed to SubmitRound/Mix.
+	ID uint64
+	// TrusteeKey is the round's trustee public key (trap variant only);
+	// submissions into this round must be encrypted against it.
+	TrusteeKey []byte
+}
+
+// errorKind classifies server-side errors so clients can rebuild the
+// atom error taxonomy across the wire (gob cannot ship error chains).
+type errorKind int
+
+const (
+	errNone errorKind = iota
+	errGeneric
+	errBadSubmission
+	errDuplicate
+	errRoundClosed
+	errRoundAborted
+	errTrapTripped
+	errProofRejected
+	errRecoveryNeeded
+	errVariantMismatch
+	errNoSuchGroup
+)
+
+// classify maps an error to its wire kind.
+func classify(err error) errorKind {
+	if err == nil {
+		return errNone
+	}
+	switch {
+	case errors.Is(err, atom.ErrDuplicateSubmission):
+		return errDuplicate
+	case errors.Is(err, atom.ErrBadSubmission):
+		return errBadSubmission
+	case errors.Is(err, atom.ErrRoundClosed):
+		return errRoundClosed
+	case errors.Is(err, atom.ErrTrapTripped):
+		return errTrapTripped
+	case errors.Is(err, atom.ErrProofRejected):
+		return errProofRejected
+	case errors.Is(err, atom.ErrRecoveryNeeded):
+		return errRecoveryNeeded
+	case errors.Is(err, atom.ErrRoundAborted):
+		return errRoundAborted
+	case errors.Is(err, atom.ErrVariantMismatch):
+		return errVariantMismatch
+	case errors.Is(err, atom.ErrNoSuchGroup):
+		return errNoSuchGroup
+	default:
+		return errGeneric
+	}
+}
+
+// unclassify rebuilds a typed client-side error from the wire kind.
+func unclassify(kind errorKind, msg string) error {
+	msg = strings.TrimPrefix(msg, "daemon: ")
+	wrap := func(sentinel error) error {
+		// The server-side message usually begins with the sentinel's own
+		// text; trim it so the rebuilt error reads once, not twice.
+		trimmed := strings.TrimPrefix(strings.TrimPrefix(msg, sentinel.Error()), ": ")
+		if trimmed == "" {
+			return fmt.Errorf("%w (daemon)", sentinel)
+		}
+		return fmt.Errorf("%w: daemon: %s", sentinel, trimmed)
+	}
+	switch kind {
+	case errDuplicate:
+		return wrap(atom.ErrDuplicateSubmission)
+	case errBadSubmission:
+		return wrap(atom.ErrBadSubmission)
+	case errRoundClosed:
+		return wrap(atom.ErrRoundClosed)
+	case errTrapTripped:
+		return wrap(atom.ErrTrapTripped)
+	case errProofRejected:
+		return wrap(atom.ErrProofRejected)
+	case errRecoveryNeeded:
+		return wrap(atom.ErrRecoveryNeeded)
+	case errRoundAborted:
+		return wrap(atom.ErrRoundAborted)
+	case errVariantMismatch:
+		return wrap(atom.ErrVariantMismatch)
+	case errNoSuchGroup:
+		return wrap(atom.ErrNoSuchGroup)
+	default:
+		return fmt.Errorf("daemon: %s", msg)
+	}
+}
+
 // reply is the generic response envelope.
 type reply struct {
-	OK       bool
-	Error    string
-	Info     *Info
-	Messages [][]byte
+	OK        bool
+	Error     string
+	ErrorKind errorKind
+	Info      *Info
+	Round     *RoundInfo
+	Messages  [][]byte
 }
 
 func encodeReply(r *reply) []byte {
@@ -75,8 +188,11 @@ type Server struct {
 	network *atom.Network
 	cfg     atom.Config
 
-	mu   sync.Mutex
-	done chan struct{}
+	mu     sync.Mutex
+	rounds map[uint64]*atom.Round
+
+	mixes sync.WaitGroup
+	done  chan struct{}
 }
 
 // NewServer builds the deployment and starts listening on addr
@@ -90,22 +206,37 @@ func NewServer(addr string, cfg atom.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{node: node, network: network, cfg: cfg, done: make(chan struct{})}, nil
+	return &Server{
+		node:    node,
+		network: network,
+		cfg:     cfg,
+		rounds:  make(map[uint64]*atom.Round),
+		done:    make(chan struct{}),
+	}, nil
 }
 
 // Addr returns the daemon's listen address.
 func (s *Server) Addr() string { return s.node.Addr() }
 
+// Network exposes the hosted deployment (e.g. to install an Observer).
+func (s *Server) Network() *atom.Network { return s.network }
+
 // Serve processes requests until Close. It is safe to run in a
-// goroutine.
+// goroutine. Mix requests run asynchronously so the daemon keeps
+// serving submissions into other rounds while one round mixes.
 func (s *Server) Serve() {
 	for msg := range s.node.Inbox() {
-		resp := s.handle(msg)
-		_ = s.node.Send(msg.From, resp)
+		if resp := s.handle(msg); resp != nil {
+			resp.Round = msg.Round // echo the request id for demux
+			_ = s.node.Send(msg.From, resp)
+		}
 	}
+	s.mixes.Wait()
 	close(s.done)
 }
 
+// handle services one request; a nil return means the handler replies
+// asynchronously.
 func (s *Server) handle(msg *transport.Message) *transport.Message {
 	switch msg.Type {
 	case msgInfo:
@@ -130,38 +261,106 @@ func (s *Server) handle(msg *transport.Message) *transport.Message {
 		}
 		return &transport.Message{Type: msgInfoReply, Payload: encodeReply(&reply{OK: true, Info: info})}
 
+	case msgOpen:
+		round, err := s.network.OpenRound(context.Background())
+		if err != nil {
+			return fail(msgOpenReply, err)
+		}
+		ri := &RoundInfo{ID: round.ID()}
+		if s.cfg.Variant == atom.Trap {
+			if ri.TrusteeKey, err = round.TrusteeKey(); err != nil {
+				return fail(msgOpenReply, err)
+			}
+		}
+		s.mu.Lock()
+		s.rounds[round.ID()] = round
+		s.mu.Unlock()
+		return &transport.Message{Type: msgOpenReply, Payload: encodeReply(&reply{OK: true, Round: ri})}
+
 	case msgSubmit:
 		if len(msg.Payload) < 8 {
 			return fail(msgSubmitReply, fmt.Errorf("daemon: short submit payload"))
 		}
 		user := int(binary.BigEndian.Uint64(msg.Payload[:8]))
-		s.mu.Lock()
-		err := s.network.SubmitEncoded(user, msg.Payload[8:])
-		s.mu.Unlock()
-		if err != nil {
+		if err := s.network.SubmitEncoded(user, msg.Payload[8:]); err != nil {
 			return fail(msgSubmitReply, err)
 		}
 		return &transport.Message{Type: msgSubmitReply, Payload: encodeReply(&reply{OK: true})}
 
+	case msgRSubmit:
+		if len(msg.Payload) < 16 {
+			return fail(msgRSubmitReply, fmt.Errorf("daemon: short submit payload"))
+		}
+		rid := binary.BigEndian.Uint64(msg.Payload[:8])
+		user := int(binary.BigEndian.Uint64(msg.Payload[8:16]))
+		round, err := s.round(rid)
+		if err != nil {
+			return fail(msgRSubmitReply, err)
+		}
+		if err := round.SubmitEncoded(user, msg.Payload[16:]); err != nil {
+			return fail(msgRSubmitReply, err)
+		}
+		return &transport.Message{Type: msgRSubmitReply, Payload: encodeReply(&reply{OK: true})}
+
 	case msgRun:
-		s.mu.Lock()
+		// Legacy blocking round: handled inline, so it serializes the
+		// inbox exactly as the one-round-at-a-time surface promises.
 		res, err := s.network.Run()
-		s.mu.Unlock()
 		if err != nil {
 			return fail(msgRunReply, err)
 		}
 		return &transport.Message{Type: msgRunReply, Payload: encodeReply(&reply{OK: true, Messages: res.Messages})}
+
+	case msgMix:
+		if len(msg.Payload) < 8 {
+			return fail(msgMixReply, fmt.Errorf("daemon: short mix payload"))
+		}
+		rid := binary.BigEndian.Uint64(msg.Payload[:8])
+		round, err := s.round(rid)
+		if err != nil {
+			return fail(msgMixReply, err)
+		}
+		from, seq := msg.From, msg.Round
+		s.mixes.Add(1)
+		go func() {
+			defer s.mixes.Done()
+			res, err := round.Mix(context.Background())
+			s.mu.Lock()
+			delete(s.rounds, rid)
+			s.mu.Unlock()
+			var resp *transport.Message
+			if err != nil {
+				resp = fail(msgMixReply, err)
+			} else {
+				resp = &transport.Message{Type: msgMixReply, Payload: encodeReply(&reply{OK: true, Messages: res.Messages})}
+			}
+			resp.Round = seq
+			_ = s.node.Send(from, resp)
+		}()
+		return nil
 
 	default:
 		return fail(msg.Type+"-reply", fmt.Errorf("daemon: unknown request %q", msg.Type))
 	}
 }
 
-func fail(typ string, err error) *transport.Message {
-	return &transport.Message{Type: typ, Payload: encodeReply(&reply{Error: err.Error()})}
+func (s *Server) round(id uint64) (*atom.Round, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	round, ok := s.rounds[id]
+	if !ok {
+		// Matches the local taxonomy: a consumed or unknown round is
+		// closed to further operations.
+		return nil, fmt.Errorf("%w: no open round %d", atom.ErrRoundClosed, id)
+	}
+	return round, nil
 }
 
-// Close shuts the daemon down.
+func fail(typ string, err error) *transport.Message {
+	return &transport.Message{Type: typ, Payload: encodeReply(&reply{Error: err.Error(), ErrorKind: classify(err)})}
+}
+
+// Close shuts the daemon down, waiting for in-flight mixes.
 func (s *Server) Close() error {
 	err := s.node.Close()
 	<-s.done
@@ -169,12 +368,21 @@ func (s *Server) Close() error {
 }
 
 // Client talks to a daemon. Each client owns its own TCP endpoint (the
-// reply channel).
+// reply channel) and demultiplexes replies by request sequence number,
+// so its methods are safe for concurrent use — submissions into round
+// r+1 can be in flight while a Mix of round r is outstanding.
 type Client struct {
 	node   *transport.TCPNode
 	server string
-	// timeout bounds each request round trip.
+	// timeout bounds a request round trip when the context carries no
+	// deadline of its own.
 	timeout time.Duration
+
+	seq atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *transport.Message
+	closed  bool
 }
 
 // Dial creates a client for the daemon at serverAddr.
@@ -183,44 +391,99 @@ func Dial(serverAddr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{node: node, server: serverAddr, timeout: 30 * time.Second}, nil
+	c := &Client{
+		node:    node,
+		server:  serverAddr,
+		timeout: 30 * time.Second,
+		waiters: make(map[uint64]chan *transport.Message),
+	}
+	go c.demux()
+	return c, nil
 }
 
-// Close releases the client's endpoint.
+// SetTimeout adjusts the default per-request bound applied when a
+// context has no deadline.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close releases the client's endpoint; outstanding requests fail.
 func (c *Client) Close() error { return c.node.Close() }
 
-func (c *Client) roundTrip(req *transport.Message, wantType string) (*reply, error) {
+// demux owns the inbox: it routes each reply to the waiter whose
+// request sequence number it echoes. Stale replies (from requests whose
+// context expired) are dropped.
+func (c *Client) demux() {
+	for msg := range c.node.Inbox() {
+		c.mu.Lock()
+		ch, ok := c.waiters[msg.Round]
+		if ok {
+			delete(c.waiters, msg.Round)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- msg // buffered; never blocks
+		}
+	}
+	// Endpoint closed: fail every outstanding waiter.
+	c.mu.Lock()
+	c.closed = true
+	for seq, ch := range c.waiters {
+		close(ch)
+		delete(c.waiters, seq)
+	}
+	c.mu.Unlock()
+}
+
+// roundTrip sends req and waits for its reply, honoring the context's
+// deadline (or the client's default timeout when the context has
+// none) — a dead server fails the call instead of hanging it.
+func (c *Client) roundTrip(ctx context.Context, req *transport.Message) (*reply, error) {
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	seq := c.seq.Add(1)
+	ch := make(chan *transport.Message, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("daemon: client closed")
+	}
+	c.waiters[seq] = ch
+	c.mu.Unlock()
+	abandon := func() {
+		c.mu.Lock()
+		delete(c.waiters, seq)
+		c.mu.Unlock()
+	}
+
+	req.Round = seq
 	if err := c.node.Send(c.server, req); err != nil {
+		abandon()
 		return nil, err
 	}
-	timer := time.NewTimer(c.timeout)
-	defer timer.Stop()
-	for {
-		select {
-		case msg, ok := <-c.node.Inbox():
-			if !ok {
-				return nil, fmt.Errorf("daemon: client closed")
-			}
-			if msg.Type != wantType {
-				continue // stale reply from an earlier timeout
-			}
-			r, err := decodeReply(msg.Payload)
-			if err != nil {
-				return nil, err
-			}
-			if r.Error != "" {
-				return nil, fmt.Errorf("daemon: %s", r.Error)
-			}
-			return r, nil
-		case <-timer.C:
-			return nil, fmt.Errorf("daemon: timeout waiting for %s", wantType)
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("daemon: client closed")
 		}
+		r, err := decodeReply(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if r.Error != "" {
+			return nil, unclassify(r.ErrorKind, r.Error)
+		}
+		return r, nil
+	case <-ctx.Done():
+		abandon()
+		return nil, fmt.Errorf("daemon: %s request: %w", req.Type, ctx.Err())
 	}
 }
 
 // Info fetches the deployment description.
-func (c *Client) Info() (*Info, error) {
-	r, err := c.roundTrip(&transport.Message{Type: msgInfo}, msgInfoReply)
+func (c *Client) Info(ctx context.Context) (*Info, error) {
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgInfo})
 	if err != nil {
 		return nil, err
 	}
@@ -230,18 +493,59 @@ func (c *Client) Info() (*Info, error) {
 	return r.Info, nil
 }
 
-// Submit ships a wire-encoded submission for the given user.
-func (c *Client) Submit(user int, wire []byte) error {
+// OpenRound opens a new round on the daemon, returning its id and (in
+// the trap variant) the round's trustee key. The round accepts
+// submissions immediately — including while an earlier round mixes.
+func (c *Client) OpenRound(ctx context.Context) (*RoundInfo, error) {
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgOpen})
+	if err != nil {
+		return nil, err
+	}
+	if r.Round == nil {
+		return nil, fmt.Errorf("daemon: empty open reply")
+	}
+	return r.Round, nil
+}
+
+// Submit ships a wire-encoded submission for the given user into the
+// daemon's current (legacy) round.
+func (c *Client) Submit(ctx context.Context, user int, wire []byte) error {
 	payload := make([]byte, 8+len(wire))
 	binary.BigEndian.PutUint64(payload[:8], uint64(user))
 	copy(payload[8:], wire)
-	_, err := c.roundTrip(&transport.Message{Type: msgSubmit, Payload: payload}, msgSubmitReply)
+	_, err := c.roundTrip(ctx, &transport.Message{Type: msgSubmit, Payload: payload})
 	return err
 }
 
-// RunRound triggers a mixing round and returns the anonymized messages.
-func (c *Client) RunRound() ([][]byte, error) {
-	r, err := c.roundTrip(&transport.Message{Type: msgRun}, msgRunReply)
+// SubmitRound ships a wire-encoded submission into a specific open
+// round. Safe for concurrent use.
+func (c *Client) SubmitRound(ctx context.Context, round uint64, user int, wire []byte) error {
+	payload := make([]byte, 16+len(wire))
+	binary.BigEndian.PutUint64(payload[:8], round)
+	binary.BigEndian.PutUint64(payload[8:16], uint64(user))
+	copy(payload[16:], wire)
+	_, err := c.roundTrip(ctx, &transport.Message{Type: msgRSubmit, Payload: payload})
+	return err
+}
+
+// Mix seals and mixes the given round on the daemon, returning the
+// anonymized messages. The server mixes asynchronously: other client
+// calls (Info, OpenRound, SubmitRound into later rounds) proceed while
+// a Mix is outstanding.
+func (c *Client) Mix(ctx context.Context, round uint64) ([][]byte, error) {
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, round)
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgMix, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return r.Messages, nil
+}
+
+// RunRound triggers a legacy blocking round and returns the anonymized
+// messages.
+func (c *Client) RunRound(ctx context.Context) ([][]byte, error) {
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgRun})
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,12 @@
 package daemon
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"atom"
 )
@@ -35,7 +39,7 @@ func TestDaemonEndToEndNIZK(t *testing.T) {
 	}
 	defer cli.Close()
 
-	info, err := cli.Info()
+	info, err := cli.Info(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +63,11 @@ func TestDaemonEndToEndNIZK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cli.Submit(u, wire); err != nil {
+		if err := cli.Submit(t.Context(), u, wire); err != nil {
 			t.Fatal(err)
 		}
 	}
-	msgs, err := cli.RunRound()
+	msgs, err := cli.RunRound(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +89,7 @@ func TestDaemonEndToEndTrap(t *testing.T) {
 	}
 	defer cli.Close()
 
-	info, err := cli.Info()
+	info, err := cli.Info(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +107,11 @@ func TestDaemonEndToEndTrap(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := cli.Submit(u, wire); err != nil {
+		if err := cli.Submit(t.Context(), u, wire); err != nil {
 			t.Fatal(err)
 		}
 	}
-	msgs, err := cli.RunRound()
+	msgs, err := cli.RunRound(t.Context())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +127,11 @@ func TestDaemonRejectsGarbageSubmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if err := cli.Submit(0, []byte("not a submission")); err == nil {
+	if err := cli.Submit(t.Context(), 0, []byte("not a submission")); err == nil {
 		t.Fatal("garbage submission accepted")
 	}
 	// Replay rejection over the wire.
-	info, _ := cli.Info()
+	info, _ := cli.Info(t.Context())
 	cfg := atom.Config{Servers: 12, Groups: 4, GroupSize: 3, MessageSize: 32,
 		Variant: atom.NIZK, Iterations: 2, Seed: []byte("daemon-test")}
 	ac, _ := atom.NewClient(cfg)
@@ -135,10 +139,10 @@ func TestDaemonRejectsGarbageSubmission(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Submit(1, wire); err != nil {
+	if err := cli.Submit(t.Context(), 1, wire); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Submit(2, wire); err == nil {
+	if err := cli.Submit(t.Context(), 2, wire); err == nil {
 		t.Fatal("replayed submission accepted over the wire")
 	}
 }
@@ -147,27 +151,163 @@ func TestDaemonMultipleRounds(t *testing.T) {
 	srv, cfg := startServer(t, atom.Trap)
 	cli, _ := Dial(srv.Addr())
 	defer cli.Close()
-	info, _ := cli.Info()
+	info, _ := cli.Info(t.Context())
 	ac, _ := atom.NewClient(cfg)
 	for round := 0; round < 2; round++ {
 		// The trustee key rotates per round; refetch it.
-		info, _ = cli.Info()
+		info, _ = cli.Info(t.Context())
 		for u := 0; u < 4; u++ {
 			wire, err := ac.EncryptSubmission([]byte(fmt.Sprintf("r%d u%d", round, u)),
 				info.EntryKeys[u%info.Groups], info.TrusteeKey, u%info.Groups)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := cli.Submit(u, wire); err != nil {
+			if err := cli.Submit(t.Context(), u, wire); err != nil {
 				t.Fatal(err)
 			}
 		}
-		msgs, err := cli.RunRound()
+		msgs, err := cli.RunRound(t.Context())
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		if len(msgs) != 4 {
 			t.Fatalf("round %d returned %d messages", round, len(msgs))
 		}
+	}
+}
+
+func TestDaemonPipelinedRounds(t *testing.T) {
+	// Round r+1 opens and ingests over the wire while round r mixes:
+	// the Mix RPC is asynchronous on the server and the client
+	// demultiplexes replies by request id.
+	srv, cfg := startServer(t, atom.Trap)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	info, err := cli.Info(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := atom.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submit := func(ri *RoundInfo, round, users int) {
+		t.Helper()
+		for u := 0; u < users; u++ {
+			gid := u % info.Groups
+			wire, err := ac.EncryptSubmission([]byte(fmt.Sprintf("r%d u%d", round, u)),
+				info.EntryKeys[gid], ri.TrusteeKey, gid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.SubmitRound(t.Context(), ri.ID, u, wire); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	r0, err := cli.OpenRound(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(r0, 0, 4)
+
+	// Kick off the mix of round 0 concurrently…
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var mix0 [][]byte
+	var mix0Err error
+	go func() {
+		defer wg.Done()
+		mix0, mix0Err = cli.Mix(t.Context(), r0.ID)
+	}()
+
+	// …and, without waiting, open round 1 and submit into it.
+	r1, err := cli.OpenRound(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID == r0.ID {
+		t.Fatal("round ids must differ")
+	}
+	submit(r1, 1, 4)
+
+	wg.Wait()
+	if mix0Err != nil {
+		t.Fatalf("round 0 mix: %v", mix0Err)
+	}
+	if len(mix0) != 4 {
+		t.Fatalf("round 0 returned %d messages", len(mix0))
+	}
+	mix1, err := cli.Mix(t.Context(), r1.ID)
+	if err != nil {
+		t.Fatalf("round 1 mix: %v", err)
+	}
+	if len(mix1) != 4 {
+		t.Fatalf("round 1 returned %d messages", len(mix1))
+	}
+	for _, m := range mix1 {
+		if string(m)[:2] != "r1" {
+			t.Fatalf("round 1 leaked message %q", m)
+		}
+	}
+	// Mixing a consumed round is an error.
+	if _, err := cli.Mix(t.Context(), r0.ID); err == nil {
+		t.Fatal("re-mixing a finished round succeeded")
+	}
+}
+
+func TestDaemonTypedErrorsOverWire(t *testing.T) {
+	srv, cfg := startServer(t, atom.NIZK)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	info, err := cli.Info(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Submit(t.Context(), 0, []byte("garbage")); !errors.Is(err, atom.ErrBadSubmission) {
+		t.Fatalf("garbage submission: got %v, want ErrBadSubmission", err)
+	}
+	ac, _ := atom.NewClient(cfg)
+	wire, err := ac.EncryptSubmission([]byte("dup"), info.EntryKeys[0], nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Submit(t.Context(), 1, wire); err != nil {
+		t.Fatal(err)
+	}
+	err = cli.Submit(t.Context(), 2, wire)
+	if !errors.Is(err, atom.ErrDuplicateSubmission) || !errors.Is(err, atom.ErrBadSubmission) {
+		t.Fatalf("replay: got %v, want ErrDuplicateSubmission (and ErrBadSubmission)", err)
+	}
+}
+
+func TestDaemonClientDeadline(t *testing.T) {
+	// A request to a black-hole address must fail by the context
+	// deadline instead of hanging (the old client hung forever on a
+	// dead server when its fixed timeout was disabled).
+	cli, err := Dial("127.0.0.1:1") // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(0) // disable the default bound; rely on ctx only
+	ctx, cancel := context.WithTimeout(t.Context(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.Info(ctx)
+	if err == nil {
+		t.Fatal("Info against a dead server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline not honored: took %v", elapsed)
 	}
 }

@@ -5,6 +5,7 @@
 package microblog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"unicode/utf8"
@@ -90,7 +91,13 @@ func (s *Service) Posted() int { return s.posted }
 // RunRound mixes the collected posts and publishes the anonymized batch
 // to the bulletin board, returning the published posts.
 func (s *Service) RunRound() ([]bulletin.Post, error) {
-	res, err := s.deployment.RunRound()
+	return s.RunRoundCtx(context.Background())
+}
+
+// RunRoundCtx is RunRound with cancellation/deadline propagation into
+// the mixing iterations.
+func (s *Service) RunRoundCtx(ctx context.Context) ([]bulletin.Post, error) {
+	res, err := s.deployment.RunRoundCtx(ctx, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -61,9 +61,9 @@ func NewBenchHarness(groupSize, numMessages, numPoints int, variant Variant) (*B
 // member, divide, decrypt-and-reencrypt by every member) exactly as the
 // deployment does.
 func (h *BenchHarness) RunIteration() error {
-	h.gs.batch = h.batch
 	_, _, err := h.gs.runIteration(mixParams{
 		layer:    0,
+		batch:    h.batch,
 		variant:  h.variant,
 		destGIDs: []int{0},
 		destPKs:  []*ecc.Point{h.nextPK},

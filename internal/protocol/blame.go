@@ -23,13 +23,20 @@ type BlameReport struct {
 	Reasons map[int]string
 }
 
-// IdentifyMaliciousUsers runs the blame procedure over all entry groups.
+// IdentifyMaliciousUsers runs the blame procedure over the current
+// round's entry groups (after a legacy RunRound abort the aborted round
+// stays current until ResetRound, so its records are available here).
 func (d *Deployment) IdentifyMaliciousUsers() (*BlameReport, error) {
-	if d.cfg.Variant != VariantTrap {
-		return nil, fmt.Errorf("protocol: blame procedure applies to the trap variant")
+	return d.currentRound().IdentifyMaliciousUsers()
+}
+
+// IdentifyMaliciousUsers runs the blame procedure over this round's
+// entry records.
+func (rs *RoundState) IdentifyMaliciousUsers() (*BlameReport, error) {
+	if rs.variant != VariantTrap {
+		return nil, fmt.Errorf("%w: blame procedure applies to the trap variant", ErrWrongVariant)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d := rs.d
 
 	report := &BlameReport{Reasons: make(map[int]string)}
 	blame := func(user int, reason string) {
@@ -43,9 +50,14 @@ func (d *Deployment) IdentifyMaliciousUsers() (*BlameReport, error) {
 	// payload -> first submitting user.
 	innerSeen := make(map[string]int)
 
-	for gid, records := range d.entries {
-		g := d.groups[gid]
-		secret, err := d.revealGroupSecret(g)
+	for gid := range rs.groups {
+		rs.groups[gid].mu.Lock()
+		records := rs.groups[gid].entries
+		rs.groups[gid].mu.Unlock()
+		if len(records) == 0 {
+			continue
+		}
+		secret, err := d.revealGroupSecret(d.groups[gid])
 		if err != nil {
 			return nil, fmt.Errorf("protocol: revealing group %d key: %w", gid, err)
 		}

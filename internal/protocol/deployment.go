@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/sha3"
 	"encoding/binary"
@@ -8,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"atom/internal/beacon"
 	"atom/internal/dvss"
@@ -46,22 +49,31 @@ type escrowKey struct {
 }
 
 // Deployment is a complete in-process Atom network: G groups of k
-// servers each with DVSS keys, the trustee group (trap variant), and the
-// permutation-network wiring. It executes rounds with real cryptography.
+// servers each with DVSS keys and the permutation-network wiring. The
+// deployment itself holds only round-independent material; everything a
+// single round accumulates (ingestion buffers, duplicate filters, trap
+// commitments, the trustees' per-round key) lives in a RoundState, so
+// one round can ingest submissions while another mixes.
 type Deployment struct {
-	cfg      Config
-	topo     topology.Topology
-	beacon   *beacon.Beacon
-	groups   []*GroupState
-	trustees *Trustees
-	rnd      io.Reader
+	cfg     Config
+	topo    topology.Topology
+	beacon  *beacon.Beacon
+	groups  []*GroupState
+	rnd     io.Reader
+	escrows map[escrowKey]*dvss.Escrow
 
+	// roundSeq issues round ids.
+	roundSeq atomic.Uint64
+
+	// mixMu serializes mixing: only one round runs its T iterations at
+	// a time (the paper's lock-step organization; §4.7 pipelining means
+	// overlapping ingestion with mixing, which needs no second mixer).
+	mixMu sync.Mutex
+
+	// mu guards cur, cfg.Variant and adversary.
 	mu        sync.Mutex
-	entries   map[int][]entryRecord
-	seen      map[string]bool // duplicate-submission filter (fingerprints)
-	escrows   map[escrowKey]*dvss.Escrow
+	cur       *RoundState
 	adversary *Adversary
-	traces    []stepTrace
 }
 
 // NewDeployment forms groups from the beacon, runs every group's DVSS
@@ -94,8 +106,6 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		beacon:  b,
 		groups:  make([]*GroupState, len(infos)),
 		rnd:     rand.Reader,
-		entries: make(map[int][]entryRecord),
-		seen:    make(map[string]bool),
 		escrows: make(map[escrowKey]*dvss.Escrow),
 	}
 
@@ -122,12 +132,6 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		}
 	}
 
-	if cfg.Variant == VariantTrap {
-		if d.trustees, err = NewTrustees(cfg.NumTrustees, rand.Reader); err != nil {
-			return nil, err
-		}
-	}
-
 	// Buddy escrow of every member's share (§4.5).
 	if cfg.BuddyCount > 0 {
 		for _, g := range d.groups {
@@ -143,11 +147,21 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			}
 		}
 	}
+
+	// The implicit current round backs the one-round-at-a-time legacy
+	// API (SubmitUser/RunRound without an explicit RoundState).
+	if d.cur, err = d.OpenRound(); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
 // Config returns a copy of the deployment's configuration.
-func (d *Deployment) Config() Config { return d.cfg }
+func (d *Deployment) Config() Config {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg
+}
 
 // NumGroups returns G.
 func (d *Deployment) NumGroups() int { return len(d.groups) }
@@ -155,128 +169,178 @@ func (d *Deployment) NumGroups() int { return len(d.groups) }
 // GroupPK returns the public key of group gid (what users encrypt to).
 func (d *Deployment) GroupPK(gid int) (*ecc.Point, error) {
 	if gid < 0 || gid >= len(d.groups) {
-		return nil, fmt.Errorf("protocol: no group %d", gid)
+		return nil, fmt.Errorf("%w: group %d", ErrNoSuchGroup, gid)
 	}
 	return d.groups[gid].PK, nil
 }
 
-// TrusteePK returns the trustees' round key (trap variant only).
+// currentRound returns the implicit round the legacy API operates on.
+func (d *Deployment) currentRound() *RoundState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cur
+}
+
+// CurrentRound exposes the implicit round behind the legacy
+// SubmitUser/RunRound surface, so callers can observe its id and
+// pending count or pass it to RunRoundCtx explicitly.
+func (d *Deployment) CurrentRound() *RoundState { return d.currentRound() }
+
+// TrusteePK returns the current round's trustee key (trap variant
+// only). Explicitly opened rounds carry their own key; see
+// RoundState.TrusteePK.
 func (d *Deployment) TrusteePK() (*ecc.Point, error) {
-	if d.trustees == nil {
-		return nil, fmt.Errorf("protocol: deployment has no trustees (variant %v)", d.cfg.Variant)
-	}
-	return d.trustees.PK(), nil
+	return d.currentRound().TrusteePK()
 }
 
 // SetAdversary installs a malicious-server hook for the next round.
-func (d *Deployment) SetAdversary(a *Adversary) { d.adversary = a }
-
-// SubmitUser accepts a NIZK-variant submission: all (simulated) servers
-// of the entry group verify the EncProof, and exact duplicates are
-// rejected (§3: the NIZK prevents rerandomized copies; the fingerprint
-// set prevents byte-identical replays within the round).
-func (d *Deployment) SubmitUser(user int, sub *Submission) error {
-	if d.cfg.Variant != VariantNIZK {
-		return fmt.Errorf("protocol: SubmitUser requires the NIZK variant")
-	}
-	g, err := d.groupFor(sub.GID)
-	if err != nil {
-		return err
-	}
-	if err := verifySubmissionVector(g.PK, sub.Ciphertext, sub.GID, sub.Proof, d.cfg.NumPoints()); err != nil {
-		return err
-	}
+func (d *Deployment) SetAdversary(a *Adversary) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	fp := string(sub.Ciphertext.Fingerprint())
-	if d.seen[fp] {
-		return fmt.Errorf("protocol: duplicate submission rejected")
-	}
-	d.seen[fp] = true
-	g.batch = append(g.batch, sub.Ciphertext.Clone())
-	d.entries[sub.GID] = append(d.entries[sub.GID], entryRecord{User: user, Sub: sub})
-	return nil
+	d.adversary = a
+	d.mu.Unlock()
 }
 
-// SubmitTrapUser accepts a trap-variant submission: both EncProofs are
-// verified, both ciphertexts enter the entry group's batch as
-// independent messages, and the trap commitment is stored (§4.4).
-func (d *Deployment) SubmitTrapUser(user int, sub *TrapSubmission) error {
-	if d.cfg.Variant != VariantTrap {
-		return fmt.Errorf("protocol: SubmitTrapUser requires the trap variant")
-	}
-	g, err := d.groupFor(sub.GID)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < 2; i++ {
-		if err := verifySubmissionVector(g.PK, sub.Ciphertexts[i], sub.GID, sub.Proofs[i], d.cfg.NumPoints()); err != nil {
-			return fmt.Errorf("ciphertext %d: %w", i, err)
-		}
-	}
-	if len(sub.Commitment) != 32 {
-		return fmt.Errorf("protocol: trap commitment must be 32 bytes, got %d", len(sub.Commitment))
-	}
+// takeAdversary consumes the installed hook for one round.
+func (d *Deployment) takeAdversary() *Adversary {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for i := 0; i < 2; i++ {
-		fp := string(sub.Ciphertexts[i].Fingerprint())
-		if d.seen[fp] {
-			return fmt.Errorf("protocol: duplicate submission rejected")
-		}
-		d.seen[fp] = true
-	}
-	if _, dup := g.commitments[string(sub.Commitment)]; dup {
-		return fmt.Errorf("protocol: duplicate trap commitment rejected")
-	}
-	for i := 0; i < 2; i++ {
-		g.batch = append(g.batch, sub.Ciphertexts[i].Clone())
-	}
-	g.commitments[string(sub.Commitment)] = user
-	d.entries[sub.GID] = append(d.entries[sub.GID], entryRecord{User: user, Trap: sub})
-	return nil
+	return d.adversary
+}
+
+// SubmitUser accepts a NIZK-variant submission into the current round.
+func (d *Deployment) SubmitUser(user int, sub *Submission) error {
+	return d.currentRound().SubmitUser(user, sub)
+}
+
+// SubmitTrapUser accepts a trap-variant submission into the current
+// round.
+func (d *Deployment) SubmitTrapUser(user int, sub *TrapSubmission) error {
+	return d.currentRound().SubmitTrapUser(user, sub)
 }
 
 func (d *Deployment) groupFor(gid int) (*GroupState, error) {
 	if gid < 0 || gid >= len(d.groups) {
-		return nil, fmt.Errorf("protocol: no group %d", gid)
+		return nil, fmt.Errorf("%w: group %d", ErrNoSuchGroup, gid)
 	}
 	return d.groups[gid], nil
 }
 
 func verifySubmissionVector(pk *ecc.Point, v elgamal.Vector, gid int, proof *nizk.EncProof, numPoints int) error {
 	if len(v) != numPoints {
-		return fmt.Errorf("protocol: submission has %d points, want %d", len(v), numPoints)
+		return fmt.Errorf("%w: submission has %d points, want %d", ErrBadSubmission, len(v), numPoints)
 	}
 	for _, ct := range v {
 		if ct.Y != nil {
-			return fmt.Errorf("protocol: submission carries a mid-chain Y slot")
+			return fmt.Errorf("%w: submission carries a mid-chain Y slot", ErrBadSubmission)
 		}
 	}
-	return nizk.VerifyEnc(pk, v, uint64(gid), proof)
+	if err := nizk.VerifyEnc(pk, v, uint64(gid), proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSubmission, err)
+	}
+	return nil
 }
 
-// RoundResult is the outcome of a successful round.
+// RoundResult is the outcome of one successful round.
 type RoundResult struct {
+	// Round is the round's deployment-unique sequence number.
+	Round uint64
 	// Messages are the anonymized plaintexts, deduplicated of protocol
-	// framing, in exit order (which the mixing has randomized).
+	// framing, in canonical order (the mixing has destroyed any
+	// correspondence to submission order).
 	Messages [][]byte
 	// ExitOutputs maps exit group id to the raw routed payloads it
 	// published (traps included in the trap variant).
 	ExitOutputs map[int][][]byte
 	// Traces records per-group per-layer work for accounting.
 	Traces []stepTrace
+	// Iterations records per-layer latency and work totals.
+	Iterations []IterationStats
+	// Duration is the wall-clock time of the whole mixing phase.
+	Duration time.Duration
 }
 
-// RunRound executes T mixing iterations over the whole network and the
-// variant-specific finale. It returns ErrRoundAborted (wrapped) when a
-// defense trips.
+// RunRound executes the current round in lock-step — the blocking
+// one-round-at-a-time legacy surface. On success a fresh current round
+// opens automatically; after an abort the round's records are kept for
+// the §4.6 blame procedure until ResetRound.
 func (d *Deployment) RunRound() (*RoundResult, error) {
+	return d.RunRoundCtx(context.Background(), nil, nil)
+}
+
+// RunRoundCtx executes a round's T mixing iterations across the whole
+// network plus the variant-specific finale, honoring ctx cancellation
+// and deadlines between (and within) iterations. A nil rs runs the
+// implicit current round. It returns an error wrapping ErrRoundAborted
+// when a defense trips, ErrProofRejected when a NIZK proof fails,
+// ErrRecoveryNeeded when a group is under threshold, and ctx.Err()
+// when canceled.
+//
+// Only one round mixes at a time, but rounds opened with OpenRound keep
+// accepting submissions while this runs — the §4.7 pipelined
+// organization.
+func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *RoundHooks) (*RoundResult, error) {
+	if rs == nil {
+		rs = d.currentRound()
+	}
+	// A context that is already dead must not consume the round: the
+	// caller can retry Mix (or keep submitting) with a live one.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("protocol: round %d not started: %w", rs.id, err)
+	}
+	if !rs.mixing.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("%w: round %d already mixed", ErrRoundClosed, rs.id)
+	}
+	d.mixMu.Lock()
+	defer d.mixMu.Unlock()
+
+	adversary := d.takeAdversary()
+	start := time.Now()
 	T := d.topo.Iterations()
 	G := len(d.groups)
-	d.traces = d.traces[:0]
+	cur := rs.seal()
+	var traces []stepTrace
+	var iterations []IterationStats
+
+	finish := func(res *RoundResult, err error) (*RoundResult, error) {
+		// The adversary hook is one-shot regardless of outcome.
+		d.mu.Lock()
+		if d.adversary == adversary {
+			d.adversary = nil
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		res.Round = rs.id
+		res.Traces = traces
+		res.Iterations = iterations
+		res.Duration = time.Since(start)
+		// A finished current round rotates automatically so the legacy
+		// surface keeps its auto-reset semantics (and the trap variant
+		// its per-round trustee key).
+		d.mu.Lock()
+		if d.cur == rs {
+			next, oerr := d.openRoundLocked()
+			if oerr != nil {
+				d.mu.Unlock()
+				return nil, oerr
+			}
+			d.cur = next
+		}
+		d.mu.Unlock()
+		return res, nil
+	}
 
 	for layer := 0; layer < T; layer++ {
+		if err := ctx.Err(); err != nil {
+			return finish(nil, fmt.Errorf("protocol: round %d canceled at layer %d: %w", rs.id, layer, err))
+		}
+		layerStart := time.Now()
+		layerMsgs := 0
+		for gi := 0; gi < G; gi++ {
+			layerMsgs += len(cur[gi])
+		}
+
 		type groupOut struct {
 			gid     int
 			batches [][]elgamal.Vector
@@ -297,13 +361,15 @@ func (d *Deployment) RunRound() (*RoundResult, error) {
 					pks[i] = d.groups[dst].PK
 				}
 				p := mixParams{
+					ctx:      ctx,
 					layer:    layer,
-					variant:  d.cfg.Variant,
+					variant:  rs.variant,
+					batch:    cur[gi],
 					destGIDs: dests,
 					destPKs:  pks,
 					rnd:      rand.Reader,
 				}
-				if a := d.adversary; a != nil && a.Layer == layer && a.GID == gi {
+				if a := adversary; a != nil && a.Layer == layer && a.GID == gi {
 					p.tamper = a.Tamper
 					p.tamperMember = a.Member
 				}
@@ -318,17 +384,21 @@ func (d *Deployment) RunRound() (*RoundResult, error) {
 		if layer == T-1 {
 			exitPayloads = make(map[int][][]byte, G)
 		}
+		it := IterationStats{Round: rs.id, Layer: layer, Messages: layerMsgs}
 		for gi := 0; gi < G; gi++ {
 			o := outs[gi]
 			if o.err != nil {
-				return nil, o.err
+				return finish(nil, o.err)
 			}
-			d.traces = append(d.traces, *o.trace)
+			traces = append(traces, *o.trace)
+			it.Shuffles += o.trace.Shuffles
+			it.ReEncs += o.trace.ReEncs
+			it.ProofsChecked += o.trace.ProofsChecked
 			if layer == T-1 {
 				// Exit layer: single batch of plaintext vectors.
 				payloads, err := extractPayloads(o.batches[0])
 				if err != nil {
-					return nil, fmt.Errorf("protocol: exit group %d: %w", gi, err)
+					return finish(nil, fmt.Errorf("protocol: exit group %d: %w", gi, err))
 				}
 				exitPayloads[gi] = payloads
 				continue
@@ -337,14 +407,17 @@ func (d *Deployment) RunRound() (*RoundResult, error) {
 				next[dst] = append(next[dst], o.batches[bi]...)
 			}
 		}
+		it.Duration = time.Since(layerStart)
+		iterations = append(iterations, it)
+		if hooks != nil && hooks.IterationDone != nil {
+			hooks.IterationDone(it)
+		}
 		if layer == T-1 {
-			return d.finishRound(exitPayloads)
+			return finish(d.finishRound(rs, exitPayloads))
 		}
-		for gi := 0; gi < G; gi++ {
-			d.groups[gi].batch = next[gi]
-		}
+		cur = next
 	}
-	return nil, fmt.Errorf("protocol: unreachable: no exit layer")
+	return finish(nil, fmt.Errorf("protocol: unreachable: no exit layer"))
 }
 
 // extractPayloads converts fully-decrypted vectors into payload bytes.
@@ -362,13 +435,11 @@ func extractPayloads(batch []elgamal.Vector) ([][]byte, error) {
 }
 
 // finishRound applies the variant-specific finale to the exit outputs.
-// On success the round state is reset so the deployment can serve the
-// next round (the trap variant's trustee key is per-round and is
-// regenerated); on an abort the entry records are kept for the §4.6
-// blame procedure, and the caller resets explicitly with ResetRound.
-func (d *Deployment) finishRound(exitPayloads map[int][][]byte) (*RoundResult, error) {
-	res := &RoundResult{ExitOutputs: exitPayloads, Traces: append([]stepTrace(nil), d.traces...)}
-	switch d.cfg.Variant {
+// On an abort the round's entry records are kept for the §4.6 blame
+// procedure.
+func (d *Deployment) finishRound(rs *RoundState, exitPayloads map[int][][]byte) (*RoundResult, error) {
+	res := &RoundResult{ExitOutputs: exitPayloads}
+	switch rs.variant {
 	case VariantNIZK:
 		for _, payloads := range exitPayloads {
 			for _, p := range payloads {
@@ -385,43 +456,57 @@ func (d *Deployment) finishRound(exitPayloads map[int][][]byte) (*RoundResult, e
 		}
 		sortMessages(res.Messages)
 	case VariantTrap:
-		msgs, err := d.trapFinale(exitPayloads)
+		msgs, err := d.trapFinale(rs, exitPayloads)
 		if err != nil {
 			return nil, err
 		}
 		res.Messages = msgs
 	default:
-		return nil, fmt.Errorf("protocol: unknown variant %v", d.cfg.Variant)
-	}
-	if err := d.ResetRound(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("protocol: unknown variant %v", rs.variant)
 	}
 	return res, nil
 }
 
-// ResetRound clears per-round state — collected batches, trap
-// commitments, duplicate filters, entry records — and, in the trap
-// variant, generates a fresh trustee round key (§4.4: "the group keys
-// change across rounds"; the trustees' key must change because a
-// successful round publishes its shares). Successful rounds reset
+// openRoundLocked is OpenRound for callers already holding d.mu.
+func (d *Deployment) openRoundLocked() (*RoundState, error) {
+	variant := d.cfg.Variant
+	numTrustees := d.cfg.NumTrustees
+	rs := &RoundState{
+		id:      d.roundSeq.Add(1),
+		d:       d,
+		variant: variant,
+		groups:  make([]roundGroup, len(d.groups)),
+	}
+	for i := range rs.shards {
+		rs.shards[i].seen = make(map[string]bool)
+	}
+	for i := range rs.groups {
+		rs.groups[i].commitments = make(map[string]int)
+	}
+	if variant == VariantTrap {
+		t, err := NewTrustees(numTrustees, d.rnd)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: rotating trustee key: %w", err)
+		}
+		rs.trustees = t
+	}
+	return rs, nil
+}
+
+// ResetRound discards the current round — its submissions, duplicate
+// filters, commitments and entry records — and opens a fresh one; in
+// the trap variant that generates a fresh trustee round key (§4.4: "the
+// group keys change across rounds"). Successful rounds reset
 // automatically; after an abort, call this once blame handling is done.
 func (d *Deployment) ResetRound() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, g := range d.groups {
-		g.batch = nil
-		g.commitments = make(map[string]int)
+	next, err := d.openRoundLocked()
+	if err != nil {
+		return err
 	}
-	d.seen = make(map[string]bool)
-	d.entries = make(map[int][]entryRecord)
+	d.cur = next
 	d.adversary = nil
-	if d.cfg.Variant == VariantTrap {
-		t, err := NewTrustees(d.cfg.NumTrustees, rand.Reader)
-		if err != nil {
-			return fmt.Errorf("protocol: rotating trustee key: %w", err)
-		}
-		d.trustees = t
-	}
 	return nil
 }
 
@@ -446,10 +531,10 @@ func hashToGroup(payload []byte, G int) int {
 // SwitchVariant changes the active-attack defense for subsequent rounds
 // — the §4.6 escalation: "If the DoS attack is persistent after many
 // rounds, Atom can fall back to using NIZKs, effectively trading off
-// performance for availability." Switching resets the round state
+// performance for availability." Switching opens a fresh current round
 // (pending submissions are encoding-incompatible across variants); a
-// switch back to the trap variant provisions fresh trustees via
-// ResetRound.
+// switch back to the trap variant provisions fresh trustees. Rounds
+// opened before the switch keep the variant they were opened under.
 func (d *Deployment) SwitchVariant(v Variant) error {
 	d.mu.Lock()
 	if v == d.cfg.Variant {
@@ -459,9 +544,6 @@ func (d *Deployment) SwitchVariant(v Variant) error {
 	d.cfg.Variant = v
 	if v == VariantTrap && d.cfg.NumTrustees < 1 {
 		d.cfg.NumTrustees = d.cfg.GroupSize
-	}
-	if v != VariantTrap {
-		d.trustees = nil
 	}
 	d.mu.Unlock()
 	return d.ResetRound()

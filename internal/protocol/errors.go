@@ -1,0 +1,42 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the protocol layer. Every error returned across
+// the package boundary wraps one of these (or ErrRoundAborted in
+// trustees.go), so callers can classify failures with errors.Is instead
+// of string matching. The atom package re-exports a public taxonomy
+// built on top of them.
+var (
+	// ErrBadSubmission marks a submission that failed validation:
+	// malformed wire bytes, wrong vector shape, a mid-chain Y slot, a
+	// bad commitment, or a rejected proof of plaintext knowledge.
+	ErrBadSubmission = errors.New("protocol: bad submission")
+
+	// ErrDuplicateSubmission marks a byte-identical replay of an already
+	// accepted ciphertext or a reused trap commitment. It wraps
+	// ErrBadSubmission: every duplicate is also a bad submission.
+	ErrDuplicateSubmission = fmt.Errorf("%w: duplicate", ErrBadSubmission)
+
+	// ErrNoSuchGroup marks an out-of-range group id.
+	ErrNoSuchGroup = errors.New("protocol: no such group")
+
+	// ErrWrongVariant marks an operation that requires the other
+	// active-attack defense (e.g. a trap submission on a NIZK network).
+	ErrWrongVariant = errors.New("protocol: wrong variant")
+
+	// ErrProofRejected marks a NIZK-variant round abort: a member's
+	// shuffle or re-encryption proof failed verification (Algorithm 2).
+	ErrProofRejected = errors.New("protocol: proof rejected")
+
+	// ErrRecoveryNeeded marks a group that has lost more than its h−1
+	// failure budget and cannot mix until buddy-group recovery runs.
+	ErrRecoveryNeeded = errors.New("protocol: group needs recovery")
+
+	// ErrRoundClosed marks a submission into a round that has already
+	// been sealed for mixing.
+	ErrRoundClosed = errors.New("protocol: round closed to submissions")
+)

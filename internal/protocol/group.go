@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,14 +27,6 @@ type GroupState struct {
 	// failed marks member positions that have crashed (§4.5).
 	failed map[int]bool
 
-	// batch is the group's working set for the current mixing iteration.
-	batch []elgamal.Vector
-
-	// commitments holds the trap commitments of the users whose
-	// submissions this group accepted as entry group (§4.4); keyed by
-	// commitment bytes.
-	commitments map[string]int
-
 	// threshold is k−(h−1): how many members participate per step.
 	threshold int
 }
@@ -45,12 +38,11 @@ func newGroupState(info *groupmgr.Group, threshold int, rnd io.Reader) (*GroupSt
 		return nil, fmt.Errorf("protocol: group %d DKG: %w", info.ID, err)
 	}
 	return &GroupState{
-		Info:        info,
-		Keys:        keys,
-		PK:          keys[0].PK,
-		failed:      make(map[int]bool),
-		commitments: make(map[string]int),
-		threshold:   threshold,
+		Info:      info,
+		Keys:      keys,
+		PK:        keys[0].PK,
+		failed:    make(map[int]bool),
+		threshold: threshold,
 	}, nil
 }
 
@@ -69,8 +61,8 @@ func (g *GroupState) Active() ([]int, error) {
 			return active, nil
 		}
 	}
-	return nil, fmt.Errorf("protocol: group %d has only %d live members, needs %d",
-		g.Info.ID, len(active), g.threshold)
+	return nil, fmt.Errorf("%w: group %d has only %d live members, needs %d",
+		ErrRecoveryNeeded, g.Info.ID, len(active), g.threshold)
 }
 
 // LiveMembers returns the count of non-failed members.
@@ -96,6 +88,11 @@ type stepTrace struct {
 
 // mixParams bundles what a group needs to execute one iteration.
 type mixParams struct {
+	// ctx aborts the iteration between members when canceled.
+	ctx context.Context
+	// batch is the group's working set for this iteration (per-round
+	// state; the deployment threads it through from the RoundState).
+	batch   []elgamal.Vector
 	layer   int
 	variant Variant
 	// destinations are the next-layer group ids (empty for the exit
@@ -133,7 +130,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 	// --- Step 1: Shuffle, each active member in order. ---
 	// An empty batch (a group that received no ciphertexts this layer)
 	// passes through: there is nothing to permute or prove.
-	batch := g.batch
+	batch := p.batch
 	if len(batch) == 0 {
 		beta := len(p.destGIDs)
 		if beta == 0 {
@@ -142,6 +139,9 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		return make([][]elgamal.Vector, beta), trace, nil
 	}
 	for pos, idx := range active {
+		if err := p.canceled(); err != nil {
+			return nil, nil, err
+		}
 		out, perm, rands, err := elgamal.ShuffleBatch(g.PK, batch, p.rnd)
 		if err != nil {
 			return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle: %w", g.Info.ID, idx, err)
@@ -158,7 +158,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 				return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle proof: %w", g.Info.ID, idx, err)
 			}
 			if err := nizk.VerifyShuffle(g.PK, batch, out, proof); err != nil {
-				return nil, nil, fmt.Errorf("protocol: group %d aborts — member %d shuffle rejected: %w", g.Info.ID, idx, err)
+				return nil, nil, fmt.Errorf("%w: group %d aborts — member %d shuffle rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
 			}
 			trace.ProofsChecked++
 		}
@@ -188,6 +188,9 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 			continue
 		}
 		for _, idx := range active {
+			if err := p.canceled(); err != nil {
+				return nil, nil, err
+			}
 			gk := g.Keys[idx-1]
 			eff, effPub, err := gk.EffectiveKey(active)
 			if err != nil {
@@ -206,7 +209,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 						return nil, nil, fmt.Errorf("protocol: group %d member %d reenc proof: %w", g.Info.ID, idx, err)
 					}
 					if err := nizk.VerifyReEnc(effPub, p.destPKs[i], vec, out, proof); err != nil {
-						return nil, nil, fmt.Errorf("protocol: group %d aborts — member %d reencryption rejected: %w", g.Info.ID, idx, err)
+						return nil, nil, fmt.Errorf("%w: group %d aborts — member %d reencryption rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
 					}
 					trace.ProofsChecked++
 				}
@@ -221,6 +224,16 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		batches[i] = cur
 	}
 	return batches, trace, nil
+}
+
+// canceled reports the context's error, if any.
+func (p *mixParams) canceled() error {
+	if p.ctx != nil {
+		if err := p.ctx.Err(); err != nil {
+			return fmt.Errorf("protocol: mixing canceled: %w", err)
+		}
+	}
+	return nil
 }
 
 // batchSizes mirrors topology.BatchSizes without importing it here (the

@@ -240,7 +240,7 @@ func TestTrapDetectsDroppedCiphertext(t *testing.T) {
 	if !errors.Is(err, ErrRoundAborted) {
 		t.Fatalf("expected ErrRoundAborted, got %v", err)
 	}
-	if !d.trustees.Deleted() {
+	if !d.currentRound().trustees.Deleted() {
 		t.Error("trustees did not delete their key shares")
 	}
 }
@@ -305,11 +305,11 @@ func TestTrapRemovalDoesNotRevealPlaintext(t *testing.T) {
 	if _, err := d.RunRound(); err == nil {
 		t.Fatal("round should have aborted")
 	}
-	if !d.trustees.Deleted() {
+	if !d.currentRound().trustees.Deleted() {
 		t.Fatal("trustee shares must be deleted on abort")
 	}
 	// A second release attempt must fail permanently.
-	if _, err := d.trustees.Release(nil); err == nil {
+	if _, err := d.currentRound().trustees.Release(nil); err == nil {
 		t.Fatal("released key after deletion")
 	}
 }
@@ -379,13 +379,11 @@ func TestFaultBeyondBudgetAbortsThenRecovers(t *testing.T) {
 		t.Fatal("group 0 still needs recovery after RecoverGroup")
 	}
 
-	// Resubmit (the aborted round's batches were consumed) and rerun.
+	// Resubmit (the aborted round was consumed) and rerun.
 	d2 := d
-	for gid := range d2.groups {
-		d2.groups[gid].batch = nil
+	if err := d2.ResetRound(); err != nil {
+		t.Fatal(err)
 	}
-	d2.seen = map[string]bool{}
-	d2.entries = map[int][]entryRecord{}
 	want = submitAll(t, d2, c, 8)
 	res, err := d2.RunRound()
 	if err != nil {

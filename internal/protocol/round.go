@@ -1,0 +1,285 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// numShards is the fan-out of the duplicate-submission filter. Sixteen
+// shards keep lock contention negligible at the submission rates the
+// proof verification (which runs outside any lock) allows.
+const numShards = 16
+
+// ingestShard is one shard of a round's duplicate-ciphertext filter,
+// keyed by the leading fingerprint byte.
+type ingestShard struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// roundGroup is one entry group's per-round ingestion buffer. Each
+// group has its own lock, so submissions to different entry groups
+// never contend; the expensive proof verification happens before any
+// lock is taken.
+type roundGroup struct {
+	mu          sync.Mutex
+	batch       []elgamal.Vector
+	commitments map[string]int // trap variant: commitment bytes → user
+	entries     []entryRecord
+}
+
+// RoundState is the per-round half of a deployment: the ingestion
+// buffers, duplicate filters, trap commitments, entry records for the
+// §4.6 blame procedure, and (in the trap variant) the round's trustee
+// key. Deployments hold only static material (group keys, wiring), so
+// any number of RoundStates can accept submissions concurrently — in
+// particular, round r+1 ingests while round r mixes.
+//
+// SubmitUser, SubmitTrapUser and SubmitEncoded are safe for concurrent
+// use by multiple goroutines.
+type RoundState struct {
+	id      uint64
+	d       *Deployment
+	variant Variant
+
+	// trustees is the trap variant's per-round key authority (§4.4:
+	// "the group keys change across rounds").
+	trustees *Trustees
+
+	shards [numShards]ingestShard
+	groups []roundGroup
+
+	// sealed flips once mixing starts; late submissions are rejected
+	// with ErrRoundClosed. Writes happen before the sealing goroutine
+	// acquires the group locks, so any submission that got its append in
+	// is part of the mixed batch and any other sees the flag.
+	sealed atomic.Bool
+
+	// mixing guards against mixing the same round twice (the second
+	// pass would see empty buffers and, in the trap variant, trip on
+	// its own leftover commitments).
+	mixing atomic.Bool
+
+	// pending counts accepted submissions (trap pairs count once).
+	pending atomic.Int64
+}
+
+// OpenRound creates a fresh round: empty buffers and, in the trap
+// variant, a newly generated trustee round key. The returned round
+// accepts submissions immediately and independently of any other
+// round's lifecycle.
+func (d *Deployment) OpenRound() (*RoundState, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.openRoundLocked()
+}
+
+// ID returns the round's deployment-unique sequence number.
+func (rs *RoundState) ID() uint64 { return rs.id }
+
+// Variant returns the defense variant the round was opened under.
+func (rs *RoundState) Variant() Variant { return rs.variant }
+
+// Pending returns the number of submissions accepted so far.
+func (rs *RoundState) Pending() int { return int(rs.pending.Load()) }
+
+// Sealed reports whether the round has been sealed for mixing.
+func (rs *RoundState) Sealed() bool { return rs.sealed.Load() }
+
+// TrusteePK returns the round's trustee public key (trap variant only);
+// users CCA2-encrypt their inner ciphertexts to it.
+func (rs *RoundState) TrusteePK() (*ecc.Point, error) {
+	if rs.trustees == nil {
+		return nil, fmt.Errorf("%w: round %d has no trustees (variant %v)", ErrWrongVariant, rs.id, rs.variant)
+	}
+	return rs.trustees.PK(), nil
+}
+
+// shardFor picks the duplicate-filter shard for a fingerprint.
+func (rs *RoundState) shardFor(fp string) *ingestShard {
+	if len(fp) == 0 {
+		return &rs.shards[0]
+	}
+	return &rs.shards[int(fp[0])%numShards]
+}
+
+// reserve claims a fingerprint in the duplicate filter, failing on
+// replays.
+func (rs *RoundState) reserve(fp string) error {
+	s := rs.shardFor(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[fp] {
+		return fmt.Errorf("%w: submission rejected (replayed ciphertext)", ErrDuplicateSubmission)
+	}
+	s.seen[fp] = true
+	return nil
+}
+
+// release undoes a reserve when a later validation step fails.
+func (rs *RoundState) release(fp string) {
+	s := rs.shardFor(fp)
+	s.mu.Lock()
+	delete(s.seen, fp)
+	s.mu.Unlock()
+}
+
+// SubmitUser accepts a NIZK-variant submission: all (simulated) servers
+// of the entry group verify the EncProof, and exact duplicates are
+// rejected (§3: the NIZK prevents rerandomized copies; the fingerprint
+// shards prevent byte-identical replays within the round). Safe for
+// concurrent use.
+func (rs *RoundState) SubmitUser(user int, sub *Submission) error {
+	if rs.variant != VariantNIZK {
+		return fmt.Errorf("%w: SubmitUser requires the NIZK variant", ErrWrongVariant)
+	}
+	if rs.sealed.Load() {
+		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
+	}
+	g, err := rs.d.groupFor(sub.GID)
+	if err != nil {
+		return err
+	}
+	// Proof verification is the hot path; it runs with no locks held.
+	if err := verifySubmissionVector(g.PK, sub.Ciphertext, sub.GID, sub.Proof, rs.d.cfg.NumPoints()); err != nil {
+		return err
+	}
+	fp := string(sub.Ciphertext.Fingerprint())
+	if err := rs.reserve(fp); err != nil {
+		return err
+	}
+	rg := &rs.groups[sub.GID]
+	rg.mu.Lock()
+	if rs.sealed.Load() {
+		rg.mu.Unlock()
+		rs.release(fp)
+		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
+	}
+	rg.batch = append(rg.batch, sub.Ciphertext.Clone())
+	rg.entries = append(rg.entries, entryRecord{User: user, Sub: sub})
+	rg.mu.Unlock()
+	rs.pending.Add(1)
+	return nil
+}
+
+// SubmitTrapUser accepts a trap-variant submission: both EncProofs are
+// verified, both ciphertexts enter the entry group's batch as
+// independent messages, and the trap commitment is stored (§4.4). Safe
+// for concurrent use.
+func (rs *RoundState) SubmitTrapUser(user int, sub *TrapSubmission) error {
+	if rs.variant != VariantTrap {
+		return fmt.Errorf("%w: SubmitTrapUser requires the trap variant", ErrWrongVariant)
+	}
+	if rs.sealed.Load() {
+		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
+	}
+	g, err := rs.d.groupFor(sub.GID)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := verifySubmissionVector(g.PK, sub.Ciphertexts[i], sub.GID, sub.Proofs[i], rs.d.cfg.NumPoints()); err != nil {
+			return fmt.Errorf("ciphertext %d: %w", i, err)
+		}
+	}
+	if len(sub.Commitment) != 32 {
+		return fmt.Errorf("%w: trap commitment must be 32 bytes, got %d", ErrBadSubmission, len(sub.Commitment))
+	}
+	fp0 := string(sub.Ciphertexts[0].Fingerprint())
+	fp1 := string(sub.Ciphertexts[1].Fingerprint())
+	if err := rs.reserve(fp0); err != nil {
+		return err
+	}
+	if err := rs.reserve(fp1); err != nil {
+		rs.release(fp0)
+		return err
+	}
+	rg := &rs.groups[sub.GID]
+	rg.mu.Lock()
+	if rs.sealed.Load() {
+		rg.mu.Unlock()
+		rs.release(fp0)
+		rs.release(fp1)
+		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
+	}
+	if _, dup := rg.commitments[string(sub.Commitment)]; dup {
+		rg.mu.Unlock()
+		rs.release(fp0)
+		rs.release(fp1)
+		return fmt.Errorf("%w: trap commitment reused", ErrDuplicateSubmission)
+	}
+	rg.batch = append(rg.batch, sub.Ciphertexts[0].Clone(), sub.Ciphertexts[1].Clone())
+	rg.commitments[string(sub.Commitment)] = user
+	rg.entries = append(rg.entries, entryRecord{User: user, Trap: sub})
+	rg.mu.Unlock()
+	rs.pending.Add(1)
+	return nil
+}
+
+// SubmitEncoded accepts a wire-encoded submission in whichever format
+// the round's variant expects — the path remote users take.
+func (rs *RoundState) SubmitEncoded(user int, wire []byte) error {
+	switch rs.variant {
+	case VariantNIZK:
+		sub, err := DecodeSubmission(wire)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSubmission, err)
+		}
+		return rs.SubmitUser(user, sub)
+	default:
+		sub, err := DecodeTrapSubmission(wire)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSubmission, err)
+		}
+		return rs.SubmitTrapUser(user, sub)
+	}
+}
+
+// seal closes the round to submissions and snapshots the per-group
+// batches for mixing. Acquiring each group's lock after flipping the
+// flag guarantees every in-flight append is either included in the
+// snapshot or rejected with ErrRoundClosed — no submission is silently
+// dropped.
+func (rs *RoundState) seal() [][]elgamal.Vector {
+	rs.sealed.Store(true)
+	batches := make([][]elgamal.Vector, len(rs.groups))
+	for gi := range rs.groups {
+		rg := &rs.groups[gi]
+		rg.mu.Lock()
+		batches[gi] = rg.batch
+		rg.batch = nil
+		rg.mu.Unlock()
+	}
+	return batches
+}
+
+// IterationStats is the per-mixing-iteration observability record
+// reported through RoundHooks and accumulated into RoundResult.
+type IterationStats struct {
+	// Round is the round's sequence number.
+	Round uint64
+	// Layer is the 0-based mixing iteration.
+	Layer int
+	// Duration is the wall-clock latency of the iteration (all groups,
+	// which run in parallel).
+	Duration time.Duration
+	// Messages is the number of ciphertext vectors entering the layer.
+	Messages int
+	// Shuffles, ReEncs and ProofsChecked total the per-group work.
+	Shuffles      int
+	ReEncs        int
+	ProofsChecked int
+}
+
+// RoundHooks carries the observability callbacks RunRoundCtx invokes.
+// Nil hooks (or nil fields) are skipped. Callbacks run synchronously on
+// the mixing goroutine; keep them cheap.
+type RoundHooks struct {
+	// IterationDone fires after every mixing iteration completes.
+	IterationDone func(IterationStats)
+}

@@ -113,7 +113,7 @@ func (c *Client) encryptPayload(payload []byte, entryPK *ecc.Point, gid int, rnd
 // with public key entryPK and id gid.
 func (c *Client) Submit(msg []byte, entryPK *ecc.Point, gid int, rnd io.Reader) (*Submission, error) {
 	if c.cfg.Variant != VariantNIZK {
-		return nil, fmt.Errorf("protocol: Submit requires the NIZK variant (have %v)", c.cfg.Variant)
+		return nil, fmt.Errorf("%w: Submit requires the NIZK variant (have %v)", ErrWrongVariant, c.cfg.Variant)
 	}
 	padded, err := padMessage(msg, c.cfg.MessageSize)
 	if err != nil {
@@ -164,7 +164,7 @@ func trapGID(trap []byte) (int, error) {
 // group, in random order (§4.4 steps 1–5).
 func (c *Client) SubmitTrap(msg []byte, entryPK, trusteePK *ecc.Point, gid int, rnd io.Reader) (*TrapSubmission, error) {
 	if c.cfg.Variant != VariantTrap {
-		return nil, fmt.Errorf("protocol: SubmitTrap requires the trap variant (have %v)", c.cfg.Variant)
+		return nil, fmt.Errorf("%w: SubmitTrap requires the trap variant (have %v)", ErrWrongVariant, c.cfg.Variant)
 	}
 	padded, err := padMessage(msg, c.cfg.MessageSize)
 	if err != nil {

@@ -10,7 +10,7 @@ import (
 // groups, verify trap commitments and duplicate-freedom, report to the
 // trustees, and — if the trustees release the key — decrypt the inner
 // ciphertexts into the round's plaintext messages.
-func (d *Deployment) trapFinale(exitPayloads map[int][][]byte) ([][]byte, error) {
+func (d *Deployment) trapFinale(rs *RoundState, exitPayloads map[int][][]byte) ([][]byte, error) {
 	G := len(d.groups)
 
 	// Route: traps to their entry group, inner ciphertexts to the group
@@ -43,13 +43,13 @@ func (d *Deployment) trapFinale(exitPayloads map[int][][]byte) ([][]byte, error)
 	// inner ciphertexts for duplicates, then reports (§4.4).
 	reports := make([]ExitReport, G)
 	for gid := 0; gid < G; gid++ {
-		g := d.groups[gid]
+		commitments := rs.groups[gid].commitments
 		report := ExitReport{GID: gid, TrapsOK: true, InnerOK: !malformed[gid]}
 
 		// Trap check: every expected commitment matched exactly once, no
 		// unexpected traps.
-		expected := make(map[string]int, len(g.commitments))
-		for c := range g.commitments {
+		expected := make(map[string]int, len(commitments))
+		for c := range commitments {
 			expected[c]++
 		}
 		for _, trap := range trapsByGroup[gid] {
@@ -81,7 +81,7 @@ func (d *Deployment) trapFinale(exitPayloads map[int][][]byte) ([][]byte, error)
 		reports[gid] = report
 	}
 
-	shares, err := d.trustees.Release(reports)
+	shares, err := rs.trustees.Release(reports)
 	if err != nil {
 		return nil, err
 	}
@@ -109,10 +109,17 @@ func (d *Deployment) trapFinale(exitPayloads map[int][][]byte) ([][]byte, error)
 	return msgs, nil
 }
 
-// TrapReports recomputes the exit reports of the previous round's
-// payloads without releasing anything; exposed for tests and monitoring.
+// TrapReports recomputes exit reports for the given payloads against
+// the CURRENT round's commitment sets, without releasing anything;
+// exposed for tests and monitoring.
 func (d *Deployment) TrapReports(exitPayloads map[int][][]byte) []ExitReport {
-	G := len(d.groups)
+	return d.currentRound().TrapReports(exitPayloads)
+}
+
+// TrapReports recomputes exit reports for the given payloads against
+// this round's commitment sets.
+func (rs *RoundState) TrapReports(exitPayloads map[int][][]byte) []ExitReport {
+	G := len(rs.d.groups)
 	trapsByGroup := make([][][]byte, G)
 	innerByGroup := make([][][]byte, G)
 	for _, payloads := range exitPayloads {
@@ -133,10 +140,10 @@ func (d *Deployment) TrapReports(exitPayloads map[int][][]byte) []ExitReport {
 	}
 	reports := make([]ExitReport, G)
 	for gid := 0; gid < G; gid++ {
-		g := d.groups[gid]
+		commitments := rs.groups[gid].commitments
 		r := ExitReport{GID: gid, TrapsOK: true, InnerOK: true}
-		expected := make(map[string]int, len(g.commitments))
-		for c := range g.commitments {
+		expected := make(map[string]int, len(commitments))
+		for c := range commitments {
 			expected[c]++
 		}
 		for _, trap := range trapsByGroup[gid] {

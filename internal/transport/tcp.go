@@ -22,10 +22,19 @@ type TCPNode struct {
 	inbox    chan *Message
 
 	mu      sync.Mutex
-	conns   map[string]net.Conn // outbound, keyed by peer address
+	conns   map[string]*tcpConn // outbound, keyed by peer address
 	inbound map[net.Conn]bool   // accepted connections, for Close
 	closed  bool
 	wg      sync.WaitGroup
+}
+
+// tcpConn pairs an outbound connection with a write mutex: concurrent
+// Sends to one peer (the daemon's async mix replies, the client's
+// concurrency-safe methods) must not interleave their length-prefixed
+// frames on the shared connection.
+type tcpConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
 }
 
 // maxFrame bounds a frame to 64 MiB to stop a malformed length prefix
@@ -46,7 +55,7 @@ func ListenTCP(addr string, buffer int) (*TCPNode, error) {
 		addr:     l.Addr().String(),
 		listener: l,
 		inbox:    make(chan *Message, buffer),
-		conns:    make(map[string]net.Conn),
+		conns:    make(map[string]*tcpConn),
 		inbound:  make(map[net.Conn]bool),
 	}
 	n.wg.Add(1)
@@ -109,41 +118,45 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 }
 
 // Send implements Endpoint: it dials (or reuses) a connection to the
-// peer address and writes one frame.
+// peer address and writes one frame. Safe for concurrent use: frames
+// to the same peer are serialized on the connection's write mutex.
 func (n *TCPNode) Send(to string, msg *Message) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := n.conns[to]
+	tc, ok := n.conns[to]
 	n.mu.Unlock()
 	if !ok {
-		var err error
-		conn, err = net.Dial("tcp", to)
+		conn, err := net.Dial("tcp", to)
 		if err != nil {
 			return fmt.Errorf("transport: dial %s: %w", to, err)
 		}
+		tc = &tcpConn{conn: conn}
 		n.mu.Lock()
 		if existing, race := n.conns[to]; race {
 			conn.Close()
-			conn = existing
+			tc = existing
 		} else {
-			n.conns[to] = conn
+			n.conns[to] = tc
 		}
 		n.mu.Unlock()
 	}
 	cp := *msg
 	cp.From = n.addr
 	cp.To = to
-	if err := writeFrame(conn, &cp); err != nil {
+	tc.wmu.Lock()
+	err := writeFrame(tc.conn, &cp)
+	tc.wmu.Unlock()
+	if err != nil {
 		// Connection went stale; drop it so the next send redials.
 		n.mu.Lock()
-		if n.conns[to] == conn {
+		if n.conns[to] == tc {
 			delete(n.conns, to)
 		}
 		n.mu.Unlock()
-		conn.Close()
+		tc.conn.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
@@ -158,9 +171,9 @@ func (n *TCPNode) Close() error {
 	}
 	n.closed = true
 	for _, c := range n.conns {
-		c.Close()
+		c.conn.Close()
 	}
-	n.conns = map[string]net.Conn{}
+	n.conns = map[string]*tcpConn{}
 	for c := range n.inbound {
 		c.Close()
 	}
@@ -184,12 +197,13 @@ func writeFrame(w io.Writer, msg *Message) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
 	}
-	var ln [4]byte
-	binary.BigEndian.PutUint32(ln[:], uint32(len(payload)))
-	if _, err := w.Write(ln[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// One Write per frame: the length prefix and payload go out
+	// together (callers additionally serialize on a per-connection
+	// mutex; a single buffer also halves the syscalls).
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	_, err := w.Write(frame)
 	return err
 }
 

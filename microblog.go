@@ -1,6 +1,7 @@
 package atom
 
 import (
+	"context"
 	"crypto/rand"
 
 	"atom/internal/bulletin"
@@ -38,15 +39,21 @@ func NewMicroblog(n *Network) (*Microblog, error) {
 
 // Post submits one message for the given user into the current round.
 func (m *Microblog) Post(user int, text string) error {
-	return m.svc.Post(user, text, rand.Reader)
+	return wrapErr(m.svc.Post(user, text, rand.Reader))
 }
 
 // Publish mixes the round and publishes the anonymized posts, returning
 // them in board order.
 func (m *Microblog) Publish() ([]Post, error) {
-	posts, err := m.svc.RunRound()
+	return m.PublishCtx(context.Background())
+}
+
+// PublishCtx is Publish with cancellation/deadline propagation into the
+// mixing iterations; errors classify under the package taxonomy.
+func (m *Microblog) PublishCtx(ctx context.Context) ([]Post, error) {
+	posts, err := m.svc.RunRoundCtx(ctx)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	out := make([]Post, len(posts))
 	for i, p := range posts {

@@ -1,0 +1,130 @@
+package atom
+
+import (
+	"time"
+
+	"atom/internal/protocol"
+)
+
+// IterationStats reports one mixing iteration of one round: its
+// wall-clock latency and the cryptographic work the whole network did
+// (all groups run in parallel within an iteration).
+type IterationStats struct {
+	// Round is the round's sequence number.
+	Round uint64
+	// Layer is the 0-based mixing iteration (0 ≤ Layer < T).
+	Layer int
+	// Duration is the iteration's wall-clock latency.
+	Duration time.Duration
+	// Messages is the number of ciphertext vectors entering the layer.
+	Messages int
+	// Shuffles and ReEncs count the per-member crypto operations.
+	Shuffles int
+	ReEncs   int
+	// ProofsVerified counts NIZK verifications (0 in the trap variant's
+	// mixing iterations).
+	ProofsVerified int
+}
+
+// RoundStats summarizes a completed round.
+type RoundStats struct {
+	// Round is the round's sequence number.
+	Round uint64
+	// Submissions is how many submissions the round accepted.
+	Submissions int
+	// Messages is how many anonymized plaintexts the round produced.
+	Messages int
+	// Iterations is T, the number of mixing iterations run.
+	Iterations int
+	// Duration is the wall-clock time of the whole mixing phase
+	// (iterations plus the variant finale).
+	Duration time.Duration
+	// PerIteration holds one entry per mixing iteration, in order.
+	PerIteration []IterationStats
+	// Shuffles, ReEncs and ProofsVerified total the work across
+	// iterations.
+	Shuffles       int
+	ReEncs         int
+	ProofsVerified int
+}
+
+// Observer receives lifecycle callbacks from a Network and its rounds.
+// Any field may be nil; nil callbacks are skipped. Callbacks run
+// synchronously on the calling goroutine — SubmissionAccepted may fire
+// concurrently from many submitting goroutines, so implementations
+// must be safe for concurrent use; keep all callbacks cheap.
+type Observer struct {
+	// RoundOpened fires when a round starts accepting submissions.
+	RoundOpened func(round uint64)
+	// SubmissionAccepted fires for every accepted submission.
+	SubmissionAccepted func(round uint64, user, gid int)
+	// IterationDone fires after each mixing iteration.
+	IterationDone func(IterationStats)
+	// RoundMixed fires when a round completes successfully.
+	RoundMixed func(RoundStats)
+	// RoundFailed fires when a round aborts; err is classified by the
+	// package's error taxonomy (errors.Is against ErrTrapTripped etc.).
+	RoundFailed func(round uint64, err error)
+}
+
+// SetObserver installs the network's observer; rounds opened afterwards
+// (and the legacy Run path) report through it. Passing nil removes it.
+func (n *Network) SetObserver(obs *Observer) { n.obs.Store(&observerBox{obs}) }
+
+// observerBox wraps the pointer so atomic.Value accepts a nil observer.
+type observerBox struct{ obs *Observer }
+
+func (n *Network) observer() *Observer {
+	if v, ok := n.obs.Load().(*observerBox); ok {
+		return v.obs
+	}
+	return nil
+}
+
+// statsFromResult converts a protocol round result into public stats.
+func statsFromResult(res *protocol.RoundResult, submissions int) RoundStats {
+	st := RoundStats{
+		Round:       res.Round,
+		Submissions: submissions,
+		Messages:    len(res.Messages),
+		Iterations:  len(res.Iterations),
+		Duration:    res.Duration,
+	}
+	for _, it := range res.Iterations {
+		st.PerIteration = append(st.PerIteration, IterationStats{
+			Round:          it.Round,
+			Layer:          it.Layer,
+			Duration:       it.Duration,
+			Messages:       it.Messages,
+			Shuffles:       it.Shuffles,
+			ReEncs:         it.ReEncs,
+			ProofsVerified: it.ProofsChecked,
+		})
+		st.Shuffles += it.Shuffles
+		st.ReEncs += it.ReEncs
+		st.ProofsVerified += it.ProofsChecked
+	}
+	return st
+}
+
+// hooksFor builds the protocol-layer callbacks that forward to the
+// observer's IterationDone.
+func (n *Network) hooksFor() *protocol.RoundHooks {
+	obs := n.observer()
+	if obs == nil || obs.IterationDone == nil {
+		return nil
+	}
+	return &protocol.RoundHooks{
+		IterationDone: func(it protocol.IterationStats) {
+			obs.IterationDone(IterationStats{
+				Round:          it.Round,
+				Layer:          it.Layer,
+				Duration:       it.Duration,
+				Messages:       it.Messages,
+				Shuffles:       it.Shuffles,
+				ReEncs:         it.ReEncs,
+				ProofsVerified: it.ProofsChecked,
+			})
+		},
+	}
+}
