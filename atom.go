@@ -109,6 +109,14 @@ type Config struct {
 	// Buddies is the number of buddy groups escrowing each group's key
 	// shares for crash recovery (0 disables escrow).
 	Buddies int
+	// MixWorkers is the parallel mixing engine's per-group worker
+	// count (paper Figure 7: a mixing iteration scales near-linearly
+	// with cores). Every group fans its per-message cryptography —
+	// shuffle rerandomization, re-encryption, proof generation and
+	// verification — over a bounded pool of this size. Zero or
+	// negative selects the automatic policy: the machine's CPUs
+	// divided evenly among the in-process groups.
+	MixWorkers int
 	// Seed seeds the public randomness beacon (group formation);
 	// deployments must agree on it.
 	Seed []byte
@@ -127,6 +135,7 @@ func (c Config) internal() protocol.Config {
 		Topology:    c.Topology,
 		NumTrustees: c.Trustees,
 		BuddyCount:  c.Buddies,
+		Mix:         protocol.MixConfig{Workers: c.MixWorkers},
 		Seed:        c.Seed,
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		variant     = flag.String("variant", "trap", "active-attack defense: nizk or trap")
 		iterations  = flag.Int("iterations", 3, "mixing iterations T")
 		topo        = flag.String("topology", "square", "permutation network: square or butterfly")
+		workers     = flag.Int("workers", 0, "parallel mixing engine: worker goroutines per group (0 = CPUs/groups)")
 		seed        = flag.String("seed", "atomd", "beacon seed (all participants must agree)")
 		verbose     = flag.Bool("verbose", true, "log per-round and per-iteration statistics")
 	)
@@ -54,6 +55,7 @@ func main() {
 		Variant:       v,
 		Iterations:    *iterations,
 		Topology:      *topo,
+		MixWorkers:    *workers,
 		Seed:          []byte(*seed),
 	}
 	log.Printf("atomd: forming %d groups of %d from %d servers (%s variant, T=%d)…",
@@ -69,8 +71,9 @@ func main() {
 				log.Printf("atomd: round %d open for submissions", round)
 			},
 			IterationDone: func(it atom.IterationStats) {
-				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs)",
-					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified)
+				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization)",
+					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified,
+					it.Workers, 100*it.Utilization())
 			},
 			RoundMixed: func(st atom.RoundStats) {
 				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations",

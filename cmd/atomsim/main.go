@@ -29,6 +29,7 @@ func main() {
 		live     = flag.Bool("live", false, "run a real round and print per-iteration Observer stats")
 		liveMsgs = flag.Int("livemsgs", 16, "messages to mix in -live mode")
 		liveNIZK = flag.Bool("livenizk", false, "use the NIZK variant in -live mode (default trap)")
+		workers  = flag.Int("workers", 0, "parallel mixing engine: worker goroutines per group in -live mode (0 = CPUs/groups)")
 	)
 	flag.Parse()
 	if !*all && *fig == 0 && *table == 0 && !*live {
@@ -55,7 +56,8 @@ func main() {
 		out, _, err := ev.LiveRound(atom.Config{
 			Servers: 12, Groups: 4, GroupSize: 3,
 			MessageSize: 64, Variant: variant, Iterations: 3,
-			Seed: []byte("atomsim-live"),
+			MixWorkers: *workers,
+			Seed:       []byte("atomsim-live"),
 		}, *liveMsgs)
 		emit(out, err)
 		return

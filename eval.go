@@ -287,15 +287,17 @@ func (ev *Evaluation) LiveRound(cfg Config, users int) (string, *RoundStats, err
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "Live round %d: %d messages, %d groups of %d, %s variant [measured via Observer hooks]\n",
-		final.Round, users, cfg.Groups, cfg.GroupSize, map[Variant]string{NIZK: "NIZK", Trap: "trap"}[cfg.Variant])
-	fmt.Fprintf(&b, "  %-10s %-12s %-10s %-10s %-8s %s\n", "iteration", "latency", "messages", "shuffles", "reencs", "proofs verified")
+	fmt.Fprintf(&b, "Live round %d: %d messages, %d groups of %d, %s variant, %d workers/group [measured via Observer hooks]\n",
+		final.Round, users, cfg.Groups, cfg.GroupSize, map[Variant]string{NIZK: "NIZK", Trap: "trap"}[cfg.Variant],
+		final.Workers)
+	fmt.Fprintf(&b, "  %-10s %-12s %-10s %-10s %-8s %-16s %s\n", "iteration", "latency", "messages", "shuffles", "reencs", "proofs verified", "pool util")
 	for _, it := range iterations {
-		fmt.Fprintf(&b, "  %-10d %-12v %-10d %-10d %-8d %d\n",
-			it.Layer, it.Duration.Round(100*time.Microsecond), it.Messages, it.Shuffles, it.ReEncs, it.ProofsVerified)
+		fmt.Fprintf(&b, "  %-10d %-12v %-10d %-10d %-8d %-16d %.0f%%\n",
+			it.Layer, it.Duration.Round(100*time.Microsecond), it.Messages, it.Shuffles, it.ReEncs, it.ProofsVerified,
+			100*it.Utilization())
 	}
-	fmt.Fprintf(&b, "  total: %v mixing, %d anonymized messages, %d proofs verified\n",
-		final.Duration.Round(100*time.Microsecond), final.Messages, final.ProofsVerified)
+	fmt.Fprintf(&b, "  total: %v mixing, %d anonymized messages, %d proofs verified, %.0f%% pool utilization\n",
+		final.Duration.Round(100*time.Microsecond), final.Messages, final.ProofsVerified, 100*final.Utilization())
 	return b.String(), &final, nil
 }
 

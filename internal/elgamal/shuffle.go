@@ -7,6 +7,7 @@ import (
 	"math/big"
 
 	"atom/internal/ecc"
+	"atom/internal/parallel"
 )
 
 // RandomPerm returns a uniformly random permutation of [0, n) using
@@ -40,31 +41,87 @@ func RandomPerm(n int, rnd io.Reader) ([]int, error) {
 // (out[i] = Rerandomize(in[perm[i]], rands[i][j])), which the caller
 // feeds to nizk.ProveShuffle in the NIZK variant and then discards.
 func ShuffleBatch(pk *ecc.Point, in []Vector, rnd io.Reader) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
+	return ShuffleBatchPar(pk, in, rnd, nil)
+}
+
+// ShuffleBatchPar is ShuffleBatch with the per-message point arithmetic
+// fanned over the pool's workers (nil pool = serial, identical to
+// ShuffleBatch). All randomness — the permutation and every
+// rerandomizer — is drawn from rnd serially up front, so rnd need not
+// be safe for concurrent use and the batch consumes the randomness
+// stream in the same order at every worker count.
+func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.Pool) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
 	n := len(in)
 	perm, err = RandomPerm(n, rnd)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out = make([]Vector, n)
 	rands = make([][]*ecc.Scalar, n)
 	for i := 0; i < n; i++ {
 		src := in[perm[i]]
-		v := make(Vector, len(src))
 		rs := make([]*ecc.Scalar, len(src))
 		for j, ct := range src {
-			var r *ecc.Scalar
 			if ct.Y != nil {
 				return nil, nil, nil, fmt.Errorf("%w: shuffle input (%d,%d)", ErrY, perm[i], j)
 			}
-			r, err = ecc.RandomScalar(rnd)
-			if err != nil {
+			if rs[j], err = ecc.RandomScalar(rnd); err != nil {
 				return nil, nil, nil, err
 			}
-			v[j] = RerandomizeWithRandomness(pk, ct, r)
-			rs[j] = r
 		}
-		out[i] = v
 		rands[i] = rs
 	}
+	out = make([]Vector, n)
+	if err := pool.Each(n, func(i int) error {
+		src := in[perm[i]]
+		v := make(Vector, len(src))
+		for j, ct := range src {
+			v[j] = RerandomizeWithRandomness(pk, ct, rands[i][j])
+		}
+		out[i] = v
+		return nil
+	}); err != nil {
+		return nil, nil, nil, err
+	}
 	return out, perm, rands, nil
+}
+
+// ReEncBatch applies ReEncVector to every vector of a batch, returning
+// the per-vector outputs and randomness.
+func ReEncBatch(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader) ([]Vector, [][]*ecc.Scalar, error) {
+	return ReEncBatchPar(sk, nextPK, batch, rnd, nil)
+}
+
+// ReEncBatchPar is ReEncBatch with the point arithmetic fanned over the
+// pool's workers (nil pool = serial). As with ShuffleBatchPar, all
+// randomness is drawn serially up front.
+func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader, pool *parallel.Pool) ([]Vector, [][]*ecc.Scalar, error) {
+	rands := make([][]*ecc.Scalar, len(batch))
+	for i, vec := range batch {
+		rs := make([]*ecc.Scalar, len(vec))
+		for j := range vec {
+			if nextPK == nil {
+				// Exit layer: pure decryption adds no randomness.
+				rs[j] = ecc.NewScalar(0)
+				continue
+			}
+			r, err := ecc.RandomScalar(rnd)
+			if err != nil {
+				return nil, nil, fmt.Errorf("elgamal: reenc batch: %w", err)
+			}
+			rs[j] = r
+		}
+		rands[i] = rs
+	}
+	out := make([]Vector, len(batch))
+	if err := pool.Each(len(batch), func(i int) error {
+		v := make(Vector, len(batch[i]))
+		for j, ct := range batch[i] {
+			v[j] = ReEncWithRandomness(sk, nextPK, ct, rands[i][j])
+		}
+		out[i] = v
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	return out, rands, nil
 }

@@ -2,6 +2,7 @@ package elgamal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -110,12 +111,15 @@ func PlaintextVector(v Vector) []*ecc.Point {
 	return out
 }
 
-// Marshal encodes the vector for transport. Layout per component:
-// 1 flag byte (bit0: Y present) followed by R, C[, Y] point encodings,
-// each length-prefixed with one byte.
+// Marshal encodes the vector for transport: a uvarint component count,
+// then per component 1 flag byte (bit0: Y present) followed by R, C[, Y]
+// point encodings, each uvarint-length-prefixed. The varint prefixes
+// make the format exact at any size — the previous single-byte prefixes
+// silently truncated vectors of more than 255 components (and point
+// encodings of more than 255 bytes), producing undecodable bytes.
 func (v Vector) Marshal() []byte {
 	var buf bytes.Buffer
-	buf.WriteByte(byte(len(v)))
+	writeUvarint(&buf, uint64(len(v)))
 	for _, ct := range v {
 		var flag byte
 		if ct.Y != nil {
@@ -131,18 +135,29 @@ func (v Vector) Marshal() []byte {
 	return buf.Bytes()
 }
 
+func writeUvarint(buf *bytes.Buffer, n uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], n)])
+}
+
 func writePoint(buf *bytes.Buffer, p *ecc.Point) {
 	b := p.Bytes()
-	buf.WriteByte(byte(len(b)))
+	writeUvarint(buf, uint64(len(b)))
 	buf.Write(b)
 }
 
 // UnmarshalVector decodes a vector encoded by Marshal.
 func UnmarshalVector(data []byte) (Vector, error) {
 	rd := bytes.NewReader(data)
-	n, err := rd.ReadByte()
+	n, err := binary.ReadUvarint(rd)
 	if err != nil {
 		return nil, fmt.Errorf("elgamal: unmarshal: %w", err)
+	}
+	// Every component occupies at least 3 bytes (flag + two non-empty
+	// length-prefixed points), so a count beyond remaining/3 is garbage —
+	// reject it before allocating.
+	if n > uint64(rd.Len())/3 {
+		return nil, fmt.Errorf("elgamal: unmarshal: count %d exceeds %d remaining bytes", n, rd.Len())
 	}
 	v := make(Vector, n)
 	for i := range v {
@@ -171,9 +186,12 @@ func UnmarshalVector(data []byte) (Vector, error) {
 }
 
 func readPoint(rd *bytes.Reader) (*ecc.Point, error) {
-	ln, err := rd.ReadByte()
+	ln, err := binary.ReadUvarint(rd)
 	if err != nil {
 		return nil, err
+	}
+	if ln > uint64(rd.Len()) {
+		return nil, fmt.Errorf("point length %d exceeds %d remaining bytes", ln, rd.Len())
 	}
 	b := make([]byte, ln)
 	if _, err := io.ReadFull(rd, b); err != nil {

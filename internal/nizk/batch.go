@@ -1,0 +1,130 @@
+package nizk
+
+import (
+	"fmt"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/parallel"
+)
+
+// VerifyReEncBatch verifies a batch of ReEncProofs — one per vector,
+// all under the same server key and next-group key, exactly the shape
+// one group member produces for one sub-batch of a mixing iteration —
+// with a single random-linear-combination check (small-exponent
+// batching à la Bellare–Garay–Rabin): every Chaum–Pedersen equation of
+// every proof is multiplied by an independent fresh random scalar and
+// the results are summed, so one point comparison vouches for the whole
+// batch. If any equation of any proof is violated the combined sum is
+// nonzero except with probability ~2⁻²⁵⁶, in which case the batch is
+// re-verified proof by proof to attribute the failure to the lowest
+// offending vector — a batched rejection is therefore byte-for-byte the
+// error serial verification would have produced.
+//
+// Structural requirements (Y-slot continuity, the exit layer leaving R
+// untouched) are checked exactly per component, never randomized. The
+// accumulation fans over the pool's workers (nil pool = serial).
+func VerifyReEncBatch(serverPK, nextPK *ecc.Point, ins, outs []elgamal.Vector, proofs []*ReEncProof, pool *parallel.Pool) error {
+	k := len(ins)
+	if len(outs) != k || len(proofs) != k {
+		return fmt.Errorf("%w: reenc batch sizes %d/%d/%d", ErrVerify, k, len(outs), len(proofs))
+	}
+	if k == 0 {
+		return nil
+	}
+
+	// Per-proof partial accumulators: a point sum plus folded exponents
+	// for the three fixed bases (g, serverPK, nextPK), which collapse k
+	// batches' worth of fixed-base multiplications into three.
+	type partial struct {
+		acc       *ecc.Point
+		baseExp   *ecc.Scalar
+		serverExp *ecc.Scalar
+		nextExp   *ecc.Scalar
+	}
+	parts, err := parallel.Map(pool, k, func(pi int) (partial, error) {
+		in, out, proof := ins[pi], outs[pi], proofs[pi]
+		n := len(in)
+		if proof == nil {
+			return partial{}, fmt.Errorf("%w: nil ReEncProof, vector %d", ErrVerify, pi)
+		}
+		if len(out) != n || len(proof.CommitKey) != n || len(proof.CommitR) != n ||
+			len(proof.CommitC) != n || len(proof.RespX) != n || len(proof.RespR) != n {
+			return partial{}, fmt.Errorf("%w: malformed ReEncProof, vector %d", ErrVerify, pi)
+		}
+		tr := reencTranscript(serverPK, nextPK, in, out)
+		tr.AppendPoints("commit-key", proof.CommitKey)
+		tr.AppendPoints("commit-r", proof.CommitR)
+		tr.AppendPoints("commit-c", proof.CommitC)
+		gamma := tr.Challenge("gamma")
+
+		p := partial{acc: ecc.Identity(), baseExp: ecc.NewScalar(0), serverExp: ecc.NewScalar(0), nextExp: ecc.NewScalar(0)}
+		for i := 0; i < n; i++ {
+			rIn, y := normalizeY(in[i])
+			if out[i].Y == nil || !out[i].Y.Equal(y) {
+				return partial{}, fmt.Errorf("%w: ReEnc output %d lost the Y slot, vector %d", ErrVerify, i, pi)
+			}
+			if nextPK == nil && !out[i].R.Equal(rIn) {
+				return partial{}, fmt.Errorf("%w: exit-layer ReEnc must not change R, component %d, vector %d", ErrVerify, i, pi)
+			}
+			// Equation 1 × ρ1: g^{zx} − CommitKey − Xs^γ = 0.
+			rho1, err := ecc.RandomScalar(nil)
+			if err != nil {
+				return partial{}, fmt.Errorf("nizk: batch verify: %w", err)
+			}
+			p.baseExp = p.baseExp.Add(rho1.Mul(proof.RespX[i]))
+			p.serverExp = p.serverExp.Sub(rho1.Mul(gamma))
+			p.acc = p.acc.Add(proof.CommitKey[i].Mul(rho1.Neg()))
+			if nextPK != nil {
+				// Equation 2 × ρ2: g^{zr} − CommitR − (R'/R)^γ = 0.
+				rho2, err := ecc.RandomScalar(nil)
+				if err != nil {
+					return partial{}, fmt.Errorf("nizk: batch verify: %w", err)
+				}
+				p.baseExp = p.baseExp.Add(rho2.Mul(proof.RespR[i]))
+				dR := out[i].R.Sub(rIn)
+				p.acc = p.acc.Add(proof.CommitR[i].Mul(rho2.Neg())).Add(dR.Mul(rho2.Mul(gamma).Neg()))
+			}
+			// Equation 3 × ρ3: Y^{−zx} [+ X'^{zr}] − CommitC − (C'/C)^γ = 0.
+			rho3, err := ecc.RandomScalar(nil)
+			if err != nil {
+				return partial{}, fmt.Errorf("nizk: batch verify: %w", err)
+			}
+			p.acc = p.acc.Add(y.Mul(rho3.Mul(proof.RespX[i]).Neg()))
+			if nextPK != nil {
+				p.nextExp = p.nextExp.Add(rho3.Mul(proof.RespR[i]))
+			}
+			dC := out[i].C.Sub(in[i].C)
+			p.acc = p.acc.Add(proof.CommitC[i].Mul(rho3.Neg())).Add(dC.Mul(rho3.Mul(gamma).Neg()))
+		}
+		return p, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	acc := ecc.Identity()
+	baseExp, serverExp, nextExp := ecc.NewScalar(0), ecc.NewScalar(0), ecc.NewScalar(0)
+	for _, p := range parts {
+		acc = acc.Add(p.acc)
+		baseExp = baseExp.Add(p.baseExp)
+		serverExp = serverExp.Add(p.serverExp)
+		nextExp = nextExp.Add(p.nextExp)
+	}
+	acc = acc.Add(ecc.BaseMul(baseExp)).Add(serverPK.Mul(serverExp))
+	if nextPK != nil {
+		acc = acc.Add(nextPK.Mul(nextExp))
+	}
+	if acc.IsIdentity() {
+		return nil
+	}
+
+	// The combination is nonzero, so at least one proof is bad: find the
+	// lowest offender serially for a deterministic, attributable error.
+	for pi := range proofs {
+		if err := VerifyReEnc(serverPK, nextPK, ins[pi], outs[pi], proofs[pi]); err != nil {
+			return fmt.Errorf("vector %d: %w", pi, err)
+		}
+	}
+	return fmt.Errorf("%w: batched ReEncProof combination nonzero", ErrVerify)
+}

@@ -1,0 +1,175 @@
+package nizk
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/parallel"
+)
+
+func reencBatchFixture(t *testing.T, k int, exit bool) (kp *elgamal.KeyPair, nextPK *ecc.Point, ins, outs []elgamal.Vector, proofs []*ReEncProof) {
+	t.Helper()
+	kp, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exit {
+		next, err := elgamal.KeyGen(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextPK = next.PK
+	}
+	ins = make([]elgamal.Vector, k)
+	outs = make([]elgamal.Vector, k)
+	proofs = make([]*ReEncProof, k)
+	for i := range ins {
+		m, err := ecc.EmbedChunk(fmt.Appendf(nil, "reenc batch %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, _, err := elgamal.Encrypt(kp.PK, m, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[i] = elgamal.Vector{ct}
+		out, rs, err := elgamal.ReEncVector(kp.SK, nextPK, ins[i], rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = out
+		if proofs[i], err = ProveReEnc(kp.SK, kp.PK, nextPK, ins[i], out, rs, rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kp, nextPK, ins, outs, proofs
+}
+
+func TestVerifyReEncBatchAccepts(t *testing.T) {
+	for _, exit := range []bool{false, true} {
+		kp, nextPK, ins, outs, proofs := reencBatchFixture(t, 17, exit)
+		for _, workers := range []int{1, 4} {
+			pool := parallel.New(context.Background(), workers)
+			if err := VerifyReEncBatch(kp.PK, nextPK, ins, outs, proofs, pool); err != nil {
+				t.Fatalf("exit=%v workers=%d: valid batch rejected: %v", exit, workers, err)
+			}
+		}
+	}
+	// Empty batches are trivially valid.
+	if err := VerifyReEncBatch(nil, nil, nil, nil, nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestVerifyReEncBatchRejectsTampering: a single corrupted output or
+// proof anywhere in the batch must be caught, attributed to the right
+// vector, and identical across worker counts — the pooled, batched
+// path can never swallow a rejection.
+func TestVerifyReEncBatchRejectsTampering(t *testing.T) {
+	kp, nextPK, ins, outs, proofs := reencBatchFixture(t, 11, false)
+
+	// Corrupt vector 6's output ciphertext.
+	evil := make([]elgamal.Vector, len(outs))
+	copy(evil, outs)
+	bad := outs[6].Clone()
+	bad[0].C = bad[0].C.Add(ecc.Generator())
+	evil[6] = bad
+	for _, workers := range []int{1, 4} {
+		pool := parallel.New(context.Background(), workers)
+		err := VerifyReEncBatch(kp.PK, nextPK, ins, evil, proofs, pool)
+		if !errors.Is(err, ErrVerify) {
+			t.Fatalf("workers=%d: tampered output accepted: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "vector 6") {
+			t.Fatalf("workers=%d: failure not attributed to vector 6: %v", workers, err)
+		}
+	}
+
+	// Corrupt vector 3's proof response instead.
+	evilProofs := make([]*ReEncProof, len(proofs))
+	copy(evilProofs, proofs)
+	forged := *proofs[3]
+	forged.RespX = append([]*ecc.Scalar(nil), proofs[3].RespX...)
+	forged.RespX[0] = forged.RespX[0].Add(ecc.NewScalar(1))
+	evilProofs[3] = &forged
+	err := VerifyReEncBatch(kp.PK, nextPK, ins, outs, evilProofs, parallel.New(nil, 4))
+	if !errors.Is(err, ErrVerify) || !strings.Contains(err.Error(), "vector 3") {
+		t.Fatalf("forged proof: %v", err)
+	}
+
+	// Nil and malformed proofs are structural failures.
+	evilProofs[3] = nil
+	if err := VerifyReEncBatch(kp.PK, nextPK, ins, outs, evilProofs, nil); !errors.Is(err, ErrVerify) {
+		t.Fatalf("nil proof accepted: %v", err)
+	}
+}
+
+// TestVerifyReEncBatchExitStructural: the exit layer's exact (never
+// randomized) structural check must still fire inside the batch path.
+func TestVerifyReEncBatchExitStructural(t *testing.T) {
+	kp, _, ins, outs, proofs := reencBatchFixture(t, 5, true)
+	evil := make([]elgamal.Vector, len(outs))
+	copy(evil, outs)
+	bad := outs[2].Clone()
+	bad[0].R = bad[0].R.Add(ecc.Generator())
+	evil[2] = bad
+	err := VerifyReEncBatch(kp.PK, nil, ins, evil, proofs, parallel.New(nil, 4))
+	if !errors.Is(err, ErrVerify) || !strings.Contains(err.Error(), "vector 2") {
+		t.Fatalf("exit-layer R tampering: %v", err)
+	}
+}
+
+// TestShuffleParMatchesSerial: the pool-parallel prover fed the same
+// randomness stream must emit a proof the serial verifier accepts, and
+// the parallel verifier must agree with the serial one in both
+// directions.
+func TestShuffleParMatchesSerial(t *testing.T) {
+	kp, err := elgamal.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]elgamal.Vector, 40)
+	for i := range in {
+		m, err := ecc.EmbedChunk(fmt.Appendf(nil, "shuffle par %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, _, err := elgamal.Encrypt(kp.PK, m, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in[i] = elgamal.Vector{ct}
+	}
+	out, perm, rands, err := elgamal.ShuffleBatch(kp.PK, in, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.New(context.Background(), 8)
+	proof, err := ProveShufflePar(kp.PK, in, out, perm, rands, rand.Reader, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(kp.PK, in, out, proof); err != nil {
+		t.Fatalf("serial verify of parallel proof: %v", err)
+	}
+	if err := VerifyShufflePar(kp.PK, in, out, proof, pool); err != nil {
+		t.Fatalf("parallel verify: %v", err)
+	}
+
+	// A tampered batch must be rejected by the parallel verifier with
+	// ErrVerify, same as the serial one.
+	evil := make([]elgamal.Vector, len(out))
+	copy(evil, out)
+	bad := out[9].Clone()
+	bad[0].C = bad[0].C.Add(ecc.Generator())
+	evil[9] = bad
+	if err := VerifyShufflePar(kp.PK, in, evil, proof, pool); !errors.Is(err, ErrVerify) {
+		t.Fatalf("parallel verify accepted tampered batch: %v", err)
+	}
+}

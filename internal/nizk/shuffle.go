@@ -6,6 +6,7 @@ import (
 
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
+	"atom/internal/parallel"
 )
 
 // ShufProof is the full verifiable-shuffle argument (paper §2.3
@@ -61,6 +62,50 @@ func multiExp(points []*ecc.Point, scalars []*ecc.Scalar) *ecc.Point {
 	return acc
 }
 
+// multiExpPar is multiExp with the scalar multiplications chunked over
+// the pool's workers; partial products are folded at the end. A nil
+// pool (or a short input) computes serially. The only possible error is
+// the pool's context expiring mid-computation, which must surface — a
+// half-folded product is not a result.
+func multiExpPar(points []*ecc.Point, scalars []*ecc.Scalar, pool *parallel.Pool) (*ecc.Point, error) {
+	n := len(points)
+	w := pool.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 16 {
+		return multiExp(points, scalars), nil
+	}
+	chunk := (n + w - 1) / w
+	parts, err := parallel.Map(pool, w, func(k int) (*ecc.Point, error) {
+		lo := k * chunk
+		hi := min(lo+chunk, n)
+		acc := ecc.Identity()
+		for i := lo; i < hi; i++ {
+			acc = acc.Add(points[i].Mul(scalars[i]))
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := ecc.Identity()
+	for _, p := range parts {
+		acc = acc.Add(p)
+	}
+	return acc, nil
+}
+
+// baseMulsPar fills out[i] = g^{exps[i]} over the pool's workers. As
+// with multiExpPar the only error is a context cancellation, which
+// leaves out partially nil and must not be ignored.
+func baseMulsPar(exps []*ecc.Scalar, out []*ecc.Point, pool *parallel.Pool) error {
+	return pool.Each(len(exps), func(i int) error {
+		out[i] = ecc.BaseMul(exps[i])
+		return nil
+	})
+}
+
 // batchShape validates that in and out are non-empty rectangular batches
 // of the same shape with all Y slots ⊥, returning (n, L).
 func batchShape(in, out []elgamal.Vector) (int, int, error) {
@@ -98,6 +143,20 @@ func shuffleTranscript(pk *ecc.Point, in, out []elgamal.Vector) *Transcript {
 // ProveShuffle builds a ShufProof that out[i] = Rerandomize(pk, in[perm[i]])
 // with randomness rands[i][j] (as returned by elgamal.ShuffleBatch).
 func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][]*ecc.Scalar, rnd io.Reader) (*ShufProof, error) {
+	return ProveShufflePar(pk, in, out, perm, rands, rnd, nil)
+}
+
+// ProveShufflePar is ProveShuffle with the heavy point arithmetic —
+// the U and gE exponentiations, the per-component multi-exponentiation
+// products, and the Schnorr commitments — fanned over the pool's
+// workers (nil pool = serial). All randomness is drawn from rnd on the
+// calling goroutine in the same order as the serial prover, and the
+// transcript is driven in the same order, so the proof distribution is
+// identical at every worker count. The simple-shuffle subargument
+// (ILMPP) remains the serial chain the paper calls "inherently
+// sequential" (§6.1), which is what makes NIZK scaling sub-linear in
+// Figure 7.
+func ProveShufflePar(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][]*ecc.Scalar, rnd io.Reader, pool *parallel.Pool) (*ShufProof, error) {
 	n, l, err := batchShape(in, out)
 	if err != nil {
 		return nil, err
@@ -115,10 +174,12 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 		return nil, fmt.Errorf("nizk: shuffle: %w", err)
 	}
 	d := make([]*ecc.Scalar, n)
-	U := make([]*ecc.Point, n)
 	for i := 0; i < n; i++ {
 		d[i] = c.Mul(e[perm[i]])
-		U[i] = ecc.BaseMul(d[i])
+	}
+	U := make([]*ecc.Point, n)
+	if err := baseMulsPar(d, U, pool); err != nil {
+		return nil, err
 	}
 	Gamma := ecc.BaseMul(c)
 	tr.AppendPoint("gamma", Gamma)
@@ -126,11 +187,15 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 
 	// Step 2: simple k-shuffle over the challenge exponents.
 	gE := make([]*ecc.Point, n)
-	for i := 0; i < n; i++ {
-		gE[i] = ecc.BaseMul(e[i])
+	if err := baseMulsPar(e, gE, pool); err != nil {
+		return nil, err
 	}
-	ss, err := proveSimpleShuffle(tr, e, d, c, gE, U, Gamma, rnd)
-	if err != nil {
+	var ss *simpleShuffle
+	if err := pool.Do(func() error {
+		var serr error
+		ss, serr = proveSimpleShuffle(tr, e, d, c, gE, U, Gamma, rnd)
+		return serr
+	}); err != nil {
 		return nil, err
 	}
 
@@ -153,8 +218,12 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 			outR[j][i] = out[i][j].R
 			outC[j][i] = out[i][j].C
 		}
-		proof.PR[j] = multiExp(outR[j], d)
-		proof.PC[j] = multiExp(outC[j], d)
+		if proof.PR[j], err = multiExpPar(outR[j], d, pool); err != nil {
+			return nil, err
+		}
+		if proof.PC[j], err = multiExpPar(outC[j], d, pool); err != nil {
+			return nil, err
+		}
 	}
 	tr.AppendPoints("pr", proof.PR)
 	tr.AppendPoints("pc", proof.PC)
@@ -165,11 +234,17 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 		if w[i], err = ecc.RandomScalar(rnd); err != nil {
 			return nil, fmt.Errorf("nizk: shuffle: %w", err)
 		}
-		proof.AU[i] = ecc.BaseMul(w[i])
+	}
+	if err := baseMulsPar(w, proof.AU, pool); err != nil {
+		return nil, err
 	}
 	for j := 0; j < l; j++ {
-		proof.BR[j] = multiExp(outR[j], w)
-		proof.BC[j] = multiExp(outC[j], w)
+		if proof.BR[j], err = multiExpPar(outR[j], w, pool); err != nil {
+			return nil, err
+		}
+		if proof.BC[j], err = multiExpPar(outC[j], w, pool); err != nil {
+			return nil, err
+		}
 	}
 	tr.AppendPoints("au", proof.AU)
 	tr.AppendPoints("br", proof.BR)
@@ -205,8 +280,12 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 			inR[j][i] = in[i][j].R
 			inC[j][i] = in[i][j].C
 		}
-		ER[j] = multiExp(inR[j], e)
-		EC[j] = multiExp(inC[j], e)
+		if ER[j], err = multiExpPar(inR[j], e, pool); err != nil {
+			return nil, err
+		}
+		if EC[j], err = multiExpPar(inC[j], e, pool); err != nil {
+			return nil, err
+		}
 		if ws[j], err = ecc.RandomScalar(rnd); err != nil {
 			return nil, fmt.Errorf("nizk: shuffle: %w", err)
 		}
@@ -227,6 +306,14 @@ func ProveShuffle(pk *ecc.Point, in, out []elgamal.Vector, perm []int, rands [][
 // VerifyShuffle checks that out is a rerandomized permutation of in under
 // pk.
 func VerifyShuffle(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof) error {
+	return VerifyShufflePar(pk, in, out, proof, nil)
+}
+
+// VerifyShufflePar is VerifyShuffle with the per-element checks and the
+// multi-exponentiations fanned over the pool's workers (nil pool =
+// serial). Rejections are deterministic across worker counts: the
+// lowest failing element's error is the one returned.
+func VerifyShufflePar(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof, pool *parallel.Pool) error {
 	n, l, err := batchShape(in, out)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrVerify, err)
@@ -244,10 +331,16 @@ func VerifyShuffle(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof) er
 	tr.AppendPoints("u", proof.U)
 
 	gE := make([]*ecc.Point, n)
-	for i := 0; i < n; i++ {
-		gE[i] = ecc.BaseMul(e[i])
+	if err := baseMulsPar(e, gE, pool); err != nil {
+		return err
 	}
-	if err := verifySimpleShuffle(tr, gE, proof.U, proof.Gamma, proof.SS); err != nil {
+	if err := pool.Do(func() error {
+		return verifySimpleShuffle(tr, gE, proof.U, proof.Gamma, proof.SS)
+	}); err != nil {
+		if parallel.Canceled(err) {
+			// The pool's context expired — not a proof failure.
+			return err
+		}
 		return fmt.Errorf("%w: permutation commitment: %v", ErrVerify, err)
 	}
 
@@ -269,16 +362,27 @@ func VerifyShuffle(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof) er
 			outC[j][i] = out[i][j].C
 		}
 	}
-	for i := 0; i < n; i++ {
+	if err := pool.Each(n, func(i int) error {
 		if !ecc.BaseMul(proof.ZU[i]).Equal(proof.AU[i].Add(proof.U[i].Mul(gammaA))) {
 			return fmt.Errorf("%w: shuffle proof (a), element %d", ErrVerify, i)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	for j := 0; j < l; j++ {
-		if !multiExp(outR[j], proof.ZU).Equal(proof.BR[j].Add(proof.PR[j].Mul(gammaA))) {
+		zuR, err := multiExpPar(outR[j], proof.ZU, pool)
+		if err != nil {
+			return err
+		}
+		if !zuR.Equal(proof.BR[j].Add(proof.PR[j].Mul(gammaA))) {
 			return fmt.Errorf("%w: shuffle proof (a) R-product, component %d", ErrVerify, j)
 		}
-		if !multiExp(outC[j], proof.ZU).Equal(proof.BC[j].Add(proof.PC[j].Mul(gammaA))) {
+		zuC, err := multiExpPar(outC[j], proof.ZU, pool)
+		if err != nil {
+			return err
+		}
+		if !zuC.Equal(proof.BC[j].Add(proof.PC[j].Mul(gammaA))) {
 			return fmt.Errorf("%w: shuffle proof (a) C-product, component %d", ErrVerify, j)
 		}
 	}
@@ -300,8 +404,14 @@ func VerifyShuffle(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof) er
 			inRj[i] = in[i][j].R
 			inCj[i] = in[i][j].C
 		}
-		ER := multiExp(inRj, e)
-		EC := multiExp(inCj, e)
+		ER, err := multiExpPar(inRj, e, pool)
+		if err != nil {
+			return err
+		}
+		EC, err := multiExpPar(inCj, e, pool)
+		if err != nil {
+			return err
+		}
 		lhsR := ER.Mul(proof.ZC).Add(ecc.BaseMul(proof.ZS[j]))
 		if !lhsR.Equal(proof.AR[j].Add(proof.PR[j].Mul(gammaB))) {
 			return fmt.Errorf("%w: shuffle proof (b) R, component %d", ErrVerify, j)

@@ -1,0 +1,236 @@
+// Package parallel is the shared worker-pool engine behind Atom's
+// mixing path. The paper's Figure 7 shows a mixing iteration scaling
+// near-linearly with cores; this package supplies the one execution
+// primitive every crypto layer (elgamal batch operations, nizk proof
+// generation/verification, protocol.GroupState.runIteration) fans its
+// per-message work over, instead of each layer growing a bespoke
+// goroutine scheme.
+//
+// Semantics:
+//
+//   - Bounded: a Pool never runs more than its configured worker count
+//     of tasks concurrently; excess indices queue implicitly.
+//   - Context-aware: a canceled context stops the dispatch of new
+//     indices and surfaces ctx.Err().
+//   - First-error + abort: once any task fails, no index beyond the
+//     failing one is started, and the error of the LOWEST failing
+//     index is returned — so a batch that contains a bad proof yields
+//     the same error at workers=8 as at workers=1, and a pooled
+//     verification can never swallow a rejection.
+//
+// A nil *Pool is valid and runs everything serially on the calling
+// goroutine, which lets the crypto layers expose "…Par" variants whose
+// nil-pool form is the exact serial code path.
+package parallel
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a worker-count knob: values below 1 mean one worker
+// per available CPU.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool is a bounded parallel executor. The zero value is not useful;
+// use New. A nil Pool executes serially. Pools are cheap (no standing
+// goroutines): one per group-iteration is the intended granularity, so
+// the busy counter doubles as that iteration's utilization numerator.
+type Pool struct {
+	ctx     context.Context
+	workers int
+	busy    atomic.Int64 // nanoseconds spent inside tasks
+}
+
+// New creates a pool running at most Workers(workers) tasks at once.
+// ctx may be nil for uncancellable work.
+func New(ctx context.Context, workers int) *Pool {
+	return &Pool{ctx: ctx, workers: Workers(workers)}
+}
+
+// Workers returns the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Busy returns the cumulative time spent inside tasks across all
+// workers — the numerator of a worker-utilization ratio whose
+// denominator is wall-clock × Workers().
+func (p *Pool) Busy() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Duration(p.busy.Load())
+}
+
+// err reports the context's error, if any.
+func (p *Pool) ctxErr() error {
+	if p == nil || p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
+}
+
+// Each runs fn(i) for every i in [0, n), at most Workers() at a time.
+// See the package comment for the first-error + abort semantics.
+func (p *Pool) Each(n int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		start := time.Now()
+		defer func() {
+			if p != nil {
+				p.busy.Add(int64(time.Since(start)))
+			}
+		}()
+		for i := 0; i < n; i++ {
+			if err := p.ctxErr(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next  atomic.Int64 // next index to hand out
+		limit atomic.Int64 // indices ≥ limit are abandoned
+		mu    sync.Mutex
+		first error // error of the lowest failing index
+		at    int   // its index
+	)
+	limit.Store(int64(n))
+	fail := func(i int, err error) {
+		// Shrink the dispatch horizon so no later index starts, and
+		// keep the lowest-index error for a deterministic outcome.
+		for {
+			cur := limit.Load()
+			if int64(i) >= cur || limit.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+		mu.Lock()
+		if first == nil || i < at {
+			first, at = err, i
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			defer func() { p.busy.Add(int64(time.Since(start))) }()
+			for {
+				i := int(next.Add(1) - 1)
+				if int64(i) >= limit.Load() || i >= n {
+					return
+				}
+				if err := p.ctxErr(); err != nil {
+					fail(i, err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return first
+}
+
+// Do runs fn inline on the calling goroutine, counting its duration as
+// busy time — for inherently serial stages (e.g. the ILMPP chain of a
+// shuffle proof) that should still show up in utilization accounting.
+func (p *Pool) Do(fn func() error) error {
+	if p == nil {
+		return fn()
+	}
+	if err := p.ctxErr(); err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() { p.busy.Add(int64(time.Since(start))) }()
+	return fn()
+}
+
+// Each is the package-level convenience: one-shot pool over [0, n).
+func Each(ctx context.Context, workers, n int, fn func(int) error) error {
+	return New(ctx, workers).Each(n, fn)
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and collects the
+// results in index order. On error the partial results are discarded
+// and the lowest failing index's error is returned.
+func Map[T any](p *Pool, n int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Each(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Canceled reports whether err is the pool's context expiring rather
+// than a task failing — callers that classify task failures (e.g. as
+// byzantine faults) must not classify a cancellation the same way.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// lockedReader serializes reads so a non-concurrency-safe randomness
+// source can be drawn from inside pool tasks.
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(b []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(b)
+}
+
+// LockedReader wraps rnd for safe concurrent draws from pool tasks.
+// crypto/rand.Reader (also the meaning of nil) is already safe and is
+// returned unwrapped.
+func LockedReader(rnd io.Reader) io.Reader {
+	if rnd == nil || rnd == rand.Reader {
+		return rand.Reader
+	}
+	return &lockedReader{r: rnd}
+}

@@ -1,0 +1,164 @@
+package parallel
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		var hits [100]atomic.Int32
+		if err := Each(context.Background(), workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachFirstErrorIsLowestIndex(t *testing.T) {
+	bad := map[int]bool{7: true, 23: true, 61: true}
+	for _, workers := range []int{1, 3, 8} {
+		err := Each(nil, workers, 100, func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Fatalf("workers=%d: got %v, want boom at 7", workers, err)
+		}
+	}
+}
+
+func TestEachAbortsAfterError(t *testing.T) {
+	var started atomic.Int32
+	sentinel := errors.New("stop")
+	_ = Each(nil, 2, 10_000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	// With the dispatch horizon shrunk to 0, only the in-flight tasks
+	// (at most one per worker) can have started beyond the failure.
+	if n := started.Load(); n > 16 {
+		t.Fatalf("%d tasks started after an index-0 failure", n)
+	}
+}
+
+func TestEachHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Each(ctx, 4, 100, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	order := make([]int, 0, 10)
+	if err := p.Each(10, func(i int) error {
+		order = append(order, i) // would race under any parallelism
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if p.Workers() != 1 || p.Busy() != 0 {
+		t.Fatalf("nil pool: workers=%d busy=%v", p.Workers(), p.Busy())
+	}
+	if err := p.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	p := New(context.Background(), 8)
+	out, err := Map(p, 50, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(p, 50, func(i int) (int, error) {
+		if i >= 10 {
+			return 0, fmt.Errorf("bad %d", i)
+		}
+		return i, nil
+	}); err == nil || err.Error() != "bad 10" {
+		t.Fatalf("map error: %v", err)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	p := New(nil, 4)
+	if err := p.Each(8, func(int) error { time.Sleep(5 * time.Millisecond); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p.Busy() < 30*time.Millisecond {
+		t.Fatalf("busy %v, want ≥ ~40ms of task time", p.Busy())
+	}
+}
+
+type countingReader struct{ n int }
+
+func (c *countingReader) Read(b []byte) (int, error) {
+	c.n++
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return len(b), nil
+}
+
+func TestLockedReader(t *testing.T) {
+	cr := &countingReader{}
+	lr := LockedReader(cr)
+	if err := Each(nil, 8, 64, func(int) error {
+		buf := make([]byte, 32)
+		_, err := lr.Read(buf)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cr.n != 64 {
+		t.Fatalf("reader saw %d reads, want 64", cr.n)
+	}
+	if LockedReader(nil) == nil {
+		t.Fatal("LockedReader(nil) must fall back to crypto/rand")
+	}
+	buf := make([]byte, 16)
+	if _, err := LockedReader(nil).Read(buf); err != nil || bytes.Equal(buf, make([]byte, 16)) {
+		t.Fatalf("crypto/rand fallback read: %v %x", err, buf)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("auto workers must be ≥ 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit workers must pass through")
+	}
+}

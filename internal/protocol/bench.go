@@ -3,21 +3,19 @@ package protocol
 import (
 	"crypto/rand"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/groupmgr"
-	"atom/internal/nizk"
 )
 
 // BenchHarness is a single-group fixture for the real-cryptography
 // microbenchmarks behind Figures 5–7: one anytrust group holding a batch
 // of onion ciphertexts, mixing toward a single successor group. The
-// harness reuses the exact iteration code of the deployment
-// (GroupState.runIteration), so benchmark numbers reflect the protocol
-// as shipped.
+// harness calls the exact iteration code of the deployment
+// (GroupState.runIteration), including the parallel.Pool engine behind
+// MixConfig — there is no bench-only crypto path, so benchmark numbers
+// reflect the protocol as shipped at any worker count.
 type BenchHarness struct {
 	gs      *GroupState
 	variant Variant
@@ -59,8 +57,11 @@ func NewBenchHarness(groupSize, numMessages, numPoints int, variant Variant) (*B
 
 // RunIteration executes one full mixing iteration (shuffle by every
 // member, divide, decrypt-and-reencrypt by every member) exactly as the
-// deployment does.
-func (h *BenchHarness) RunIteration() error {
+// deployment does, under the given parallelism knob — the same
+// MixConfig a Deployment threads into every round's iterations.
+// MixConfig{Workers: 1} measures the serial baseline; the zero value
+// uses the automatic policy (all CPUs for this single group).
+func (h *BenchHarness) RunIteration(mix MixConfig) error {
 	_, _, err := h.gs.runIteration(mixParams{
 		layer:    0,
 		batch:    h.batch,
@@ -68,135 +69,9 @@ func (h *BenchHarness) RunIteration() error {
 		destGIDs: []int{0},
 		destPKs:  []*ecc.Point{h.nextPK},
 		rnd:      rand.Reader,
+		workers:  mix.effectiveWorkers(1),
 	})
 	return err
-}
-
-// RunIterationParallel executes one mixing iteration with the
-// per-message cryptography fanned out over the given number of worker
-// goroutines — the software analogue of Figure 7's multi-core servers.
-// The trap variant's work (rerandomization and reencryption) is
-// embarrassingly parallel; the NIZK variant's proofs are generated and
-// verified over the whole batch and remain sequential, which is exactly
-// the sub-linear behavior the paper reports (§6.1: "the NIZK proof
-// generation and verification technique we use is inherently
-// sequential").
-func (h *BenchHarness) RunIterationParallel(workers int) error {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	pk := h.gs.PK
-	active, err := h.gs.Active()
-	if err != nil {
-		return err
-	}
-	batch := h.batch
-
-	for range active {
-		// Shuffle: fresh permutation, parallel rerandomization.
-		perm, err := elgamal.RandomPerm(len(batch), rand.Reader)
-		if err != nil {
-			return err
-		}
-		out := make([]elgamal.Vector, len(batch))
-		rands := make([][]*ecc.Scalar, len(batch))
-		if err := parallelEach(len(batch), workers, func(i int) error {
-			src := batch[perm[i]]
-			v := make(elgamal.Vector, len(src))
-			rs := make([]*ecc.Scalar, len(src))
-			for j, ct := range src {
-				r, err := ecc.RandomScalar(rand.Reader)
-				if err != nil {
-					return err
-				}
-				v[j] = elgamal.RerandomizeWithRandomness(pk, ct, r)
-				rs[j] = r
-			}
-			out[i] = v
-			rands[i] = rs
-			return nil
-		}); err != nil {
-			return err
-		}
-		if h.variant == VariantNIZK {
-			proof, err := nizk.ProveShuffle(pk, batch, out, perm, rands, rand.Reader)
-			if err != nil {
-				return err
-			}
-			if err := nizk.VerifyShuffle(pk, batch, out, proof); err != nil {
-				return err
-			}
-		}
-		batch = out
-	}
-
-	// Decrypt-and-reencrypt chain, parallel across messages.
-	for _, idx := range active {
-		gk := h.gs.Keys[idx-1]
-		eff, effPub, err := gk.EffectiveKey(active)
-		if err != nil {
-			return err
-		}
-		next := make([]elgamal.Vector, len(batch))
-		if err := parallelEach(len(batch), workers, func(i int) error {
-			out, rs, err := elgamal.ReEncVector(eff, h.nextPK, batch[i], rand.Reader)
-			if err != nil {
-				return err
-			}
-			if h.variant == VariantNIZK {
-				proof, err := nizk.ProveReEnc(eff, effPub, h.nextPK, batch[i], out, rs, rand.Reader)
-				if err != nil {
-					return err
-				}
-				if err := nizk.VerifyReEnc(effPub, h.nextPK, batch[i], out, proof); err != nil {
-					return err
-				}
-			}
-			next[i] = out
-			return nil
-		}); err != nil {
-			return err
-		}
-		batch = next
-	}
-	return nil
-}
-
-// parallelEach runs fn(i) for i in [0,n) across the given worker count,
-// returning the first error.
-func parallelEach(n, workers int, fn func(int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				if err := fn(i); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // NumMessages returns the batch size (handy for benchmark reporting).

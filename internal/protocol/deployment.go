@@ -297,6 +297,7 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 	start := time.Now()
 	T := d.topo.Iterations()
 	G := len(d.groups)
+	workers := rs.mix.effectiveWorkers(G)
 	cur := rs.seal()
 	var traces []stepTrace
 	var iterations []IterationStats
@@ -368,6 +369,7 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 					destGIDs: dests,
 					destPKs:  pks,
 					rnd:      rand.Reader,
+					workers:  workers,
 				}
 				if a := adversary; a != nil && a.Layer == layer && a.GID == gi {
 					p.tamper = a.Tamper
@@ -384,7 +386,7 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 		if layer == T-1 {
 			exitPayloads = make(map[int][][]byte, G)
 		}
-		it := IterationStats{Round: rs.id, Layer: layer, Messages: layerMsgs}
+		it := IterationStats{Round: rs.id, Layer: layer, Messages: layerMsgs, Workers: workers}
 		for gi := 0; gi < G; gi++ {
 			o := outs[gi]
 			if o.err != nil {
@@ -394,6 +396,10 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 			it.Shuffles += o.trace.Shuffles
 			it.ReEncs += o.trace.ReEncs
 			it.ProofsChecked += o.trace.ProofsChecked
+			it.WorkerBusy += o.trace.Busy
+			if len(cur[gi]) > 0 {
+				it.ActiveGroups++
+			}
 			if layer == T-1 {
 				// Exit layer: single batch of plaintext vectors.
 				payloads, err := extractPayloads(o.batches[0])
@@ -475,6 +481,7 @@ func (d *Deployment) openRoundLocked() (*RoundState, error) {
 		id:      d.roundSeq.Add(1),
 		d:       d,
 		variant: variant,
+		mix:     d.cfg.Mix,
 		groups:  make([]roundGroup, len(d.groups)),
 	}
 	for i := range rs.shards {

@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"atom/internal/dvss"
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/groupmgr"
 	"atom/internal/nizk"
+	"atom/internal/parallel"
+	"atom/internal/topology"
 )
 
 // GroupState is one anytrust/many-trust group's view of a round: its
@@ -84,6 +87,11 @@ type stepTrace struct {
 	Shuffles      int
 	ReEncs        int
 	ProofsChecked int
+	// Workers is the worker-pool size the group's iteration ran with;
+	// Busy totals the time its workers spent inside crypto tasks (the
+	// utilization numerator against wall × Workers).
+	Workers int
+	Busy    time.Duration
 }
 
 // mixParams bundles what a group needs to execute one iteration.
@@ -108,6 +116,9 @@ type mixParams struct {
 	// flows on and is caught by trap accounting (§4.4).
 	tamper       func(batch []elgamal.Vector) []elgamal.Vector
 	tamperMember int
+	// workers bounds the group's crypto worker pool (MixConfig, already
+	// resolved by the deployment; < 1 means serial).
+	workers int
 }
 
 // runIteration executes Algorithm 1 (or Algorithm 2 when variant is
@@ -116,16 +127,32 @@ type mixParams struct {
 // member in order. It returns the β output batches aligned with
 // destGIDs.
 //
-// In the NIZK variant every shuffle and reencryption is accompanied by a
-// proof which is verified immediately (standing in for "all servers in
-// the group verify the proof and report the result" — any failure aborts
-// the round, exactly as Algorithm 2 prescribes).
+// The per-message cryptography fans over a parallel.Pool of
+// p.workers goroutines (MixConfig; Figure 7's multi-core scaling).
+// Member chains stay serial — member m+1 consumes member m's output —
+// but within a member's step the batch parallelizes: shuffle
+// rerandomization and re-encryption per vector, proof generation per
+// vector, and proof verification per member (shuffles) or batched with
+// a random-linear-combination combine (re-encryptions).
+//
+// In the NIZK variant every shuffle and reencryption is accompanied by
+// a proof (standing in for "all servers in the group verify the proof
+// and report the result"). Shuffle-proof verification is deferred to
+// the end of the member chain and runs for all members concurrently;
+// like the immediate check it happens before any ciphertext leaves the
+// group, so a failure aborts the round exactly as Algorithm 2
+// prescribes, and the pool's first-error semantics guarantee the
+// rejection is never swallowed.
 func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, error) {
 	active, err := g.Active()
 	if err != nil {
 		return nil, nil, err
 	}
-	trace := &stepTrace{GID: g.Info.ID, Layer: p.layer}
+	workers := p.workers
+	if workers < 1 {
+		workers = 1
+	}
+	trace := &stepTrace{GID: g.Info.ID, Layer: p.layer, Workers: workers}
 
 	// --- Step 1: Shuffle, each active member in order. ---
 	// An empty batch (a group that received no ciphertexts this layer)
@@ -138,11 +165,21 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		}
 		return make([][]elgamal.Vector, beta), trace, nil
 	}
+	pool := parallel.New(p.ctx, workers)
+
+	// shuffleStep keeps one member's (input, output, proof) triple so
+	// all members' proofs can be verified concurrently after the chain.
+	type shuffleStep struct {
+		idx     int // member's DVSS index, for error attribution
+		in, out []elgamal.Vector
+		proof   *nizk.ShufProof
+	}
+	var steps []shuffleStep
 	for pos, idx := range active {
 		if err := p.canceled(); err != nil {
 			return nil, nil, err
 		}
-		out, perm, rands, err := elgamal.ShuffleBatch(g.PK, batch, p.rnd)
+		out, perm, rands, err := elgamal.ShuffleBatchPar(g.PK, batch, p.rnd, pool)
 		if err != nil {
 			return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle: %w", g.Info.ID, idx, err)
 		}
@@ -153,19 +190,47 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 			}
 		}
 		if p.variant == VariantNIZK {
-			proof, err := nizk.ProveShuffle(g.PK, batch, out, perm, rands, p.rnd)
+			proof, err := nizk.ProveShufflePar(g.PK, batch, out, perm, rands, p.rnd, pool)
 			if err != nil {
 				return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle proof: %w", g.Info.ID, idx, err)
 			}
-			if err := nizk.VerifyShuffle(g.PK, batch, out, proof); err != nil {
-				return nil, nil, fmt.Errorf("%w: group %d aborts — member %d shuffle rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
-			}
-			trace.ProofsChecked++
+			steps = append(steps, shuffleStep{idx: idx, in: batch, out: out, proof: proof})
 		}
 		batch = out
 	}
+	if len(steps) > 0 {
+		// Generation is a serial chain, but once the intermediate batches
+		// exist each member's proof verifies independently.
+		verify := func(si int, inner *parallel.Pool) error {
+			s := steps[si]
+			if err := nizk.VerifyShufflePar(g.PK, s.in, s.out, s.proof, inner); err != nil {
+				if parallel.Canceled(err) {
+					// The round was canceled mid-verification — not a
+					// byzantine fault; never blame the member for it.
+					return fmt.Errorf("protocol: mixing canceled: %w", err)
+				}
+				return fmt.Errorf("%w: group %d aborts — member %d shuffle rejected: %v", ErrProofRejected, g.Info.ID, s.idx, err)
+			}
+			return nil
+		}
+		if len(steps) >= workers {
+			// One proof per worker keeps the pool saturated.
+			err = pool.Each(len(steps), func(si int) error { return verify(si, nil) })
+		} else {
+			// Fewer proofs than workers: verify in order, each proof
+			// fanning its inner loops over the pool instead.
+			for si := 0; si < len(steps) && err == nil; si++ {
+				err = verify(si, pool)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		trace.ProofsChecked += len(steps)
+	}
 
-	// --- Step 2: Divide into β batches. ---
+	// --- Step 2: Divide into β batches (exactly as the topology
+	// declares the split). ---
 	beta := len(p.destGIDs)
 	if beta == 0 {
 		// Exit layer: one batch, decrypted to plaintext (pk = ⊥).
@@ -173,7 +238,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		p.destGIDs = []int{-1}
 		p.destPKs = []*ecc.Point{nil}
 	}
-	sizes := batchSizes(len(batch), beta)
+	sizes := topology.BatchSizes(len(batch), beta)
 	batches := make([][]elgamal.Vector, beta)
 	off := 0
 	for i := 0; i < beta; i++ {
@@ -196,24 +261,29 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 			if err != nil {
 				return nil, nil, fmt.Errorf("protocol: group %d member %d key: %w", g.Info.ID, idx, err)
 			}
-			next := make([]elgamal.Vector, len(cur))
-			for vi, vec := range cur {
-				out, rs, err := elgamal.ReEncVector(eff, p.destPKs[i], vec, p.rnd)
+			next, rss, err := elgamal.ReEncBatchPar(eff, p.destPKs[i], cur, p.rnd, pool)
+			if err != nil {
+				return nil, nil, fmt.Errorf("protocol: group %d member %d reenc: %w", g.Info.ID, idx, err)
+			}
+			trace.ReEncs += len(cur)
+			if p.variant == VariantNIZK {
+				// Per-vector proofs are independent: generate them across
+				// the pool (randomness drawn through a locked reader), then
+				// check them all with one batched verification.
+				prnd := parallel.LockedReader(p.rnd)
+				proofs, err := parallel.Map(pool, len(cur), func(vi int) (*nizk.ReEncProof, error) {
+					return nizk.ProveReEnc(eff, effPub, p.destPKs[i], cur[vi], next[vi], rss[vi], prnd)
+				})
 				if err != nil {
-					return nil, nil, fmt.Errorf("protocol: group %d member %d reenc: %w", g.Info.ID, idx, err)
+					return nil, nil, fmt.Errorf("protocol: group %d member %d reenc proof: %w", g.Info.ID, idx, err)
 				}
-				trace.ReEncs++
-				if p.variant == VariantNIZK {
-					proof, err := nizk.ProveReEnc(eff, effPub, p.destPKs[i], vec, out, rs, p.rnd)
-					if err != nil {
-						return nil, nil, fmt.Errorf("protocol: group %d member %d reenc proof: %w", g.Info.ID, idx, err)
+				if err := nizk.VerifyReEncBatch(effPub, p.destPKs[i], cur, next, proofs, pool); err != nil {
+					if parallel.Canceled(err) {
+						return nil, nil, fmt.Errorf("protocol: mixing canceled: %w", err)
 					}
-					if err := nizk.VerifyReEnc(effPub, p.destPKs[i], vec, out, proof); err != nil {
-						return nil, nil, fmt.Errorf("%w: group %d aborts — member %d reencryption rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
-					}
-					trace.ProofsChecked++
+					return nil, nil, fmt.Errorf("%w: group %d aborts — member %d reencryption rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
 				}
-				next[vi] = out
+				trace.ProofsChecked += len(cur)
 			}
 			cur = next
 		}
@@ -223,6 +293,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		}
 		batches[i] = cur
 	}
+	trace.Busy = pool.Busy()
 	return batches, trace, nil
 }
 
@@ -234,18 +305,4 @@ func (p *mixParams) canceled() error {
 		}
 	}
 	return nil
-}
-
-// batchSizes mirrors topology.BatchSizes without importing it here (the
-// protocol must divide exactly as the topology declares).
-func batchSizes(n, dests int) []int {
-	out := make([]int, dests)
-	base, rem := n/dests, n%dests
-	for i := range out {
-		out[i] = base
-		if i < rem {
-			out[i]++
-		}
-	}
-	return out
 }

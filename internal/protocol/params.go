@@ -17,6 +17,7 @@ package protocol
 
 import (
 	"fmt"
+	"runtime"
 
 	"atom/internal/ecc"
 	"atom/internal/topology"
@@ -46,6 +47,35 @@ func (v Variant) String() string {
 	default:
 		return fmt.Sprintf("variant(%d)", int(v))
 	}
+}
+
+// MixConfig tunes the parallel mixing engine (paper Figure 7: a mixing
+// iteration scales near-linearly with cores). Every group fans the
+// per-message cryptography of its iteration — shuffle rerandomization,
+// re-encryption, proof generation, and proof verification — over a
+// bounded worker pool of this size.
+type MixConfig struct {
+	// Workers is the worker-goroutine count per group. Zero or negative
+	// selects the automatic policy: the available CPUs divided evenly
+	// among the groups mixing in-process (minimum 1), since a real
+	// deployment's groups live on separate machines but ours share one.
+	Workers int
+}
+
+// effectiveWorkers resolves the knob for a deployment of `groups`
+// in-process groups.
+func (m MixConfig) effectiveWorkers(groups int) int {
+	if m.Workers >= 1 {
+		return m.Workers
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	w := runtime.GOMAXPROCS(0) / groups
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Config describes one Atom deployment.
@@ -81,6 +111,8 @@ type Config struct {
 	// BuddyCount is the number of buddy groups escrowing each group's
 	// key shares (0 disables escrow).
 	BuddyCount int
+	// Mix tunes the parallel mixing engine (see MixConfig).
+	Mix MixConfig
 	// Seed seeds the randomness beacon for deterministic group formation.
 	Seed []byte
 }

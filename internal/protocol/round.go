@@ -51,6 +51,11 @@ type RoundState struct {
 	// "the group keys change across rounds").
 	trustees *Trustees
 
+	// mix is the parallelism knob the round mixes with, snapshotted
+	// from the deployment at OpenRound (overridable per round with
+	// SetMixConfig before Mix).
+	mix MixConfig
+
 	shards [numShards]ingestShard
 	groups []roundGroup
 
@@ -90,6 +95,14 @@ func (rs *RoundState) Pending() int { return int(rs.pending.Load()) }
 
 // Sealed reports whether the round has been sealed for mixing.
 func (rs *RoundState) Sealed() bool { return rs.sealed.Load() }
+
+// MixConfig returns the parallelism knob the round will mix with.
+func (rs *RoundState) MixConfig() MixConfig { return rs.mix }
+
+// SetMixConfig overrides the deployment's parallelism knob for this
+// round. Call it before mixing starts; it is not synchronized with a
+// concurrent RunRoundCtx.
+func (rs *RoundState) SetMixConfig(m MixConfig) { rs.mix = m }
 
 // TrusteePK returns the round's trustee public key (trap variant only);
 // users CCA2-encrypt their inner ciphertexts to it.
@@ -274,6 +287,14 @@ type IterationStats struct {
 	Shuffles      int
 	ReEncs        int
 	ProofsChecked int
+	// Workers is the per-group worker-pool size (MixConfig, resolved);
+	// ActiveGroups counts the groups that held messages this iteration;
+	// WorkerBusy totals the time workers spent inside crypto tasks
+	// across all groups. Utilization of the iteration's pools is
+	// WorkerBusy / (Duration × Workers × ActiveGroups).
+	Workers      int
+	ActiveGroups int
+	WorkerBusy   time.Duration
 }
 
 // RoundHooks carries the observability callbacks RunRoundCtx invokes.

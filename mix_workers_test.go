@@ -1,0 +1,106 @@
+package atom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"atom/internal/elgamal"
+	"atom/internal/protocol"
+)
+
+// TestMixWorkersKnob: Config.MixWorkers threads down to the parallel
+// mixing engine, the stats hooks report the pool, and the anonymized
+// output is identical to the serial engine's.
+func TestMixWorkersKnob(t *testing.T) {
+	for _, variant := range []Variant{NIZK, Trap} {
+		var baseline [][]byte
+		for _, workers := range []int{1, 4} {
+			cfg := testNetworkConfig(variant, 32)
+			cfg.MixWorkers = workers
+			n, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := n.OpenRound(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < 8; u++ {
+				if err := r.Submit(u, fmt.Appendf(nil, "worker knob %d", u)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := r.Mix(context.Background())
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", variant, workers, err)
+			}
+			if res.Stats.Workers != workers {
+				t.Fatalf("%v: stats report %d workers, want %d", variant, res.Stats.Workers, workers)
+			}
+			if res.Stats.WorkerBusy <= 0 {
+				t.Fatalf("%v: stats report no worker busy time", variant)
+			}
+			if u := res.Stats.Utilization(); u <= 0 || u > 1.5 {
+				// Busy time is measured per task and can slightly exceed
+				// the wall×slots product on a loaded machine; wildly out of
+				// range means the accounting broke.
+				t.Fatalf("%v: implausible utilization %v", variant, u)
+			}
+			for _, it := range res.Stats.PerIteration {
+				if it.Workers != workers || it.ActiveGroups == 0 {
+					t.Fatalf("%v: iteration stats missing pool info: %+v", variant, it)
+				}
+			}
+			if workers == 1 {
+				baseline = res.Messages
+				continue
+			}
+			if len(res.Messages) != len(baseline) {
+				t.Fatalf("%v: message count diverged: %d vs %d", variant, len(res.Messages), len(baseline))
+			}
+			for i := range res.Messages {
+				if string(res.Messages[i]) != string(baseline[i]) {
+					t.Fatalf("%v: plaintext %d diverged between worker counts", variant, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMixWorkersProofRejection: the public error taxonomy classifies a
+// pooled, batched proof rejection exactly like a serial one.
+func TestMixWorkersProofRejection(t *testing.T) {
+	cfg := testNetworkConfig(NIZK, 32)
+	cfg.MixWorkers = 4
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.OpenRound(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 8; u++ {
+		if err := r.Submit(u, fmt.Appendf(nil, "pooled tamper %d", u)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.d.SetAdversary(&protocol.Adversary{
+		Layer: 0, GID: 0, Member: 0,
+		Tamper: func(batch []elgamal.Vector) []elgamal.Vector {
+			if len(batch) < 2 {
+				return nil
+			}
+			out := make([]elgamal.Vector, len(batch))
+			copy(out, batch)
+			out[0] = batch[1]
+			return out
+		},
+	})
+	_, err = r.Mix(context.Background())
+	if !errors.Is(err, ErrProofRejected) || !errors.Is(err, ErrRoundAborted) {
+		t.Fatalf("pooled tamper: got %v, want ErrProofRejected ⊂ ErrRoundAborted", err)
+	}
+}

@@ -24,6 +24,27 @@ type IterationStats struct {
 	// ProofsVerified counts NIZK verifications (0 in the trap variant's
 	// mixing iterations).
 	ProofsVerified int
+	// Workers is the parallel mixing engine's per-group pool size the
+	// iteration ran with (Config.MixWorkers, resolved).
+	Workers int
+	// ActiveGroups counts the groups that held messages this iteration.
+	ActiveGroups int
+	// WorkerBusy totals the time worker goroutines spent executing
+	// crypto tasks across all groups' pools.
+	WorkerBusy time.Duration
+}
+
+// Utilization reports the fraction of the iteration's worker-pool
+// capacity (Workers goroutines in each group that held messages, for
+// the iteration's wall-clock span) that was spent executing crypto
+// tasks — 1.0 means every worker was busy the whole iteration. It
+// returns 0 when the iteration did no work.
+func (s IterationStats) Utilization() float64 {
+	slots := time.Duration(s.Workers*s.ActiveGroups) * s.Duration
+	if slots <= 0 {
+		return 0
+	}
+	return float64(s.WorkerBusy) / float64(slots)
 }
 
 // RoundStats summarizes a completed round.
@@ -46,6 +67,25 @@ type RoundStats struct {
 	Shuffles       int
 	ReEncs         int
 	ProofsVerified int
+	// Workers is the parallel mixing engine's per-group pool size
+	// (constant across a round's iterations); WorkerBusy totals the
+	// workers' in-task time across the whole round.
+	Workers    int
+	WorkerBusy time.Duration
+}
+
+// Utilization reports the round-wide fraction of worker-pool capacity
+// spent executing crypto tasks (see IterationStats.Utilization).
+func (s RoundStats) Utilization() float64 {
+	var slots, busy time.Duration
+	for _, it := range s.PerIteration {
+		slots += time.Duration(it.Workers*it.ActiveGroups) * it.Duration
+		busy += it.WorkerBusy
+	}
+	if slots <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(slots)
 }
 
 // Observer receives lifecycle callbacks from a Network and its rounds.
@@ -99,10 +139,15 @@ func statsFromResult(res *protocol.RoundResult, submissions int) RoundStats {
 			Shuffles:       it.Shuffles,
 			ReEncs:         it.ReEncs,
 			ProofsVerified: it.ProofsChecked,
+			Workers:        it.Workers,
+			ActiveGroups:   it.ActiveGroups,
+			WorkerBusy:     it.WorkerBusy,
 		})
 		st.Shuffles += it.Shuffles
 		st.ReEncs += it.ReEncs
 		st.ProofsVerified += it.ProofsChecked
+		st.Workers = it.Workers
+		st.WorkerBusy += it.WorkerBusy
 	}
 	return st
 }
@@ -124,6 +169,9 @@ func (n *Network) hooksFor() *protocol.RoundHooks {
 				Shuffles:       it.Shuffles,
 				ReEncs:         it.ReEncs,
 				ProofsVerified: it.ProofsChecked,
+				Workers:        it.Workers,
+				ActiveGroups:   it.ActiveGroups,
+				WorkerBusy:     it.WorkerBusy,
 			})
 		},
 	}

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the perf-tracking benchmark suite and emit a
+# JSON summary (BENCH_<ref>.json) so the performance trajectory is
+# comparable across PRs.
+#
+#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps
+#   BENCHTIME=1x scripts/bench.sh   # smoke (what CI runs)
+#   scripts/bench.sh out.json       # explicit output path
+#
+# The Figure 7 benchmarks drive the real deployment path
+# (Network/OpenRound/Round.Mix with Config.MixWorkers), so the recorded
+# numbers are the protocol as shipped; the summary also derives the
+# workers=N vs workers=1 speed-up per variant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+PATTERN="${PATTERN:-BenchmarkFigure7|BenchmarkTable3}"
+REF="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+OUT="${1:-BENCH_${REF}.json}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run='^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+awk -v ref="$REF" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    printf "{\n  \"ref\": \"%s\",\n  \"benchtime\": \"%s\",\n", ref, benchtime
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n  \"figure7_speedup_vs_workers1\": {\n"
+    sep = ""
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name !~ /Figure7/) continue
+        split(name, parts, "/")
+        variant = parts[2]
+        if (name ~ /workers=1$/) base[variant] = ns[name]
+    }
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name !~ /Figure7/ || name ~ /workers=1$/) continue
+        split(name, parts, "/")
+        variant = parts[2]
+        if (base[variant] > 0) {
+            printf "%s    \"%s\": %.2f", sep, name, base[variant] / ns[name]
+            sep = ",\n"
+        }
+    }
+    printf "\n  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "bench summary written to $OUT" >&2
