@@ -7,9 +7,21 @@
 //
 // Clients keep all secrets: they encrypt and prove locally and ship
 // opaque submissions (see cmd/atomclient).
+//
+// With -member, atomd instead hosts one group member of a distributed
+// round engine (internal/distributed): it listens on a TCP endpoint,
+// waits for a coordinator's join message carrying the member's
+// material, and serves mixing rounds as a message-passing actor until
+// interrupted:
+//
+//	atomd -member -listen :9100
+//
+// The coordinating process builds a distributed.Cluster whose
+// Options.Remote map points at these addresses.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +30,8 @@ import (
 
 	"atom"
 	"atom/internal/daemon"
+	"atom/internal/distributed"
+	"atom/internal/transport"
 )
 
 func main() {
@@ -34,8 +48,14 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel mixing engine: worker goroutines per group (0 = CPUs/groups)")
 		seed        = flag.String("seed", "atomd", "beacon seed (all participants must agree)")
 		verbose     = flag.Bool("verbose", true, "log per-round and per-iteration statistics")
+		member      = flag.Bool("member", false, "host one distributed-round group member instead of a full deployment")
 	)
 	flag.Parse()
+
+	if *member {
+		hostMember(*listen)
+		return
+	}
 
 	v := atom.Trap
 	switch *variant {
@@ -94,4 +114,34 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatalf("atomd: close: %v", err)
 	}
+}
+
+// hostMember serves one distributed-round member actor over TCP until
+// interrupted. The member's key material and wiring arrive in the
+// coordinator's join message.
+func hostMember(listen string) {
+	node, err := transport.ListenTCP(listen, 4096)
+	if err != nil {
+		log.Fatalf("atomd: %v", err)
+	}
+	fmt.Printf("atomd: member actor listening on %s (waiting for a coordinator's join)\n", node.Addr())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- distributed.HostMember(ctx, node) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		log.Println("atomd: member shutting down")
+		cancel()
+		<-done
+	case err := <-done:
+		if err != nil && ctx.Err() == nil {
+			log.Fatalf("atomd: member: %v", err)
+		}
+	}
+	node.Close()
 }

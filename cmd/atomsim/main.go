@@ -6,18 +6,31 @@
 //	atomsim -fig 9             # one figure
 //	atomsim -table 12 -paper   # one table, using published Table 3 costs
 //	atomsim -live              # run a real round, per-iteration stats
+//	atomsim -distributed       # full round as actors over the WAN-latency memnet
 //
 // -live executes a real in-process deployment (real cryptography) and
 // reports per-iteration latency, messages mixed and proofs verified
 // through the public Observer/RoundStats hooks.
+//
+// -distributed executes the same round as the distributed engine: every
+// group member is an independent actor exchanging framed messages over
+// the in-memory network with the paper's emulated 40–160 ms pairwise
+// WAN latency (§6), and the report adds per-member transport traffic.
 package main
 
 import (
+	"context"
+	"crypto/rand"
 	"flag"
 	"fmt"
 	"log"
+	"sort"
+	"time"
 
 	"atom"
+	"atom/internal/distributed"
+	"atom/internal/protocol"
+	"atom/internal/transport"
 )
 
 func main() {
@@ -27,13 +40,23 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		paper    = flag.Bool("paper", false, "use the paper's published primitive costs instead of measuring this machine")
 		live     = flag.Bool("live", false, "run a real round and print per-iteration Observer stats")
-		liveMsgs = flag.Int("livemsgs", 16, "messages to mix in -live mode")
-		liveNIZK = flag.Bool("livenizk", false, "use the NIZK variant in -live mode (default trap)")
-		workers  = flag.Int("workers", 0, "parallel mixing engine: worker goroutines per group in -live mode (0 = CPUs/groups)")
+		liveMsgs = flag.Int("livemsgs", 16, "messages to mix in -live/-distributed mode")
+		liveNIZK = flag.Bool("livenizk", false, "use the NIZK variant in -live/-distributed mode (default trap)")
+		workers  = flag.Int("workers", 0, "parallel mixing engine: worker goroutines per group (0 = CPUs/groups)")
+		dist     = flag.Bool("distributed", false, "run a real round as message-passing actors over the latency-modeled in-memory network")
+		wanMin   = flag.Duration("wanmin", 40*time.Millisecond, "-distributed: minimum pairwise one-way latency")
+		wanMax   = flag.Duration("wanmax", 160*time.Millisecond, "-distributed: maximum pairwise one-way latency")
 	)
 	flag.Parse()
-	if !*all && *fig == 0 && *table == 0 && !*live {
+	if !*all && *fig == 0 && *table == 0 && !*live && !*dist {
 		*all = true
+	}
+
+	if *dist {
+		if err := runDistributed(*liveMsgs, *liveNIZK, *workers, *wanMin, *wanMax); err != nil {
+			log.Fatalf("atomsim: %v", err)
+		}
+		return
 	}
 
 	// -live measures a real round directly; skip cost-model calibration.
@@ -97,4 +120,111 @@ func main() {
 	default:
 		log.Fatalf("atomsim: no figure %d (have 5, 6, 7, 9, 10, 11, 13)", *fig)
 	}
+}
+
+// runDistributed runs one full round through the distributed engine
+// over the WAN-latency-modeled in-memory network and reports
+// per-iteration latency/work (Observer hooks) plus per-member transport
+// traffic.
+func runDistributed(msgs int, nizk bool, workers int, wanMin, wanMax time.Duration) error {
+	variant := protocol.VariantTrap
+	if nizk {
+		variant = protocol.VariantNIZK
+	}
+	cfg := protocol.Config{
+		NumServers:  12,
+		NumGroups:   4,
+		GroupSize:   3,
+		MessageSize: 64,
+		Variant:     variant,
+		Iterations:  3,
+		Mix:         protocol.MixConfig{Workers: workers},
+		Seed:        []byte("atomsim-distributed"),
+	}
+	d, err := protocol.NewDeployment(cfg)
+	if err != nil {
+		return err
+	}
+	vcfg := d.Config()
+	client, err := protocol.NewClient(&vcfg)
+	if err != nil {
+		return err
+	}
+
+	net := transport.NewMemNetwork(transport.PairwiseLatency("atomsim", wanMin, wanMax), 256)
+	cluster, err := distributed.NewCluster(d, distributed.Options{
+		Attach:  distributed.MemAttach(net),
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	rs, err := d.OpenRound()
+	if err != nil {
+		return err
+	}
+	for u := 0; u < msgs; u++ {
+		gid := u % d.NumGroups()
+		gpk, err := d.GroupPK(gid)
+		if err != nil {
+			return err
+		}
+		msg := []byte(fmt.Sprintf("distributed hello %02d", u))
+		switch variant {
+		case protocol.VariantNIZK:
+			sub, err := client.Submit(msg, gpk, gid, rand.Reader)
+			if err != nil {
+				return err
+			}
+			if err := rs.SubmitUser(u, sub); err != nil {
+				return err
+			}
+		default:
+			tpk, err := rs.TrusteePK()
+			if err != nil {
+				return err
+			}
+			sub, err := client.SubmitTrap(msg, gpk, tpk, gid, rand.Reader)
+			if err != nil {
+				return err
+			}
+			if err := rs.SubmitTrapUser(u, sub); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("distributed round: %d groups × %d members, T=%d, %s variant, %d messages, WAN %v–%v\n",
+		cfg.NumGroups, cfg.GroupSize, cfg.Iterations, variant, msgs, wanMin, wanMax)
+	hooks := &protocol.RoundHooks{IterationDone: func(it protocol.IterationStats) {
+		fmt.Printf("  iteration %d: %3d msgs  %8.0f ms  %4d shuffles  %4d reencs  %5d proofs  busy %v\n",
+			it.Layer, it.Messages, float64(it.Duration.Milliseconds()), it.Shuffles, it.ReEncs, it.ProofsChecked, it.WorkerBusy.Round(time.Millisecond))
+	}}
+	res, err := cluster.Run(context.Background(), rs, hooks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round %d mixed %d messages in %v\n", res.Round, len(res.Messages), res.Duration.Round(time.Millisecond))
+
+	// Per-member transport traffic (the horizontally scaled bandwidth
+	// story of §7: each server touches only its groups' slices).
+	type row struct {
+		name string
+		st   transport.Stats
+	}
+	var rows []row
+	for id, addr := range cluster.Addresses() {
+		rows = append(rows, row{fmt.Sprintf("group %d member %d", id.GID, id.Pos), net.Stats(addr)})
+	}
+	rows = append(rows, row{"coordinator", net.Stats(cluster.CoordinatorAddr())})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Println("per-node transport traffic:")
+	for _, r := range rows {
+		fmt.Printf("  %-18s  sent %8d B in %3d msgs   received %8d B\n",
+			r.name, r.st.BytesSent, r.st.MessagesSent, r.st.BytesReceived)
+	}
+	fmt.Printf("total bytes on the wire: %d\n", net.TotalBytes())
+	return nil
 }

@@ -65,6 +65,19 @@ var (
 	ErrNoSuchGroup = errors.New("atom: no such group")
 )
 
+// BlamedMember extracts the offending group and member (DVSS index)
+// from a round-abort error, when the abort carries an attribution —
+// a rejected shuffle or re-encryption proof does, whether the round ran
+// in-process, over the in-memory network, or over TCP. It reports
+// ok=false for errors without one (trap trips, cancellations, …).
+func BlamedMember(err error) (gid, member int, ok bool) {
+	var b *protocol.Blame
+	if errors.As(err, &b) {
+		return b.GID, b.Member, true
+	}
+	return 0, 0, false
+}
+
 // apiError pairs a public sentinel with the underlying internal error.
 // errors.Is matches the sentinel (and, because leaf sentinels wrap
 // their parents, the whole taxonomy branch); errors.Unwrap exposes the

@@ -1,0 +1,499 @@
+package distributed
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/protocol"
+	"atom/internal/topology"
+	"atom/internal/transport"
+)
+
+// MemberID addresses one member: group id and chain position.
+type MemberID struct {
+	GID, Pos int
+}
+
+// AttachFunc provides an endpoint for a named node — how the cluster
+// places its locally hosted actors (and its coordinator) on a
+// transport.
+type AttachFunc func(name string) (transport.Endpoint, error)
+
+// MemAttach hosts actors on an in-memory network (optionally
+// latency-modeled — the §6 emulated WAN).
+func MemAttach(n *transport.MemNetwork) AttachFunc { return n.Attach }
+
+// TCPAttach hosts each actor on its own TCP endpoint bound to an
+// ephemeral port on host (e.g. "127.0.0.1" for a loopback deployment).
+// The node name only labels logs; the address book uses the bound
+// host:port.
+func TCPAttach(host string) AttachFunc {
+	return func(name string) (transport.Endpoint, error) {
+		return transport.ListenTCP(host+":0", 4096)
+	}
+}
+
+// Options tunes a Cluster.
+type Options struct {
+	// Prefix namespaces the cluster's node names (default "atom").
+	Prefix string
+	// Attach places locally hosted actors and the coordinator.
+	Attach AttachFunc
+	// Remote maps members to pre-started HostMember endpoints (e.g.
+	// atomd -member processes); the cluster ships each its MemberConfig
+	// over the transport instead of hosting it locally.
+	Remote map[MemberID]string
+	// Workers bounds each actor's crypto pool. Zero selects CPUs/G —
+	// locally hosted groups share this machine, like MixConfig.
+	Workers int
+	// RoundTimeout bounds one round's mixing (default 5m) in addition
+	// to the caller's context.
+	RoundTimeout time.Duration
+	// JoinTimeout bounds each remote member's setup (default 30s).
+	JoinTimeout time.Duration
+}
+
+// Cluster is the distributed round engine: one actor per group member
+// (hosted locally or adopted remotely), a coordinator endpoint that
+// injects sealed batches and collects exits, and an implementation of
+// protocol.Mixer, so Deployment.RunRoundVia runs the identical round
+// lifecycle — sealing, finale, blame records, rotation — over it.
+type Cluster struct {
+	d      *protocol.Deployment
+	topo   topology.Topology
+	coord  transport.Endpoint
+	actors map[MemberID]*Actor
+	addrs  map[MemberID]string
+	// memberOf maps a member address to its group — the coordinator's
+	// sender authentication (out/layer reports must come from the
+	// group's first member, aborts from a member of the blamed group).
+	memberOf map[string]int
+	eps      []transport.Endpoint
+	entry    []string
+	workers  int
+	timeout  time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewCluster builds the full network of member actors for the
+// deployment: it exports each group's roster (playing the DKG ceremony
+// that would otherwise have provisioned each server), attaches one
+// endpoint per locally hosted member, ships MemberConfigs to remote
+// hosts, and starts the local actor loops.
+func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
+	if opts.Attach == nil {
+		return nil, fmt.Errorf("distributed: Options.Attach is required")
+	}
+	if opts.Prefix == "" {
+		opts.Prefix = "atom"
+	}
+	if opts.RoundTimeout <= 0 {
+		opts.RoundTimeout = 5 * time.Minute
+	}
+	if opts.JoinTimeout <= 0 {
+		opts.JoinTimeout = 30 * time.Second
+	}
+	cfg := d.Config()
+	topo := d.Topology()
+	G := topo.Groups()
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0) / G
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
+	}
+	spec := TopoSpec{Name: cfg.Topology, Groups: G, Iterations: cfg.Iterations, Reps: cfg.ButterflyReps}
+
+	c := &Cluster{
+		d:        d,
+		topo:     topo,
+		actors:   make(map[MemberID]*Actor),
+		addrs:    make(map[MemberID]string),
+		memberOf: make(map[string]int),
+		entry:    make([]string, G),
+		workers:  opts.Workers,
+		timeout:  opts.RoundTimeout,
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	coord, err := opts.Attach(opts.Prefix + "/coord")
+	if err != nil {
+		return nil, err
+	}
+	c.coord = coord
+
+	rosters := make([]*protocol.GroupRoster, G)
+	for gid := 0; gid < G; gid++ {
+		if rosters[gid], err = d.GroupRoster(gid); err != nil {
+			return nil, err
+		}
+	}
+	groupPKs := make([]*ecc.Point, G)
+	for gid, r := range rosters {
+		groupPKs[gid] = r.PK
+	}
+
+	// First pass: fix every member's address (local attachments bind
+	// here; remote members were bound by their hosts).
+	localEPs := make(map[MemberID]transport.Endpoint)
+	for gid := 0; gid < G; gid++ {
+		for pos := range rosters[gid].Indices {
+			id := MemberID{gid, pos}
+			if addr, remote := opts.Remote[id]; remote {
+				c.addrs[id] = addr
+				continue
+			}
+			ep, err := opts.Attach(fmt.Sprintf("%s/g%d/m%d", opts.Prefix, gid, pos))
+			if err != nil {
+				return nil, err
+			}
+			c.eps = append(c.eps, ep)
+			localEPs[id] = ep
+			c.addrs[id] = ep.Addr()
+		}
+		c.entry[gid] = c.addrs[MemberID{gid, 0}]
+	}
+	for id, addr := range c.addrs {
+		c.memberOf[addr] = id.GID
+	}
+
+	// Second pass: build configs, start local actors, ship remote ones.
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	joinsPending := make(map[string]bool)
+	for gid := 0; gid < G; gid++ {
+		r := rosters[gid]
+		peers := make([]string, len(r.Indices))
+		for pos := range r.Indices {
+			peers[pos] = c.addrs[MemberID{gid, pos}]
+		}
+		for pos := range r.Indices {
+			id := MemberID{gid, pos}
+			mcfg := MemberConfig{
+				GID:         gid,
+				Pos:         pos,
+				Indices:     r.Indices,
+				Secret:      r.Secrets[pos],
+				EffPubs:     r.EffPubs,
+				GroupPK:     r.PK,
+				GroupPKs:    groupPKs,
+				Peers:       peers,
+				Entry:       c.entry,
+				Coordinator: coord.Addr(),
+				Variant:     cfg.Variant,
+				Workers:     opts.Workers,
+				Topo:        spec,
+			}
+			if ep, local := localEPs[id]; local {
+				actor, err := NewActor(mcfg, ep)
+				if err != nil {
+					return nil, err
+				}
+				c.actors[id] = actor
+				c.wg.Add(1)
+				go func() {
+					defer c.wg.Done()
+					_ = actor.Serve(ctx)
+				}()
+				continue
+			}
+			// Remote member: ship its config and await the ack below.
+			if err := c.coord.Send(c.addrs[id], &transport.Message{
+				Type: msgJoin, Payload: mcfg.Marshal(),
+			}); err != nil {
+				return nil, fmt.Errorf("distributed: joining %v at %s: %w", id, c.addrs[id], err)
+			}
+			joinsPending[c.addrs[id]] = true
+		}
+	}
+	if len(joinsPending) > 0 {
+		deadline := time.After(opts.JoinTimeout)
+		for len(joinsPending) > 0 {
+			select {
+			case msg, okc := <-c.coord.Inbox():
+				if !okc {
+					return nil, fmt.Errorf("distributed: coordinator closed during join")
+				}
+				// Only the host we actually joined may acknowledge — a
+				// forged ack must not mask a member that never joined.
+				if msg.Type == msgJoined && joinsPending[msg.From] {
+					delete(joinsPending, msg.From)
+				}
+			case <-deadline:
+				return nil, fmt.Errorf("distributed: %d remote members did not join within %v", len(joinsPending), opts.JoinTimeout)
+			}
+		}
+	}
+	ok = true
+	return c, nil
+}
+
+// Addresses returns a copy of the member address book — e.g. to read
+// per-node traffic counters off a MemNetwork after a round.
+func (c *Cluster) Addresses() map[MemberID]string {
+	out := make(map[MemberID]string, len(c.addrs))
+	for id, addr := range c.addrs {
+		out[id] = addr
+	}
+	return out
+}
+
+// CoordinatorAddr returns the coordinator endpoint's address.
+func (c *Cluster) CoordinatorAddr() string { return c.coord.Addr() }
+
+// Run executes one round over the cluster: the deployment seals rs,
+// the actors mix it, and the deployment applies the variant finale —
+// Deployment.RunRoundVia with this cluster as the Mixer.
+func (c *Cluster) Run(ctx context.Context, rs *protocol.RoundState, hooks *protocol.RoundHooks) (*protocol.RoundResult, error) {
+	return c.d.RunRoundVia(ctx, rs, hooks, c)
+}
+
+// MixRound implements protocol.Mixer: inject the sealed batches at
+// every group's first member, then collect per-layer reports, exit
+// outputs, and aborts.
+func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
+	ctx := job.Ctx
+	G := c.topo.Groups()
+	T := c.topo.Iterations()
+	if len(job.Batches) != G {
+		return nil, fmt.Errorf("distributed: %d batches for %d groups", len(job.Batches), G)
+	}
+	if a := job.Adversary; a != nil {
+		actor := c.actors[MemberID{a.GID, a.Member}]
+		if actor == nil {
+			return nil, fmt.Errorf("distributed: adversary targets group %d member %d, which is not hosted locally", a.GID, a.Member)
+		}
+		actor.SetTamper(job.Round, a.Layer, a.Tamper)
+		defer actor.SetTamper(0, 0, nil)
+	}
+
+	// The round's resolved worker knob (a per-round SetMixConfig
+	// override included) rides the batch messages to every actor.
+	workers := job.Workers
+	if workers < 1 {
+		workers = c.workers
+	}
+	for gid := 0; gid < G; gid++ {
+		if err := c.coord.SendCtx(ctx, c.entry[gid], &transport.Message{
+			Type: msgBatch, Round: job.Round,
+			Payload: encodeBatchMsg(0, -1, workers, job.Batches[gid]),
+		}); err != nil {
+			c.cancelRound(job.Round)
+			return nil, fmt.Errorf("distributed: injecting group %d batch: %w", gid, err)
+		}
+	}
+
+	var (
+		out        = &protocol.MixOutcome{ExitPayloads: make(map[int][][]byte, G)}
+		layerWork  = make([]map[int]work, T) // layer → gid → work
+		doneAt     = make([]time.Time, T)    // layer → completion time
+		emitted    = 0                       // layers flushed, in order
+		exits      = make(map[int][]elgamal.Vector, G)
+		roundStart = time.Now()
+		timeout    = time.NewTimer(c.timeout)
+	)
+	defer timeout.Stop()
+	for layer := range layerWork {
+		layerWork[layer] = make(map[int]work, G)
+	}
+
+	// The round is done when every exit batch AND every layer report
+	// has landed (the exit vectors can arrive ahead of the last layer's
+	// accounting).
+	for len(exits) < G || emitted < T {
+		select {
+		case msg, okc := <-c.coord.Inbox():
+			if !okc {
+				return nil, fmt.Errorf("distributed: coordinator endpoint closed mid-round")
+			}
+			if msg.Round != job.Round {
+				continue // stray from a canceled or previous round
+			}
+			if _, member := c.memberOf[msg.From]; !member {
+				continue // only member actors report; ignore strangers
+			}
+			switch msg.Type {
+			case msgLayer:
+				gid, layer, w, err := decodeLayerMsg(msg.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("distributed: bad layer report: %w", err)
+				}
+				if layer < 0 || layer >= T || gid < 0 || gid >= G {
+					return nil, fmt.Errorf("distributed: layer report out of range (group %d, layer %d)", gid, layer)
+				}
+				if msg.From != c.entry[gid] {
+					continue // only group gid's first member reports its layers
+				}
+				layerWork[layer][gid] = w
+				if len(layerWork[layer]) == G {
+					doneAt[layer] = time.Now()
+				}
+				// Flush completed layers strictly in order: a slow link
+				// can deliver layer t's last report after layer t+1
+				// completes, and IterationDone must still observe
+				// layers 0, 1, 2, … with sane durations.
+				for emitted < T && len(layerWork[emitted]) == G {
+					prev := roundStart
+					if emitted > 0 {
+						prev = doneAt[emitted-1]
+					}
+					dur := doneAt[emitted].Sub(prev)
+					if dur < 0 {
+						dur = 0 // completed before an earlier layer's report landed
+					}
+					it := c.layerStats(job, emitted, layerWork[emitted], dur, workers)
+					out.Iterations = append(out.Iterations, it)
+					if job.Hooks != nil && job.Hooks.IterationDone != nil {
+						job.Hooks.IterationDone(it)
+					}
+					emitted++
+				}
+			case msgOut:
+				gid, vecs, err := decodeOutMsg(msg.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("distributed: bad exit output: %w", err)
+				}
+				if gid < 0 || gid >= G {
+					return nil, fmt.Errorf("distributed: exit output from out-of-range group %d", gid)
+				}
+				if msg.From != c.entry[gid] {
+					continue // only group gid's first member publishes its exit
+				}
+				if _, dup := exits[gid]; dup {
+					continue // first report wins; a second cannot overwrite it
+				}
+				exits[gid] = vecs
+			case msgAbort:
+				layer, gid, member, class, text, err := decodeAbortMsg(msg.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("distributed: bad abort report: %v", err)
+				}
+				if c.memberOf[msg.From] != gid {
+					continue // a member may only report (and blame) its own group
+				}
+				c.cancelRound(job.Round)
+				return nil, classifyAbort(layer, gid, member, class, text)
+			}
+		case <-ctx.Done():
+			c.cancelRound(job.Round)
+			return nil, fmt.Errorf("distributed: round %d canceled: %w", job.Round, ctx.Err())
+		case <-timeout.C:
+			c.cancelRound(job.Round)
+			return nil, fmt.Errorf("distributed: round %d timed out after %v", job.Round, c.timeout)
+		}
+	}
+
+	for gid, vecs := range exits {
+		payloads, err := protocol.ExtractExitPayloads(vecs)
+		if err != nil {
+			return nil, fmt.Errorf("distributed: exit group %d: %w", gid, err)
+		}
+		out.ExitPayloads[gid] = payloads
+	}
+	for layer := 0; layer < T; layer++ {
+		for gid := 0; gid < G; gid++ {
+			w := layerWork[layer][gid]
+			out.Traces = append(out.Traces, protocol.StepTrace{
+				GID: gid, Layer: layer,
+				Shuffles: w.Shuffles, ReEncs: w.ReEncs, ProofsChecked: w.Proofs,
+				Workers: workers, Busy: time.Duration(w.BusyNs),
+			})
+		}
+	}
+	return out, nil
+}
+
+// layerStats folds a completed layer's per-group work into the
+// deployment's IterationStats shape. Duration is coordinator-observed:
+// time from the previous layer's completion to this one's, which —
+// unlike the in-process mixer — includes real (or modeled) network
+// latency between the groups.
+func (c *Cluster) layerStats(job *protocol.MixJob, layer int, byGID map[int]work, dur time.Duration, workers int) protocol.IterationStats {
+	it := protocol.IterationStats{
+		Round: job.Round, Layer: layer, Duration: dur, Workers: workers,
+	}
+	for _, w := range byGID {
+		it.Messages += w.Msgs
+		it.Shuffles += w.Shuffles
+		it.ReEncs += w.ReEncs
+		it.ProofsChecked += w.Proofs
+		it.WorkerBusy += time.Duration(w.BusyNs)
+		if w.Msgs > 0 {
+			it.ActiveGroups++
+		}
+	}
+	return it
+}
+
+// cancelRound tells every actor to drop the round's state and traffic.
+func (c *Cluster) cancelRound(round uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, addr := range c.addrs {
+		_ = c.coord.SendCtx(ctx, addr, &transport.Message{Type: msgCancel, Round: round})
+	}
+}
+
+// Close stops every actor (remote ones by message, local ones by
+// context), closes the endpoints and waits for the local loops.
+func (c *Cluster) Close() {
+	if c.coord != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		for _, addr := range c.addrs {
+			_ = c.coord.SendCtx(ctx, addr, &transport.Message{Type: msgStop})
+		}
+		cancel()
+	}
+	if c.cancel != nil {
+		c.cancel()
+	}
+	for _, ep := range c.eps {
+		_ = ep.Close()
+	}
+	c.wg.Wait()
+	if c.coord != nil {
+		_ = c.coord.Close()
+	}
+}
+
+// classifyAbort maps a wire abort back onto the protocol error
+// taxonomy, so errors.Is / errors.As behave identically whether the
+// round ran in-process, over memnet, or over TCP.
+func classifyAbort(layer, gid, member int, class, text string) error {
+	switch class {
+	case abortProof:
+		err := &remoteErr{sentinel: protocol.ErrProofRejected, msg: text}
+		if member >= 0 {
+			return &protocol.Blame{GID: gid, Member: member, Err: err}
+		}
+		return err
+	case abortCanceled:
+		return &remoteErr{sentinel: context.Canceled, msg: text}
+	default:
+		return fmt.Errorf("distributed: group %d member %d aborted at layer %d: %s", gid, member, layer, text)
+	}
+}
+
+// remoteErr reconstitutes a typed error from its wire form: the
+// original message text with the matching sentinel re-attached for
+// errors.Is.
+type remoteErr struct {
+	sentinel error
+	msg      string
+}
+
+func (e *remoteErr) Error() string { return e.msg }
+
+func (e *remoteErr) Unwrap() error { return e.sentinel }

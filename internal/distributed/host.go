@@ -1,0 +1,52 @@
+package distributed
+
+import (
+	"context"
+
+	"atom/internal/transport"
+)
+
+// HostMember serves one group member on an endpoint whose material
+// arrives over the wire: it waits for the coordinator's join message
+// (a marshaled MemberConfig), acknowledges it, and runs the actor loop
+// until the endpoint closes, a stop message arrives, or ctx ends.
+//
+// This is how cmd/atomd hosts members of a deployment whose setup runs
+// elsewhere: start `atomd -member -listen host:port` on each machine,
+// then build the Cluster with Options.Remote pointing at those
+// addresses. The join channel carries the member's secret share — it
+// stands in for the out-of-band provisioning (or a networked DKG) of a
+// production deployment and must be protected accordingly (the §2.1
+// TLS assumption).
+func HostMember(ctx context.Context, ep transport.Endpoint) error {
+	for {
+		select {
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				return nil
+			}
+			switch msg.Type {
+			case msgJoin:
+				// A malformed or inconsistent join (any unauthenticated
+				// peer can send one) must not kill the host — stay in
+				// the loop and keep waiting for the real coordinator.
+				cfg, err := UnmarshalMemberConfig(msg.Payload)
+				if err != nil {
+					continue
+				}
+				actor, err := NewActor(*cfg, ep)
+				if err != nil {
+					continue
+				}
+				if err := ep.SendCtx(ctx, msg.From, &transport.Message{Type: msgJoined}); err != nil {
+					continue
+				}
+				return actor.Serve(ctx)
+			case msgStop:
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,671 @@
+// Package distributed executes the complete Atom round — every group,
+// all T mixing iterations of the permutation network, trap/exit
+// handling and NIZK verification — as a true message-passing protocol:
+// each group member is an independent actor owning only its own key
+// share, exchanging framed batches over a transport.Endpoint. The same
+// round runs unchanged over the in-memory network (with or without a
+// WAN latency model) or over real TCP sockets, and produces exactly the
+// plaintext set (and exactly the error taxonomy) of the in-process
+// protocol.Deployment, because both paths execute the same
+// protocol.MemberEngine for every cryptographic step.
+//
+// Chain protocol per group per iteration (Algorithm 1/2):
+//
+//	batch    sources → first member: inbound batches assemble; when the
+//	         layer's last one lands, the shuffle chain starts — layers
+//	         pipeline, a group shuffles iteration i+1 the moment its
+//	         inputs arrive, even while its iteration-i output is still
+//	         in later members' hands.
+//	shuffle  member p → p+1: p's ShuffleStep; p+1 verifies the proof
+//	         before shuffling the output itself.
+//	divide   last member → first: the closing ShuffleStep; the first
+//	         member verifies it, divides into β batches, and starts the
+//	         re-encryption chain with its own step.
+//	reenc    member p → p+1 (step K wraps to the first member): p's β
+//	         ReEncSteps; the receiver verifies them before peeling its
+//	         own layer. At step K the first member verifies the last
+//	         member's proofs, clears the Y slots, and forwards each
+//	         batch to its next-layer group (or the coordinator at the
+//	         exit layer).
+//
+// Every proof is therefore verified exactly once by the next honest
+// actor in the ring before anything builds on it — the serial-chain
+// stand-in for the paper's "all servers in the group verify the proof".
+// (A full deployment would broadcast each step to all k members and
+// anchor chain continuity in the group's joint view; the ring
+// verification here preserves the abort-and-blame behavior the rest of
+// the system consumes.)
+package distributed
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+	"atom/internal/nizk"
+	"atom/internal/parallel"
+	"atom/internal/protocol"
+	"atom/internal/topology"
+	"atom/internal/transport"
+)
+
+// TopoSpec names a permutation network so a remote actor can rebuild
+// the exact topology the deployment mixes over.
+type TopoSpec struct {
+	Name       string // "square" or "butterfly"
+	Groups     int
+	Iterations int // square: T
+	Reps       int // butterfly: repetitions
+}
+
+// Build constructs the topology.
+func (s TopoSpec) Build() (topology.Topology, error) {
+	switch s.Name {
+	case "square":
+		return topology.NewSquare(s.Groups, s.Iterations)
+	case "butterfly":
+		reps := s.Reps
+		if reps < 1 {
+			reps = 2
+		}
+		return topology.NewButterfly(s.Groups, reps)
+	default:
+		return nil, fmt.Errorf("distributed: unknown topology %q", s.Name)
+	}
+}
+
+// MemberConfig is everything one member actor needs for a deployment:
+// its identity, its (and only its) secret, the public roster it
+// verifies the other members against, and the addressing of the whole
+// network.
+type MemberConfig struct {
+	// GID and Pos locate the member: group id and 0-based position in
+	// the group's active mixing chain.
+	GID int
+	Pos int
+	// Indices are the DVSS indices of the chain, in order (Indices[Pos]
+	// is this member's).
+	Indices []int
+	// Secret is this member's effective (Lagrange-weighted) secret.
+	Secret *ecc.Scalar
+	// EffPubs are the chain's effective public keys — the public DKG
+	// material proofs are verified against, never the prover's claim.
+	EffPubs []*ecc.Point
+	// GroupPK is this group's public key; GroupPKs indexes every
+	// group's key by gid (re-encryption destinations).
+	GroupPK  *ecc.Point
+	GroupPKs []*ecc.Point
+	// Peers are the chain's transport addresses, in chain order.
+	Peers []string
+	// Entry[g] is the first-member address of group g (inter-group
+	// forwarding).
+	Entry []string
+	// Coordinator receives out/layer/abort messages.
+	Coordinator string
+	// Variant selects NIZK proofs vs trap accounting.
+	Variant protocol.Variant
+	// Workers bounds the actor's crypto worker pool (<1 = serial).
+	Workers int
+	// Topo rebuilds the permutation network.
+	Topo TopoSpec
+}
+
+// assembly accumulates a layer's inbound batches at the first member.
+type assembly struct {
+	got map[int][]elgamal.Vector // source gid (−1 = coordinator) → batch
+	// workers is the round's worker knob carried by the inbound batch
+	// messages (MixJob.Workers, threaded through every hop).
+	workers int
+}
+
+// tamperHook injects a malicious shuffle for one (round, layer) — the
+// distributed counterpart of protocol.Adversary, installed by the
+// cluster on locally hosted actors.
+type tamperHook struct {
+	round uint64
+	layer int
+	fn    func([]elgamal.Vector) []elgamal.Vector
+}
+
+// Actor is one member's event loop. All state is confined to the Serve
+// goroutine except the tamper hook (set by the cluster between rounds).
+type Actor struct {
+	cfg  MemberConfig
+	ep   transport.Endpoint
+	topo topology.Topology
+
+	// pending[round][layer] assembles inbound batches (first member).
+	pending map[uint64]map[int]*assembly
+	// dropped marks rounds canceled by the coordinator.
+	dropped  map[uint64]bool
+	maxRound uint64
+
+	mu     sync.Mutex
+	tamper *tamperHook
+}
+
+// NewActor builds an actor on its endpoint. The endpoint's address must
+// equal cfg.Peers[cfg.Pos].
+func NewActor(cfg MemberConfig, ep transport.Endpoint) (*Actor, error) {
+	if cfg.Pos < 0 || cfg.Pos >= len(cfg.Peers) || len(cfg.Peers) != len(cfg.Indices) || len(cfg.Peers) != len(cfg.EffPubs) {
+		return nil, fmt.Errorf("distributed: inconsistent member config (pos %d of %d peers, %d indices, %d effpubs)",
+			cfg.Pos, len(cfg.Peers), len(cfg.Indices), len(cfg.EffPubs))
+	}
+	topo, err := cfg.Topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.GID < 0 || cfg.GID >= topo.Groups() || len(cfg.GroupPKs) != topo.Groups() || len(cfg.Entry) != topo.Groups() {
+		return nil, fmt.Errorf("distributed: member config does not match topology (gid %d, %d group keys, %d entries, G=%d)",
+			cfg.GID, len(cfg.GroupPKs), len(cfg.Entry), topo.Groups())
+	}
+	return &Actor{
+		cfg:     cfg,
+		ep:      ep,
+		topo:    topo,
+		pending: make(map[uint64]map[int]*assembly),
+		dropped: make(map[uint64]bool),
+	}, nil
+}
+
+// Addr returns the actor's transport address.
+func (a *Actor) Addr() string { return a.ep.Addr() }
+
+// SetTamper installs a one-round malicious-shuffle hook (testing / the
+// deployment's Adversary surface). Pass fn=nil to clear.
+func (a *Actor) SetTamper(round uint64, layer int, fn func([]elgamal.Vector) []elgamal.Vector) {
+	a.mu.Lock()
+	if fn == nil {
+		a.tamper = nil
+	} else {
+		a.tamper = &tamperHook{round: round, layer: layer, fn: fn}
+	}
+	a.mu.Unlock()
+}
+
+func (a *Actor) takeTamper(round uint64, layer int) func([]elgamal.Vector) []elgamal.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tamper != nil && a.tamper.round == round && a.tamper.layer == layer {
+		return a.tamper.fn
+	}
+	return nil
+}
+
+// Serve processes messages until the endpoint closes, a stop message
+// arrives, or ctx ends. Member errors abort the round toward the
+// coordinator but keep the actor alive for subsequent rounds.
+func (a *Actor) Serve(ctx context.Context) error {
+	for {
+		select {
+		case msg, ok := <-a.ep.Inbox():
+			if !ok {
+				return nil
+			}
+			if msg.Type == msgStop {
+				if msg.From == a.cfg.Coordinator {
+					return nil
+				}
+				continue // a rogue peer must not stop the actor
+			}
+			a.handle(ctx, msg)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// senderOK authenticates a message's transport-level sender address:
+// each chain message type has exactly one legitimate origin, so frames
+// from anyone else are dropped without aborting the round or touching
+// per-round state — a rogue peer must not be able to cancel rounds,
+// poison future round ids, or inject chain steps. The in-memory
+// network makes From unforgeable; over raw TCP it is spoofable, which
+// is the §2.1 assumption that deployment links are authenticated (TLS).
+func (a *Actor) senderOK(msg *transport.Message) bool {
+	k := len(a.cfg.Peers)
+	switch msg.Type {
+	case msgCancel:
+		return msg.From == a.cfg.Coordinator
+	case msgShuffle:
+		return a.cfg.Pos > 0 && msg.From == a.cfg.Peers[a.cfg.Pos-1]
+	case msgDivide:
+		return a.cfg.Pos == 0 && msg.From == a.cfg.Peers[k-1]
+	case msgReEnc:
+		return msg.From == a.cfg.Peers[(a.cfg.Pos-1+k)%k]
+	default:
+		return true // msgBatch validates its origin against the decoded src
+	}
+}
+
+// handle dispatches one message; failures abort the round.
+func (a *Actor) handle(ctx context.Context, msg *transport.Message) {
+	round := msg.Round
+	if !a.senderOK(msg) {
+		return
+	}
+	switch msg.Type {
+	case msgCancel:
+		a.drop(round)
+		return
+	case msgJoin, msgJoined:
+		return // setup traffic, handled by HostMember
+	}
+	// Per-round state (observeRound pruning, assembly) is only touched
+	// inside the handlers, after each message's origin is fully
+	// authenticated — an unauthenticated frame with a huge round id
+	// must not prune the live round's assemblies.
+	if a.dropped[round] {
+		return
+	}
+	var err error
+	layer := -1
+	switch msg.Type {
+	case msgBatch:
+		layer, err = a.handleBatch(ctx, round, msg)
+	case msgShuffle:
+		layer, err = a.handleShuffle(ctx, round, msg)
+	case msgDivide:
+		layer, err = a.handleDivide(ctx, round, msg)
+	case msgReEnc:
+		layer, err = a.handleReEnc(ctx, round, msg)
+	default:
+		return // not ours (coordinator traffic, unknown types)
+	}
+	if err != nil {
+		a.drop(round)
+		a.abort(ctx, round, layer, err)
+	}
+}
+
+// observeRound prunes state of rounds older than the newest seen —
+// rounds mix one at a time, so anything older is settled.
+func (a *Actor) observeRound(round uint64) {
+	if round <= a.maxRound {
+		return
+	}
+	a.maxRound = round
+	for r := range a.pending {
+		if r < round {
+			delete(a.pending, r)
+		}
+	}
+	for r := range a.dropped {
+		if r < round {
+			delete(a.dropped, r)
+		}
+	}
+}
+
+func (a *Actor) drop(round uint64) {
+	a.dropped[round] = true
+	delete(a.pending, round)
+}
+
+// abort reports a member failure to the coordinator, classified for the
+// protocol error taxonomy.
+func (a *Actor) abort(ctx context.Context, round uint64, layer int, err error) {
+	class, gid, member := abortInternal, a.cfg.GID, -1
+	var blame *protocol.Blame
+	switch {
+	case errors.As(err, &blame):
+		class, gid, member = abortProof, blame.GID, blame.Member
+	case parallel.Canceled(err):
+		class = abortCanceled
+	}
+	_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{
+		Type: msgAbort, Round: round,
+		Payload: encodeAbortMsg(layer, gid, member, class, err.Error()),
+	})
+}
+
+// engine builds the member's crypto engine (fresh pool per step so busy
+// time is attributable). workers is the round's knob from the message
+// chain; values below 1 fall back to the actor's configured default.
+func (a *Actor) engine(ctx context.Context, workers int) (*protocol.MemberEngine, *parallel.Pool) {
+	if workers < 1 {
+		workers = a.cfg.Workers
+	}
+	pool := parallel.New(ctx, workers)
+	return &protocol.MemberEngine{
+		GID:     a.cfg.GID,
+		Variant: a.cfg.Variant,
+		GroupPK: a.cfg.GroupPK,
+		Pool:    pool,
+	}, pool
+}
+
+// checkLayer bounds a wire-supplied layer before it reaches topology
+// arithmetic (a hostile layer must fail typed, not panic or smuggle a
+// mid-network batch onto the ⊥ exit path).
+func (a *Actor) checkLayer(layer int) error {
+	if layer < 0 || layer >= a.topo.Iterations() {
+		return fmt.Errorf("distributed: group %d: out-of-range layer %d", a.cfg.GID, layer)
+	}
+	return nil
+}
+
+// expectedSources returns how many batch messages assemble a layer.
+func (a *Actor) expectedSources(layer int) int {
+	if layer == 0 {
+		return 1 // the coordinator's injection
+	}
+	return len(a.topo.Sources(layer, a.cfg.GID))
+}
+
+// destKeys resolves the layer's forwarding: destination gids and their
+// public keys, or the single ⊥ destination at the exit layer.
+func (a *Actor) destKeys(layer int) ([]int, []*ecc.Point) {
+	dests := a.topo.Neighbors(layer, a.cfg.GID)
+	if len(dests) == 0 {
+		return nil, []*ecc.Point{nil}
+	}
+	pks := make([]*ecc.Point, len(dests))
+	for i, dst := range dests {
+		pks[i] = a.cfg.GroupPKs[dst]
+	}
+	return dests, pks
+}
+
+// handleBatch (first member only) assembles a layer's inbound batches
+// and starts the shuffle chain once the last one lands.
+func (a *Actor) handleBatch(ctx context.Context, round uint64, msg *transport.Message) (int, error) {
+	layer, src, workers, vecs, err := decodeBatchMsg(msg.Payload)
+	if err != nil {
+		return -1, fmt.Errorf("distributed: group %d: bad batch payload: %w", a.cfg.GID, err)
+	}
+	if a.cfg.Pos != 0 {
+		return layer, fmt.Errorf("distributed: group %d member %d received a batch (first member's job)", a.cfg.GID, a.cfg.Pos)
+	}
+	if err := a.checkLayer(layer); err != nil {
+		return layer, err
+	}
+	// Authenticate the batch's origin: the coordinator for the layer-0
+	// injection, the source group's first member otherwise. Forged
+	// batches are ignored — they must not corrupt assembly counting.
+	if src == -1 {
+		if msg.From != a.cfg.Coordinator {
+			return layer, nil
+		}
+	} else if src < 0 || src >= a.topo.Groups() || msg.From != a.cfg.Entry[src] {
+		return layer, nil
+	}
+	a.observeRound(round)
+	byLayer := a.pending[round]
+	if byLayer == nil {
+		byLayer = make(map[int]*assembly)
+		a.pending[round] = byLayer
+	}
+	asm := byLayer[layer]
+	if asm == nil {
+		asm = &assembly{got: make(map[int][]elgamal.Vector)}
+		byLayer[layer] = asm
+	}
+	if _, dup := asm.got[src]; dup {
+		return layer, fmt.Errorf("distributed: group %d layer %d: duplicate batch from %d", a.cfg.GID, layer, src)
+	}
+	asm.got[src] = vecs
+	if workers > asm.workers {
+		asm.workers = workers
+	}
+	if len(asm.got) < a.expectedSources(layer) {
+		return layer, nil
+	}
+	delete(byLayer, layer)
+	// Concatenate in ascending source order — the deterministic order
+	// the in-process mixer uses.
+	srcs := make([]int, 0, len(asm.got))
+	for s := range asm.got {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	var batch []elgamal.Vector
+	for _, s := range srcs {
+		batch = append(batch, asm.got[s]...)
+	}
+	return layer, a.runShuffle(ctx, round, layer, batch, work{Msgs: len(batch), Workers: asm.workers})
+}
+
+// runShuffle performs this member's shuffle of the layer and forwards
+// the chain.
+func (a *Actor) runShuffle(ctx context.Context, round uint64, layer int, in []elgamal.Vector, w work) error {
+	if len(in) == 0 {
+		// Empty layer: nothing to permute or prove anywhere in the
+		// chain — pass through, exactly like the in-process group.
+		_, pks := a.destKeys(layer)
+		return a.finishLayer(ctx, round, layer, make([][]elgamal.Vector, len(pks)), w)
+	}
+	engine, pool := a.engine(ctx, w.Workers)
+	myIdx := a.cfg.Indices[a.cfg.Pos]
+	out, perm, rands, err := engine.Shuffle(myIdx, in, rand.Reader)
+	if err != nil {
+		return err
+	}
+	w.Shuffles++
+	if fn := a.takeTamper(round, layer); fn != nil {
+		if evil := fn(out); evil != nil {
+			out = evil
+		}
+	}
+	step, err := engine.ProveStep(myIdx, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		return err
+	}
+	w.BusyNs += pool.Busy().Nanoseconds()
+
+	var proofBytes []byte
+	var wireIn []elgamal.Vector
+	if step.Proof != nil {
+		proofBytes = step.Proof.Marshal()
+		wireIn = in // only verification needs the input batch
+	}
+	k := len(a.cfg.Peers)
+	typ, to := msgShuffle, ""
+	if a.cfg.Pos < k-1 {
+		to = a.cfg.Peers[a.cfg.Pos+1]
+	} else {
+		typ, to = msgDivide, a.cfg.Peers[0]
+	}
+	return a.ep.SendCtx(ctx, to, &transport.Message{
+		Type: typ, Round: round,
+		Payload: encodeShuffleMsg(layer, w, wireIn, out, proofBytes),
+	})
+}
+
+// verifyShuffleStep checks the predecessor's step in the NIZK variant.
+func (a *Actor) verifyShuffleStep(ctx context.Context, senderPos, layer int, in, out []elgamal.Vector, proofBytes []byte, w *work) error {
+	if a.cfg.Variant != protocol.VariantNIZK {
+		return nil
+	}
+	engine, pool := a.engine(ctx, w.Workers)
+	proof, err := nizk.UnmarshalShufProof(proofBytes)
+	senderIdx := a.cfg.Indices[senderPos]
+	if err != nil {
+		return &protocol.Blame{GID: a.cfg.GID, Member: senderIdx, Err: fmt.Errorf(
+			"%w: group %d aborts — member %d shuffle rejected: undecodable proof: %v",
+			protocol.ErrProofRejected, a.cfg.GID, senderIdx, err)}
+	}
+	step := &protocol.ShuffleStep{Member: senderIdx, In: in, Out: out, Proof: proof}
+	if err := engine.VerifyShuffle(step, pool); err != nil {
+		return err
+	}
+	w.Proofs++
+	w.BusyNs += pool.Busy().Nanoseconds()
+	return nil
+}
+
+// handleShuffle verifies the predecessor's shuffle and adds this
+// member's own.
+func (a *Actor) handleShuffle(ctx context.Context, round uint64, msg *transport.Message) (int, error) {
+	layer, w, in, out, proofBytes, err := decodeShuffleMsg(msg.Payload)
+	if err != nil {
+		return -1, fmt.Errorf("distributed: group %d: bad shuffle payload: %w", a.cfg.GID, err)
+	}
+	if a.cfg.Pos == 0 {
+		return layer, fmt.Errorf("distributed: group %d: shuffle message at the first member", a.cfg.GID)
+	}
+	a.observeRound(round)
+	if err := a.checkLayer(layer); err != nil {
+		return layer, err
+	}
+	if err := a.verifyShuffleStep(ctx, a.cfg.Pos-1, layer, in, out, proofBytes, &w); err != nil {
+		return layer, err
+	}
+	return layer, a.runShuffle(ctx, round, layer, out, w)
+}
+
+// handleDivide (first member) closes the shuffle chain: verify the last
+// member's step, divide into β batches, start the re-encryption chain.
+func (a *Actor) handleDivide(ctx context.Context, round uint64, msg *transport.Message) (int, error) {
+	layer, w, in, out, proofBytes, err := decodeShuffleMsg(msg.Payload)
+	if err != nil {
+		return -1, fmt.Errorf("distributed: group %d: bad divide payload: %w", a.cfg.GID, err)
+	}
+	if a.cfg.Pos != 0 {
+		return layer, fmt.Errorf("distributed: group %d: divide message at member %d", a.cfg.GID, a.cfg.Pos)
+	}
+	a.observeRound(round)
+	if err := a.checkLayer(layer); err != nil {
+		return layer, err
+	}
+	if err := a.verifyShuffleStep(ctx, len(a.cfg.Peers)-1, layer, in, out, proofBytes, &w); err != nil {
+		return layer, err
+	}
+	_, pks := a.destKeys(layer)
+	return layer, a.runReEnc(ctx, round, layer, protocol.Divide(out, len(pks)), w)
+}
+
+// runReEnc performs this member's decrypt-and-reencrypt of every batch
+// and forwards the chain (step K wraps to the first member).
+func (a *Actor) runReEnc(ctx context.Context, round uint64, layer int, ins [][]elgamal.Vector, w work) error {
+	engine, pool := a.engine(ctx, w.Workers)
+	_, pks := a.destKeys(layer)
+	if len(ins) != len(pks) {
+		return fmt.Errorf("distributed: group %d layer %d: %d batches for %d destinations", a.cfg.GID, layer, len(ins), len(pks))
+	}
+	myIdx := a.cfg.Indices[a.cfg.Pos]
+	myEffPub := a.cfg.EffPubs[a.cfg.Pos]
+	batches := make([]reencBatch, len(ins))
+	for i := range ins {
+		if len(ins[i]) == 0 {
+			continue
+		}
+		step, err := engine.ReEnc(myIdx, a.cfg.Secret, myEffPub, pks[i], ins[i], rand.Reader)
+		if err != nil {
+			return err
+		}
+		w.ReEncs += len(ins[i])
+		batches[i].Out = step.Out
+		if step.Proofs != nil {
+			batches[i].In = step.In
+			batches[i].Proofs = make([][]byte, len(step.Proofs))
+			for j, p := range step.Proofs {
+				batches[i].Proofs[j] = p.Marshal()
+			}
+		}
+	}
+	w.BusyNs += pool.Busy().Nanoseconds()
+	k := len(a.cfg.Peers)
+	next := (a.cfg.Pos + 1) % k
+	return a.ep.SendCtx(ctx, a.cfg.Peers[next], &transport.Message{
+		Type: msgReEnc, Round: round,
+		Payload: encodeReEncMsg(layer, w, a.cfg.Pos+1, batches),
+	})
+}
+
+// handleReEnc verifies the predecessor's re-encryption steps, then
+// either re-encrypts itself (mid-chain) or — at step K, back at the
+// first member — clears the Y slots and forwards the finished batches.
+func (a *Actor) handleReEnc(ctx context.Context, round uint64, msg *transport.Message) (int, error) {
+	layer, w, step, batches, err := decodeReEncMsg(msg.Payload)
+	if err != nil {
+		return -1, fmt.Errorf("distributed: group %d: bad reenc payload: %w", a.cfg.GID, err)
+	}
+	k := len(a.cfg.Peers)
+	if step < 1 || step > k || a.cfg.Pos != step%k {
+		return layer, fmt.Errorf("distributed: group %d member %d: reenc step %d misrouted", a.cfg.GID, a.cfg.Pos, step)
+	}
+	a.observeRound(round)
+	if err := a.checkLayer(layer); err != nil {
+		return layer, err
+	}
+	_, pks := a.destKeys(layer)
+	if len(batches) != len(pks) {
+		return layer, fmt.Errorf("distributed: group %d layer %d: %d reenc batches for %d destinations", a.cfg.GID, layer, len(batches), len(pks))
+	}
+	if a.cfg.Variant == protocol.VariantNIZK {
+		engine, pool := a.engine(ctx, w.Workers)
+		senderIdx := a.cfg.Indices[step-1]
+		senderEffPub := a.cfg.EffPubs[step-1]
+		for i := range batches {
+			if len(batches[i].Out) == 0 {
+				continue
+			}
+			proofs := make([]*nizk.ReEncProof, len(batches[i].Proofs))
+			for j, pb := range batches[i].Proofs {
+				if proofs[j], err = nizk.UnmarshalReEncProof(pb); err != nil {
+					return layer, &protocol.Blame{GID: a.cfg.GID, Member: senderIdx, Err: fmt.Errorf(
+						"%w: group %d aborts — member %d reencryption rejected: undecodable proof: %v",
+						protocol.ErrProofRejected, a.cfg.GID, senderIdx, err)}
+				}
+			}
+			s := &protocol.ReEncStep{
+				Member: senderIdx, EffPub: senderEffPub, DestPK: pks[i],
+				In: batches[i].In, Out: batches[i].Out, Proofs: proofs,
+			}
+			if err := engine.VerifyReEnc(s); err != nil {
+				return layer, err
+			}
+			w.Proofs += len(batches[i].Out)
+		}
+		w.BusyNs += pool.Busy().Nanoseconds()
+	}
+	outs := make([][]elgamal.Vector, len(batches))
+	for i := range batches {
+		outs[i] = batches[i].Out
+	}
+	if step == k {
+		return layer, a.finishLayer(ctx, round, layer, outs, w)
+	}
+	return layer, a.runReEnc(ctx, round, layer, outs, w)
+}
+
+// finishLayer (first member) clears the Y slots and hands each finished
+// batch to its next-layer group — or, at the exit layer, delivers the
+// plaintext vectors to the coordinator — then reports the group's layer
+// accounting.
+func (a *Actor) finishLayer(ctx context.Context, round uint64, layer int, batches [][]elgamal.Vector, w work) error {
+	for i := range batches {
+		batches[i] = protocol.ClearYBatch(batches[i])
+	}
+	if layer == a.topo.Iterations()-1 {
+		if err := a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{
+			Type: msgOut, Round: round,
+			Payload: encodeOutMsg(a.cfg.GID, batches[0]),
+		}); err != nil {
+			return err
+		}
+	} else {
+		dests, _ := a.destKeys(layer)
+		if len(batches) != len(dests) {
+			return fmt.Errorf("distributed: group %d layer %d: %d batches for %d destinations", a.cfg.GID, layer, len(batches), len(dests))
+		}
+		for i, dst := range dests {
+			if err := a.ep.SendCtx(ctx, a.cfg.Entry[dst], &transport.Message{
+				Type: msgBatch, Round: round,
+				Payload: encodeBatchMsg(layer+1, a.cfg.GID, w.Workers, batches[i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{
+		Type: msgLayer, Round: round,
+		Payload: encodeLayerMsg(a.cfg.GID, layer, w),
+	})
+}

@@ -1,0 +1,403 @@
+package distributed
+
+import (
+	"atom/internal/elgamal"
+	"atom/internal/protocol"
+	"atom/internal/wirecodec"
+)
+
+// Message types of the distributed round protocol. Every message's
+// transport.Message.Round field carries the round id, so actors and the
+// coordinator can discard strays from canceled rounds.
+const (
+	// msgBatch carries one group-bound batch of ciphertext vectors: the
+	// coordinator's layer-0 injection, or a group's layer-t output
+	// arriving at a next-layer group's first member.
+	msgBatch = "dist/batch"
+	// msgShuffle moves the shuffle chain one member forward: the
+	// sender's ShuffleStep (input, output, proof) for the receiver to
+	// verify before shuffling the output itself.
+	msgShuffle = "dist/shuffle"
+	// msgDivide closes the shuffle chain: the last member's ShuffleStep
+	// goes back to the first member, which verifies it, divides the
+	// output into β batches, and starts the re-encryption chain.
+	msgDivide = "dist/divide"
+	// msgReEnc moves the re-encryption chain one member forward: the
+	// sender's β ReEncSteps for the receiver to verify and build on.
+	// Step K (one past the last member) returns to the first member,
+	// which verifies, clears the Y slots and forwards the batches.
+	msgReEnc = "dist/reenc"
+	// msgLayer reports one group's completed iteration (message count
+	// and work totals) to the coordinator.
+	msgLayer = "dist/layer"
+	// msgOut delivers an exit group's plaintext vectors to the
+	// coordinator.
+	msgOut = "dist/out"
+	// msgAbort reports a member failure (typed: class + attribution) to
+	// the coordinator.
+	msgAbort = "dist/abort"
+	// msgCancel tells actors to drop all state and traffic of a round.
+	msgCancel = "dist/cancel"
+	// msgStop shuts an actor down.
+	msgStop = "dist/stop"
+	// msgJoin carries a MemberConfig to a remotely hosted actor
+	// (HostMember); msgJoined acknowledges it.
+	msgJoin   = "dist/join"
+	msgJoined = "dist/joined"
+)
+
+// Abort classes, mapped back onto the protocol error taxonomy by the
+// coordinator (classifyAbort) so errors.Is behaves identically to the
+// in-process path.
+const (
+	abortProof    = "proof"    // a NIZK step was rejected → ErrProofRejected
+	abortCanceled = "canceled" // the actor's context expired → ctx error
+	abortInternal = "internal" // anything else
+)
+
+// work accumulates a group's per-iteration accounting as the chain
+// messages flow member to member; the first member folds it into the
+// msgLayer report. Workers carries the round's resolved worker-pool
+// knob (MixJob.Workers — a per-round SetMixConfig override reaches the
+// actors through here) along the same path.
+type work struct {
+	Msgs     int // vectors entering the layer
+	Workers  int // round worker knob (0 = the actor's configured default)
+	Shuffles int
+	ReEncs   int
+	Proofs   int
+	BusyNs   int64
+}
+
+func encWork(e *wirecodec.Enc, w work) {
+	e.I(w.Msgs)
+	e.I(w.Workers)
+	e.I(w.Shuffles)
+	e.I(w.ReEncs)
+	e.I(w.Proofs)
+	e.U64(uint64(w.BusyNs))
+}
+
+func decWork(d *wirecodec.Dec) (work, error) {
+	var w work
+	var err error
+	if w.Msgs, err = d.I(); err != nil {
+		return w, err
+	}
+	if w.Workers, err = d.I(); err != nil {
+		return w, err
+	}
+	if w.Shuffles, err = d.I(); err != nil {
+		return w, err
+	}
+	if w.ReEncs, err = d.I(); err != nil {
+		return w, err
+	}
+	if w.Proofs, err = d.I(); err != nil {
+		return w, err
+	}
+	busy, err := d.U64()
+	if err != nil {
+		return w, err
+	}
+	w.BusyNs = int64(busy)
+	return w, nil
+}
+
+// ---------------------------------------------------------------------
+// Per-message payloads (shared wirecodec: uvarint counts, presence
+// flags, bounds checks before every allocation).
+
+// batchMsg: layer, source gid (−1 = coordinator), the round's worker
+// knob, vectors.
+func encodeBatchMsg(layer, src, workers int, vecs []elgamal.Vector) []byte {
+	var e wirecodec.Enc
+	e.I(layer)
+	e.I(src)
+	e.I(workers)
+	e.Vectors(vecs)
+	return e.Out()
+}
+
+func decodeBatchMsg(b []byte) (layer, src, workers int, vecs []elgamal.Vector, err error) {
+	d := wirecodec.NewDec(b)
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if src, err = d.I(); err != nil {
+		return
+	}
+	if workers, err = d.I(); err != nil {
+		return
+	}
+	if vecs, err = d.Vectors(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// shuffleMsg (also divideMsg): layer, accumulated work, the sender's
+// shuffle step. In the trap variant the proof (and the input batch,
+// which only verification needs) are omitted.
+func encodeShuffleMsg(layer int, w work, in, out []elgamal.Vector, proofBytes []byte) []byte {
+	var e wirecodec.Enc
+	e.I(layer)
+	encWork(&e, w)
+	e.Vectors(in)
+	e.Vectors(out)
+	e.Bytes(proofBytes)
+	return e.Out()
+}
+
+func decodeShuffleMsg(b []byte) (layer int, w work, in, out []elgamal.Vector, proofBytes []byte, err error) {
+	d := wirecodec.NewDec(b)
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if w, err = decWork(d); err != nil {
+		return
+	}
+	if in, err = d.Vectors(); err != nil {
+		return
+	}
+	if out, err = d.Vectors(); err != nil {
+		return
+	}
+	if proofBytes, err = d.Bytes(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// reencBatch is one batch's worth of a member's re-encryption step on
+// the wire.
+type reencBatch struct {
+	In, Out []elgamal.Vector
+	Proofs  [][]byte // per-vector ReEncProof encodings (empty in trap)
+}
+
+// reencMsg: layer, work, step (receiver position; K wraps to the first
+// member for final verification), the sender's β per-batch steps.
+func encodeReEncMsg(layer int, w work, step int, batches []reencBatch) []byte {
+	var e wirecodec.Enc
+	e.I(layer)
+	encWork(&e, w)
+	e.I(step)
+	e.U64(uint64(len(batches)))
+	for _, rb := range batches {
+		e.Vectors(rb.In)
+		e.Vectors(rb.Out)
+		e.U64(uint64(len(rb.Proofs)))
+		for _, p := range rb.Proofs {
+			e.Bytes(p)
+		}
+	}
+	return e.Out()
+}
+
+func decodeReEncMsg(b []byte) (layer int, w work, step int, batches []reencBatch, err error) {
+	d := wirecodec.NewDec(b)
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if w, err = decWork(d); err != nil {
+		return
+	}
+	if step, err = d.I(); err != nil {
+		return
+	}
+	var n int
+	if n, err = d.Count(); err != nil {
+		return
+	}
+	batches = make([]reencBatch, n)
+	for i := range batches {
+		if batches[i].In, err = d.Vectors(); err != nil {
+			return
+		}
+		if batches[i].Out, err = d.Vectors(); err != nil {
+			return
+		}
+		var np int
+		if np, err = d.Count(); err != nil {
+			return
+		}
+		batches[i].Proofs = make([][]byte, np)
+		for j := range batches[i].Proofs {
+			if batches[i].Proofs[j], err = d.Bytes(); err != nil {
+				return
+			}
+		}
+	}
+	err = d.Done()
+	return
+}
+
+// layerMsg: gid, layer, the group's accumulated work for the layer.
+func encodeLayerMsg(gid, layer int, w work) []byte {
+	var e wirecodec.Enc
+	e.I(gid)
+	e.I(layer)
+	encWork(&e, w)
+	return e.Out()
+}
+
+func decodeLayerMsg(b []byte) (gid, layer int, w work, err error) {
+	d := wirecodec.NewDec(b)
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if w, err = decWork(d); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// outMsg: gid, the exit group's plaintext vectors.
+func encodeOutMsg(gid int, vecs []elgamal.Vector) []byte {
+	var e wirecodec.Enc
+	e.I(gid)
+	e.Vectors(vecs)
+	return e.Out()
+}
+
+func decodeOutMsg(b []byte) (gid int, vecs []elgamal.Vector, err error) {
+	d := wirecodec.NewDec(b)
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if vecs, err = d.Vectors(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// abortMsg: layer, gid, member (DVSS index; −1 when not attributable),
+// class, text.
+func encodeAbortMsg(layer, gid, member int, class, text string) []byte {
+	var e wirecodec.Enc
+	e.I(layer)
+	e.I(gid)
+	e.I(member)
+	e.Str(class)
+	e.Str(text)
+	return e.Out()
+}
+
+func decodeAbortMsg(b []byte) (layer, gid, member int, class, text string, err error) {
+	d := wirecodec.NewDec(b)
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if member, err = d.I(); err != nil {
+		return
+	}
+	if class, err = d.Str(); err != nil {
+		return
+	}
+	if text, err = d.Str(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// ---------------------------------------------------------------------
+// MemberConfig wire form (the msgJoin payload for remotely hosted
+// actors — cmd/atomd -member).
+
+// Marshal encodes the config, including the member's secret: the join
+// channel stands in for the out-of-band provisioning (or a networked
+// DKG) a production deployment would use, and must itself be protected
+// like one (TLS per §2.1).
+func (c *MemberConfig) Marshal() []byte {
+	var e wirecodec.Enc
+	e.I(c.GID)
+	e.I(c.Pos)
+	e.Ints(c.Indices)
+	e.Scalar(c.Secret)
+	e.Points(c.EffPubs)
+	e.Point(c.GroupPK)
+	e.Points(c.GroupPKs)
+	e.Strs(c.Peers)
+	e.Strs(c.Entry)
+	e.Str(c.Coordinator)
+	e.I(int(c.Variant))
+	e.I(c.Workers)
+	e.Str(c.Topo.Name)
+	e.I(c.Topo.Groups)
+	e.I(c.Topo.Iterations)
+	e.I(c.Topo.Reps)
+	return e.Out()
+}
+
+// UnmarshalMemberConfig decodes a MemberConfig.
+func UnmarshalMemberConfig(b []byte) (*MemberConfig, error) {
+	d := wirecodec.NewDec(b)
+	c := &MemberConfig{}
+	var err error
+	var v int
+	if c.GID, err = d.I(); err != nil {
+		return nil, err
+	}
+	if c.Pos, err = d.I(); err != nil {
+		return nil, err
+	}
+	if c.Indices, err = d.Ints(); err != nil {
+		return nil, err
+	}
+	if c.Secret, err = d.Scalar(); err != nil {
+		return nil, err
+	}
+	if c.EffPubs, err = d.Points(); err != nil {
+		return nil, err
+	}
+	if c.GroupPK, err = d.Point(); err != nil {
+		return nil, err
+	}
+	if c.GroupPKs, err = d.Points(); err != nil {
+		return nil, err
+	}
+	if c.Peers, err = d.Strs(); err != nil {
+		return nil, err
+	}
+	if c.Entry, err = d.Strs(); err != nil {
+		return nil, err
+	}
+	if c.Coordinator, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if v, err = d.I(); err != nil {
+		return nil, err
+	}
+	c.Variant = protocol.Variant(v)
+	if c.Workers, err = d.I(); err != nil {
+		return nil, err
+	}
+	if c.Topo.Name, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if c.Topo.Groups, err = d.I(); err != nil {
+		return nil, err
+	}
+	if c.Topo.Iterations, err = d.I(); err != nil {
+		return nil, err
+	}
+	if c.Topo.Reps, err = d.I(); err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

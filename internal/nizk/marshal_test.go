@@ -1,0 +1,100 @@
+package nizk
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// TestShufProofWireRoundTrip: a marshaled+unmarshaled shuffle proof
+// must still verify against the original statement, and the re-encoded
+// bytes must be identical (canonical encoding).
+func TestShufProofWireRoundTrip(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 4, 2)
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := proof.Marshal()
+	back, err := UnmarshalShufProof(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShuffle(pk, in, out, back); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+	if !bytes.Equal(wire, back.Marshal()) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+// TestReEncProofWireRoundTrip covers both the mid-chain and the
+// exit-layer (nextPK = ⊥) shapes.
+func TestReEncProofWireRoundTrip(t *testing.T) {
+	for _, exit := range []bool{false, true} {
+		server, nextPK, in, out, rs := reencFixture(t, exit)
+		proof, err := ProveReEnc(server.SK, server.PK, nextPK, in, out, rs, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := proof.Marshal()
+		back, err := UnmarshalReEncProof(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyReEnc(server.PK, nextPK, in, out, back); err != nil {
+			t.Fatalf("decoded proof rejected (exit=%v): %v", exit, err)
+		}
+		if !bytes.Equal(wire, back.Marshal()) {
+			t.Fatalf("re-encoding is not canonical (exit=%v)", exit)
+		}
+	}
+}
+
+// TestProofUnmarshalRejectsGarbage: truncated and trailing-byte inputs
+// must fail, never panic.
+func TestProofUnmarshalRejectsGarbage(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 3, 1)
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := proof.Marshal()
+	for _, bad := range [][]byte{nil, wire[:1], wire[:len(wire)/2], append(append([]byte{}, wire...), 0xff)} {
+		if _, err := UnmarshalShufProof(bad); err == nil {
+			t.Fatalf("garbage of %d bytes decoded", len(bad))
+		}
+	}
+}
+
+// TestProofUnmarshalRejectsNilElements: nil points/scalars smuggled
+// through the presence flags must be rejected at decode, never reach
+// the verifier's point arithmetic (a panic there would kill a
+// distributed member actor).
+func TestProofUnmarshalRejectsNilElements(t *testing.T) {
+	pk, in, out, perm, rands := shuffleFixture(t, 3, 1)
+	proof, err := ProveShuffle(pk, in, out, perm, rands, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := proof.U[0]
+	proof.U[0] = nil
+	if _, err := UnmarshalShufProof(proof.Marshal()); err == nil {
+		t.Fatal("shuffle proof with nil point element decoded")
+	}
+	proof.U[0] = u0
+	proof.ZU[0] = nil
+	if _, err := UnmarshalShufProof(proof.Marshal()); err == nil {
+		t.Fatal("shuffle proof with nil scalar element decoded")
+	}
+
+	server, nextPK, rin, rout, rs := reencFixture(t, false)
+	rp, err := ProveReEnc(server.SK, server.PK, nextPK, rin, rout, rs, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.CommitKey[0] = nil
+	if _, err := UnmarshalReEncProof(rp.Marshal()); err == nil {
+		t.Fatal("reenc proof with nil point element decoded")
+	}
+}

@@ -166,6 +166,56 @@ func (d *Deployment) Config() Config {
 // NumGroups returns G.
 func (d *Deployment) NumGroups() int { return len(d.groups) }
 
+// Topology returns the deployment's permutation network — what a
+// distributed mixer needs to route inter-group batches.
+func (d *Deployment) Topology() topology.Topology { return d.topo }
+
+// GroupRoster is one group's public wiring plus the per-member secret
+// material for a round: the DVSS indices of the active chain in mixing
+// order, each member's effective (Lagrange-weighted) secret, and the
+// matching effective public keys every verifier checks proofs against.
+// Secrets[i] belongs to the member at Indices[i] and nobody else; a
+// distributed deployment hands each member only its own entry (the
+// in-process constructor plays the role of the DKG ceremony that would
+// otherwise have placed the share there).
+type GroupRoster struct {
+	GID     int
+	PK      *ecc.Point
+	Indices []int
+	Secrets []*ecc.Scalar
+	EffPubs []*ecc.Point
+}
+
+// GroupRoster exports group gid's chain material for hosting its
+// members outside this process. It fails with ErrRecoveryNeeded when
+// the group is under threshold.
+func (d *Deployment) GroupRoster(gid int) (*GroupRoster, error) {
+	g, err := d.groupFor(gid)
+	if err != nil {
+		return nil, err
+	}
+	active, err := g.Active()
+	if err != nil {
+		return nil, err
+	}
+	r := &GroupRoster{
+		GID:     gid,
+		PK:      g.PK,
+		Indices: active,
+		Secrets: make([]*ecc.Scalar, len(active)),
+		EffPubs: make([]*ecc.Point, len(active)),
+	}
+	for i, idx := range active {
+		eff, effPub, err := g.Keys[idx-1].EffectiveKey(active)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: group %d member %d key: %w", gid, idx, err)
+		}
+		r.Secrets[i] = eff
+		r.EffPubs[i] = effPub
+	}
+	return r, nil
+}
+
 // GroupPK returns the public key of group gid (what users encrypt to).
 func (d *Deployment) GroupPK(gid int) (*ecc.Point, error) {
 	if gid < 0 || gid >= len(d.groups) {
@@ -252,11 +302,53 @@ type RoundResult struct {
 	// published (traps included in the trap variant).
 	ExitOutputs map[int][][]byte
 	// Traces records per-group per-layer work for accounting.
-	Traces []stepTrace
+	Traces []StepTrace
 	// Iterations records per-layer latency and work totals.
 	Iterations []IterationStats
 	// Duration is the wall-clock time of the whole mixing phase.
 	Duration time.Duration
+}
+
+// MixJob is one sealed round handed to a Mixer: the per-entry-group
+// batches plus everything the mixing needs to know about the round.
+type MixJob struct {
+	// Ctx cancels the mixing.
+	Ctx context.Context
+	// Round is the round's sequence number (tags messages and stats).
+	Round uint64
+	// Variant selects NIZK proofs vs trap accounting.
+	Variant Variant
+	// Batches[g] is entry group g's sealed batch for layer 0.
+	Batches [][]elgamal.Vector
+	// Workers is the resolved per-group worker-pool size.
+	Workers int
+	// Adversary, when non-nil, is the malicious-server hook for this
+	// round (testing and defense demonstrations).
+	Adversary *Adversary
+	// Hooks carries the per-iteration observability callbacks.
+	Hooks *RoundHooks
+}
+
+// MixOutcome is what a Mixer returns for a completed round.
+type MixOutcome struct {
+	// ExitPayloads maps exit group id to its decrypted routed payloads.
+	ExitPayloads map[int][][]byte
+	// Traces records per-group per-layer work.
+	Traces []StepTrace
+	// Iterations records per-layer latency and work totals.
+	Iterations []IterationStats
+}
+
+// Mixer executes the T mixing iterations of a sealed round across all
+// groups. The deployment ships two implementations of the same
+// MemberEngine-based mixing: the in-process mixer (every group in this
+// process, direct calls) and the distributed cluster
+// (internal/distributed, member actors exchanging framed messages over
+// a transport). RunRoundVia accepts either, so ingestion, sealing, the
+// variant finale, blame records and round rotation are identical no
+// matter where the cryptography physically ran.
+type Mixer interface {
+	MixRound(job *MixJob) (*MixOutcome, error)
 }
 
 // RunRound executes the current round in lock-step — the blocking
@@ -279,6 +371,16 @@ func (d *Deployment) RunRound() (*RoundResult, error) {
 // accepting submissions while this runs — the §4.7 pipelined
 // organization.
 func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *RoundHooks) (*RoundResult, error) {
+	return d.RunRoundVia(ctx, rs, hooks, nil)
+}
+
+// RunRoundVia is RunRoundCtx with an explicit Mixer: nil selects the
+// in-process mixer; a distributed.Cluster runs the same round as
+// message-passing actors over its transport. Everything around the
+// mixing — sealing, the variant-specific finale, blame records, the
+// one-shot adversary hook, current-round rotation — is shared, so the
+// two paths produce identical results and identical error taxonomies.
+func (d *Deployment) RunRoundVia(ctx context.Context, rs *RoundState, hooks *RoundHooks, mixer Mixer) (*RoundResult, error) {
 	if rs == nil {
 		rs = d.currentRound()
 	}
@@ -292,49 +394,74 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 	}
 	d.mixMu.Lock()
 	defer d.mixMu.Unlock()
+	if mixer == nil {
+		mixer = localMixer{d}
+	}
 
 	adversary := d.takeAdversary()
 	start := time.Now()
+	job := &MixJob{
+		Ctx:       ctx,
+		Round:     rs.id,
+		Variant:   rs.variant,
+		Batches:   rs.seal(),
+		Workers:   rs.mix.effectiveWorkers(len(d.groups)),
+		Adversary: adversary,
+		Hooks:     hooks,
+	}
+	out, err := mixer.MixRound(job)
+
+	// The adversary hook is one-shot regardless of outcome.
+	d.mu.Lock()
+	if d.adversary == adversary {
+		d.adversary = nil
+	}
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := d.finishRound(rs, out.ExitPayloads)
+	if err != nil {
+		return nil, err
+	}
+	res.Round = rs.id
+	res.Traces = out.Traces
+	res.Iterations = out.Iterations
+	res.Duration = time.Since(start)
+	// A finished current round rotates automatically so the legacy
+	// surface keeps its auto-reset semantics (and the trap variant
+	// its per-round trustee key).
+	d.mu.Lock()
+	if d.cur == rs {
+		next, oerr := d.openRoundLocked()
+		if oerr != nil {
+			d.mu.Unlock()
+			return nil, oerr
+		}
+		d.cur = next
+	}
+	d.mu.Unlock()
+	return res, nil
+}
+
+// localMixer is the in-process Mixer: all groups mix in this process,
+// one goroutine per group per layer, direct method calls instead of
+// transport frames.
+type localMixer struct{ d *Deployment }
+
+// MixRound implements Mixer.
+func (m localMixer) MixRound(job *MixJob) (*MixOutcome, error) {
+	d := m.d
+	ctx := job.Ctx
 	T := d.topo.Iterations()
 	G := len(d.groups)
-	workers := rs.mix.effectiveWorkers(G)
-	cur := rs.seal()
-	var traces []stepTrace
-	var iterations []IterationStats
-
-	finish := func(res *RoundResult, err error) (*RoundResult, error) {
-		// The adversary hook is one-shot regardless of outcome.
-		d.mu.Lock()
-		if d.adversary == adversary {
-			d.adversary = nil
-		}
-		d.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		res.Round = rs.id
-		res.Traces = traces
-		res.Iterations = iterations
-		res.Duration = time.Since(start)
-		// A finished current round rotates automatically so the legacy
-		// surface keeps its auto-reset semantics (and the trap variant
-		// its per-round trustee key).
-		d.mu.Lock()
-		if d.cur == rs {
-			next, oerr := d.openRoundLocked()
-			if oerr != nil {
-				d.mu.Unlock()
-				return nil, oerr
-			}
-			d.cur = next
-		}
-		d.mu.Unlock()
-		return res, nil
-	}
+	cur := job.Batches
+	out := &MixOutcome{}
 
 	for layer := 0; layer < T; layer++ {
 		if err := ctx.Err(); err != nil {
-			return finish(nil, fmt.Errorf("protocol: round %d canceled at layer %d: %w", rs.id, layer, err))
+			return nil, fmt.Errorf("protocol: round %d canceled at layer %d: %w", job.Round, layer, err)
 		}
 		layerStart := time.Now()
 		layerMsgs := 0
@@ -346,7 +473,7 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 			gid     int
 			batches [][]elgamal.Vector
 			dests   []int
-			trace   *stepTrace
+			trace   *StepTrace
 			err     error
 		}
 		outs := make([]groupOut, G)
@@ -364,14 +491,14 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 				p := mixParams{
 					ctx:      ctx,
 					layer:    layer,
-					variant:  rs.variant,
+					variant:  job.Variant,
 					batch:    cur[gi],
 					destGIDs: dests,
 					destPKs:  pks,
 					rnd:      rand.Reader,
-					workers:  workers,
+					workers:  job.Workers,
 				}
-				if a := adversary; a != nil && a.Layer == layer && a.GID == gi {
+				if a := job.Adversary; a != nil && a.Layer == layer && a.GID == gi {
 					p.tamper = a.Tamper
 					p.tamperMember = a.Member
 				}
@@ -382,17 +509,16 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 		wg.Wait()
 
 		next := make([][]elgamal.Vector, G)
-		var exitPayloads map[int][][]byte
 		if layer == T-1 {
-			exitPayloads = make(map[int][][]byte, G)
+			out.ExitPayloads = make(map[int][][]byte, G)
 		}
-		it := IterationStats{Round: rs.id, Layer: layer, Messages: layerMsgs, Workers: workers}
+		it := IterationStats{Round: job.Round, Layer: layer, Messages: layerMsgs, Workers: job.Workers}
 		for gi := 0; gi < G; gi++ {
 			o := outs[gi]
 			if o.err != nil {
-				return finish(nil, o.err)
+				return nil, o.err
 			}
-			traces = append(traces, *o.trace)
+			out.Traces = append(out.Traces, *o.trace)
 			it.Shuffles += o.trace.Shuffles
 			it.ReEncs += o.trace.ReEncs
 			it.ProofsChecked += o.trace.ProofsChecked
@@ -402,11 +528,11 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 			}
 			if layer == T-1 {
 				// Exit layer: single batch of plaintext vectors.
-				payloads, err := extractPayloads(o.batches[0])
+				payloads, err := ExtractExitPayloads(o.batches[0])
 				if err != nil {
-					return finish(nil, fmt.Errorf("protocol: exit group %d: %w", gi, err))
+					return nil, fmt.Errorf("protocol: exit group %d: %w", gi, err)
 				}
-				exitPayloads[gi] = payloads
+				out.ExitPayloads[gi] = payloads
 				continue
 			}
 			for bi, dst := range o.dests {
@@ -414,28 +540,11 @@ func (d *Deployment) RunRoundCtx(ctx context.Context, rs *RoundState, hooks *Rou
 			}
 		}
 		it.Duration = time.Since(layerStart)
-		iterations = append(iterations, it)
-		if hooks != nil && hooks.IterationDone != nil {
-			hooks.IterationDone(it)
-		}
-		if layer == T-1 {
-			return finish(d.finishRound(rs, exitPayloads))
+		out.Iterations = append(out.Iterations, it)
+		if job.Hooks != nil && job.Hooks.IterationDone != nil {
+			job.Hooks.IterationDone(it)
 		}
 		cur = next
-	}
-	return finish(nil, fmt.Errorf("protocol: unreachable: no exit layer"))
-}
-
-// extractPayloads converts fully-decrypted vectors into payload bytes.
-func extractPayloads(batch []elgamal.Vector) ([][]byte, error) {
-	out := make([][]byte, len(batch))
-	for i, vec := range batch {
-		pts := elgamal.PlaintextVector(vec)
-		payload, err := ecc.ExtractMessage(pts)
-		if err != nil {
-			return nil, fmt.Errorf("message %d: %w", i, err)
-		}
-		out[i] = payload
 	}
 	return out, nil
 }

@@ -40,3 +40,27 @@ var (
 	// been sealed for mixing.
 	ErrRoundClosed = errors.New("protocol: round closed to submissions")
 )
+
+// Blame attaches the offending group and member to a round-abort error
+// so callers can act on the attribution (exclude the server, escalate
+// the variant) without parsing message text. It wraps the underlying
+// sentinel — errors.Is(err, ErrProofRejected) still holds — and is
+// produced identically by the in-process mixer and the distributed
+// actor path:
+//
+//	var blame *protocol.Blame
+//	if errors.As(err, &blame) { exclude(blame.GID, blame.Member) }
+type Blame struct {
+	// GID is the group whose step was rejected.
+	GID int
+	// Member is the offending member's DVSS index within the group.
+	Member int
+	// Err carries the sentinel chain (ErrProofRejected, …).
+	Err error
+}
+
+// Error implements error.
+func (b *Blame) Error() string { return b.Err.Error() }
+
+// Unwrap exposes the sentinel chain to errors.Is/errors.As.
+func (b *Blame) Unwrap() error { return b.Err }

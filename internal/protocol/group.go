@@ -10,9 +10,7 @@ import (
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/groupmgr"
-	"atom/internal/nizk"
 	"atom/internal/parallel"
-	"atom/internal/topology"
 )
 
 // GroupState is one anytrust/many-trust group's view of a round: its
@@ -79,9 +77,11 @@ func (g *GroupState) LiveMembers() int {
 	return n
 }
 
-// stepTrace captures what one group did in one mixing iteration so the
-// deployment can account for it (and tests can assert on it).
-type stepTrace struct {
+// StepTrace captures what one group did in one mixing iteration so the
+// deployment can account for it (and tests can assert on it). It is
+// exported because the distributed mixer (internal/distributed)
+// assembles the same records from the actors' per-chain accounting.
+type StepTrace struct {
 	GID           int
 	Layer         int
 	Shuffles      int
@@ -127,13 +127,14 @@ type mixParams struct {
 // member in order. It returns the β output batches aligned with
 // destGIDs.
 //
-// The per-message cryptography fans over a parallel.Pool of
-// p.workers goroutines (MixConfig; Figure 7's multi-core scaling).
-// Member chains stay serial — member m+1 consumes member m's output —
-// but within a member's step the batch parallelizes: shuffle
-// rerandomization and re-encryption per vector, proof generation per
-// vector, and proof verification per member (shuffles) or batched with
-// a random-linear-combination combine (re-encryptions).
+// Every cryptographic step — shuffle, proof, re-encryption,
+// verification — is the shared MemberEngine, the same code the
+// distributed actor path executes per member over a transport; this
+// function merely plays all members of the group in one process. The
+// per-message cryptography fans over a parallel.Pool of p.workers
+// goroutines (MixConfig; Figure 7's multi-core scaling). Member chains
+// stay serial — member m+1 consumes member m's output — but within a
+// member's step the batch parallelizes.
 //
 // In the NIZK variant every shuffle and reencryption is accompanied by
 // a proof (standing in for "all servers in the group verify the proof
@@ -143,7 +144,7 @@ type mixParams struct {
 // group, so a failure aborts the round exactly as Algorithm 2
 // prescribes, and the pool's first-error semantics guarantee the
 // rejection is never swallowed.
-func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, error) {
+func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *StepTrace, error) {
 	active, err := g.Active()
 	if err != nil {
 		return nil, nil, err
@@ -152,7 +153,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 	if workers < 1 {
 		workers = 1
 	}
-	trace := &stepTrace{GID: g.Info.ID, Layer: p.layer, Workers: workers}
+	trace := &StepTrace{GID: g.Info.ID, Layer: p.layer, Workers: workers}
 
 	// --- Step 1: Shuffle, each active member in order. ---
 	// An empty batch (a group that received no ciphertexts this layer)
@@ -166,22 +167,18 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		return make([][]elgamal.Vector, beta), trace, nil
 	}
 	pool := parallel.New(p.ctx, workers)
+	engine := &MemberEngine{GID: g.Info.ID, Variant: p.variant, GroupPK: g.PK, Pool: pool}
 
-	// shuffleStep keeps one member's (input, output, proof) triple so
-	// all members' proofs can be verified concurrently after the chain.
-	type shuffleStep struct {
-		idx     int // member's DVSS index, for error attribution
-		in, out []elgamal.Vector
-		proof   *nizk.ShufProof
-	}
-	var steps []shuffleStep
+	// Keep every member's step so all proofs can be verified
+	// concurrently after the chain.
+	var steps []*ShuffleStep
 	for pos, idx := range active {
 		if err := p.canceled(); err != nil {
 			return nil, nil, err
 		}
-		out, perm, rands, err := elgamal.ShuffleBatchPar(g.PK, batch, p.rnd, pool)
+		out, perm, rands, err := engine.Shuffle(idx, batch, p.rnd)
 		if err != nil {
-			return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle: %w", g.Info.ID, idx, err)
+			return nil, nil, err
 		}
 		trace.Shuffles++
 		if p.tamper != nil && pos == p.tamperMember {
@@ -189,38 +186,26 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 				out = evil
 			}
 		}
-		if p.variant == VariantNIZK {
-			proof, err := nizk.ProveShufflePar(g.PK, batch, out, perm, rands, p.rnd, pool)
-			if err != nil {
-				return nil, nil, fmt.Errorf("protocol: group %d member %d shuffle proof: %w", g.Info.ID, idx, err)
-			}
-			steps = append(steps, shuffleStep{idx: idx, in: batch, out: out, proof: proof})
+		step, err := engine.ProveStep(idx, batch, out, perm, rands, p.rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		if step.Proof != nil {
+			steps = append(steps, step)
 		}
 		batch = out
 	}
 	if len(steps) > 0 {
 		// Generation is a serial chain, but once the intermediate batches
 		// exist each member's proof verifies independently.
-		verify := func(si int, inner *parallel.Pool) error {
-			s := steps[si]
-			if err := nizk.VerifyShufflePar(g.PK, s.in, s.out, s.proof, inner); err != nil {
-				if parallel.Canceled(err) {
-					// The round was canceled mid-verification — not a
-					// byzantine fault; never blame the member for it.
-					return fmt.Errorf("protocol: mixing canceled: %w", err)
-				}
-				return fmt.Errorf("%w: group %d aborts — member %d shuffle rejected: %v", ErrProofRejected, g.Info.ID, s.idx, err)
-			}
-			return nil
-		}
 		if len(steps) >= workers {
 			// One proof per worker keeps the pool saturated.
-			err = pool.Each(len(steps), func(si int) error { return verify(si, nil) })
+			err = pool.Each(len(steps), func(si int) error { return engine.VerifyShuffle(steps[si], nil) })
 		} else {
 			// Fewer proofs than workers: verify in order, each proof
 			// fanning its inner loops over the pool instead.
 			for si := 0; si < len(steps) && err == nil; si++ {
-				err = verify(si, pool)
+				err = engine.VerifyShuffle(steps[si], pool)
 			}
 		}
 		if err != nil {
@@ -238,13 +223,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 		p.destGIDs = []int{-1}
 		p.destPKs = []*ecc.Point{nil}
 	}
-	sizes := topology.BatchSizes(len(batch), beta)
-	batches := make([][]elgamal.Vector, beta)
-	off := 0
-	for i := 0; i < beta; i++ {
-		batches[i] = batch[off : off+sizes[i]]
-		off += sizes[i]
-	}
+	batches := Divide(batch, beta)
 
 	// --- Step 3: Decrypt and reencrypt, each active member in order. ---
 	for i := range batches {
@@ -261,37 +240,21 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *stepTrace, 
 			if err != nil {
 				return nil, nil, fmt.Errorf("protocol: group %d member %d key: %w", g.Info.ID, idx, err)
 			}
-			next, rss, err := elgamal.ReEncBatchPar(eff, p.destPKs[i], cur, p.rnd, pool)
+			step, err := engine.ReEnc(idx, eff, effPub, p.destPKs[i], cur, p.rnd)
 			if err != nil {
-				return nil, nil, fmt.Errorf("protocol: group %d member %d reenc: %w", g.Info.ID, idx, err)
+				return nil, nil, err
 			}
 			trace.ReEncs += len(cur)
 			if p.variant == VariantNIZK {
-				// Per-vector proofs are independent: generate them across
-				// the pool (randomness drawn through a locked reader), then
-				// check them all with one batched verification.
-				prnd := parallel.LockedReader(p.rnd)
-				proofs, err := parallel.Map(pool, len(cur), func(vi int) (*nizk.ReEncProof, error) {
-					return nizk.ProveReEnc(eff, effPub, p.destPKs[i], cur[vi], next[vi], rss[vi], prnd)
-				})
-				if err != nil {
-					return nil, nil, fmt.Errorf("protocol: group %d member %d reenc proof: %w", g.Info.ID, idx, err)
-				}
-				if err := nizk.VerifyReEncBatch(effPub, p.destPKs[i], cur, next, proofs, pool); err != nil {
-					if parallel.Canceled(err) {
-						return nil, nil, fmt.Errorf("protocol: mixing canceled: %w", err)
-					}
-					return nil, nil, fmt.Errorf("%w: group %d aborts — member %d reencryption rejected: %v", ErrProofRejected, g.Info.ID, idx, err)
+				if err := engine.VerifyReEnc(step); err != nil {
+					return nil, nil, err
 				}
 				trace.ProofsChecked += len(cur)
 			}
-			cur = next
+			cur = step.Out
 		}
 		// Last server clears the Y slot before forwarding (Appendix A).
-		for vi := range cur {
-			cur[vi] = elgamal.ClearYVector(cur[vi])
-		}
-		batches[i] = cur
+		batches[i] = ClearYBatch(cur)
 	}
 	trace.Busy = pool.Busy()
 	return batches, trace, nil

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPNode is a TCP-backed Endpoint for real multi-process deployments
@@ -20,6 +23,7 @@ type TCPNode struct {
 	addr     string
 	listener net.Listener
 	inbox    chan *Message
+	maxFrame int64
 
 	mu      sync.Mutex
 	conns   map[string]*tcpConn // outbound, keyed by peer address
@@ -31,21 +35,47 @@ type TCPNode struct {
 // tcpConn pairs an outbound connection with a write mutex: concurrent
 // Sends to one peer (the daemon's async mix replies, the client's
 // concurrency-safe methods) must not interleave their length-prefixed
-// frames on the shared connection.
+// frames on the shared connection. dlmu/seq/writing guard the
+// cancellation watcher: a late-firing watcher may only expire the
+// write deadline while its own send is still the one in flight.
 type tcpConn struct {
 	conn net.Conn
 	wmu  sync.Mutex
+
+	dlmu    sync.Mutex
+	seq     uint64
+	writing bool
 }
 
-// maxFrame bounds a frame to 64 MiB to stop a malformed length prefix
-// from allocating unbounded memory.
-const maxFrame = 64 << 20
+// DefaultMaxFrame bounds a frame to 64 MiB unless TCPOptions overrides
+// it, stopping a malformed (or hostile) length prefix from allocating
+// unbounded memory — a 4-byte prefix can claim up to 4 GiB.
+const DefaultMaxFrame = 64 << 20
+
+// TCPOptions tunes a TCP endpoint.
+type TCPOptions struct {
+	// Buffer is the inbox capacity (default 1024).
+	Buffer int
+	// MaxFrame is the largest frame accepted on read or produced on
+	// write, in bytes (default DefaultMaxFrame). Oversized frames fail
+	// with ErrFrameTooLarge; on read the connection is dropped before
+	// the claimed length is allocated.
+	MaxFrame int64
+}
 
 // ListenTCP starts a TCP endpoint on addr ("host:port", ":0" for an
-// ephemeral port).
+// ephemeral port) with default options.
 func ListenTCP(addr string, buffer int) (*TCPNode, error) {
-	if buffer <= 0 {
-		buffer = 1024
+	return ListenTCPOpts(addr, TCPOptions{Buffer: buffer})
+}
+
+// ListenTCPOpts starts a TCP endpoint with explicit options.
+func ListenTCPOpts(addr string, opts TCPOptions) (*TCPNode, error) {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -54,7 +84,8 @@ func ListenTCP(addr string, buffer int) (*TCPNode, error) {
 	n := &TCPNode{
 		addr:     l.Addr().String(),
 		listener: l,
-		inbox:    make(chan *Message, buffer),
+		inbox:    make(chan *Message, opts.Buffer),
+		maxFrame: opts.MaxFrame,
 		conns:    make(map[string]*tcpConn),
 		inbound:  make(map[net.Conn]bool),
 	}
@@ -100,7 +131,7 @@ func (n *TCPNode) acceptLoop() {
 
 func (n *TCPNode) readLoop(conn net.Conn) {
 	for {
-		msg, err := readFrame(conn)
+		msg, err := readFrame(conn, n.maxFrame)
 		if err != nil {
 			return
 		}
@@ -121,6 +152,12 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 // peer address and writes one frame. Safe for concurrent use: frames
 // to the same peer are serialized on the connection's write mutex.
 func (n *TCPNode) Send(to string, msg *Message) error {
+	return n.SendCtx(context.Background(), to, msg)
+}
+
+// SendCtx implements Endpoint: Send with the dial and the frame write
+// bounded by the context's deadline.
+func (n *TCPNode) SendCtx(ctx context.Context, to string, msg *Message) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -129,7 +166,8 @@ func (n *TCPNode) Send(to string, msg *Message) error {
 	tc, ok := n.conns[to]
 	n.mu.Unlock()
 	if !ok {
-		conn, err := net.Dial("tcp", to)
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", to)
 		if err != nil {
 			return fmt.Errorf("transport: dial %s: %w", to, err)
 		}
@@ -147,16 +185,60 @@ func (n *TCPNode) Send(to string, msg *Message) error {
 	cp.From = n.addr
 	cp.To = to
 	tc.wmu.Lock()
-	err := writeFrame(tc.conn, &cp)
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = tc.conn.SetWriteDeadline(deadline)
+	} else {
+		_ = tc.conn.SetWriteDeadline(time.Time{})
+	}
+	// A deadline-less context can still be canceled mid-write (a full
+	// peer receive buffer blocks Write indefinitely): a watcher forces
+	// the blocked write to fail by expiring the write deadline. The
+	// per-send deadline reset above clears it for the next frame, and
+	// the seq/writing guard keeps a late-firing watcher from expiring
+	// a LATER send's deadline on the shared connection.
+	var watchStop chan struct{}
+	if ctx.Done() != nil {
+		watchStop = make(chan struct{})
+		tc.dlmu.Lock()
+		tc.seq++
+		mySeq := tc.seq
+		tc.writing = true
+		tc.dlmu.Unlock()
+		go func() {
+			select {
+			case <-ctx.Done():
+				tc.dlmu.Lock()
+				if tc.writing && tc.seq == mySeq {
+					_ = tc.conn.SetWriteDeadline(time.Unix(1, 0))
+				}
+				tc.dlmu.Unlock()
+			case <-watchStop:
+			}
+		}()
+	}
+	err := writeFrame(tc.conn, &cp, n.maxFrame)
+	if watchStop != nil {
+		tc.dlmu.Lock()
+		tc.writing = false
+		tc.dlmu.Unlock()
+		close(watchStop)
+	}
 	tc.wmu.Unlock()
+	if err != nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
 	if err != nil {
-		// Connection went stale; drop it so the next send redials.
-		n.mu.Lock()
-		if n.conns[to] == tc {
-			delete(n.conns, to)
+		// Connection went stale; drop it so the next send redials. An
+		// oversized frame never reached the wire, so the connection
+		// stays usable — keep it.
+		if !errors.Is(err, ErrFrameTooLarge) {
+			n.mu.Lock()
+			if n.conns[to] == tc {
+				delete(n.conns, to)
+			}
+			n.mu.Unlock()
+			tc.conn.Close()
 		}
-		n.mu.Unlock()
-		tc.conn.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
@@ -185,7 +267,7 @@ func (n *TCPNode) Close() error {
 	return nil
 }
 
-func writeFrame(w io.Writer, msg *Message) error {
+func writeFrame(w io.Writer, msg *Message, maxFrame int64) error {
 	var payload []byte
 	{
 		var buf frameBuffer
@@ -194,8 +276,8 @@ func writeFrame(w io.Writer, msg *Message) error {
 		}
 		payload = buf.b
 	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+	if int64(len(payload)) > maxFrame {
+		return fmt.Errorf("%w: %d-byte frame exceeds the %d-byte limit", ErrFrameTooLarge, len(payload), maxFrame)
 	}
 	// One Write per frame: the length prefix and payload go out
 	// together (callers additionally serialize on a per-connection
@@ -207,14 +289,15 @@ func writeFrame(w io.Writer, msg *Message) error {
 	return err
 }
 
-func readFrame(r io.Reader) (*Message, error) {
+func readFrame(r io.Reader, maxFrame int64) (*Message, error) {
 	var ln [4]byte
 	if _, err := io.ReadFull(r, ln[:]); err != nil {
 		return nil, err
 	}
 	size := binary.BigEndian.Uint32(ln[:])
-	if size > maxFrame {
-		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", size)
+	// Reject before allocating: the prefix alone can claim 4 GiB.
+	if int64(size) > maxFrame {
+		return nil, fmt.Errorf("%w: %d-byte frame exceeds the %d-byte limit", ErrFrameTooLarge, size, maxFrame)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {

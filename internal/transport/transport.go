@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,6 +36,10 @@ type Endpoint interface {
 	Addr() string
 	// Send delivers msg (with From/To filled in) to the named node.
 	Send(to string, msg *Message) error
+	// SendCtx is Send honoring the context: a blocked delivery (inbox
+	// backpressure, a slow dial or write) gives up with ctx.Err() when
+	// the context expires.
+	SendCtx(ctx context.Context, to string, msg *Message) error
 	// Inbox returns the channel of received messages. It is closed when
 	// the endpoint closes.
 	Inbox() <-chan *Message
@@ -48,6 +53,12 @@ var ErrClosed = errors.New("transport: endpoint closed")
 
 // ErrUnknownNode is returned when the destination is not attached.
 var ErrUnknownNode = errors.New("transport: unknown node")
+
+// ErrFrameTooLarge is returned when a frame exceeds the endpoint's
+// configured maximum — on write before any bytes leave, and on read
+// before the claimed length is allocated (a malformed or hostile length
+// prefix must not drive allocation).
+var ErrFrameTooLarge = errors.New("transport: frame too large")
 
 // LatencyFunc models one-way delivery delay between two nodes.
 type LatencyFunc func(from, to string) time.Duration
@@ -94,6 +105,7 @@ func (n *MemNetwork) Attach(addr string) (Endpoint, error) {
 		net:   n,
 		addr:  addr,
 		inbox: make(chan *Message, n.buffer),
+		done:  make(chan struct{}),
 	}
 	n.nodes[addr] = ep
 	if _, ok := n.stats[addr]; !ok {
@@ -123,7 +135,7 @@ func (n *MemNetwork) TotalBytes() int64 {
 	return total
 }
 
-func (n *MemNetwork) deliver(from string, msg *Message) error {
+func (n *MemNetwork) deliver(ctx context.Context, from string, msg *Message) error {
 	n.mu.Lock()
 	dst, ok := n.nodes[msg.To]
 	var delay time.Duration
@@ -143,51 +155,73 @@ func (n *MemNetwork) deliver(from string, msg *Message) error {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, msg.To)
 	}
 	if delay > 0 {
-		time.AfterFunc(delay, func() { dst.push(msg) })
+		// The message is in flight: the sender has committed it and
+		// cannot be blocked (or canceled) any more, so the delayed push
+		// carries no context.
+		time.AfterFunc(delay, func() { _ = dst.push(context.Background(), msg) })
 		return nil
 	}
-	return dst.push(msg)
+	return dst.push(ctx, msg)
 }
 
 type memEndpoint struct {
-	net    *MemNetwork
-	addr   string
-	inbox  chan *Message
-	mu     sync.Mutex
-	closed bool
+	net   *MemNetwork
+	addr  string
+	inbox chan *Message
+	// done unblocks pushes stuck on a full inbox when the endpoint
+	// closes; senders counts in-flight pushes so Close can close the
+	// inbox only after the last one has exited.
+	done    chan struct{}
+	senders sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
 }
 
 func (e *memEndpoint) Addr() string { return e.addr }
 
 func (e *memEndpoint) Send(to string, msg *Message) error {
+	return e.SendCtx(context.Background(), to, msg)
+}
+
+func (e *memEndpoint) SendCtx(ctx context.Context, to string, msg *Message) error {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	cp := *msg
 	cp.From = e.addr
 	cp.To = to
-	return e.net.deliver(e.addr, &cp)
+	return e.net.deliver(ctx, e.addr, &cp)
 }
 
 func (e *memEndpoint) Inbox() <-chan *Message { return e.inbox }
 
-// push enqueues a message, dropping it if the endpoint already closed.
-func (e *memEndpoint) push(msg *Message) error {
+// push enqueues a message. A full inbox blocks the sender (deliberate
+// backpressure) until space frees, the destination closes, or ctx
+// expires — a select on the endpoint's done channel, not a recover
+// around a send into a closing channel.
+func (e *memEndpoint) push(ctx context.Context, msg *Message) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return ErrClosed
 	}
+	e.senders.Add(1)
 	e.mu.Unlock()
-	// The inbox may block if full; that is deliberate backpressure. A
-	// concurrent Close drains receivers, so also guard with a recover in
-	// case the channel closes underneath a blocked send.
-	defer func() { _ = recover() }()
-	e.inbox <- msg
-	return nil
+	defer e.senders.Done()
+	select {
+	case e.inbox <- msg:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (e *memEndpoint) Close() error {
@@ -197,8 +231,14 @@ func (e *memEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	close(e.inbox)
 	e.mu.Unlock()
+
+	// Unblock any push stuck on a full inbox, wait for all in-flight
+	// pushes to exit (no new ones start once closed is set), and only
+	// then close the inbox so receivers see a clean end-of-stream.
+	close(e.done)
+	e.senders.Wait()
+	close(e.inbox)
 
 	e.net.mu.Lock()
 	delete(e.net.nodes, e.addr)

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -241,5 +243,91 @@ func TestTCPDialFailure(t *testing.T) {
 	defer a.Close()
 	if err := a.Send("127.0.0.1:1", &Message{Type: "x"}); err == nil {
 		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestMemCloseUnblocksFullInboxPush exercises the close-while-blocked
+// path: a sender stuck on a full inbox must exit cleanly with ErrClosed
+// when the destination closes, instead of panicking on a closed channel.
+func TestMemCloseUnblocksFullInboxPush(t *testing.T) {
+	net := NewMemNetwork(nil, 1)
+	a, _ := net.Attach("a")
+	b, _ := net.Attach("b")
+	if err := a.Send("b", &Message{Type: "fill"}); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send("b", &Message{Type: "blocked"}) }()
+	// Give the sender time to block on the full inbox, then close.
+	time.Sleep(20 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked push returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked push never unblocked after Close")
+	}
+}
+
+// TestMemSendCtxCancellation verifies a blocked SendCtx gives up with
+// the context's error.
+func TestMemSendCtxCancellation(t *testing.T) {
+	net := NewMemNetwork(nil, 1)
+	a, _ := net.Attach("a")
+	net.Attach("b")
+	if err := a.Send("b", &Message{Type: "fill"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := a.SendCtx(ctx, "b", &Message{Type: "blocked"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SendCtx returned %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestTCPFrameTooLargeWrite checks the typed error on oversized writes
+// (and that the connection survives, since nothing hit the wire).
+func TestTCPFrameTooLargeWrite(t *testing.T) {
+	a, _ := ListenTCPOpts("127.0.0.1:0", TCPOptions{Buffer: 4, MaxFrame: 1 << 10})
+	b, _ := ListenTCPOpts("127.0.0.1:0", TCPOptions{Buffer: 4, MaxFrame: 1 << 10})
+	defer a.Close()
+	defer b.Close()
+	err := a.Send(b.Addr(), &Message{Type: "big", Payload: make([]byte, 1<<11)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized send returned %v, want ErrFrameTooLarge", err)
+	}
+	if err := a.Send(b.Addr(), &Message{Type: "small", Payload: []byte("ok")}); err != nil {
+		t.Fatalf("small send after oversized rejection: %v", err)
+	}
+	select {
+	case msg := <-b.Inbox():
+		if msg.Type != "small" {
+			t.Fatalf("got %q, want the small frame", msg.Type)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("small frame never arrived")
+	}
+}
+
+// TestTCPFrameTooLargeRead checks a hostile length prefix is rejected
+// before allocation: the reader's limit is lower than the writer's.
+func TestTCPFrameTooLargeRead(t *testing.T) {
+	b, _ := ListenTCPOpts("127.0.0.1:0", TCPOptions{Buffer: 4, MaxFrame: 256})
+	defer b.Close()
+	a, _ := ListenTCPOpts("127.0.0.1:0", TCPOptions{Buffer: 4, MaxFrame: 1 << 20})
+	defer a.Close()
+	if err := a.Send(b.Addr(), &Message{Type: "big", Payload: make([]byte, 4096)}); err != nil {
+		t.Fatalf("send within the writer's limit: %v", err)
+	}
+	select {
+	case msg := <-b.Inbox():
+		t.Fatalf("oversized frame was delivered: %+v", msg)
+	case <-time.After(150 * time.Millisecond):
+		// Dropped before allocation, connection torn down: correct.
 	}
 }
