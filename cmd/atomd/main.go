@@ -17,11 +17,21 @@
 //	atomd -member -listen :9100
 //
 // The coordinating process builds a distributed.Cluster whose
-// Options.Remote map points at these addresses.
+// Options.Remote map points at these addresses. Everything churn-
+// related — the member's heartbeat period, the coordinator's liveness
+// timeout, re-planning after a loss, buddy-group recovery — is
+// configured by the coordinator (distributed.Options) and arrives in
+// the join message; a -member process needs no tuning flags. If this
+// process dies, the coordinator detects the silence within its
+// liveness timeout, re-plans the group's chain over the survivors (or
+// fails the round with atom.ErrMemberLost when the h−1 budget is
+// spent), and a restarted host can be re-adopted at its old address on
+// the next round's provisioning.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -91,16 +101,29 @@ func main() {
 				log.Printf("atomd: round %d open for submissions", round)
 			},
 			IterationDone: func(it atom.IterationStats) {
-				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization)",
+				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization, %d live members)",
 					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified,
-					it.Workers, 100*it.Utilization())
+					it.Workers, 100*it.Utilization(), it.Members)
 			},
 			RoundMixed: func(st atom.RoundStats) {
 				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations",
 					st.Round, st.Messages, st.Duration, st.Iterations)
 			},
 			RoundFailed: func(round uint64, err error) {
-				log.Printf("atomd: round %d FAILED: %v", round, err)
+				// Operator triage: blame (a malicious server — exclude
+				// it), member-lost (a crash — recover), and everything
+				// else (cancellation, trap trip) are different runbooks.
+				switch {
+				case errors.Is(err, atom.ErrProofRejected):
+					gid, member, _ := atom.BlamedMember(err)
+					log.Printf("atomd: round %d FAILED: proof rejected — group %d member %d is misbehaving: %v", round, gid, member, err)
+				case errors.Is(err, atom.ErrMemberLost):
+					gid, member, _ := atom.LostMember(err)
+					log.Printf("atomd: round %d FAILED: member lost — group %d member %d crashed (recovery needed: %v): %v",
+						round, gid, member, errors.Is(err, atom.ErrRecoveryNeeded), err)
+				default:
+					log.Printf("atomd: round %d FAILED: %v", round, err)
+				}
 			},
 		})
 	}

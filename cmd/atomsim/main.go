@@ -7,6 +7,8 @@
 //	atomsim -table 12 -paper   # one table, using published Table 3 costs
 //	atomsim -live              # run a real round, per-iteration stats
 //	atomsim -distributed       # full round as actors over the WAN-latency memnet
+//	atomsim -distributed -churn 1   # kill a member mid-round: degraded completion
+//	atomsim -distributed -churn 2   # exceed the budget: ErrMemberLost → wire recovery
 //
 // -live executes a real in-process deployment (real cryptography) and
 // reports per-iteration latency, messages mixed and proofs verified
@@ -16,15 +18,25 @@
 // group member is an independent actor exchanging framed messages over
 // the in-memory network with the paper's emulated 40–160 ms pairwise
 // WAN latency (§6), and the report adds per-member transport traffic.
+//
+// -churn N (with -distributed) injects failures: after the first mixing
+// iteration completes, N members of group 0 are killed. The deployment
+// then uses many-trust groups (k=3, h=2, one buddy group each), so one
+// loss is re-planned around mid-round and the round still delivers,
+// while two losses exhaust the budget — the round fails with the typed
+// member-lost error, §4.5 buddy-group recovery runs over the wire, and
+// a follow-up round delivers cleanly.
 package main
 
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"sort"
+	"sync"
 	"time"
 
 	"atom"
@@ -46,6 +58,7 @@ func main() {
 		dist     = flag.Bool("distributed", false, "run a real round as message-passing actors over the latency-modeled in-memory network")
 		wanMin   = flag.Duration("wanmin", 40*time.Millisecond, "-distributed: minimum pairwise one-way latency")
 		wanMax   = flag.Duration("wanmax", 160*time.Millisecond, "-distributed: maximum pairwise one-way latency")
+		churn    = flag.Int("churn", 0, "-distributed: kill this many members of group 0 after the first iteration (1 = degraded completion, 2 = member-lost + wire recovery)")
 	)
 	flag.Parse()
 	if !*all && *fig == 0 && *table == 0 && !*live && !*dist {
@@ -53,7 +66,7 @@ func main() {
 	}
 
 	if *dist {
-		if err := runDistributed(*liveMsgs, *liveNIZK, *workers, *wanMin, *wanMax); err != nil {
+		if err := runDistributed(*liveMsgs, *liveNIZK, *workers, *wanMin, *wanMax, *churn); err != nil {
 			log.Fatalf("atomsim: %v", err)
 		}
 		return
@@ -122,11 +135,55 @@ func main() {
 	}
 }
 
+// submitDistributed opens a round and fills it with msgs distinct
+// messages, returning the round.
+func submitDistributed(d *protocol.Deployment, client *protocol.Client, variant protocol.Variant, msgs int) (*protocol.RoundState, error) {
+	rs, err := d.OpenRound()
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < msgs; u++ {
+		gid := u % d.NumGroups()
+		gpk, err := d.GroupPK(gid)
+		if err != nil {
+			return nil, err
+		}
+		msg := []byte(fmt.Sprintf("distributed hello %02d", u))
+		switch variant {
+		case protocol.VariantNIZK:
+			sub, err := client.Submit(msg, gpk, gid, rand.Reader)
+			if err != nil {
+				return nil, err
+			}
+			if err := rs.SubmitUser(u, sub); err != nil {
+				return nil, err
+			}
+		default:
+			tpk, err := rs.TrusteePK()
+			if err != nil {
+				return nil, err
+			}
+			sub, err := client.SubmitTrap(msg, gpk, tpk, gid, rand.Reader)
+			if err != nil {
+				return nil, err
+			}
+			if err := rs.SubmitTrapUser(u, sub); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rs, nil
+}
+
 // runDistributed runs one full round through the distributed engine
 // over the WAN-latency-modeled in-memory network and reports
 // per-iteration latency/work (Observer hooks) plus per-member transport
-// traffic.
-func runDistributed(msgs int, nizk bool, workers int, wanMin, wanMax time.Duration) error {
+// traffic. With churn > 0 it additionally kills members of group 0
+// after the first iteration and walks whichever churn path the loss
+// lands on: degraded completion within the h−1 budget, or the typed
+// member-lost abort followed by §4.5 buddy-group recovery over the
+// wire and a clean follow-up round.
+func runDistributed(msgs int, nizk bool, workers int, wanMin, wanMax time.Duration, churn int) error {
 	variant := protocol.VariantTrap
 	if nizk {
 		variant = protocol.VariantNIZK
@@ -141,6 +198,15 @@ func runDistributed(msgs int, nizk bool, workers int, wanMin, wanMax time.Durati
 		Mix:         protocol.MixConfig{Workers: workers},
 		Seed:        []byte("atomsim-distributed"),
 	}
+	if churn > 0 {
+		// Churn demos need headroom: h=2 gives each group one spare
+		// (chains of k−1), and buddy escrow enables §4.5 recovery.
+		cfg.HonestMin = 2
+		cfg.BuddyCount = 1
+		if threshold := cfg.GroupSize - (cfg.HonestMin - 1); churn > threshold {
+			return fmt.Errorf("churn %d exceeds group 0's %d chain members", churn, threshold)
+		}
+	}
 	d, err := protocol.NewDeployment(cfg)
 	if err != nil {
 		return err
@@ -153,58 +219,64 @@ func runDistributed(msgs int, nizk bool, workers int, wanMin, wanMax time.Durati
 
 	net := transport.NewMemNetwork(transport.PairwiseLatency("atomsim", wanMin, wanMax), 256)
 	cluster, err := distributed.NewCluster(d, distributed.Options{
-		Attach:  distributed.MemAttach(net),
-		Workers: workers,
+		Attach:          distributed.MemAttach(net),
+		Workers:         workers,
+		Heartbeat:       200 * time.Millisecond,
+		LivenessTimeout: 2 * time.Second,
+		Log:             log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
 
-	rs, err := d.OpenRound()
+	rs, err := submitDistributed(d, client, variant, msgs)
 	if err != nil {
 		return err
-	}
-	for u := 0; u < msgs; u++ {
-		gid := u % d.NumGroups()
-		gpk, err := d.GroupPK(gid)
-		if err != nil {
-			return err
-		}
-		msg := []byte(fmt.Sprintf("distributed hello %02d", u))
-		switch variant {
-		case protocol.VariantNIZK:
-			sub, err := client.Submit(msg, gpk, gid, rand.Reader)
-			if err != nil {
-				return err
-			}
-			if err := rs.SubmitUser(u, sub); err != nil {
-				return err
-			}
-		default:
-			tpk, err := rs.TrusteePK()
-			if err != nil {
-				return err
-			}
-			sub, err := client.SubmitTrap(msg, gpk, tpk, gid, rand.Reader)
-			if err != nil {
-				return err
-			}
-			if err := rs.SubmitTrapUser(u, sub); err != nil {
-				return err
-			}
-		}
 	}
 
 	fmt.Printf("distributed round: %d groups × %d members, T=%d, %s variant, %d messages, WAN %v–%v\n",
 		cfg.NumGroups, cfg.GroupSize, cfg.Iterations, variant, msgs, wanMin, wanMax)
+	var injectOnce sync.Once
 	hooks := &protocol.RoundHooks{IterationDone: func(it protocol.IterationStats) {
-		fmt.Printf("  iteration %d: %3d msgs  %8.0f ms  %4d shuffles  %4d reencs  %5d proofs  busy %v\n",
-			it.Layer, it.Messages, float64(it.Duration.Milliseconds()), it.Shuffles, it.ReEncs, it.ProofsChecked, it.WorkerBusy.Round(time.Millisecond))
+		fmt.Printf("  iteration %d: %3d msgs  %8.0f ms  %4d shuffles  %4d reencs  %5d proofs  busy %v  %d live members\n",
+			it.Layer, it.Messages, float64(it.Duration.Milliseconds()), it.Shuffles, it.ReEncs, it.ProofsChecked,
+			it.WorkerBusy.Round(time.Millisecond), it.Members)
+		if churn > 0 {
+			injectOnce.Do(func() {
+				threshold := cfg.GroupSize - (cfg.HonestMin - 1)
+				for i := 0; i < churn; i++ {
+					id := distributed.MemberID{GID: 0, Pos: threshold - 1 - i}
+					fmt.Printf("  !! killing group %d member %d mid-round\n", id.GID, id.Pos)
+					cluster.KillMember(id)
+				}
+			})
+		}
 	}}
 	res, err := cluster.Run(context.Background(), rs, hooks)
 	if err != nil {
-		return err
+		// The operator triage path: a member-lost abort is typed and
+		// attributed, and — unlike blame or a timeout — fixable by
+		// §4.5 recovery.
+		var loss *protocol.Loss
+		if !errors.As(err, &loss) {
+			return err
+		}
+		fmt.Printf("round aborted, member lost: group %d member %d (recovery needed: %v)\n",
+			loss.GID, loss.Member, errors.Is(err, protocol.ErrRecoveryNeeded))
+		replacements := []int{1000, 1001, 1002}
+		fmt.Printf("running buddy-group recovery over the wire…\n")
+		if err := cluster.RecoverGroup(context.Background(), loss.GID, replacements); err != nil {
+			return fmt.Errorf("wire recovery: %w", err)
+		}
+		need, _ := d.GroupNeedsRecovery(loss.GID)
+		fmt.Printf("group %d recovered (needs recovery: %v); rerunning a clean round\n", loss.GID, need)
+		if rs, err = submitDistributed(d, client, variant, msgs); err != nil {
+			return err
+		}
+		if res, err = cluster.Run(context.Background(), rs, hooks); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("round %d mixed %d messages in %v\n", res.Round, len(res.Messages), res.Duration.Round(time.Millisecond))
 

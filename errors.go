@@ -15,13 +15,16 @@ import (
 //	ErrRoundAborted            the round cannot complete
 //	├── ErrTrapTripped         trap variant: trustees destroyed the key
 //	├── ErrProofRejected       NIZK variant: a shuffle/re-enc proof failed
+//	├── ErrMemberLost          a member crashed or went unreachable
 //	└── (context errors)       Mix canceled or past its deadline
 //	ErrBadSubmission           a submission failed validation
 //	└── ErrDuplicateSubmission replayed ciphertext or reused commitment
 //
 // so errors.Is(err, ErrRoundAborted) is true for trap trips, proof
-// rejections and cancellations alike, while the specific sentinels
-// distinguish them.
+// rejections, member losses and cancellations alike, while the specific
+// sentinels distinguish them. ErrMemberLost errors additionally match
+// ErrRecoveryNeeded when the loss exhausted the group's h−1 budget, and
+// LostMember extracts the crashed member's identity.
 var (
 	// ErrRoundAborted is returned when a round cannot complete: a
 	// defense tripped, a group lost too many members mid-round, or the
@@ -53,6 +56,15 @@ var (
 	// started; open the next round and submit there.
 	ErrRoundClosed = errors.New("atom: round closed to submissions")
 
+	// ErrMemberLost is a distributed round's benign availability abort
+	// (§4.5): a group member crashed or became unreachable — detected by
+	// missed heartbeats or a failed chain delivery — as opposed to a
+	// byzantine fault (ErrProofRejected) or a caller cancellation. It
+	// matches ErrRoundAborted under errors.Is; when the loss pushed the
+	// group past its h−1 budget the error also matches
+	// ErrRecoveryNeeded. LostMember extracts the crashed member.
+	ErrMemberLost = fmt.Errorf("%w: group member lost", ErrRoundAborted)
+
 	// ErrRecoveryNeeded is returned when a group has lost more members
 	// than its h−1 budget; call Network.Recover before the next round.
 	ErrRecoveryNeeded = errors.New("atom: group needs buddy recovery")
@@ -74,6 +86,17 @@ func BlamedMember(err error) (gid, member int, ok bool) {
 	var b *protocol.Blame
 	if errors.As(err, &b) {
 		return b.GID, b.Member, true
+	}
+	return 0, 0, false
+}
+
+// LostMember extracts the crashed group and member (DVSS index) from a
+// member-lost error — the availability counterpart of BlamedMember. It
+// reports ok=false for errors without a loss attribution.
+func LostMember(err error) (gid, member int, ok bool) {
+	var l *protocol.Loss
+	if errors.As(err, &l) {
+		return l.GID, l.Member, true
 	}
 	return 0, 0, false
 }
@@ -102,6 +125,15 @@ func wrapErr(err error) error {
 		return nil
 	}
 	switch {
+	case errors.Is(err, protocol.ErrMemberLost):
+		// Checked first: a loss that exhausted the h−1 budget also
+		// wraps ErrRecoveryNeeded, and the loss is the operative fact —
+		// the public error then matches BOTH sentinels.
+		sentinel := error(ErrMemberLost)
+		if errors.Is(err, protocol.ErrRecoveryNeeded) {
+			sentinel = fmt.Errorf("%w (%w)", ErrMemberLost, ErrRecoveryNeeded)
+		}
+		return &apiError{sentinel: sentinel, err: err}
 	case errors.Is(err, protocol.ErrRoundAborted):
 		return &apiError{sentinel: ErrTrapTripped, err: err}
 	case errors.Is(err, protocol.ErrProofRejected):

@@ -2,11 +2,15 @@ package distributed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"atom/internal/dvss"
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/protocol"
@@ -14,7 +18,11 @@ import (
 	"atom/internal/transport"
 )
 
-// MemberID addresses one member: group id and chain position.
+// MemberID addresses one member: group id and the member's position
+// within the group roster (its DVSS index − 1). The identity is stable
+// across churn — a member keeps its MemberID whether it is currently in
+// the group's active mixing chain or standing by as one of the h−1
+// spares.
 type MemberID struct {
 	GID, Pos int
 }
@@ -52,41 +60,191 @@ type Options struct {
 	// locally hosted groups share this machine, like MixConfig.
 	Workers int
 	// RoundTimeout bounds one round's mixing (default 5m) in addition
-	// to the caller's context.
+	// to the caller's context. It spans churn restarts: a round that
+	// keeps losing members does not get a fresh budget per restart.
 	RoundTimeout time.Duration
 	// JoinTimeout bounds each remote member's setup (default 30s).
 	JoinTimeout time.Duration
+	// Heartbeat is the members' liveness-beacon period (default 500ms;
+	// negative disables heartbeats, leaving failed-delivery reports as
+	// the only churn detector).
+	Heartbeat time.Duration
+	// LivenessTimeout is how long a member may stay silent before the
+	// coordinator declares it lost (default 4×Heartbeat). Keep it a
+	// few beacon periods wide: heartbeats ride the same links as
+	// batches, so a too-tight bound turns WAN jitter into churn.
+	LivenessTimeout time.Duration
+	// ControlTimeout bounds the cluster's control-plane traffic —
+	// cancel fan-outs, stop notifications, reconfiguration acks and
+	// escrow solicitation (default 2s).
+	ControlTimeout time.Duration
+	// MaxRestarts caps how many times one round may re-plan and restart
+	// after member losses before giving up (default 8).
+	MaxRestarts int
+	// Log, when non-nil, receives operator-grade churn events
+	// (detections, re-plans, recoveries). Printf-shaped.
+	Log func(format string, args ...any)
 }
 
-// Cluster is the distributed round engine: one actor per group member
-// (hosted locally or adopted remotely), a coordinator endpoint that
-// injects sealed batches and collects exits, and an implementation of
-// protocol.Mixer, so Deployment.RunRoundVia runs the identical round
-// lifecycle — sealing, finale, blame records, rotation — over it.
-type Cluster struct {
-	d      *protocol.Deployment
-	topo   topology.Topology
-	coord  transport.Endpoint
-	actors map[MemberID]*Actor
-	addrs  map[MemberID]string
-	// memberOf maps a member address to its group — the coordinator's
-	// sender authentication (out/layer reports must come from the
-	// group's first member, aborts from a member of the blamed group).
-	memberOf map[string]int
-	eps      []transport.Endpoint
-	entry    []string
-	workers  int
-	timeout  time.Duration
+// localActor is one locally hosted member: its actor loop, endpoint,
+// and the cancel that tears only this member down.
+type localActor struct {
+	actor  *Actor
+	ep     transport.Endpoint
+	cancel context.CancelFunc
+}
 
+// memberProgress is the liveness tracker's per-member record: when the
+// member was last heard from and where it said it was.
+type memberProgress struct {
+	Seen  time.Time
+	Round uint64 // wire round (round<<8 | attempt)
+	Layer int
+	Phase string
+}
+
+// liveness tracks the last heartbeat (and self-reported progress) of
+// every provisioned member. The pump goroutine writes it; the mixing
+// loop and operators read it.
+type liveness struct {
+	mu sync.Mutex
+	m  map[MemberID]memberProgress
+}
+
+func newLiveness() *liveness { return &liveness{m: make(map[MemberID]memberProgress)} }
+
+func (l *liveness) reset(id MemberID, now time.Time) {
+	l.mu.Lock()
+	l.m[id] = memberProgress{Seen: now, Phase: "provisioned"}
+	l.mu.Unlock()
+}
+
+func (l *liveness) observe(id MemberID, round uint64, layer int, phase string) {
+	l.mu.Lock()
+	l.m[id] = memberProgress{Seen: time.Now(), Round: round, Layer: layer, Phase: phase}
+	l.mu.Unlock()
+}
+
+func (l *liveness) forget(id MemberID) {
+	l.mu.Lock()
+	delete(l.m, id)
+	l.mu.Unlock()
+}
+
+// expired returns the members silent for longer than timeout.
+func (l *liveness) expired(timeout time.Duration) []MemberID {
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []MemberID
+	for id, p := range l.m {
+		if now.Sub(p.Seen) > timeout {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].GID != out[j].GID {
+			return out[i].GID < out[j].GID
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+func (l *liveness) snapshot() map[MemberID]memberProgress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[MemberID]memberProgress, len(l.m))
+	for id, p := range l.m {
+		out[id] = p
+	}
+	return out
+}
+
+// MemberProgress is one member's last-known state, as carried by
+// heartbeats — embedded in TimeoutError so a stalled round names where
+// every member was instead of timing out anonymously.
+type MemberProgress struct {
+	ID    MemberID
+	Round uint64
+	Layer int
+	Phase string
+	// Age is how long ago the member was last heard from.
+	Age time.Duration
+}
+
+// TimeoutError is a round that exhausted Options.RoundTimeout. Unlike a
+// context cancellation (the caller gave up) or an abort (a member
+// reported a failure), a timeout means the round silently stalled — the
+// per-member progress identifies the straggler.
+type TimeoutError struct {
+	Round    uint64
+	After    time.Duration
+	Progress []MemberProgress
+}
+
+func (e *TimeoutError) Error() string {
+	s := fmt.Sprintf("distributed: round %d timed out after %v; last known member progress:", e.Round, e.After)
+	if len(e.Progress) == 0 {
+		s += " (none)"
+	}
+	for _, p := range e.Progress {
+		s += fmt.Sprintf(" g%d/m%d %s L%d (%s ago);", p.ID.GID, p.ID.Pos, p.Phase, p.Layer, p.Age.Round(time.Millisecond))
+	}
+	return s
+}
+
+// Cluster is the distributed round engine: one actor per active group
+// member (hosted locally or adopted remotely), a coordinator endpoint
+// that injects sealed batches and collects exits, and an implementation
+// of protocol.Mixer, so Deployment.RunRoundVia runs the identical round
+// lifecycle — sealing, finale, blame records, rotation — over it.
+//
+// The cluster is churn-tolerant end to end: members heartbeat the
+// coordinator, a silent or unreachable member is detected within
+// Options.LivenessTimeout and reported as a typed protocol.Loss
+// (errors.Is(err, protocol.ErrMemberLost)); while the group still has
+// spare members within its h−1 budget the coordinator re-plans the
+// mixing chain over the survivors and restarts the round from its
+// sealed batches, and once a group falls below threshold RecoverGroup
+// drives §4.5 buddy-group share recovery over the wire.
+type Cluster struct {
+	d    *protocol.Deployment
+	topo topology.Topology
+
+	coord transport.Endpoint
+	opts  Options
+	live  *liveness
+
+	// mu guards the provisioning state: which members exist, where they
+	// are, and how each group's active chain is ordered.
+	mu       sync.Mutex
+	actors   map[MemberID]*localActor
+	addrs    map[MemberID]string
+	memberOf map[string]MemberID
+	chains   [][]int  // gid → member positions (0-based), chain order
+	entry    []string // gid → first chain member's address
+
+	// The pump goroutine owns the coordinator inbox and routes traffic:
+	// heartbeats to the liveness tracker, join/reconfig acks to joinCh,
+	// escrow pieces to the registered share channel, round traffic to
+	// roundCh (only while a round is active).
+	roundCh     chan *transport.Message
+	joinCh      chan *transport.Message
+	roundActive atomic.Bool
+	shareMu     sync.Mutex
+	shareCh     chan *transport.Message
+
+	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
 // NewCluster builds the full network of member actors for the
-// deployment: it exports each group's roster (playing the DKG ceremony
-// that would otherwise have provisioned each server), attaches one
-// endpoint per locally hosted member, ships MemberConfigs to remote
-// hosts, and starts the local actor loops.
+// deployment: it exports each group's active roster (playing the DKG
+// ceremony that would otherwise have provisioned each server), attaches
+// one endpoint per locally hosted member, ships MemberConfigs to remote
+// hosts, and starts the local actor loops and the coordinator pump.
 func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 	if opts.Attach == nil {
 		return nil, fmt.Errorf("distributed: Options.Attach is required")
@@ -100,7 +258,21 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 	if opts.JoinTimeout <= 0 {
 		opts.JoinTimeout = 30 * time.Second
 	}
-	cfg := d.Config()
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 500 * time.Millisecond
+	}
+	if opts.Heartbeat < 0 {
+		opts.Heartbeat = 0 // disabled
+	}
+	if opts.LivenessTimeout <= 0 {
+		opts.LivenessTimeout = 4 * opts.Heartbeat
+	}
+	if opts.ControlTimeout <= 0 {
+		opts.ControlTimeout = 2 * time.Second
+	}
+	if opts.MaxRestarts <= 0 {
+		opts.MaxRestarts = 8
+	}
 	topo := d.Topology()
 	G := topo.Groups()
 	if opts.Workers < 1 {
@@ -109,17 +281,19 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 			opts.Workers = 1
 		}
 	}
-	spec := TopoSpec{Name: cfg.Topology, Groups: G, Iterations: cfg.Iterations, Reps: cfg.ButterflyReps}
 
 	c := &Cluster{
 		d:        d,
 		topo:     topo,
-		actors:   make(map[MemberID]*Actor),
+		opts:     opts,
+		live:     newLiveness(),
+		actors:   make(map[MemberID]*localActor),
 		addrs:    make(map[MemberID]string),
-		memberOf: make(map[string]int),
+		memberOf: make(map[string]MemberID),
+		chains:   make([][]int, G),
 		entry:    make([]string, G),
-		workers:  opts.Workers,
-		timeout:  opts.RoundTimeout,
+		roundCh:  make(chan *transport.Message, 1024),
+		joinCh:   make(chan *transport.Message, 64),
 	}
 	ok := false
 	defer func() {
@@ -133,116 +307,305 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.coord = coord
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	c.wg.Add(1)
+	go c.pump()
 
-	rosters := make([]*protocol.GroupRoster, G)
-	for gid := 0; gid < G; gid++ {
-		if rosters[gid], err = d.GroupRoster(gid); err != nil {
-			return nil, err
-		}
-	}
-	groupPKs := make([]*ecc.Point, G)
-	for gid, r := range rosters {
-		groupPKs[gid] = r.PK
-	}
-
-	// First pass: fix every member's address (local attachments bind
-	// here; remote members were bound by their hosts).
-	localEPs := make(map[MemberID]transport.Endpoint)
-	for gid := 0; gid < G; gid++ {
-		for pos := range rosters[gid].Indices {
-			id := MemberID{gid, pos}
-			if addr, remote := opts.Remote[id]; remote {
-				c.addrs[id] = addr
-				continue
-			}
-			ep, err := opts.Attach(fmt.Sprintf("%s/g%d/m%d", opts.Prefix, gid, pos))
-			if err != nil {
-				return nil, err
-			}
-			c.eps = append(c.eps, ep)
-			localEPs[id] = ep
-			c.addrs[id] = ep.Addr()
-		}
-		c.entry[gid] = c.addrs[MemberID{gid, 0}]
-	}
-	for id, addr := range c.addrs {
-		c.memberOf[addr] = id.GID
-	}
-
-	// Second pass: build configs, start local actors, ship remote ones.
-	ctx, cancel := context.WithCancel(context.Background())
-	c.cancel = cancel
-	joinsPending := make(map[string]bool)
-	for gid := 0; gid < G; gid++ {
-		r := rosters[gid]
-		peers := make([]string, len(r.Indices))
-		for pos := range r.Indices {
-			peers[pos] = c.addrs[MemberID{gid, pos}]
-		}
-		for pos := range r.Indices {
-			id := MemberID{gid, pos}
-			mcfg := MemberConfig{
-				GID:         gid,
-				Pos:         pos,
-				Indices:     r.Indices,
-				Secret:      r.Secrets[pos],
-				EffPubs:     r.EffPubs,
-				GroupPK:     r.PK,
-				GroupPKs:    groupPKs,
-				Peers:       peers,
-				Entry:       c.entry,
-				Coordinator: coord.Addr(),
-				Variant:     cfg.Variant,
-				Workers:     opts.Workers,
-				Topo:        spec,
-			}
-			if ep, local := localEPs[id]; local {
-				actor, err := NewActor(mcfg, ep)
-				if err != nil {
-					return nil, err
-				}
-				c.actors[id] = actor
-				c.wg.Add(1)
-				go func() {
-					defer c.wg.Done()
-					_ = actor.Serve(ctx)
-				}()
-				continue
-			}
-			// Remote member: ship its config and await the ack below.
-			if err := c.coord.Send(c.addrs[id], &transport.Message{
-				Type: msgJoin, Payload: mcfg.Marshal(),
-			}); err != nil {
-				return nil, fmt.Errorf("distributed: joining %v at %s: %w", id, c.addrs[id], err)
-			}
-			joinsPending[c.addrs[id]] = true
-		}
-	}
-	if len(joinsPending) > 0 {
-		deadline := time.After(opts.JoinTimeout)
-		for len(joinsPending) > 0 {
-			select {
-			case msg, okc := <-c.coord.Inbox():
-				if !okc {
-					return nil, fmt.Errorf("distributed: coordinator closed during join")
-				}
-				// Only the host we actually joined may acknowledge — a
-				// forged ack must not mask a member that never joined.
-				if msg.Type == msgJoined && joinsPending[msg.From] {
-					delete(joinsPending, msg.From)
-				}
-			case <-deadline:
-				return nil, fmt.Errorf("distributed: %d remote members did not join within %v", len(joinsPending), opts.JoinTimeout)
-			}
-		}
+	if _, err := c.provision(context.Background(), true); err != nil {
+		return nil, err
 	}
 	ok = true
 	return c, nil
 }
 
+// logf reports an operator event through Options.Log, if installed.
+func (c *Cluster) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		c.opts.Log(format, args...)
+	}
+}
+
+// pump owns the coordinator inbox for the cluster's lifetime, so
+// liveness beacons are processed even while no round is mixing. Round
+// traffic is forwarded to the mixing loop only while one is active;
+// strays from canceled attempts are dropped here or by the round-id
+// filter downstream.
+func (c *Cluster) pump() {
+	defer c.wg.Done()
+	defer close(c.roundCh)
+	for msg := range c.coord.Inbox() {
+		switch msg.Type {
+		case msgHeartbeat:
+			gid, member, round, layer, phase, err := decodeHeartbeatMsg(msg.Payload)
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			id, known := c.memberOf[msg.From]
+			c.mu.Unlock()
+			// Only the member's own endpoint may refresh its liveness —
+			// a forged beacon must not keep a dead member "alive".
+			if !known || id.GID != gid || id.Pos != member-1 {
+				continue
+			}
+			c.live.observe(id, round, layer, phase)
+		case msgJoined:
+			select {
+			case c.joinCh <- msg:
+			default:
+			}
+		case msgShareResp:
+			c.shareMu.Lock()
+			ch := c.shareCh
+			c.shareMu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- msg:
+				default:
+				}
+			}
+		default:
+			if c.roundActive.Load() {
+				select {
+				case c.roundCh <- msg:
+				default:
+					// Overflow cannot happen in a healthy round (the
+					// coordinator sees only per-layer reports and exit
+					// batches); dropping under pathology keeps the pump
+					// live and surfaces as a diagnosable timeout.
+				}
+			}
+		}
+	}
+}
+
+// attachFresh attaches a local endpoint, retrying with a suffixed name
+// if a previous incarnation of the node still holds it (an in-memory
+// network frees a name only when the endpoint closes).
+func (c *Cluster) attachFresh(name string) (transport.Endpoint, error) {
+	ep, err := c.opts.Attach(name)
+	for retry := 2; err != nil && retry <= 4; retry++ {
+		ep, err = c.opts.Attach(fmt.Sprintf("%s~%d", name, retry))
+	}
+	return ep, err
+}
+
+// provision synchronizes the actor fleet with the deployment's current
+// active sets: it computes every group's chain from its roster,
+// attaches endpoints and starts actors for newly activated members
+// (spares entering a chain, recovered replacements), joins remote ones,
+// and reconfigures every existing chain member in place — new chain
+// order, entry table and Lagrange-weighted effective secret. It returns
+// the members that failed to acknowledge within the deadline (so churn
+// during a re-plan feeds back into the loss loop) — except on the
+// initial provisioning (fresh), where a missing member is fatal.
+func (c *Cluster) provision(ctx context.Context, fresh bool) ([]MemberID, error) {
+	G := c.topo.Groups()
+	cfg := c.d.Config()
+	spec := TopoSpec{Name: cfg.Topology, Groups: G, Iterations: cfg.Iterations, Reps: cfg.ButterflyReps}
+
+	rosters := make([]*protocol.GroupRoster, G)
+	groupPKs := make([]*ecc.Point, G)
+	for gid := 0; gid < G; gid++ {
+		r, err := c.d.GroupRoster(gid)
+		if err != nil {
+			return nil, err
+		}
+		rosters[gid] = r
+		groupPKs[gid] = r.PK
+	}
+
+	c.mu.Lock()
+	chains := make([][]int, G)
+	var fleet []MemberID     // every chain member, all groups
+	var newcomers []MemberID // members with no endpoint yet
+	for gid, r := range rosters {
+		for _, idx := range r.Indices {
+			id := MemberID{GID: gid, Pos: idx - 1}
+			chains[gid] = append(chains[gid], idx-1)
+			fleet = append(fleet, id)
+			if _, have := c.addrs[id]; !have {
+				newcomers = append(newcomers, id)
+			}
+		}
+	}
+	// Place newcomers: a pre-started remote host if configured, a fresh
+	// local endpoint otherwise. If provisioning exits before a newcomer
+	// endpoint gains an actor loop — an error, or a lost member cutting
+	// the pass short — the ownerless endpoints must not leak (or worse,
+	// linger in the address book as members that can never ack): close
+	// and unlearn them, so a follow-up pass re-attaches from scratch.
+	newLocal := make(map[MemberID]transport.Endpoint)
+	defer func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for id, ep := range newLocal {
+			if _, owned := c.actors[id]; owned {
+				continue
+			}
+			_ = ep.Close()
+			if addr, ok := c.addrs[id]; ok && addr == ep.Addr() {
+				delete(c.addrs, id)
+				delete(c.memberOf, addr)
+			}
+		}
+	}()
+	for _, id := range newcomers {
+		if addr, remote := c.opts.Remote[id]; remote {
+			c.addrs[id] = addr
+			continue
+		}
+		ep, err := c.attachFresh(fmt.Sprintf("%s/g%d/m%d", c.opts.Prefix, id.GID, id.Pos))
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		newLocal[id] = ep
+		c.addrs[id] = ep.Addr()
+	}
+	c.chains = chains
+	for gid := range chains {
+		c.entry[gid] = c.addrs[MemberID{GID: gid, Pos: chains[gid][0]}]
+	}
+	c.memberOf = make(map[string]MemberID, len(c.addrs))
+	for id, addr := range c.addrs {
+		c.memberOf[addr] = id
+	}
+	entry := append([]string(nil), c.entry...)
+	addrs := make(map[MemberID]string, len(c.addrs))
+	for id, a := range c.addrs {
+		addrs[id] = a
+	}
+	c.mu.Unlock()
+
+	// Build each chain member's config and deliver it: local newcomers
+	// get a fresh actor, remote newcomers a join, existing members an
+	// in-place reconfiguration. Reconfigs and joins are acknowledged —
+	// the round restart must not outrun a member still holding stale
+	// wiring.
+	isNew := make(map[MemberID]bool, len(newcomers))
+	for _, id := range newcomers {
+		isNew[id] = true
+	}
+	// Drain stale acks from a previous provisioning attempt.
+	for {
+		select {
+		case <-c.joinCh:
+			continue
+		default:
+		}
+		break
+	}
+	await := make(map[string]MemberID)
+	for _, id := range fleet {
+		r := rosters[id.GID]
+		chain := chains[id.GID]
+		pos := -1
+		peers := make([]string, len(chain))
+		for i, mpos := range chain {
+			peers[i] = addrs[MemberID{GID: id.GID, Pos: mpos}]
+			if mpos == id.Pos {
+				pos = i
+			}
+		}
+		mcfg := MemberConfig{
+			GID:         id.GID,
+			Pos:         pos,
+			Indices:     r.Indices,
+			Secret:      r.Secrets[pos],
+			EffPubs:     r.EffPubs,
+			GroupPK:     r.PK,
+			GroupPKs:    groupPKs,
+			Peers:       peers,
+			Entry:       entry,
+			Coordinator: c.coord.Addr(),
+			Variant:     cfg.Variant,
+			Workers:     c.opts.Workers,
+			Topo:        spec,
+			Heartbeat:   c.opts.Heartbeat,
+			Escrows:     c.d.EscrowPieces(id.GID, id.Pos+1),
+		}
+		switch {
+		case isNew[id] && newLocal[id] != nil:
+			actor, err := NewActor(mcfg, newLocal[id])
+			if err != nil {
+				return nil, err
+			}
+			actorCtx, actorCancel := context.WithCancel(c.ctx)
+			la := &localActor{actor: actor, ep: newLocal[id], cancel: actorCancel}
+			c.mu.Lock()
+			c.actors[id] = la
+			c.mu.Unlock()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				_ = actor.Serve(actorCtx)
+			}()
+			c.live.reset(id, time.Now())
+		case isNew[id]:
+			if err := c.coord.SendCtx(ctx, addrs[id], &transport.Message{
+				Type: msgJoin, Payload: mcfg.Marshal(),
+			}); err != nil {
+				// A dead remote spare during a re-plan is one more
+				// loss for the loop to absorb, not a terminal error —
+				// the group may have further spares in its budget.
+				if !fresh && transport.Unreachable(err) {
+					return []MemberID{id}, nil
+				}
+				return nil, fmt.Errorf("distributed: joining %v at %s: %w", id, addrs[id], err)
+			}
+			await[addrs[id]] = id
+		default:
+			if err := c.coord.SendCtx(ctx, addrs[id], &transport.Message{
+				Type: msgReconfig, Payload: mcfg.Marshal(),
+			}); err != nil && !fresh && transport.Unreachable(err) {
+				return []MemberID{id}, nil
+			} else if err != nil {
+				return nil, fmt.Errorf("distributed: reconfiguring %v at %s: %w", id, addrs[id], err)
+			}
+			await[addrs[id]] = id
+		}
+	}
+
+	ackBudget := c.opts.ControlTimeout
+	if fresh {
+		ackBudget = c.opts.JoinTimeout
+	}
+	deadline := time.After(ackBudget)
+	for len(await) > 0 {
+		select {
+		case msg, okc := <-c.joinCh:
+			if !okc {
+				return nil, fmt.Errorf("distributed: coordinator closed during provisioning")
+			}
+			// Only the host we actually contacted may acknowledge — a
+			// forged ack must not mask a member that never joined.
+			if id, pending := await[msg.From]; pending {
+				delete(await, msg.From)
+				c.live.reset(id, time.Now())
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-deadline:
+			if fresh {
+				return nil, fmt.Errorf("distributed: %d members did not join within %v", len(await), ackBudget)
+			}
+			var lost []MemberID
+			for _, id := range await {
+				lost = append(lost, id)
+			}
+			return lost, nil
+		}
+	}
+	return nil, nil
+}
+
 // Addresses returns a copy of the member address book — e.g. to read
-// per-node traffic counters off a MemNetwork after a round.
+// per-node traffic counters off a MemNetwork after a round. Keys are
+// stable member identities (group id, roster position).
 func (c *Cluster) Addresses() map[MemberID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[MemberID]string, len(c.addrs))
 	for id, addr := range c.addrs {
 		out[id] = addr
@@ -253,6 +616,48 @@ func (c *Cluster) Addresses() map[MemberID]string {
 // CoordinatorAddr returns the coordinator endpoint's address.
 func (c *Cluster) CoordinatorAddr() string { return c.coord.Addr() }
 
+// Progress reports every provisioned member's last-known liveness and
+// mixing position — what a round timeout embeds, exposed for operator
+// dashboards.
+func (c *Cluster) Progress() []MemberProgress {
+	return progressList(c.live.snapshot())
+}
+
+func progressList(snap map[MemberID]memberProgress) []MemberProgress {
+	now := time.Now()
+	out := make([]MemberProgress, 0, len(snap))
+	for id, p := range snap {
+		out = append(out, MemberProgress{
+			ID: id, Round: p.Round >> 8, Layer: p.Layer, Phase: p.Phase, Age: now.Sub(p.Seen),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.GID != out[j].ID.GID {
+			return out[i].ID.GID < out[j].ID.GID
+		}
+		return out[i].ID.Pos < out[j].ID.Pos
+	})
+	return out
+}
+
+// KillMember simulates a crash of a locally hosted member: its endpoint
+// closes and its actor loop stops, with no notice to the deployment or
+// the coordinator — detection must come from the churn machinery
+// (missed heartbeats, or a peer's failed delivery). It reports whether
+// the member was hosted here.
+func (c *Cluster) KillMember(id MemberID) bool {
+	c.mu.Lock()
+	la := c.actors[id]
+	delete(c.actors, id)
+	c.mu.Unlock()
+	if la == nil {
+		return false
+	}
+	la.cancel()
+	_ = la.ep.Close()
+	return true
+}
+
 // Run executes one round over the cluster: the deployment seals rs,
 // the actors mix it, and the deployment applies the variant finale —
 // Deployment.RunRoundVia with this cluster as the Mixer.
@@ -260,80 +665,212 @@ func (c *Cluster) Run(ctx context.Context, rs *protocol.RoundState, hooks *proto
 	return c.d.RunRoundVia(ctx, rs, hooks, c)
 }
 
+// wireRound tags a round attempt on the wire: churn restarts of one
+// round must not collide with the canceled attempt's in-flight traffic,
+// so the attempt counter rides in the low byte of the message round id.
+func wireRound(round uint64, attempt int) uint64 {
+	return round<<8 | uint64(attempt&0xff)
+}
+
+// attemptView is the provisioning snapshot one round attempt runs
+// against; a re-plan between attempts produces a new one.
+type attemptView struct {
+	chains [][]int
+	entry  []string
+	member map[string]MemberID
+}
+
+func (c *Cluster) view() *attemptView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := &attemptView{
+		chains: make([][]int, len(c.chains)),
+		entry:  append([]string(nil), c.entry...),
+		member: make(map[string]MemberID, len(c.memberOf)),
+	}
+	for gid := range c.chains {
+		v.chains[gid] = append([]int(nil), c.chains[gid]...)
+	}
+	for addr, id := range c.memberOf {
+		v.member[addr] = id
+	}
+	return v
+}
+
+// inChain reports whether id is in its group's current chain.
+func (v *attemptView) inChain(id MemberID) bool {
+	if id.GID < 0 || id.GID >= len(v.chains) {
+		return false
+	}
+	for _, pos := range v.chains[id.GID] {
+		if pos == id.Pos {
+			return true
+		}
+	}
+	return false
+}
+
 // MixRound implements protocol.Mixer: inject the sealed batches at
-// every group's first member, then collect per-layer reports, exit
-// outputs, and aborts.
+// every group's first member, collect per-layer reports, exit outputs
+// and aborts — and, when a member is lost mid-round, re-plan the
+// affected chains over the surviving members and restart the round from
+// its sealed batches (§4.5 availability). A group that cannot be
+// re-planned within its h−1 budget fails the round with a typed
+// protocol.Loss matching both ErrMemberLost and ErrRecoveryNeeded.
 func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
-	ctx := job.Ctx
 	G := c.topo.Groups()
-	T := c.topo.Iterations()
 	if len(job.Batches) != G {
 		return nil, fmt.Errorf("distributed: %d batches for %d groups", len(job.Batches), G)
 	}
-	if a := job.Adversary; a != nil {
-		actor := c.actors[MemberID{a.GID, a.Member}]
-		if actor == nil {
-			return nil, fmt.Errorf("distributed: adversary targets group %d member %d, which is not hosted locally", a.GID, a.Member)
+	c.roundActive.Store(true)
+	defer c.roundActive.Store(false)
+
+	roundTimer := time.NewTimer(c.opts.RoundTimeout)
+	defer roundTimer.Stop()
+
+	for attempt := 0; ; attempt++ {
+		out, lost, err := c.attemptRound(job, attempt, roundTimer)
+		if err != nil || out != nil {
+			return out, err
 		}
-		actor.SetTamper(job.Round, a.Layer, a.Tamper)
-		defer actor.SetTamper(0, 0, nil)
+		// One or more members were lost. Mark them failed, re-plan the
+		// chains over the survivors, and restart the round.
+		first := lost[0]
+		for _, id := range lost {
+			c.logf("distributed: round %d: member g%d/m%d lost (attempt %d); re-planning", job.Round, id.GID, id.Pos, attempt)
+			c.d.FailGroupMember(id.GID, id.Pos)
+			c.removeMember(id)
+		}
+		for {
+			more, perr := c.provision(job.Ctx, false)
+			if perr != nil {
+				// A caller cancellation that lands during the re-plan
+				// is still a cancellation — it must never dress up as
+				// a member loss.
+				if cerr := job.Ctx.Err(); cerr != nil {
+					return nil, fmt.Errorf("distributed: round %d canceled during re-plan: %w", job.Round, cerr)
+				}
+				return nil, &protocol.Loss{GID: first.GID, Member: first.Pos + 1, Err: fmt.Errorf(
+					"%w: round %d: group %d lost member %d: %w",
+					protocol.ErrMemberLost, job.Round, first.GID, first.Pos+1, perr)}
+			}
+			if len(more) == 0 {
+				break
+			}
+			for _, id := range more {
+				c.logf("distributed: round %d: member g%d/m%d unresponsive during re-plan", job.Round, id.GID, id.Pos)
+				c.d.FailGroupMember(id.GID, id.Pos)
+				c.removeMember(id)
+			}
+		}
+		if attempt+1 > c.opts.MaxRestarts {
+			return nil, &protocol.Loss{GID: first.GID, Member: first.Pos + 1, Err: fmt.Errorf(
+				"%w: round %d exceeded %d churn restarts", protocol.ErrMemberLost, job.Round, c.opts.MaxRestarts)}
+		}
+		c.logf("distributed: round %d: re-planned, restarting (attempt %d)", job.Round, attempt+1)
+	}
+}
+
+// removeMember forgets a lost member: its local actor (if any) is torn
+// down and its address unlearned, so nothing further is routed to or
+// accepted from it.
+func (c *Cluster) removeMember(id MemberID) {
+	c.KillMember(id)
+	c.mu.Lock()
+	if addr, ok := c.addrs[id]; ok {
+		delete(c.addrs, id)
+		delete(c.memberOf, addr)
+	}
+	c.mu.Unlock()
+	c.live.forget(id)
+}
+
+// attemptRound runs one attempt of a round over the current chains. It
+// returns exactly one of: a completed outcome, a list of lost members
+// (the caller re-plans and restarts), or a terminal error.
+func (c *Cluster) attemptRound(job *protocol.MixJob, attempt int, roundTimer *time.Timer) (*protocol.MixOutcome, []MemberID, error) {
+	ctx := job.Ctx
+	G := c.topo.Groups()
+	T := c.topo.Iterations()
+	wire := wireRound(job.Round, attempt)
+	v := c.view()
+
+	if a := job.Adversary; a != nil {
+		c.mu.Lock()
+		var la *localActor
+		if a.GID >= 0 && a.GID < len(v.chains) && a.Member >= 0 && a.Member < len(v.chains[a.GID]) {
+			la = c.actors[MemberID{GID: a.GID, Pos: v.chains[a.GID][a.Member]}]
+		}
+		c.mu.Unlock()
+		if la == nil {
+			return nil, nil, fmt.Errorf("distributed: adversary targets group %d member %d, which is not hosted locally", a.GID, a.Member)
+		}
+		la.actor.SetTamper(wire, a.Layer, a.Tamper)
+		defer la.actor.SetTamper(0, 0, nil)
 	}
 
 	// The round's resolved worker knob (a per-round SetMixConfig
 	// override included) rides the batch messages to every actor.
 	workers := job.Workers
 	if workers < 1 {
-		workers = c.workers
+		workers = c.opts.Workers
 	}
 	for gid := 0; gid < G; gid++ {
-		if err := c.coord.SendCtx(ctx, c.entry[gid], &transport.Message{
-			Type: msgBatch, Round: job.Round,
+		if err := c.coord.SendCtx(ctx, v.entry[gid], &transport.Message{
+			Type: msgBatch, Round: wire,
 			Payload: encodeBatchMsg(0, -1, workers, job.Batches[gid]),
 		}); err != nil {
-			c.cancelRound(job.Round)
-			return nil, fmt.Errorf("distributed: injecting group %d batch: %w", gid, err)
+			c.cancelRound(wire)
+			if transport.Unreachable(err) {
+				return nil, []MemberID{{GID: gid, Pos: v.chains[gid][0]}}, nil
+			}
+			return nil, nil, fmt.Errorf("distributed: injecting group %d batch: %w", gid, err)
 		}
 	}
 
 	var (
-		out        = &protocol.MixOutcome{ExitPayloads: make(map[int][][]byte, G)}
-		layerWork  = make([]map[int]work, T) // layer → gid → work
-		doneAt     = make([]time.Time, T)    // layer → completion time
-		emitted    = 0                       // layers flushed, in order
-		exits      = make(map[int][]elgamal.Vector, G)
-		roundStart = time.Now()
-		timeout    = time.NewTimer(c.timeout)
+		out       = &protocol.MixOutcome{ExitPayloads: make(map[int][][]byte, G)}
+		layerWork = make([]map[int]work, T) // layer → gid → work
+		doneAt    = make([]time.Time, T)    // layer → completion time
+		emitted   = 0                       // layers flushed, in order
+		exits     = make(map[int][]elgamal.Vector, G)
+		attStart  = time.Now()
 	)
-	defer timeout.Stop()
 	for layer := range layerWork {
 		layerWork[layer] = make(map[int]work, G)
 	}
+	var liveTick <-chan time.Time
+	if c.opts.Heartbeat > 0 {
+		t := time.NewTicker(c.opts.Heartbeat)
+		defer t.Stop()
+		liveTick = t.C
+	}
 
-	// The round is done when every exit batch AND every layer report
+	// The attempt is done when every exit batch AND every layer report
 	// has landed (the exit vectors can arrive ahead of the last layer's
 	// accounting).
 	for len(exits) < G || emitted < T {
 		select {
-		case msg, okc := <-c.coord.Inbox():
+		case msg, okc := <-c.roundCh:
 			if !okc {
-				return nil, fmt.Errorf("distributed: coordinator endpoint closed mid-round")
+				return nil, nil, fmt.Errorf("distributed: coordinator endpoint closed mid-round")
 			}
-			if msg.Round != job.Round {
-				continue // stray from a canceled or previous round
+			if msg.Round != wire {
+				continue // stray from a canceled attempt or previous round
 			}
-			if _, member := c.memberOf[msg.From]; !member {
+			if _, member := v.member[msg.From]; !member {
 				continue // only member actors report; ignore strangers
 			}
 			switch msg.Type {
 			case msgLayer:
 				gid, layer, w, err := decodeLayerMsg(msg.Payload)
 				if err != nil {
-					return nil, fmt.Errorf("distributed: bad layer report: %w", err)
+					return nil, nil, fmt.Errorf("distributed: bad layer report: %w", err)
 				}
 				if layer < 0 || layer >= T || gid < 0 || gid >= G {
-					return nil, fmt.Errorf("distributed: layer report out of range (group %d, layer %d)", gid, layer)
+					return nil, nil, fmt.Errorf("distributed: layer report out of range (group %d, layer %d)", gid, layer)
 				}
-				if msg.From != c.entry[gid] {
+				if msg.From != v.entry[gid] {
 					continue // only group gid's first member reports its layers
 				}
 				layerWork[layer][gid] = w
@@ -345,7 +882,7 @@ func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 				// completes, and IterationDone must still observe
 				// layers 0, 1, 2, … with sane durations.
 				for emitted < T && len(layerWork[emitted]) == G {
-					prev := roundStart
+					prev := attStart
 					if emitted > 0 {
 						prev = doneAt[emitted-1]
 					}
@@ -363,12 +900,12 @@ func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 			case msgOut:
 				gid, vecs, err := decodeOutMsg(msg.Payload)
 				if err != nil {
-					return nil, fmt.Errorf("distributed: bad exit output: %w", err)
+					return nil, nil, fmt.Errorf("distributed: bad exit output: %w", err)
 				}
 				if gid < 0 || gid >= G {
-					return nil, fmt.Errorf("distributed: exit output from out-of-range group %d", gid)
+					return nil, nil, fmt.Errorf("distributed: exit output from out-of-range group %d", gid)
 				}
-				if msg.From != c.entry[gid] {
+				if msg.From != v.entry[gid] {
 					continue // only group gid's first member publishes its exit
 				}
 				if _, dup := exits[gid]; dup {
@@ -378,30 +915,66 @@ func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 			case msgAbort:
 				layer, gid, member, class, text, err := decodeAbortMsg(msg.Payload)
 				if err != nil {
-					return nil, fmt.Errorf("distributed: bad abort report: %v", err)
+					return nil, nil, fmt.Errorf("distributed: bad abort report: %v", err)
 				}
-				if c.memberOf[msg.From] != gid {
+				reporter := v.member[msg.From]
+				if class == abortPeer {
+					// A failed chain delivery: the reporter names the
+					// member it could not reach (−1 = that group's first
+					// member). Accepting the report burns at most one
+					// spare — the same availability power a malicious
+					// member already has by stalling the round.
+					if gid < 0 || gid >= G {
+						continue
+					}
+					lostPos := member - 1
+					if member < 0 {
+						lostPos = v.chains[gid][0]
+					}
+					lost := MemberID{GID: gid, Pos: lostPos}
+					if !v.inChain(lost) {
+						continue // already re-planned away, or fabricated
+					}
+					c.logf("distributed: round %d: g%d/m%d reports %s", job.Round, reporter.GID, reporter.Pos, text)
+					c.cancelRound(wire)
+					return nil, []MemberID{lost}, nil
+				}
+				if reporter.GID != gid {
 					continue // a member may only report (and blame) its own group
 				}
-				c.cancelRound(job.Round)
-				return nil, classifyAbort(layer, gid, member, class, text)
+				c.cancelRound(wire)
+				return nil, nil, classifyAbort(layer, gid, member, class, text)
+			}
+		case <-liveTick:
+			var lost []MemberID
+			for _, id := range c.live.expired(c.opts.LivenessTimeout) {
+				if v.inChain(id) {
+					lost = append(lost, id)
+				}
+			}
+			if len(lost) > 0 {
+				c.cancelRound(wire)
+				return nil, lost, nil
 			}
 		case <-ctx.Done():
-			c.cancelRound(job.Round)
-			return nil, fmt.Errorf("distributed: round %d canceled: %w", job.Round, ctx.Err())
-		case <-timeout.C:
-			c.cancelRound(job.Round)
-			return nil, fmt.Errorf("distributed: round %d timed out after %v", job.Round, c.timeout)
+			c.cancelRound(wire)
+			return nil, nil, fmt.Errorf("distributed: round %d canceled: %w", job.Round, ctx.Err())
+		case <-roundTimer.C:
+			c.cancelRound(wire)
+			return nil, nil, &TimeoutError{
+				Round: job.Round, After: c.opts.RoundTimeout, Progress: progressList(c.live.snapshot()),
+			}
 		}
 	}
 
 	for gid, vecs := range exits {
 		payloads, err := protocol.ExtractExitPayloads(vecs)
 		if err != nil {
-			return nil, fmt.Errorf("distributed: exit group %d: %w", gid, err)
+			return nil, nil, fmt.Errorf("distributed: exit group %d: %w", gid, err)
 		}
 		out.ExitPayloads[gid] = payloads
 	}
+	liveBy := c.liveByGroup()
 	for layer := 0; layer < T; layer++ {
 		for gid := 0; gid < G; gid++ {
 			w := layerWork[layer][gid]
@@ -409,10 +982,25 @@ func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 				GID: gid, Layer: layer,
 				Shuffles: w.Shuffles, ReEncs: w.ReEncs, ProofsChecked: w.Proofs,
 				Workers: workers, Busy: time.Duration(w.BusyNs),
+				Members: liveBy[gid],
 			})
 		}
 	}
-	return out, nil
+	return out, nil, nil
+}
+
+// liveByGroup reads each group's live membership off the deployment —
+// the degraded-mode number traces and stats carry.
+func (c *Cluster) liveByGroup() []int {
+	G := c.topo.Groups()
+	out := make([]int, G)
+	for gid := 0; gid < G; gid++ {
+		n, err := c.d.GroupLiveMembers(gid)
+		if err == nil {
+			out[gid] = n
+		}
+	}
+	return out
 }
 
 // layerStats folds a completed layer's per-group work into the
@@ -434,24 +1022,183 @@ func (c *Cluster) layerStats(job *protocol.MixJob, layer int, byGID map[int]work
 			it.ActiveGroups++
 		}
 	}
+	for _, n := range c.liveByGroup() {
+		it.Members += n
+	}
 	return it
 }
 
-// cancelRound tells every actor to drop the round's state and traffic.
-func (c *Cluster) cancelRound(round uint64) {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+// cancelRound tells every actor to drop the round attempt's state and
+// traffic.
+func (c *Cluster) cancelRound(wire uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ControlTimeout)
 	defer cancel()
-	for _, addr := range c.addrs {
-		_ = c.coord.SendCtx(ctx, addr, &transport.Message{Type: msgCancel, Round: round})
+	for _, addr := range c.Addresses() {
+		_ = c.coord.SendCtx(ctx, addr, &transport.Message{Type: msgCancel, Round: wire})
 	}
 }
 
+// RecoverGroup drives §4.5 buddy-group recovery for a group that has
+// fallen below threshold, entirely over the wire: for every failed
+// position the coordinator solicits escrow pieces from a live buddy
+// group's member actors (msgShareReq/msgShareResp), reconstructs the
+// lost share, verifies it against the group's public Feldman
+// commitments, installs the given replacement server, and finally
+// re-provisions the fleet — the replacement member joins through the
+// same path a remote host does, and every member learns the recovered
+// wiring. After it returns nil, Deployment.GroupNeedsRecovery(gid)
+// reports false and the next round delivers.
+func (c *Cluster) RecoverGroup(ctx context.Context, gid int, replacements []int) error {
+	plan, err := c.d.RecoveryPlan(gid)
+	if err != nil {
+		return err
+	}
+	if len(plan.Failed) == 0 {
+		return nil
+	}
+	if len(plan.Buddies) == 0 {
+		return fmt.Errorf("distributed: group %d has no buddy groups (BuddyCount=0)", gid)
+	}
+	if len(replacements) < len(plan.Failed) {
+		return fmt.Errorf("distributed: need %d replacement servers, have %d", len(plan.Failed), len(replacements))
+	}
+	for i, pos := range plan.Failed {
+		share, err := c.solicitShare(ctx, plan, pos)
+		if err != nil {
+			return fmt.Errorf("distributed: recovering group %d pos %d: %w", gid, pos, err)
+		}
+		if err := c.d.InstallRecoveredShare(gid, pos, share, replacements[i]); err != nil {
+			return err
+		}
+		c.logf("distributed: group %d position %d recovered from buddy escrow; server %d installed", gid, pos, replacements[i])
+	}
+	// Re-provision: replacements get endpoints and join; survivors are
+	// reconfigured onto the recovered chain.
+	for budget := 0; ; budget++ {
+		lost, err := c.provision(ctx, false)
+		if err != nil {
+			return err
+		}
+		if len(lost) == 0 {
+			return nil
+		}
+		if budget >= c.opts.MaxRestarts {
+			return fmt.Errorf("%w: churn during recovery of group %d", protocol.ErrMemberLost, gid)
+		}
+		for _, id := range lost {
+			c.logf("distributed: member g%d/m%d unresponsive during recovery re-plan", id.GID, id.Pos)
+			c.d.FailGroupMember(id.GID, id.Pos)
+			c.removeMember(id)
+		}
+	}
+}
+
+// solicitShare collects threshold-many escrow pieces for (plan.GID,
+// pos) from a live buddy group's chain members and reconstructs the
+// lost share.
+func (c *Cluster) solicitShare(ctx context.Context, plan *protocol.RecoveryPlan, pos int) (*ecc.Scalar, error) {
+	ch := make(chan *transport.Message, 64)
+	c.shareMu.Lock()
+	c.shareCh = ch
+	c.shareMu.Unlock()
+	defer func() {
+		c.shareMu.Lock()
+		c.shareCh = nil
+		c.shareMu.Unlock()
+	}()
+
+	var lastErr error
+	for _, buddy := range plan.Buddies {
+		v := c.view()
+		if buddy < 0 || buddy >= len(v.chains) {
+			continue
+		}
+		asked := 0
+		for _, mpos := range v.chains[buddy] {
+			addr := ""
+			c.mu.Lock()
+			addr = c.addrs[MemberID{GID: buddy, Pos: mpos}]
+			c.mu.Unlock()
+			if addr == "" {
+				continue
+			}
+			if err := c.coord.SendCtx(ctx, addr, &transport.Message{
+				Type: msgShareReq, Payload: encodeShareReqMsg(plan.GID, pos),
+			}); err == nil {
+				asked++
+			}
+		}
+		if asked < plan.Threshold {
+			lastErr = fmt.Errorf("buddy group %d has only %d reachable members, need %d", buddy, asked, plan.Threshold)
+			continue
+		}
+		pieces := make(map[int]*ecc.Scalar)
+		deadline := time.After(c.opts.ControlTimeout)
+	collect:
+		for len(pieces) < plan.Threshold {
+			select {
+			case msg := <-ch:
+				gid, rpos, idx, piece, err := decodeShareRespMsg(msg.Payload)
+				if err != nil || gid != plan.GID || rpos != pos {
+					continue
+				}
+				// Only members of the solicited buddy group may
+				// contribute, and only under their own DVSS index.
+				c.mu.Lock()
+				id, known := c.memberOf[msg.From]
+				c.mu.Unlock()
+				if !known || id.GID != buddy || id.Pos != idx-1 {
+					continue
+				}
+				// Verify the piece against the escrow's commitments
+				// before it can enter reconstruction — one byzantine
+				// buddy member must not be able to wedge recovery when
+				// threshold-many honest pieces exist.
+				if verr := c.d.CheckEscrowPiece(plan.GID, buddy, pos, idx, piece); verr != nil {
+					c.logf("distributed: discarding invalid escrow piece from g%d/m%d: %v", id.GID, id.Pos, verr)
+					continue
+				}
+				pieces[idx] = piece
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-deadline:
+				lastErr = fmt.Errorf("buddy group %d returned %d escrow pieces within %v, need %d",
+					buddy, len(pieces), c.opts.ControlTimeout, plan.Threshold)
+				break collect
+			}
+		}
+		if len(pieces) < plan.Threshold {
+			continue
+		}
+		indices := make([]int, 0, len(pieces))
+		for idx := range pieces {
+			indices = append(indices, idx)
+		}
+		sort.Ints(indices)
+		indices = indices[:plan.Threshold]
+		ordered := make([]*ecc.Scalar, len(indices))
+		for i, idx := range indices {
+			ordered[i] = pieces[idx]
+		}
+		share, err := dvss.RecoverShare(indices, ordered)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return share, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live buddy group")
+	}
+	return nil, lastErr
+}
+
 // Close stops every actor (remote ones by message, local ones by
-// context), closes the endpoints and waits for the local loops.
+// context), closes the endpoints and waits for the loops and the pump.
 func (c *Cluster) Close() {
 	if c.coord != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-		for _, addr := range c.addrs {
+		ctx, cancel := context.WithTimeout(context.Background(), c.controlTimeout())
+		for _, addr := range c.Addresses() {
 			_ = c.coord.SendCtx(ctx, addr, &transport.Message{Type: msgStop})
 		}
 		cancel()
@@ -459,13 +1206,28 @@ func (c *Cluster) Close() {
 	if c.cancel != nil {
 		c.cancel()
 	}
-	for _, ep := range c.eps {
+	c.mu.Lock()
+	eps := make([]transport.Endpoint, 0, len(c.actors))
+	for _, la := range c.actors {
+		eps = append(eps, la.ep)
+	}
+	c.mu.Unlock()
+	for _, ep := range eps {
 		_ = ep.Close()
 	}
-	c.wg.Wait()
 	if c.coord != nil {
 		_ = c.coord.Close()
 	}
+	c.wg.Wait()
+}
+
+// controlTimeout is Options.ControlTimeout with a pre-resolution
+// fallback (Close may run on a half-built cluster).
+func (c *Cluster) controlTimeout() time.Duration {
+	if c.opts.ControlTimeout > 0 {
+		return c.opts.ControlTimeout
+	}
+	return 2 * time.Second
 }
 
 // classifyAbort maps a wire abort back onto the protocol error

@@ -432,7 +432,12 @@ func TestMemberConfigWire(t *testing.T) {
 		GroupPK: r.PK,
 		Peers:   []string{"a", "b"}, Entry: []string{"a", "c", "d"},
 		Coordinator: "coord", Variant: protocol.VariantNIZK, Workers: 3,
-		Topo: TopoSpec{Name: "square", Groups: 3, Iterations: 3},
+		Topo:      TopoSpec{Name: "square", Groups: 3, Iterations: 3},
+		Heartbeat: 250 * time.Millisecond,
+		Escrows: []protocol.EscrowPiece{
+			{GID: 1, Pos: 0, Piece: r.Secrets[0]},
+			{GID: 2, Pos: 1, Piece: r.Secrets[1]},
+		},
 	}
 	real.GroupPKs = append(real.GroupPKs, pk0, pk1, pk2)
 	back, err := UnmarshalMemberConfig(real.Marshal())
@@ -445,6 +450,11 @@ func TestMemberConfigWire(t *testing.T) {
 	if back.GID != real.GID || back.Pos != real.Pos || back.Workers != 3 ||
 		back.Topo != real.Topo || !back.Secret.Equal(real.Secret) {
 		t.Fatalf("decoded config differs: %+v", back)
+	}
+	if back.Heartbeat != real.Heartbeat || len(back.Escrows) != 2 ||
+		back.Escrows[0].GID != 1 || back.Escrows[1].Pos != 1 ||
+		!back.Escrows[0].Piece.Equal(real.Escrows[0].Piece) {
+		t.Fatalf("churn fields did not round-trip: %+v", back)
 	}
 }
 

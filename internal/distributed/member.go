@@ -1,40 +1,3 @@
-// Package distributed executes the complete Atom round — every group,
-// all T mixing iterations of the permutation network, trap/exit
-// handling and NIZK verification — as a true message-passing protocol:
-// each group member is an independent actor owning only its own key
-// share, exchanging framed batches over a transport.Endpoint. The same
-// round runs unchanged over the in-memory network (with or without a
-// WAN latency model) or over real TCP sockets, and produces exactly the
-// plaintext set (and exactly the error taxonomy) of the in-process
-// protocol.Deployment, because both paths execute the same
-// protocol.MemberEngine for every cryptographic step.
-//
-// Chain protocol per group per iteration (Algorithm 1/2):
-//
-//	batch    sources → first member: inbound batches assemble; when the
-//	         layer's last one lands, the shuffle chain starts — layers
-//	         pipeline, a group shuffles iteration i+1 the moment its
-//	         inputs arrive, even while its iteration-i output is still
-//	         in later members' hands.
-//	shuffle  member p → p+1: p's ShuffleStep; p+1 verifies the proof
-//	         before shuffling the output itself.
-//	divide   last member → first: the closing ShuffleStep; the first
-//	         member verifies it, divides into β batches, and starts the
-//	         re-encryption chain with its own step.
-//	reenc    member p → p+1 (step K wraps to the first member): p's β
-//	         ReEncSteps; the receiver verifies them before peeling its
-//	         own layer. At step K the first member verifies the last
-//	         member's proofs, clears the Y slots, and forwards each
-//	         batch to its next-layer group (or the coordinator at the
-//	         exit layer).
-//
-// Every proof is therefore verified exactly once by the next honest
-// actor in the ring before anything builds on it — the serial-chain
-// stand-in for the paper's "all servers in the group verify the proof".
-// (A full deployment would broadcast each step to all k members and
-// anchor chain continuity in the group's joint view; the ring
-// verification here preserves the abort-and-blame behavior the rest of
-// the system consumes.)
 package distributed
 
 import (
@@ -44,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"atom/internal/ecc"
 	"atom/internal/elgamal"
@@ -113,6 +77,13 @@ type MemberConfig struct {
 	Workers int
 	// Topo rebuilds the permutation network.
 	Topo TopoSpec
+	// Heartbeat is the member's liveness-beacon period toward the
+	// coordinator (0 disables heartbeats).
+	Heartbeat time.Duration
+	// Escrows are the buddy-group share fragments this member holds for
+	// other groups' §4.5 recovery, provisioned at setup exactly like the
+	// member's own secret.
+	Escrows []protocol.EscrowPiece
 }
 
 // assembly accumulates a layer's inbound batches at the first member.
@@ -132,8 +103,19 @@ type tamperHook struct {
 	fn    func([]elgamal.Vector) []elgamal.Vector
 }
 
+// progress is an actor's last-known mixing position, piggybacked on
+// every heartbeat so the coordinator can say where each member was when
+// a round stalls.
+type progress struct {
+	Round uint64
+	Layer int
+	Phase string
+	At    time.Time
+}
+
 // Actor is one member's event loop. All state is confined to the Serve
-// goroutine except the tamper hook (set by the cluster between rounds).
+// goroutine except the tamper hook (set by the cluster between rounds)
+// and the heartbeat snapshot (read by the heartbeat goroutine).
 type Actor struct {
 	cfg  MemberConfig
 	ep   transport.Endpoint
@@ -147,11 +129,17 @@ type Actor struct {
 
 	mu     sync.Mutex
 	tamper *tamperHook
+	// hb snapshots what the heartbeat goroutine needs (identity +
+	// progress); reconfiguration rewrites it under mu.
+	hb struct {
+		gid, idx    int
+		coordinator string
+		prog        progress
+	}
 }
 
-// NewActor builds an actor on its endpoint. The endpoint's address must
-// equal cfg.Peers[cfg.Pos].
-func NewActor(cfg MemberConfig, ep transport.Endpoint) (*Actor, error) {
+// checkConfig validates a MemberConfig and builds its topology.
+func checkConfig(cfg *MemberConfig) (topology.Topology, error) {
 	if cfg.Pos < 0 || cfg.Pos >= len(cfg.Peers) || len(cfg.Peers) != len(cfg.Indices) || len(cfg.Peers) != len(cfg.EffPubs) {
 		return nil, fmt.Errorf("distributed: inconsistent member config (pos %d of %d peers, %d indices, %d effpubs)",
 			cfg.Pos, len(cfg.Peers), len(cfg.Indices), len(cfg.EffPubs))
@@ -164,13 +152,59 @@ func NewActor(cfg MemberConfig, ep transport.Endpoint) (*Actor, error) {
 		return nil, fmt.Errorf("distributed: member config does not match topology (gid %d, %d group keys, %d entries, G=%d)",
 			cfg.GID, len(cfg.GroupPKs), len(cfg.Entry), topo.Groups())
 	}
-	return &Actor{
+	return topo, nil
+}
+
+// NewActor builds an actor on its endpoint. The endpoint's address must
+// equal cfg.Peers[cfg.Pos].
+func NewActor(cfg MemberConfig, ep transport.Endpoint) (*Actor, error) {
+	topo, err := checkConfig(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &Actor{
 		cfg:     cfg,
 		ep:      ep,
 		topo:    topo,
 		pending: make(map[uint64]map[int]*assembly),
 		dropped: make(map[uint64]bool),
-	}, nil
+	}
+	a.hb.gid = cfg.GID
+	a.hb.idx = cfg.Indices[cfg.Pos]
+	a.hb.coordinator = cfg.Coordinator
+	a.hb.prog = progress{Phase: "idle", At: time.Now()}
+	return a, nil
+}
+
+// reconfigure re-provisions the actor in place after churn: a fresh
+// chain, entry table and effective secret, plus a clean per-round slate
+// (the coordinator restarts the interrupted round from its sealed
+// batches, so stale assemblies must not leak into the new attempt).
+// Runs on the Serve goroutine.
+func (a *Actor) reconfigure(cfg MemberConfig) error {
+	topo, err := checkConfig(&cfg)
+	if err != nil {
+		return err
+	}
+	a.cfg = cfg
+	a.topo = topo
+	a.pending = make(map[uint64]map[int]*assembly)
+	a.dropped = make(map[uint64]bool)
+	a.maxRound = 0
+	a.mu.Lock()
+	a.hb.gid = cfg.GID
+	a.hb.idx = cfg.Indices[cfg.Pos]
+	a.hb.coordinator = cfg.Coordinator
+	a.hb.prog = progress{Phase: "reconfigured", At: time.Now()}
+	a.mu.Unlock()
+	return nil
+}
+
+// noteProgress records the actor's mixing position for heartbeats.
+func (a *Actor) noteProgress(round uint64, layer int, phase string) {
+	a.mu.Lock()
+	a.hb.prog = progress{Round: round, Layer: layer, Phase: phase, At: time.Now()}
+	a.mu.Unlock()
 }
 
 // Addr returns the actor's transport address.
@@ -199,8 +233,15 @@ func (a *Actor) takeTamper(round uint64, layer int) func([]elgamal.Vector) []elg
 
 // Serve processes messages until the endpoint closes, a stop message
 // arrives, or ctx ends. Member errors abort the round toward the
-// coordinator but keep the actor alive for subsequent rounds.
+// coordinator but keep the actor alive for subsequent rounds. A
+// heartbeat goroutine beacons the actor's liveness (and last-known
+// progress) to the coordinator every cfg.Heartbeat.
 func (a *Actor) Serve(ctx context.Context) error {
+	if a.cfg.Heartbeat > 0 {
+		hbCtx, hbCancel := context.WithCancel(ctx)
+		defer hbCancel()
+		go a.heartbeatLoop(hbCtx, a.cfg.Heartbeat)
+	}
 	for {
 		select {
 		case msg, ok := <-a.ep.Inbox():
@@ -220,6 +261,29 @@ func (a *Actor) Serve(ctx context.Context) error {
 	}
 }
 
+// heartbeatLoop beacons liveness to the coordinator. It runs beside the
+// Serve goroutine — a member grinding through a long crypto step keeps
+// beating, so slowness is never mistaken for death; only a crashed
+// process (or closed endpoint) goes silent.
+func (a *Actor) heartbeatLoop(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		a.mu.Lock()
+		gid, idx, coord, prog := a.hb.gid, a.hb.idx, a.hb.coordinator, a.hb.prog
+		a.mu.Unlock()
+		_ = a.ep.SendCtx(ctx, coord, &transport.Message{
+			Type: msgHeartbeat, Round: prog.Round,
+			Payload: encodeHeartbeatMsg(gid, idx, prog.Round, prog.Layer, prog.Phase),
+		})
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // senderOK authenticates a message's transport-level sender address:
 // each chain message type has exactly one legitimate origin, so frames
 // from anyone else are dropped without aborting the round or touching
@@ -230,7 +294,7 @@ func (a *Actor) Serve(ctx context.Context) error {
 func (a *Actor) senderOK(msg *transport.Message) bool {
 	k := len(a.cfg.Peers)
 	switch msg.Type {
-	case msgCancel:
+	case msgCancel, msgReconfig, msgShareReq:
 		return msg.From == a.cfg.Coordinator
 	case msgShuffle:
 		return a.cfg.Pos > 0 && msg.From == a.cfg.Peers[a.cfg.Pos-1]
@@ -253,8 +317,24 @@ func (a *Actor) handle(ctx context.Context, msg *transport.Message) {
 	case msgCancel:
 		a.drop(round)
 		return
-	case msgJoin, msgJoined:
-		return // setup traffic, handled by HostMember
+	case msgJoin, msgJoined, msgHeartbeat, msgShareResp:
+		return // setup/liveness traffic, not the actor's to handle
+	case msgReconfig:
+		// In-place re-provisioning after churn. A bad payload is simply
+		// not acknowledged — the coordinator's ack timeout treats the
+		// member as lost rather than trusting a half-applied config.
+		cfg, err := UnmarshalMemberConfig(msg.Payload)
+		if err != nil {
+			return
+		}
+		if err := a.reconfigure(*cfg); err != nil {
+			return
+		}
+		_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{Type: msgJoined})
+		return
+	case msgShareReq:
+		a.handleShareReq(ctx, msg)
+		return
 	}
 	// Per-round state (observeRound pruning, assembly) is only touched
 	// inside the handlers, after each message's origin is fully
@@ -307,14 +387,65 @@ func (a *Actor) drop(round uint64) {
 	delete(a.pending, round)
 }
 
+// handleShareReq answers the coordinator's §4.5 escrow solicitation:
+// if this member holds a piece of the named failed share, it hands it
+// back. Pieces travel over the same channel the member's own secret
+// arrived on at join — the §2.1 protected-link assumption.
+func (a *Actor) handleShareReq(ctx context.Context, msg *transport.Message) {
+	gid, pos, err := decodeShareReqMsg(msg.Payload)
+	if err != nil {
+		return
+	}
+	for _, esc := range a.cfg.Escrows {
+		if esc.GID == gid && esc.Pos == pos {
+			_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{
+				Type:    msgShareResp,
+				Payload: encodeShareRespMsg(gid, pos, a.cfg.Indices[a.cfg.Pos], esc.Piece),
+			})
+			return
+		}
+	}
+}
+
+// peerDown marks a failed chain delivery: the member at addr — group
+// gid, DVSS index idx (−1 for "that group's first member") — is
+// unreachable, so the round cannot proceed until the coordinator
+// re-plans around it.
+type peerDown struct {
+	gid, idx int
+	addr     string
+	err      error
+}
+
+func (p *peerDown) Error() string {
+	return fmt.Sprintf("distributed: peer %s (group %d member %d) unreachable: %v", p.addr, p.gid, p.idx, p.err)
+}
+
+func (p *peerDown) Unwrap() error { return p.err }
+
+// sendChain delivers one chain message, classifying an unreachable
+// destination as a peer-down failure attributed to (gid, idx) so the
+// coordinator learns WHICH member is gone instead of receiving an
+// opaque abort.
+func (a *Actor) sendChain(ctx context.Context, to string, gid, idx int, msg *transport.Message) error {
+	err := a.ep.SendCtx(ctx, to, msg)
+	if err != nil && transport.Unreachable(err) {
+		return &peerDown{gid: gid, idx: idx, addr: to, err: err}
+	}
+	return err
+}
+
 // abort reports a member failure to the coordinator, classified for the
 // protocol error taxonomy.
 func (a *Actor) abort(ctx context.Context, round uint64, layer int, err error) {
 	class, gid, member := abortInternal, a.cfg.GID, -1
 	var blame *protocol.Blame
+	var pd *peerDown
 	switch {
 	case errors.As(err, &blame):
 		class, gid, member = abortProof, blame.GID, blame.Member
+	case errors.As(err, &pd):
+		class, gid, member = abortPeer, pd.gid, pd.idx
 	case parallel.Canceled(err):
 		class = abortCanceled
 	}
@@ -409,6 +540,7 @@ func (a *Actor) handleBatch(ctx context.Context, round uint64, msg *transport.Me
 	if _, dup := asm.got[src]; dup {
 		return layer, fmt.Errorf("distributed: group %d layer %d: duplicate batch from %d", a.cfg.GID, layer, src)
 	}
+	a.noteProgress(round, layer, "assemble")
 	asm.got[src] = vecs
 	if workers > asm.workers {
 		asm.workers = workers
@@ -440,6 +572,7 @@ func (a *Actor) runShuffle(ctx context.Context, round uint64, layer int, in []el
 		_, pks := a.destKeys(layer)
 		return a.finishLayer(ctx, round, layer, make([][]elgamal.Vector, len(pks)), w)
 	}
+	a.noteProgress(round, layer, "shuffle")
 	engine, pool := a.engine(ctx, w.Workers)
 	myIdx := a.cfg.Indices[a.cfg.Pos]
 	out, perm, rands, err := engine.Shuffle(myIdx, in, rand.Reader)
@@ -465,13 +598,11 @@ func (a *Actor) runShuffle(ctx context.Context, round uint64, layer int, in []el
 		wireIn = in // only verification needs the input batch
 	}
 	k := len(a.cfg.Peers)
-	typ, to := msgShuffle, ""
-	if a.cfg.Pos < k-1 {
-		to = a.cfg.Peers[a.cfg.Pos+1]
-	} else {
-		typ, to = msgDivide, a.cfg.Peers[0]
+	typ, next := msgShuffle, a.cfg.Pos+1
+	if a.cfg.Pos == k-1 {
+		typ, next = msgDivide, 0
 	}
-	return a.ep.SendCtx(ctx, to, &transport.Message{
+	return a.sendChain(ctx, a.cfg.Peers[next], a.cfg.GID, a.cfg.Indices[next], &transport.Message{
 		Type: typ, Round: round,
 		Payload: encodeShuffleMsg(layer, w, wireIn, out, proofBytes),
 	})
@@ -543,6 +674,7 @@ func (a *Actor) handleDivide(ctx context.Context, round uint64, msg *transport.M
 // runReEnc performs this member's decrypt-and-reencrypt of every batch
 // and forwards the chain (step K wraps to the first member).
 func (a *Actor) runReEnc(ctx context.Context, round uint64, layer int, ins [][]elgamal.Vector, w work) error {
+	a.noteProgress(round, layer, "reenc")
 	engine, pool := a.engine(ctx, w.Workers)
 	_, pks := a.destKeys(layer)
 	if len(ins) != len(pks) {
@@ -572,7 +704,7 @@ func (a *Actor) runReEnc(ctx context.Context, round uint64, layer int, ins [][]e
 	w.BusyNs += pool.Busy().Nanoseconds()
 	k := len(a.cfg.Peers)
 	next := (a.cfg.Pos + 1) % k
-	return a.ep.SendCtx(ctx, a.cfg.Peers[next], &transport.Message{
+	return a.sendChain(ctx, a.cfg.Peers[next], a.cfg.GID, a.cfg.Indices[next], &transport.Message{
 		Type: msgReEnc, Round: round,
 		Payload: encodeReEncMsg(layer, w, a.cfg.Pos+1, batches),
 	})
@@ -640,6 +772,7 @@ func (a *Actor) handleReEnc(ctx context.Context, round uint64, msg *transport.Me
 // plaintext vectors to the coordinator — then reports the group's layer
 // accounting.
 func (a *Actor) finishLayer(ctx context.Context, round uint64, layer int, batches [][]elgamal.Vector, w work) error {
+	a.noteProgress(round, layer, "forward")
 	for i := range batches {
 		batches[i] = protocol.ClearYBatch(batches[i])
 	}
@@ -656,7 +789,10 @@ func (a *Actor) finishLayer(ctx context.Context, round uint64, layer int, batche
 			return fmt.Errorf("distributed: group %d layer %d: %d batches for %d destinations", a.cfg.GID, layer, len(batches), len(dests))
 		}
 		for i, dst := range dests {
-			if err := a.ep.SendCtx(ctx, a.cfg.Entry[dst], &transport.Message{
+			// A dead next-layer entry member is reported as a loss in
+			// THAT group (idx −1 = its first member; the coordinator
+			// resolves the identity from its own chain map).
+			if err := a.sendChain(ctx, a.cfg.Entry[dst], dst, -1, &transport.Message{
 				Type: msgBatch, Round: round,
 				Payload: encodeBatchMsg(layer+1, a.cfg.GID, w.Workers, batches[i]),
 			}); err != nil {

@@ -1,6 +1,9 @@
 package distributed
 
 import (
+	"time"
+
+	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/protocol"
 	"atom/internal/wirecodec"
@@ -44,6 +47,21 @@ const (
 	// (HostMember); msgJoined acknowledges it.
 	msgJoin   = "dist/join"
 	msgJoined = "dist/joined"
+	// msgHeartbeat is a member's periodic liveness beacon to the
+	// coordinator, carrying its last-known mixing progress so an
+	// eventual round timeout is diagnosable per member.
+	msgHeartbeat = "dist/heartbeat"
+	// msgReconfig re-provisions a live actor in place after churn: a new
+	// MemberConfig (fresh chain, entry table and Lagrange-weighted
+	// effective secret for the re-planned active set), acknowledged with
+	// msgJoined. Only the coordinator may send it. It resets the actor's
+	// per-round state, so a restarted round starts from a clean slate.
+	msgReconfig = "dist/reconfig"
+	// msgShareReq solicits a buddy-group member's escrow piece for one
+	// failed position (§4.5 recovery over the wire); msgShareResp
+	// returns it.
+	msgShareReq  = "dist/sharereq"
+	msgShareResp = "dist/shareresp"
 )
 
 // Abort classes, mapped back onto the protocol error taxonomy by the
@@ -52,6 +70,7 @@ const (
 const (
 	abortProof    = "proof"    // a NIZK step was rejected → ErrProofRejected
 	abortCanceled = "canceled" // the actor's context expired → ctx error
+	abortPeer     = "peer"     // a chain delivery failed → member lost, coordinator re-plans
 	abortInternal = "internal" // anything else
 )
 
@@ -312,6 +331,89 @@ func decodeAbortMsg(b []byte) (layer, gid, member int, class, text string, err e
 	return
 }
 
+// heartbeatMsg: gid, member (DVSS index), the member's last-known
+// progress (round, layer, phase) and how it is configured to beat.
+func encodeHeartbeatMsg(gid, member int, round uint64, layer int, phase string) []byte {
+	var e wirecodec.Enc
+	e.I(gid)
+	e.I(member)
+	e.U64(round)
+	e.I(layer)
+	e.Str(phase)
+	return e.Out()
+}
+
+func decodeHeartbeatMsg(b []byte) (gid, member int, round uint64, layer int, phase string, err error) {
+	d := wirecodec.NewDec(b)
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if member, err = d.I(); err != nil {
+		return
+	}
+	if round, err = d.U64(); err != nil {
+		return
+	}
+	if layer, err = d.I(); err != nil {
+		return
+	}
+	if phase, err = d.Str(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// shareReqMsg: the failed member's group and position whose escrowed
+// share the coordinator is soliciting.
+func encodeShareReqMsg(gid, pos int) []byte {
+	var e wirecodec.Enc
+	e.I(gid)
+	e.I(pos)
+	return e.Out()
+}
+
+func decodeShareReqMsg(b []byte) (gid, pos int, err error) {
+	d := wirecodec.NewDec(b)
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if pos, err = d.I(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
+// shareRespMsg: the solicited (gid, pos), the responding buddy member's
+// DVSS index within its own group, and its escrow piece.
+func encodeShareRespMsg(gid, pos, idx int, piece *ecc.Scalar) []byte {
+	var e wirecodec.Enc
+	e.I(gid)
+	e.I(pos)
+	e.I(idx)
+	e.Scalar(piece)
+	return e.Out()
+}
+
+func decodeShareRespMsg(b []byte) (gid, pos, idx int, piece *ecc.Scalar, err error) {
+	d := wirecodec.NewDec(b)
+	if gid, err = d.I(); err != nil {
+		return
+	}
+	if pos, err = d.I(); err != nil {
+		return
+	}
+	if idx, err = d.I(); err != nil {
+		return
+	}
+	if piece, err = d.Scalar(); err != nil {
+		return
+	}
+	err = d.Done()
+	return
+}
+
 // ---------------------------------------------------------------------
 // MemberConfig wire form (the msgJoin payload for remotely hosted
 // actors — cmd/atomd -member).
@@ -338,6 +440,13 @@ func (c *MemberConfig) Marshal() []byte {
 	e.I(c.Topo.Groups)
 	e.I(c.Topo.Iterations)
 	e.I(c.Topo.Reps)
+	e.U64(uint64(c.Heartbeat))
+	e.U64(uint64(len(c.Escrows)))
+	for _, esc := range c.Escrows {
+		e.I(esc.GID)
+		e.I(esc.Pos)
+		e.Scalar(esc.Piece)
+	}
 	return e.Out()
 }
 
@@ -395,6 +504,27 @@ func UnmarshalMemberConfig(b []byte) (*MemberConfig, error) {
 	}
 	if c.Topo.Reps, err = d.I(); err != nil {
 		return nil, err
+	}
+	hb, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	c.Heartbeat = time.Duration(hb)
+	n, err := d.Count()
+	if err != nil {
+		return nil, err
+	}
+	c.Escrows = make([]protocol.EscrowPiece, n)
+	for i := range c.Escrows {
+		if c.Escrows[i].GID, err = d.I(); err != nil {
+			return nil, err
+		}
+		if c.Escrows[i].Pos, err = d.I(); err != nil {
+			return nil, err
+		}
+		if c.Escrows[i].Piece, err = d.Scalar(); err != nil {
+			return nil, err
+		}
 	}
 	if err := d.Done(); err != nil {
 		return nil, err

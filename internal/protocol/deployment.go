@@ -523,6 +523,7 @@ func (m localMixer) MixRound(job *MixJob) (*MixOutcome, error) {
 			it.ReEncs += o.trace.ReEncs
 			it.ProofsChecked += o.trace.ProofsChecked
 			it.WorkerBusy += o.trace.Busy
+			it.Members += o.trace.Members
 			if len(cur[gi]) > 0 {
 				it.ActiveGroups++
 			}

@@ -36,6 +36,15 @@ var (
 	// failure budget and cannot mix until buddy-group recovery runs.
 	ErrRecoveryNeeded = errors.New("protocol: group needs recovery")
 
+	// ErrMemberLost marks a benign availability failure: a group member
+	// crashed or became unreachable (detected by missing heartbeats or a
+	// failed delivery), as opposed to a byzantine fault (ErrProofRejected
+	// blames a member for a bad proof) or a caller cancellation. Errors
+	// carrying it usually also carry a *Loss attribution, and — when the
+	// loss pushed the group past its h−1 budget — additionally match
+	// ErrRecoveryNeeded.
+	ErrMemberLost = errors.New("protocol: group member lost")
+
 	// ErrRoundClosed marks a submission into a round that has already
 	// been sealed for mixing.
 	ErrRoundClosed = errors.New("protocol: round closed to submissions")
@@ -64,3 +73,26 @@ func (b *Blame) Error() string { return b.Err.Error() }
 
 // Unwrap exposes the sentinel chain to errors.Is/errors.As.
 func (b *Blame) Unwrap() error { return b.Err }
+
+// Loss attaches the crashed group and member to a member-lost error —
+// the availability counterpart of Blame. Member is the member's 1-based
+// DVSS index within the group (its roster position + 1); −1 when the
+// loss could not be pinned on one member. It wraps ErrMemberLost (and,
+// when the group dropped below threshold, ErrRecoveryNeeded too):
+//
+//	var loss *protocol.Loss
+//	if errors.As(err, &loss) { replace(loss.GID, loss.Member) }
+type Loss struct {
+	// GID is the group that lost the member.
+	GID int
+	// Member is the lost member's DVSS index (−1 if unattributed).
+	Member int
+	// Err carries the sentinel chain (ErrMemberLost, …).
+	Err error
+}
+
+// Error implements error.
+func (l *Loss) Error() string { return l.Err.Error() }
+
+// Unwrap exposes the sentinel chain to errors.Is/errors.As.
+func (l *Loss) Unwrap() error { return l.Err }

@@ -87,6 +87,12 @@ type StepTrace struct {
 	Shuffles      int
 	ReEncs        int
 	ProofsChecked int
+	// Members is the group's live membership when the layer ran (k when
+	// healthy; smaller after crashes). The mixing chain always uses
+	// exactly threshold members, so a shrinking Members is the
+	// degraded-mode signal: the group's h−1 spare budget is being
+	// consumed.
+	Members int
 	// Workers is the worker-pool size the group's iteration ran with;
 	// Busy totals the time its workers spent inside crypto tasks (the
 	// utilization numerator against wall × Workers).
@@ -153,7 +159,7 @@ func (g *GroupState) runIteration(p mixParams) ([][]elgamal.Vector, *StepTrace, 
 	if workers < 1 {
 		workers = 1
 	}
-	trace := &StepTrace{GID: g.Info.ID, Layer: p.layer, Workers: workers}
+	trace := &StepTrace{GID: g.Info.ID, Layer: p.layer, Workers: workers, Members: g.LiveMembers()}
 
 	// --- Step 1: Shuffle, each active member in order. ---
 	// An empty batch (a group that received no ciphertexts this layer)

@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"testing"
+
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+)
+
+// TestEscrowAccessors exercises the primitives the distributed engine
+// drives §4.5 recovery over the wire with: exporting a buddy member's
+// escrow pieces, verifying a solicited piece before reconstruction
+// (a byzantine buddy's corrupt piece must be rejected up front), and
+// installing a reconstructed share only when it matches the group's
+// public Feldman commitments.
+func TestEscrowAccessors(t *testing.T) {
+	cfg := Config{
+		NumServers: 16, NumGroups: 3, GroupSize: 3, HonestMin: 2, BuddyCount: 1,
+		MessageSize: 24, Variant: VariantNIZK, Iterations: 3,
+		Seed: []byte("recovery-accessors"),
+	}
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailGroupMember(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailGroupMember(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := d.RecoveryPlan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Failed) != 2 || plan.Failed[0] != 0 || plan.Failed[1] != 1 {
+		t.Fatalf("plan.Failed = %v, want [0 1]", plan.Failed)
+	}
+	if len(plan.Buddies) != 1 || plan.Threshold != 2 {
+		t.Fatalf("plan = %+v, want 1 buddy and threshold 2", plan)
+	}
+	buddy := plan.Buddies[0]
+
+	// Gather pieces for position 0 the way the wire path does: each
+	// buddy member exports its fragments, the coordinator verifies each
+	// before reconstruction.
+	var indices []int
+	var pieces []*ecc.Scalar
+	for idx := 1; idx <= cfg.GroupSize && len(pieces) < plan.Threshold; idx++ {
+		for _, ep := range d.EscrowPieces(buddy, idx) {
+			if ep.GID != 0 || ep.Pos != 0 {
+				continue
+			}
+			if err := d.CheckEscrowPiece(0, buddy, 0, idx, ep.Piece); err != nil {
+				t.Fatalf("genuine piece from buddy member %d rejected: %v", idx, err)
+			}
+			// The same scalar under the WRONG index is a forgery and
+			// must fail verification.
+			if idx > 1 {
+				if err := d.CheckEscrowPiece(0, buddy, 0, idx-1, ep.Piece); err == nil {
+					t.Fatal("corrupted escrow piece passed verification")
+				}
+			}
+			indices = append(indices, idx)
+			pieces = append(pieces, ep.Piece)
+		}
+	}
+	if len(pieces) < plan.Threshold {
+		t.Fatalf("collected %d pieces, need %d", len(pieces), plan.Threshold)
+	}
+	share, err := dvss.RecoverShare(indices, pieces)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reconstructed share only installs at its own position: it is
+	// position 0's share, so position 1 must refuse it.
+	if err := d.InstallRecoveredShare(0, 1, share, 201); err == nil {
+		t.Fatal("wrong-position share installed")
+	}
+	if err := d.InstallRecoveredShare(0, 0, share, 200); err != nil {
+		t.Fatalf("genuine recovered share refused: %v", err)
+	}
+	// Position 0 is healthy again; a second install must refuse (the
+	// position is no longer failed).
+	if err := d.InstallRecoveredShare(0, 0, share, 200); err == nil {
+		t.Fatal("install into a healthy position succeeded")
+	}
+	plan, err = d.RecoveryPlan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Failed) != 1 || plan.Failed[0] != 1 {
+		t.Fatalf("after recovering pos 0, plan.Failed = %v, want [1]", plan.Failed)
+	}
+	// One recovered position puts the group back at threshold: it can
+	// mix degraded (NeedsRecovery false) even though position 1 is
+	// still down. The in-process path then restores full strength.
+	if need, _ := d.GroupNeedsRecovery(0); need {
+		t.Fatal("group 0 under threshold with 2 of 3 members live")
+	}
+	if err := d.RecoverGroup(0, []int{201}); err != nil {
+		t.Fatal(err)
+	}
+	if need, _ := d.GroupNeedsRecovery(0); need {
+		t.Fatal("group 0 still needs recovery after RecoverGroup")
+	}
+	if n, err := d.GroupLiveMembers(0); err != nil || n != cfg.GroupSize {
+		t.Fatalf("GroupLiveMembers = %d, %v; want %d", n, err, cfg.GroupSize)
+	}
+}

@@ -295,6 +295,11 @@ type IterationStats struct {
 	Workers      int
 	ActiveGroups int
 	WorkerBusy   time.Duration
+	// Members totals the groups' live memberships for the iteration
+	// (G×k when every server is up). A value below that ceiling means
+	// the round is mixing in degraded mode: some group is running on its
+	// h−1 spare budget (§4.5).
+	Members int
 }
 
 // RoundHooks carries the observability callbacks RunRoundCtx invokes.

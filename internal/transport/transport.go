@@ -1,21 +1,11 @@
-// Package transport carries Atom's inter-node messages. It provides two
-// interchangeable implementations of the same small interface:
-//
-//   - an in-memory network with an optional pairwise latency model
-//     (emulating the paper's tc-injected 40–160 ms RTTs, §6) and
-//     per-node traffic accounting used for the bandwidth estimates of §7;
-//   - a TCP transport (length-prefixed gob frames) for the atomd daemon.
-//
-// The paper assumes "encrypted, authenticated, and replay-protected
-// channels (e.g., TLS)" between all parties (§2.1); the in-memory
-// network models such channels as reliable ordered links, and the TCP
-// transport is the hook where a deployment would layer crypto/tls.
 package transport
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"time"
 )
@@ -59,6 +49,40 @@ var ErrUnknownNode = errors.New("transport: unknown node")
 // before the claimed length is allocated (a malformed or hostile length
 // prefix must not drive allocation).
 var ErrFrameTooLarge = errors.New("transport: frame too large")
+
+// Unreachable classifies a Send/SendCtx error as a peer-liveness
+// failure: the destination endpoint is gone (closed, departed, refusing
+// or dropping connections) rather than the message being malformed or
+// the caller's context expired. The distributed round engine uses it to
+// turn a failed delivery into a member-lost report instead of an opaque
+// abort — on the in-memory network that is ErrClosed/ErrUnknownNode, on
+// TCP any network-level dial or write failure.
+func Unreachable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false // the caller gave up, not the peer
+	}
+	if errors.Is(err, ErrFrameTooLarge) {
+		return false // the message, not the peer, is the problem
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrUnknownNode) {
+		return true
+	}
+	var netErr net.Error
+	if errors.As(err, &netErr) {
+		return true
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return true
+	}
+	// Remaining TCP failures (io.EOF mid-frame, connection reset
+	// surfaced as syscall errors) all wrap through the net layer above;
+	// anything else is a local encoding problem.
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
 
 // LatencyFunc models one-way delivery delay between two nodes.
 type LatencyFunc func(from, to string) time.Duration

@@ -32,6 +32,11 @@ type IterationStats struct {
 	// WorkerBusy totals the time worker goroutines spent executing
 	// crypto tasks across all groups' pools.
 	WorkerBusy time.Duration
+	// Members totals the groups' live memberships for the iteration
+	// (Groups × GroupSize when every server is up). A smaller value
+	// means the network mixed in degraded mode: some group is running
+	// on its h−1 spare budget (§4.5).
+	Members int
 }
 
 // Utilization reports the fraction of the iteration's worker-pool
@@ -142,6 +147,7 @@ func statsFromResult(res *protocol.RoundResult, submissions int) RoundStats {
 			Workers:        it.Workers,
 			ActiveGroups:   it.ActiveGroups,
 			WorkerBusy:     it.WorkerBusy,
+			Members:        it.Members,
 		})
 		st.Shuffles += it.Shuffles
 		st.ReEncs += it.ReEncs
@@ -172,6 +178,7 @@ func (n *Network) hooksFor() *protocol.RoundHooks {
 				Workers:        it.Workers,
 				ActiveGroups:   it.ActiveGroups,
 				WorkerBusy:     it.WorkerBusy,
+				Members:        it.Members,
 			})
 		},
 	}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# doccheck.sh — fail when any package in the module lacks a package
+# comment. The operator docs (README, docs/ARCHITECTURE.md) lean on
+# godoc being present for every package, so an undocumented package is
+# a CI failure, not a style nit.
+#
+#   scripts/doccheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+missing=0
+while IFS=$'\t' read -r pkg doc; do
+	if [ -z "${doc}" ]; then
+		echo "doccheck: missing package comment: ${pkg}" >&2
+		missing=1
+	fi
+done < <(go list -f $'{{.ImportPath}}\t{{.Doc}}' ./...)
+
+if [ "${missing}" -ne 0 ]; then
+	exit 1
+fi
+echo "doccheck: every package has a package comment"
