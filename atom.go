@@ -170,6 +170,12 @@ func NewNetwork(cfg Config) (*Network, error) {
 // Groups returns G, the number of groups per layer.
 func (n *Network) Groups() int { return n.d.NumGroups() }
 
+// Deployment exposes the network's protocol-layer deployment — the
+// advanced surface for wiring alternative mixing engines (e.g. an
+// internal/distributed.Cluster, which a continuous Service then drives
+// through ServeOptions.Mixer). Most callers never need it.
+func (n *Network) Deployment() *protocol.Deployment { return n.d }
+
 // SubmitMessage pads, encrypts and submits msg for the given user,
 // choosing the entry group as user mod G (an untrusted load balancer's
 // policy; the choice does not affect anonymity — users are anonymous

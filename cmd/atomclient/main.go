@@ -17,14 +17,27 @@
 //	atomclient -server host:9000 -open -user 3 -submit "hello"
 //	atomclient -server host:9000 -round 7 -user 4 -submit "hi" -trusteekey <hex from -open>
 //	atomclient -server host:9000 -round 7 -mix
+//
+// Batch submission drives load from one process over one connection:
+// -count replicates -submit, -submit-file reads one message per line,
+// and users count up from -user. Against an atomd -serve deployment,
+// -ingest targets whichever round the continuous service has open
+// (re-fetching when a round seals mid-batch) and -await waits for the
+// batch's round to publish:
+//
+//	atomclient -server host:9000 -submit "load %d" -count 256 -ingest -await
+//	atomclient -server host:9000 -submit-file messages.txt -ingest
 package main
 
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 	"time"
 
 	"atom"
@@ -42,10 +55,14 @@ func main() {
 		mix     = flag.Bool("mix", false, "mix the round given by -round and print results")
 		tkey    = flag.String("trusteekey", "", "hex trustee key of the target round (trap variant, with -round)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request deadline")
+		count   = flag.Int("count", 1, "batch mode: submit this many copies of -submit (a %d in the text becomes the message index)")
+		file    = flag.String("submit-file", "", "batch mode: submit every line of this file as one message")
+		ingest  = flag.Bool("ingest", false, "target the continuous service's open round (atomd -serve)")
+		await   = flag.Bool("await", false, "with -ingest: wait for the submitted round to publish and print it")
 	)
 	flag.Parse()
-	if *submit == "" && !*run && !*open && !*mix {
-		log.Fatal("atomclient: nothing to do (use -open, -submit, -mix and/or -run)")
+	if *submit == "" && *file == "" && !*run && !*open && !*mix {
+		log.Fatal("atomclient: nothing to do (use -open, -submit, -submit-file, -mix and/or -run)")
 	}
 
 	ctx := context.Background()
@@ -81,7 +98,8 @@ func main() {
 		}
 	}
 
-	if *submit != "" {
+	if *submit != "" || *file != "" {
+		msgs := buildBatch(*submit, *file, *count)
 		variant := atom.NIZK
 		if info.Trap {
 			variant = atom.Trap
@@ -95,39 +113,57 @@ func main() {
 		if err != nil {
 			log.Fatalf("atomclient: %v", err)
 		}
-		// Trustee keys are per-round: a submission must encrypt against
-		// the key of the round it targets. The current round's key comes
-		// from info; an explicitly opened round's from the open reply or
-		// the -trusteekey flag.
-		trusteeKey := info.TrusteeKey
-		target := *round
-		if opened != nil {
-			target = opened.ID
-			trusteeKey = opened.TrusteeKey
-		} else if target != 0 && info.Trap {
-			if *tkey == "" {
-				log.Fatal("atomclient: -round submissions on a trap deployment need -trusteekey (printed by -open)")
+
+		if *ingest {
+			// Continuous service: submit the batch into whichever round
+			// is open, re-fetching when a seal lands mid-batch.
+			published := ingestBatch(ctx, cli, ac, info, *user, msgs, *timeout)
+			if *await {
+				for _, rid := range published {
+					rctx, cancel := withDeadline()
+					out, err := cli.Await(rctx, rid)
+					cancel()
+					if err != nil {
+						log.Fatalf("atomclient: awaiting round %d: %v", rid, err)
+					}
+					fmt.Printf("round %d published:\n", rid)
+					printMessages(out)
+				}
 			}
-			if trusteeKey, err = hex.DecodeString(*tkey); err != nil {
-				log.Fatalf("atomclient: bad -trusteekey: %v", err)
-			}
-		}
-		gid := *user % info.Groups
-		wire, err := ac.EncryptSubmission([]byte(*submit), info.EntryKeys[gid], trusteeKey, gid)
-		if err != nil {
-			log.Fatalf("atomclient: encrypting: %v", err)
-		}
-		rctx, cancel := withDeadline()
-		if target != 0 {
-			err = cli.SubmitRound(rctx, target, *user, wire)
 		} else {
-			err = cli.Submit(rctx, *user, wire)
+			// One-shot rounds: the legacy current round, or an explicit
+			// open round. Trustee keys are per-round: a submission must
+			// encrypt against the key of the round it targets. The
+			// current round's key comes from info; an explicitly opened
+			// round's from the open reply or the -trusteekey flag.
+			trusteeKey := info.TrusteeKey
+			target := *round
+			if opened != nil {
+				target = opened.ID
+				trusteeKey = opened.TrusteeKey
+			} else if target != 0 && info.Trap {
+				if *tkey == "" {
+					log.Fatal("atomclient: -round submissions on a trap deployment need -trusteekey (printed by -open)")
+				}
+				if trusteeKey, err = hex.DecodeString(*tkey); err != nil {
+					log.Fatalf("atomclient: bad -trusteekey: %v", err)
+				}
+			}
+			ri := &daemon.RoundInfo{ID: target, TrusteeKey: trusteeKey}
+			submitFn := cli.SubmitRound
+			if target == 0 {
+				submitFn = func(ctx context.Context, _ uint64, user int, wire []byte) error {
+					return cli.Submit(ctx, user, wire)
+				}
+			}
+			rctx, cancel := context.WithTimeout(ctx, *timeout*time.Duration(len(msgs)))
+			n, err := daemon.SubmitBatch(rctx, ac, info, ri, *user, msgs, submitFn)
+			cancel()
+			if err != nil {
+				log.Fatalf("atomclient: submitting (after %d accepted): %v", n, err)
+			}
+			fmt.Printf("submitted %d message(s) as users %d..%d\n", n, *user, *user+n-1)
 		}
-		cancel()
-		if err != nil {
-			log.Fatalf("atomclient: submitting: %v", err)
-		}
-		fmt.Printf("submitted %d bytes to entry group %d\n", len(wire), gid)
 	}
 
 	if *mix {
@@ -156,6 +192,80 @@ func main() {
 		}
 		printMessages(msgs)
 	}
+}
+
+// buildBatch assembles the messages of one batch submission: every line
+// of -submit-file, or -count copies of -submit (a %d in the text is
+// replaced by the message index so the copies stay distinct — identical
+// plaintexts are legal, but identical wire submissions would never
+// occur anyway since encryption is randomized).
+func buildBatch(submit, file string, count int) [][]byte {
+	var msgs [][]byte
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("atomclient: %v", err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			if line != "" {
+				msgs = append(msgs, []byte(line))
+			}
+		}
+		if len(msgs) == 0 {
+			log.Fatalf("atomclient: %s holds no messages", file)
+		}
+		return msgs
+	}
+	if count < 1 {
+		count = 1
+	}
+	for i := 0; i < count; i++ {
+		text := submit
+		if strings.Contains(text, "%d") {
+			text = strings.ReplaceAll(text, "%d", fmt.Sprint(i))
+		} else if count > 1 {
+			text = fmt.Sprintf("%s #%d", text, i)
+		}
+		msgs = append(msgs, []byte(text))
+	}
+	return msgs
+}
+
+// ingestBatch drives a batch into the continuous service: it fetches
+// the open round, submits until the round seals underneath it, then
+// re-fetches and continues — returning every round id the batch landed
+// in, in order.
+func ingestBatch(ctx context.Context, cli *daemon.Client, ac *atom.Client, info *daemon.Info,
+	base int, msgs [][]byte, timeout time.Duration) []uint64 {
+	var published []uint64
+	remaining := msgs
+	user := base
+	for len(remaining) > 0 {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		ri, err := cli.ServeInfo(rctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("atomclient: fetching open round: %v", err)
+		}
+		rctx, cancel = context.WithTimeout(ctx, timeout*time.Duration(len(remaining)))
+		n, err := daemon.SubmitBatch(rctx, ac, info, ri, user, remaining, func(ctx context.Context, round uint64, user int, wire []byte) error {
+			_, serr := cli.SubmitInto(ctx, round, user, wire)
+			return serr
+		})
+		cancel()
+		if n > 0 {
+			fmt.Printf("submitted %d message(s) into round %d\n", n, ri.ID)
+			if len(published) == 0 || published[len(published)-1] != ri.ID {
+				published = append(published, ri.ID)
+			}
+		}
+		user += n
+		remaining = remaining[n:]
+		if err != nil && !errors.Is(err, atom.ErrRoundClosed) {
+			log.Fatalf("atomclient: submitting (after %d accepted): %v", len(msgs)-len(remaining), err)
+		}
+	}
+	return published
 }
 
 func printMessages(msgs [][]byte) {

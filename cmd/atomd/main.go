@@ -8,6 +8,15 @@
 // Clients keep all secrets: they encrypt and prove locally and ship
 // opaque submissions (see cmd/atomclient).
 //
+// With -serve, atomd additionally runs the continuous ingestion
+// pipeline: submissions are admitted into whichever round is open
+// (proof verification and duplicate rejection at admission time), the
+// round scheduler seals at -interval or -capacity, and sealed rounds
+// mix back to back with up to -inflight in flight. Clients then use the
+// serve-mode surface (atomclient -ingest):
+//
+//	atomd -listen :9000 -serve -interval 500ms -capacity 1024
+//
 // With -member, atomd instead hosts one group member of a distributed
 // round engine (internal/distributed): it listens on a TCP endpoint,
 // waits for a coordinator's join message carrying the member's
@@ -37,6 +46,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"atom"
 	"atom/internal/daemon"
@@ -59,6 +69,10 @@ func main() {
 		seed        = flag.String("seed", "atomd", "beacon seed (all participants must agree)")
 		verbose     = flag.Bool("verbose", true, "log per-round and per-iteration statistics")
 		member      = flag.Bool("member", false, "host one distributed-round group member instead of a full deployment")
+		serve       = flag.Bool("serve", false, "run the continuous ingestion pipeline: rounds seal on a schedule and mix back to back")
+		interval    = flag.Duration("interval", time.Second, "-serve: round scheduler's seal deadline (Options.RoundInterval)")
+		capacity    = flag.Int("capacity", 0, "-serve: seal a round early at this many submissions (0 = deadline only)")
+		inflight    = flag.Int("inflight", 2, "-serve: rounds mixing concurrently (bounded pipeline depth)")
 	)
 	flag.Parse()
 
@@ -100,14 +114,18 @@ func main() {
 			RoundOpened: func(round uint64) {
 				log.Printf("atomd: round %d open for submissions", round)
 			},
+			RoundSealed: func(round uint64, ing atom.IngestStats) {
+				log.Printf("atomd: round %d sealed: %d admitted, %d rejected, %d ciphertexts; queue depth %d, %d rounds in flight",
+					round, ing.Admitted, ing.Rejected, ing.SealedBatch, ing.Queued, ing.InFlight)
+			},
 			IterationDone: func(it atom.IterationStats) {
 				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization, %d live members)",
 					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified,
 					it.Workers, 100*it.Utilization(), it.Members)
 			},
 			RoundMixed: func(st atom.RoundStats) {
-				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations",
-					st.Round, st.Messages, st.Duration, st.Iterations)
+				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations (%d admitted, %d rejected at ingest)",
+					st.Round, st.Messages, st.Duration, st.Iterations, st.Ingest.Admitted, st.Ingest.Rejected)
 			},
 			RoundFailed: func(round uint64, err error) {
 				// Operator triage: blame (a malicious server — exclude
@@ -126,6 +144,20 @@ func main() {
 				}
 			},
 		})
+	}
+	if *serve {
+		// Continuous mode: the round scheduler seals at -interval (or
+		// -capacity) and rounds mix back to back, up to -inflight
+		// concurrently; clients use ServeInfo/SubmitInto/Await.
+		if err := srv.EnableService(context.Background(), atom.ServeOptions{
+			RoundInterval: *interval,
+			MaxBatch:      *capacity,
+			MaxInFlight:   *inflight,
+		}); err != nil {
+			log.Fatalf("atomd: starting continuous service: %v", err)
+		}
+		log.Printf("atomd: continuous service up (interval %v, capacity %d, %d rounds in flight)",
+			*interval, *capacity, *inflight)
 	}
 	fmt.Printf("atomd: serving on %s\n", srv.Addr())
 

@@ -76,11 +76,19 @@ type Mailboxes struct {
 // NewMailboxes allocates m mailboxes and sorts the round result into
 // them.
 func NewMailboxes(m int, result *Result) (*Mailboxes, error) {
+	return NewMailboxesFromMessages(m, result.Messages)
+}
+
+// NewMailboxesFromMessages allocates m mailboxes and sorts any
+// anonymized batch into them — the continuous-service path, where each
+// RoundOutcome's Messages become a fresh set of mailboxes as rounds
+// publish back to back.
+func NewMailboxesFromMessages(m int, msgs [][]byte) (*Mailboxes, error) {
 	mb, err := dialing.NewMailboxes(m)
 	if err != nil {
 		return nil, err
 	}
-	mb.Deliver(result.Messages)
+	mb.Deliver(msgs)
 	return &Mailboxes{mb: mb}, nil
 }
 

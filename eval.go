@@ -298,6 +298,8 @@ func (ev *Evaluation) LiveRound(cfg Config, users int) (string, *RoundStats, err
 	}
 	fmt.Fprintf(&b, "  total: %v mixing, %d anonymized messages, %d proofs verified, %.0f%% pool utilization\n",
 		final.Duration.Round(100*time.Microsecond), final.Messages, final.ProofsVerified, 100*final.Utilization())
+	fmt.Fprintf(&b, "  ingest: %d admitted, %d rejected, %d ciphertexts sealed\n",
+		final.Ingest.Admitted, final.Ingest.Rejected, final.Ingest.SealedBatch)
 	return b.String(), &final, nil
 }
 

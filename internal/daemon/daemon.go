@@ -50,6 +50,16 @@ const (
 	msgRSubmitReply = "submit-round-reply"
 	msgMix          = "mix"
 	msgMixReply     = "mix-reply"
+
+	// Continuous-service (ingestion frontend) messages: clients fetch
+	// the currently open round, submit into it, and await a round's
+	// published result. Active only after EnableService.
+	msgServeInfo   = "serve-info"
+	msgServeReply  = "serve-info-reply"
+	msgIngest      = "ingest"
+	msgIngestReply = "ingest-reply"
+	msgAwait       = "await"
+	msgAwaitReply  = "await-reply"
 )
 
 // Info describes a deployment to clients.
@@ -191,6 +201,10 @@ type Server struct {
 	mu     sync.Mutex
 	rounds map[uint64]*atom.Round
 
+	// svc, when non-nil, is the continuous ingestion-and-mixing
+	// pipeline the serve-mode messages target.
+	svc atomic.Pointer[atom.Service]
+
 	mixes sync.WaitGroup
 	done  chan struct{}
 }
@@ -220,6 +234,23 @@ func (s *Server) Addr() string { return s.node.Addr() }
 
 // Network exposes the hosted deployment (e.g. to install an Observer).
 func (s *Server) Network() *atom.Network { return s.network }
+
+// EnableService starts the continuous ingestion-and-mixing pipeline
+// (atom.Network.Serve) and activates the serve-mode wire surface:
+// ServeInfo, SubmitInto and Await. The ctx is the pipeline's hard-stop
+// switch; Close drains it gracefully.
+func (s *Server) EnableService(ctx context.Context, opts atom.ServeOptions) error {
+	svc, err := s.network.Serve(ctx, opts)
+	if err != nil {
+		return err
+	}
+	s.svc.Store(svc)
+	return nil
+}
+
+// Service returns the continuous pipeline, nil before EnableService —
+// e.g. for operators reading queue depths.
+func (s *Server) Service() *atom.Service { return s.svc.Load() }
 
 // Serve processes requests until Close. It is safe to run in a
 // goroutine. Mix requests run asynchronously so the daemon keeps
@@ -339,6 +370,70 @@ func (s *Server) handle(msg *transport.Message) *transport.Message {
 		}()
 		return nil
 
+	case msgServeInfo:
+		svc := s.svc.Load()
+		if svc == nil {
+			return fail(msgServeReply, fmt.Errorf("daemon: not serving (no continuous service)"))
+		}
+		id, tkey, err := svc.Current()
+		if err != nil {
+			return fail(msgServeReply, err)
+		}
+		return &transport.Message{Type: msgServeReply, Payload: encodeReply(&reply{
+			OK: true, Round: &RoundInfo{ID: id, TrusteeKey: tkey},
+		})}
+
+	case msgIngest:
+		svc := s.svc.Load()
+		if svc == nil {
+			return fail(msgIngestReply, fmt.Errorf("daemon: not serving (no continuous service)"))
+		}
+		if len(msg.Payload) < 16 {
+			return fail(msgIngestReply, fmt.Errorf("daemon: short ingest payload"))
+		}
+		rid := binary.BigEndian.Uint64(msg.Payload[:8])
+		user := int(binary.BigEndian.Uint64(msg.Payload[8:16]))
+		admitted, err := svc.SubmitEncoded(rid, user, msg.Payload[16:])
+		if err != nil {
+			return fail(msgIngestReply, err)
+		}
+		return &transport.Message{Type: msgIngestReply, Payload: encodeReply(&reply{
+			OK: true, Round: &RoundInfo{ID: admitted},
+		})}
+
+	case msgAwait:
+		svc := s.svc.Load()
+		if svc == nil {
+			return fail(msgAwaitReply, fmt.Errorf("daemon: not serving (no continuous service)"))
+		}
+		if len(msg.Payload) < 8 {
+			return fail(msgAwaitReply, fmt.Errorf("daemon: short await payload"))
+		}
+		rid := binary.BigEndian.Uint64(msg.Payload[:8])
+		from, seq := msg.From, msg.Round
+		s.mixes.Add(1)
+		go func() {
+			defer s.mixes.Done()
+			// The park is bounded server-side: a bogus or long-gone
+			// round id must not pin a goroutine until shutdown (the
+			// client's own deadline is usually far shorter anyway).
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			out, err := svc.WaitRound(ctx, rid)
+			var resp *transport.Message
+			switch {
+			case err != nil:
+				resp = fail(msgAwaitReply, err)
+			case out.Err != nil:
+				resp = fail(msgAwaitReply, out.Err)
+			default:
+				resp = &transport.Message{Type: msgAwaitReply, Payload: encodeReply(&reply{OK: true, Messages: out.Messages})}
+			}
+			resp.Round = seq
+			_ = s.node.Send(from, resp)
+		}()
+		return nil
+
 	default:
 		return fail(msg.Type+"-reply", fmt.Errorf("daemon: unknown request %q", msg.Type))
 	}
@@ -360,8 +455,13 @@ func fail(typ string, err error) *transport.Message {
 	return &transport.Message{Type: typ, Payload: encodeReply(&reply{Error: err.Error(), ErrorKind: classify(err)})}
 }
 
-// Close shuts the daemon down, waiting for in-flight mixes.
+// Close shuts the daemon down: the continuous service (if enabled)
+// drains gracefully, then the endpoint closes and in-flight mixes and
+// awaits finish.
 func (s *Server) Close() error {
+	if svc := s.svc.Load(); svc != nil {
+		_ = svc.Close()
+	}
 	err := s.node.Close()
 	<-s.done
 	return err
@@ -550,4 +650,79 @@ func (c *Client) RunRound(ctx context.Context) ([][]byte, error) {
 		return nil, err
 	}
 	return r.Messages, nil
+}
+
+// ServeInfo fetches the continuous service's currently open round: its
+// id and, in the trap variant, its trustee key. Clients encrypt against
+// that key and SubmitInto that round; when the round seals under them
+// (ErrRoundClosed) they re-fetch and re-encrypt.
+func (c *Client) ServeInfo(ctx context.Context) (*RoundInfo, error) {
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgServeInfo})
+	if err != nil {
+		return nil, err
+	}
+	if r.Round == nil {
+		return nil, fmt.Errorf("daemon: empty serve-info reply")
+	}
+	return r.Round, nil
+}
+
+// SubmitInto ships a wire-encoded submission into the continuous
+// service's open round. round 0 targets whichever round is open (NIZK
+// encodings are round-independent); a nonzero round fails with
+// ErrRoundClosed if that round already sealed. It returns the round
+// that admitted the submission, for a later Await. Safe for concurrent
+// use.
+func (c *Client) SubmitInto(ctx context.Context, round uint64, user int, wire []byte) (uint64, error) {
+	payload := make([]byte, 16+len(wire))
+	binary.BigEndian.PutUint64(payload[:8], round)
+	binary.BigEndian.PutUint64(payload[8:16], uint64(user))
+	copy(payload[16:], wire)
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgIngest, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	if r.Round == nil {
+		return 0, fmt.Errorf("daemon: empty ingest reply")
+	}
+	return r.Round.ID, nil
+}
+
+// Await blocks until the continuous service publishes the given round,
+// returning its anonymized messages (or its typed failure). The wait is
+// bounded by ctx (or the client's default timeout).
+func (c *Client) Await(ctx context.Context, round uint64) ([][]byte, error) {
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, round)
+	r, err := c.roundTrip(ctx, &transport.Message{Type: msgAwait, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return r.Messages, nil
+}
+
+// SubmitBatch encrypts msgs locally and ships them over one connection
+// as users base, base+1, …, spreading them across entry groups — the
+// batch-submission path cmd/atomclient's -count/-submit-file flags and
+// the atomsim -serve fleet share. ri names the target round (and, trap
+// variant, carries its trustee key); submit is the per-submission RPC —
+// Client.SubmitInto for a continuous service, Client.SubmitRound for an
+// explicitly opened round. It returns how many submissions were
+// accepted; on the first failure it returns that error (an
+// ErrRoundClosed mid-batch means the round sealed — re-fetch and retry
+// the remainder).
+func SubmitBatch(ctx context.Context, enc *atom.Client, info *Info, ri *RoundInfo, base int, msgs [][]byte,
+	submit func(ctx context.Context, round uint64, user int, wire []byte) error) (int, error) {
+	for i, m := range msgs {
+		user := base + i
+		gid := user % info.Groups
+		wire, err := enc.EncryptSubmission(m, info.EntryKeys[gid], ri.TrusteeKey, gid)
+		if err != nil {
+			return i, err
+		}
+		if err := submit(ctx, ri.ID, user, wire); err != nil {
+			return i, err
+		}
+	}
+	return len(msgs), nil
 }

@@ -311,3 +311,141 @@ func TestDaemonClientDeadline(t *testing.T) {
 		t.Fatalf("deadline not honored: took %v", elapsed)
 	}
 }
+
+// startServeServer builds a daemon with the continuous ingestion
+// pipeline enabled.
+func startServeServer(t *testing.T, variant atom.Variant, opts atom.ServeOptions) (*Server, atom.Config) {
+	t.Helper()
+	cfg := atom.Config{
+		Servers:     12,
+		Groups:      4,
+		GroupSize:   3,
+		MessageSize: 32,
+		Variant:     variant,
+		Iterations:  2,
+		Seed:        []byte("daemon-serve-test"),
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.EnableService(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv, cfg
+}
+
+// TestDaemonIngestDuplicateAcrossPipelinedRounds exercises the dedup
+// policy through the wire path: the same ciphertext submitted twice
+// into round r is rejected with ErrDuplicateSubmission, while the same
+// bytes into round r+1 — opened while r mixes — are accepted once
+// again: the duplicate filter is per round.
+func TestDaemonIngestDuplicateAcrossPipelinedRounds(t *testing.T) {
+	srv, cfg := startServeServer(t, atom.NIZK, atom.ServeOptions{
+		RoundInterval: time.Hour, // sealing driven by MaxBatch only
+		MaxBatch:      3,
+		MaxInFlight:   2,
+	})
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+
+	info, err := cli.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := atom.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ac.EncryptSubmission([]byte("wire replay"), info.EntryKeys[1], nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1info, err := cli.ServeInfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted, err := cli.SubmitInto(ctx, r1info.ID, 1, wire)
+	if err != nil || admitted != r1info.ID {
+		t.Fatalf("first submission into round %d: admitted=%d err=%v", r1info.ID, admitted, err)
+	}
+	// Replay into the same round: typed rejection through the wire.
+	if _, err := cli.SubmitInto(ctx, r1info.ID, 2, wire); !errors.Is(err, atom.ErrDuplicateSubmission) {
+		t.Fatalf("replay into round %d: %v, want ErrDuplicateSubmission", r1info.ID, err)
+	}
+
+	// Fill round r so it seals and r+1 opens (r still mixing or queued).
+	var fill [][]byte
+	for i := 0; i < 2; i++ {
+		fill = append(fill, []byte(fmt.Sprintf("filler %d", i)))
+	}
+	if _, err := SubmitBatch(ctx, ac, info, r1info, 10, fill, func(ctx context.Context, round uint64, user int, w []byte) error {
+		_, serr := cli.SubmitInto(ctx, round, user, w)
+		return serr
+	}); err != nil {
+		t.Fatalf("filling round %d: %v", r1info.ID, err)
+	}
+	var r2info *RoundInfo
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if r2info, err = cli.ServeInfo(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if r2info.ID != r1info.ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("round %d never sealed", r1info.ID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The same bytes into round r+1: accepted (dedup is per round).
+	if _, err := cli.SubmitInto(ctx, r2info.ID, 3, wire); err != nil {
+		t.Fatalf("replay into round %d: %v, want acceptance", r2info.ID, err)
+	}
+	// …and rejected again within r+1.
+	if _, err := cli.SubmitInto(ctx, r2info.ID, 4, wire); !errors.Is(err, atom.ErrDuplicateSubmission) {
+		t.Fatalf("second replay into round %d: %v, want ErrDuplicateSubmission", r2info.ID, err)
+	}
+	// Targeting the sealed round r fails typed over the wire.
+	if _, err := cli.SubmitInto(ctx, r1info.ID, 5, wire); !errors.Is(err, atom.ErrRoundClosed) {
+		t.Fatalf("submission into sealed round %d: %v, want ErrRoundClosed", r1info.ID, err)
+	}
+
+	// Fill round r+1 to its seal target so it publishes too.
+	if _, err := SubmitBatch(ctx, ac, info, r2info, 20, [][]byte{[]byte("filler r2"), []byte("filler r2b")},
+		func(ctx context.Context, round uint64, user int, w []byte) error {
+			_, serr := cli.SubmitInto(ctx, round, user, w)
+			return serr
+		}); err != nil {
+		t.Fatalf("filling round %d: %v", r2info.ID, err)
+	}
+
+	// Both rounds publish; the replayed plaintext appears in each —
+	// accepted exactly once per round.
+	for _, rid := range []uint64{r1info.ID, r2info.ID} {
+		msgs, err := cli.Await(ctx, rid)
+		if err != nil {
+			t.Fatalf("await round %d: %v", rid, err)
+		}
+		if !containsMsg(msgs, "wire replay") {
+			t.Errorf("round %d output %q misses the replayed plaintext", rid, msgs)
+		}
+	}
+}
+
+func containsMsg(msgs [][]byte, want string) bool {
+	for _, m := range msgs {
+		if string(m) == want {
+			return true
+		}
+	}
+	return false
+}

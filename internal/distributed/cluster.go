@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"atom/internal/dvss"
@@ -81,6 +80,16 @@ type Options struct {
 	// MaxRestarts caps how many times one round may re-plan and restart
 	// after member losses before giving up (default 8).
 	MaxRestarts int
+	// MaxInFlight bounds how many rounds may mix over the cluster
+	// concurrently — the §4.7 cross-round pipelining: round r+1's
+	// layer-0 batches enter the actors while round r traverses later
+	// layers, because each actor interleaves rounds message by message.
+	// Default 1 (lock-step); capped at maxPipelinedRounds so a live
+	// round's actor state can never age out of the members' pruning
+	// window. A churn re-plan aborts and restarts every in-flight round
+	// from its sealed batches, so a loss during round r never corrupts
+	// round r+1.
+	MaxInFlight int
 	// Log, when non-nil, receives operator-grade churn events
 	// (detections, re-plans, recoveries). Printf-shaped.
 	Log func(format string, args ...any)
@@ -227,13 +236,31 @@ type Cluster struct {
 
 	// The pump goroutine owns the coordinator inbox and routes traffic:
 	// heartbeats to the liveness tracker, join/reconfig acks to joinCh,
-	// escrow pieces to the registered share channel, round traffic to
-	// roundCh (only while a round is active).
-	roundCh     chan *transport.Message
-	joinCh      chan *transport.Message
-	roundActive atomic.Bool
-	shareMu     sync.Mutex
-	shareCh     chan *transport.Message
+	// escrow pieces to the registered share channel, and round traffic to
+	// the per-round channel registered by each in-flight MixRound (keyed
+	// by the base round id — the attempt counter in the low wire byte is
+	// filtered downstream).
+	joinCh       chan *transport.Message
+	roundMu      sync.Mutex
+	rounds       map[uint64]chan *transport.Message
+	roundsClosed bool
+	shareMu      sync.Mutex
+	shareCh      chan *transport.Message
+
+	// sem bounds the in-flight rounds at Options.MaxInFlight.
+	sem chan struct{}
+
+	// epochMu serializes churn re-planning (and all provisioning). Each
+	// re-plan — failing the lost members, re-chaining the survivors,
+	// reconfiguring every actor — bumps epoch and closes epochCh, telling
+	// every in-flight round attempt that its wiring snapshot is stale:
+	// the attempt cancels its wire traffic and restarts from its sealed
+	// batches against the new plan. That is the cross-round isolation
+	// contract: a loss detected by round r restarts r AND r+1, rather
+	// than r+1 silently mixing over a half-reconfigured fleet.
+	epochMu sync.Mutex
+	epoch   uint64
+	epochCh chan struct{}
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -273,6 +300,12 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 	if opts.MaxRestarts <= 0 {
 		opts.MaxRestarts = 8
 	}
+	if opts.MaxInFlight < 1 {
+		opts.MaxInFlight = 1
+	}
+	if opts.MaxInFlight > maxPipelinedRounds {
+		opts.MaxInFlight = maxPipelinedRounds
+	}
 	topo := d.Topology()
 	G := topo.Groups()
 	if opts.Workers < 1 {
@@ -292,8 +325,10 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 		memberOf: make(map[string]MemberID),
 		chains:   make([][]int, G),
 		entry:    make([]string, G),
-		roundCh:  make(chan *transport.Message, 1024),
+		rounds:   make(map[uint64]chan *transport.Message),
 		joinCh:   make(chan *transport.Message, 64),
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		epochCh:  make(chan struct{}),
 	}
 	ok := false
 	defer func() {
@@ -327,12 +362,13 @@ func (c *Cluster) logf(format string, args ...any) {
 
 // pump owns the coordinator inbox for the cluster's lifetime, so
 // liveness beacons are processed even while no round is mixing. Round
-// traffic is forwarded to the mixing loop only while one is active;
-// strays from canceled attempts are dropped here or by the round-id
-// filter downstream.
+// traffic is routed by base round id to whichever in-flight MixRound
+// registered for it; strays from canceled attempts, finished rounds or
+// unknown rounds are dropped here or by the wire-round filter
+// downstream.
 func (c *Cluster) pump() {
 	defer c.wg.Done()
-	defer close(c.roundCh)
+	defer c.closeRounds()
 	for msg := range c.coord.Inbox() {
 		switch msg.Type {
 		case msgHeartbeat:
@@ -365,9 +401,12 @@ func (c *Cluster) pump() {
 				}
 			}
 		default:
-			if c.roundActive.Load() {
+			c.roundMu.Lock()
+			ch := c.rounds[msg.Round>>8]
+			c.roundMu.Unlock()
+			if ch != nil {
 				select {
-				case c.roundCh <- msg:
+				case ch <- msg:
 				default:
 					// Overflow cannot happen in a healthy round (the
 					// coordinator sees only per-layer reports and exit
@@ -377,6 +416,42 @@ func (c *Cluster) pump() {
 			}
 		}
 	}
+}
+
+// registerRound claims the per-round inbox one MixRound call consumes.
+func (c *Cluster) registerRound(round uint64) (chan *transport.Message, error) {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	if c.roundsClosed {
+		return nil, fmt.Errorf("distributed: coordinator closed")
+	}
+	if _, dup := c.rounds[round]; dup {
+		return nil, fmt.Errorf("distributed: round %d is already mixing", round)
+	}
+	ch := make(chan *transport.Message, 1024)
+	c.rounds[round] = ch
+	return ch, nil
+}
+
+// unregisterRound drops a finished round's inbox. The channel is not
+// closed — the pump may still hold a reference for a final non-blocking
+// send; unrouted leftovers are garbage-collected with it.
+func (c *Cluster) unregisterRound(round uint64) {
+	c.roundMu.Lock()
+	delete(c.rounds, round)
+	c.roundMu.Unlock()
+}
+
+// closeRounds fails every in-flight round when the coordinator endpoint
+// closes; the pump is the only sender, so closing behind it is safe.
+func (c *Cluster) closeRounds() {
+	c.roundMu.Lock()
+	c.roundsClosed = true
+	for round, ch := range c.rounds {
+		close(ch)
+		delete(c.rounds, round)
+	}
+	c.roundMu.Unlock()
 }
 
 // attachFresh attaches a local endpoint, retrying with a suffixed name
@@ -710,6 +785,14 @@ func (v *attemptView) inChain(id MemberID) bool {
 	return false
 }
 
+// ConcurrentRounds implements protocol.ConcurrentMixer: the cluster
+// accepts Options.MaxInFlight overlapping MixRound calls.
+func (c *Cluster) ConcurrentRounds() int { return c.opts.MaxInFlight }
+
+// errReplanned restarts a round attempt whose wiring snapshot went stale
+// because another round's loss handling re-planned the fleet.
+var errReplanned = errors.New("distributed: fleet re-planned mid-attempt")
+
 // MixRound implements protocol.Mixer: inject the sealed batches at
 // every group's first member, collect per-layer reports, exit outputs
 // and aborts — and, when a member is lost mid-round, re-plan the
@@ -717,58 +800,117 @@ func (v *attemptView) inChain(id MemberID) bool {
 // its sealed batches (§4.5 availability). A group that cannot be
 // re-planned within its h−1 budget fails the round with a typed
 // protocol.Loss matching both ErrMemberLost and ErrRecoveryNeeded.
+//
+// Up to Options.MaxInFlight rounds mix concurrently (§4.7 cross-round
+// pipelining); each call owns its per-round inbox and attempt counter,
+// and a churn re-plan triggered by any round restarts every in-flight
+// round from its own sealed batches.
 func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 	G := c.topo.Groups()
 	if len(job.Batches) != G {
 		return nil, fmt.Errorf("distributed: %d batches for %d groups", len(job.Batches), G)
 	}
-	c.roundActive.Store(true)
-	defer c.roundActive.Store(false)
+	select {
+	case c.sem <- struct{}{}:
+		defer func() { <-c.sem }()
+	case <-job.Ctx.Done():
+		return nil, fmt.Errorf("distributed: round %d canceled awaiting a pipeline slot: %w", job.Round, job.Ctx.Err())
+	}
+	inbox, err := c.registerRound(job.Round)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregisterRound(job.Round)
 
 	roundTimer := time.NewTimer(c.opts.RoundTimeout)
 	defer roundTimer.Stop()
 
 	for attempt := 0; ; attempt++ {
-		out, lost, err := c.attemptRound(job, attempt, roundTimer)
-		if err != nil || out != nil {
+		out, lost, err := c.attemptRound(job, inbox, attempt, roundTimer)
+		switch {
+		case errors.Is(err, errReplanned):
+			// Another round's loss handling already re-planned the fleet;
+			// restart this round against the new wiring.
+			if attempt+1 > c.opts.MaxRestarts {
+				return nil, &protocol.Loss{GID: -1, Member: -1, Err: fmt.Errorf(
+					"%w: round %d exceeded %d churn restarts", protocol.ErrMemberLost, job.Round, c.opts.MaxRestarts)}
+			}
+			c.logf("distributed: round %d: fleet re-planned elsewhere, restarting (attempt %d)", job.Round, attempt+1)
+			continue
+		case err != nil || out != nil:
 			return out, err
 		}
-		// One or more members were lost. Mark them failed, re-plan the
-		// chains over the survivors, and restart the round.
-		first := lost[0]
-		for _, id := range lost {
-			c.logf("distributed: round %d: member g%d/m%d lost (attempt %d); re-planning", job.Round, id.GID, id.Pos, attempt)
-			c.d.FailGroupMember(id.GID, id.Pos)
-			c.removeMember(id)
-		}
-		for {
-			more, perr := c.provision(job.Ctx, false)
-			if perr != nil {
-				// A caller cancellation that lands during the re-plan
-				// is still a cancellation — it must never dress up as
-				// a member loss.
-				if cerr := job.Ctx.Err(); cerr != nil {
-					return nil, fmt.Errorf("distributed: round %d canceled during re-plan: %w", job.Round, cerr)
-				}
-				return nil, &protocol.Loss{GID: first.GID, Member: first.Pos + 1, Err: fmt.Errorf(
-					"%w: round %d: group %d lost member %d: %w",
-					protocol.ErrMemberLost, job.Round, first.GID, first.Pos+1, perr)}
-			}
-			if len(more) == 0 {
-				break
-			}
-			for _, id := range more {
-				c.logf("distributed: round %d: member g%d/m%d unresponsive during re-plan", job.Round, id.GID, id.Pos)
-				c.d.FailGroupMember(id.GID, id.Pos)
-				c.removeMember(id)
-			}
+		// One or more members were lost. Re-plan the chains over the
+		// survivors (once, no matter how many rounds observed the loss)
+		// and restart the round from its sealed batches.
+		if rerr := c.replan(job.Ctx, job.Round, lost, attempt); rerr != nil {
+			return nil, rerr
 		}
 		if attempt+1 > c.opts.MaxRestarts {
+			first := lost[0]
 			return nil, &protocol.Loss{GID: first.GID, Member: first.Pos + 1, Err: fmt.Errorf(
 				"%w: round %d exceeded %d churn restarts", protocol.ErrMemberLost, job.Round, c.opts.MaxRestarts)}
 		}
 		c.logf("distributed: round %d: re-planned, restarting (attempt %d)", job.Round, attempt+1)
 	}
+}
+
+// replan handles a round's observed member losses: under the epoch lock
+// it fails the members that are still provisioned, re-chains every
+// affected group over the survivors, reconfigures the fleet, and bumps
+// the epoch so every other in-flight round restarts too. Losses already
+// handled by a concurrent round's re-plan are skipped — the caller just
+// restarts against the current plan.
+func (c *Cluster) replan(ctx context.Context, round uint64, lost []MemberID, attempt int) error {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+
+	// A concurrent re-plan may already have removed these members.
+	pending := lost[:0:0]
+	c.mu.Lock()
+	for _, id := range lost {
+		if _, known := c.addrs[id]; known {
+			pending = append(pending, id)
+		}
+	}
+	c.mu.Unlock()
+	if len(pending) == 0 {
+		return nil
+	}
+	first := pending[0]
+	for _, id := range pending {
+		c.logf("distributed: round %d: member g%d/m%d lost (attempt %d); re-planning", round, id.GID, id.Pos, attempt)
+		c.d.FailGroupMember(id.GID, id.Pos)
+		c.removeMember(id)
+	}
+	for {
+		more, perr := c.provision(ctx, false)
+		if perr != nil {
+			// A caller cancellation that lands during the re-plan
+			// is still a cancellation — it must never dress up as
+			// a member loss.
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("distributed: round %d canceled during re-plan: %w", round, cerr)
+			}
+			return &protocol.Loss{GID: first.GID, Member: first.Pos + 1, Err: fmt.Errorf(
+				"%w: round %d: group %d lost member %d: %w",
+				protocol.ErrMemberLost, round, first.GID, first.Pos+1, perr)}
+		}
+		if len(more) == 0 {
+			break
+		}
+		for _, id := range more {
+			c.logf("distributed: round %d: member g%d/m%d unresponsive during re-plan", round, id.GID, id.Pos)
+			c.d.FailGroupMember(id.GID, id.Pos)
+			c.removeMember(id)
+		}
+	}
+	// The fleet is re-wired: tell every in-flight attempt its snapshot
+	// is stale.
+	c.epoch++
+	close(c.epochCh)
+	c.epochCh = make(chan struct{})
+	return nil
 }
 
 // removeMember forgets a lost member: its local actor (if any) is torn
@@ -787,13 +929,21 @@ func (c *Cluster) removeMember(id MemberID) {
 
 // attemptRound runs one attempt of a round over the current chains. It
 // returns exactly one of: a completed outcome, a list of lost members
-// (the caller re-plans and restarts), or a terminal error.
-func (c *Cluster) attemptRound(job *protocol.MixJob, attempt int, roundTimer *time.Timer) (*protocol.MixOutcome, []MemberID, error) {
+// (the caller re-plans and restarts), an errReplanned (another round
+// re-planned the fleet; the caller restarts against the new wiring), or
+// a terminal error.
+func (c *Cluster) attemptRound(job *protocol.MixJob, inbox chan *transport.Message, attempt int, roundTimer *time.Timer) (*protocol.MixOutcome, []MemberID, error) {
 	ctx := job.Ctx
 	G := c.topo.Groups()
 	T := c.topo.Iterations()
 	wire := wireRound(job.Round, attempt)
+	// Snapshot the wiring and the epoch signal together: if a re-plan
+	// lands between them the stale epochCh is already closed and the
+	// attempt restarts immediately instead of mixing over dead wiring.
+	c.epochMu.Lock()
+	epochStale := c.epochCh
 	v := c.view()
+	c.epochMu.Unlock()
 
 	if a := job.Adversary; a != nil {
 		c.mu.Lock()
@@ -851,7 +1001,7 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, attempt int, roundTimer *ti
 	// accounting).
 	for len(exits) < G || emitted < T {
 		select {
-		case msg, okc := <-c.roundCh:
+		case msg, okc := <-inbox:
 			if !okc {
 				return nil, nil, fmt.Errorf("distributed: coordinator endpoint closed mid-round")
 			}
@@ -945,6 +1095,11 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, attempt int, roundTimer *ti
 				c.cancelRound(wire)
 				return nil, nil, classifyAbort(layer, gid, member, class, text)
 			}
+		case <-epochStale:
+			// Another round's loss handling re-planned the fleet; this
+			// attempt's chains, entry table and actor configs are stale.
+			c.cancelRound(wire)
+			return nil, nil, errReplanned
 		case <-liveTick:
 			var lost []MemberID
 			for _, id := range c.live.expired(c.opts.LivenessTimeout) {
@@ -1073,7 +1228,17 @@ func (c *Cluster) RecoverGroup(ctx context.Context, gid int, replacements []int)
 		c.logf("distributed: group %d position %d recovered from buddy escrow; server %d installed", gid, pos, replacements[i])
 	}
 	// Re-provision: replacements get endpoints and join; survivors are
-	// reconfigured onto the recovered chain.
+	// reconfigured onto the recovered chain. The epoch lock serializes
+	// this against in-flight rounds' churn handling, and the final epoch
+	// bump restarts any round that was mixing over the pre-recovery
+	// wiring.
+	c.epochMu.Lock()
+	defer func() {
+		c.epoch++
+		close(c.epochCh)
+		c.epochCh = make(chan struct{})
+		c.epochMu.Unlock()
+	}()
 	for budget := 0; ; budget++ {
 		lost, err := c.provision(ctx, false)
 		if err != nil {

@@ -363,20 +363,37 @@ func (a *Actor) handle(ctx context.Context, msg *transport.Message) {
 	}
 }
 
-// observeRound prunes state of rounds older than the newest seen —
-// rounds mix one at a time, so anything older is settled.
+// maxPipelinedRounds caps Options.MaxInFlight: more concurrent rounds
+// than this would let a live round's actor state age out of the
+// members' pruning window below.
+const maxPipelinedRounds = 8
+
+// pipelineWindow is how many base rounds of per-round state an actor
+// retains behind the newest it has seen. Cross-round pipelining means a
+// batch for round r can still arrive while rounds up to
+// r+maxPipelinedRounds−1 are already flowing, so the window keeps 2×
+// that margin; anything further back is settled (published, aborted, or
+// canceled) and its assemblies are garbage.
+const pipelineWindow = 2 * maxPipelinedRounds
+
+// observeRound prunes state of rounds that have fallen out of the
+// pipelining window. The wire round id carries the attempt counter in
+// its low byte, so the window compares base rounds (id >> 8): attempts
+// of live rounds are never pruned by each other — stale attempts die by
+// explicit msgCancel instead.
 func (a *Actor) observeRound(round uint64) {
 	if round <= a.maxRound {
 		return
 	}
 	a.maxRound = round
+	floor := a.maxRound >> 8
 	for r := range a.pending {
-		if r < round {
+		if floor-(r>>8) > pipelineWindow {
 			delete(a.pending, r)
 		}
 	}
 	for r := range a.dropped {
-		if r < round {
+		if floor-(r>>8) > pipelineWindow {
 			delete(a.dropped, r)
 		}
 	}

@@ -41,15 +41,24 @@ func NewService(d *protocol.Deployment, board *bulletin.Board) (*Service, error)
 	return &Service{deployment: d, client: client, board: board}, nil
 }
 
+// ValidatePost checks a post against the application's message rules:
+// valid UTF-8, at most MessageSize−2 bytes (2 bytes of length framing).
+func ValidatePost(text string) error {
+	if !utf8.ValidString(text) {
+		return fmt.Errorf("microblog: post is not valid UTF-8")
+	}
+	if len(text) > MessageSize-2 {
+		return fmt.Errorf("microblog: post of %d bytes exceeds %d", len(text), MessageSize-2)
+	}
+	return nil
+}
+
 // Post submits one microblog message for the given user into the
 // current round, choosing the entry group by user id (an untrusted
 // load balancer would do this in a deployment, §3).
 func (s *Service) Post(user int, text string, rnd io.Reader) error {
-	if !utf8.ValidString(text) {
-		return fmt.Errorf("microblog: post is not valid UTF-8")
-	}
-	if len(text) > MessageSize-2 { // 2 bytes of length framing
-		return fmt.Errorf("microblog: post of %d bytes exceeds %d", len(text), MessageSize-2)
+	if err := ValidatePost(text); err != nil {
+		return err
 	}
 	gid := user % s.deployment.NumGroups()
 	pk, err := s.deployment.GroupPK(gid)
@@ -107,6 +116,17 @@ func (s *Service) RunRoundCtx(ctx context.Context) ([]bulletin.Post, error) {
 	}
 	s.round++
 	s.posted = 0
+	return s.board.Round(round), nil
+}
+
+// PublishResult records an externally mixed round's anonymized batch on
+// the board — the continuous-service path, where rounds are sealed and
+// mixed by a pipeline rather than by RunRound. round is the mix-net's
+// round id; the board keys posts by it.
+func (s *Service) PublishResult(round uint64, msgs [][]byte) ([]bulletin.Post, error) {
+	if err := s.board.Publish(round, msgs); err != nil {
+		return nil, err
+	}
 	return s.board.Round(round), nil
 }
 

@@ -307,6 +307,13 @@ type RoundResult struct {
 	Iterations []IterationStats
 	// Duration is the wall-clock time of the whole mixing phase.
 	Duration time.Duration
+	// Admitted, Rejected and SealedBatch report the round's ingestion:
+	// accepted submissions, submissions turned away by admission
+	// control, and the ciphertext-vector count sealed for layer 0 (trap
+	// rounds carry two vectors per submission).
+	Admitted    int
+	Rejected    int
+	SealedBatch int
 }
 
 // MixJob is one sealed round handed to a Mixer: the per-entry-group
@@ -351,6 +358,81 @@ type Mixer interface {
 	MixRound(job *MixJob) (*MixOutcome, error)
 }
 
+// ConcurrentMixer is a Mixer that tolerates overlapping MixRound calls —
+// the §4.7 cross-round pipelining contract: round r+1's layer-0 batches
+// may enter the engine while round r is still traversing later layers.
+// MixSealed skips the deployment's one-round-at-a-time mixing lock for a
+// mixer reporting more than one concurrent round (the distributed
+// cluster does; the in-process mixer stays lock-step).
+type ConcurrentMixer interface {
+	Mixer
+	// ConcurrentRounds reports how many rounds may mix at once.
+	ConcurrentRounds() int
+}
+
+// SealedRound is one round's sealed ingestion: the per-entry-group
+// batches snapshotted out of its RoundState, plus the round's admission
+// accounting. Sealing is the irreversible close of the round to
+// submissions; the sealed value is the element of the continuous
+// service's append-only batch queue, carried unchanged through any
+// churn-triggered mixing restarts.
+type SealedRound struct {
+	rs       *RoundState
+	batches  [][]elgamal.Vector
+	admitted int
+	rejected int
+
+	// SealedAt records when the round closed to submissions.
+	SealedAt time.Time
+
+	// mixing guards against mixing the same sealed batches twice.
+	mixing atomic.Bool
+}
+
+// Round returns the sealed round's sequence number.
+func (s *SealedRound) Round() uint64 { return s.rs.id }
+
+// Admitted returns how many submissions the round accepted before
+// sealing.
+func (s *SealedRound) Admitted() int { return s.admitted }
+
+// Rejected returns how many submissions the round's admission control
+// had turned away by seal time.
+func (s *SealedRound) Rejected() int { return s.rejected }
+
+// BatchSize returns the total ciphertext-vector count across the
+// per-entry-group batches (trap rounds carry two vectors per
+// submission).
+func (s *SealedRound) BatchSize() int {
+	n := 0
+	for _, b := range s.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// SealRound closes rs to submissions and snapshots its batches — the
+// seal-at-deadline / seal-at-capacity step of the continuous service's
+// round scheduler, split out of RunRoundVia so sealing is driven by a
+// schedule while mixing is driven by the pipeline's free slots. A nil rs
+// seals the implicit current round. Sealing a round twice (or sealing a
+// round RunRoundVia already consumed) fails with ErrRoundClosed.
+func (d *Deployment) SealRound(rs *RoundState) (*SealedRound, error) {
+	if rs == nil {
+		rs = d.currentRound()
+	}
+	if !rs.mixing.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("%w: round %d already sealed", ErrRoundClosed, rs.id)
+	}
+	return &SealedRound{
+		rs:       rs,
+		batches:  rs.seal(),
+		admitted: rs.Pending(),
+		rejected: rs.Rejected(),
+		SealedAt: time.Now(),
+	}, nil
+}
+
 // RunRound executes the current round in lock-step — the blocking
 // one-round-at-a-time legacy surface. On success a fresh current round
 // opens automatically; after an abort the round's records are kept for
@@ -389,13 +471,39 @@ func (d *Deployment) RunRoundVia(ctx context.Context, rs *RoundState, hooks *Rou
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("protocol: round %d not started: %w", rs.id, err)
 	}
-	if !rs.mixing.CompareAndSwap(false, true) {
+	sealed, err := d.SealRound(rs)
+	if err != nil {
+		return nil, err
+	}
+	return d.MixSealed(ctx, sealed, hooks, mixer)
+}
+
+// MixSealed mixes a sealed round's batches and applies the variant
+// finale, blame records and current-round rotation — the back half of
+// RunRoundVia, callable later and (over a ConcurrentMixer) concurrently
+// with other rounds' mixes: the continuous service seals rounds on a
+// schedule and dispatches them here as pipeline slots free up. A nil
+// mixer selects the in-process mixer. The sealed batches are single-use;
+// a second MixSealed fails with ErrRoundClosed — except after a
+// dead-on-arrival context, which leaves the sealed round retryable.
+func (d *Deployment) MixSealed(ctx context.Context, sealed *SealedRound, hooks *RoundHooks, mixer Mixer) (*RoundResult, error) {
+	rs := sealed.rs
+	if !sealed.mixing.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("%w: round %d already mixed", ErrRoundClosed, rs.id)
 	}
-	d.mixMu.Lock()
-	defer d.mixMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		sealed.mixing.Store(false) // batches survive; retry with a live context
+		return nil, fmt.Errorf("protocol: round %d not started: %w", rs.id, err)
+	}
 	if mixer == nil {
 		mixer = localMixer{d}
+	}
+	// Only one round mixes at a time unless the mixer is built for
+	// cross-round pipelining (the distributed cluster's actors interleave
+	// rounds layer by layer; the in-process groups do not).
+	if cm, ok := mixer.(ConcurrentMixer); !ok || cm.ConcurrentRounds() <= 1 {
+		d.mixMu.Lock()
+		defer d.mixMu.Unlock()
 	}
 
 	adversary := d.takeAdversary()
@@ -404,7 +512,7 @@ func (d *Deployment) RunRoundVia(ctx context.Context, rs *RoundState, hooks *Rou
 		Ctx:       ctx,
 		Round:     rs.id,
 		Variant:   rs.variant,
-		Batches:   rs.seal(),
+		Batches:   sealed.batches,
 		Workers:   rs.mix.effectiveWorkers(len(d.groups)),
 		Adversary: adversary,
 		Hooks:     hooks,
@@ -429,6 +537,9 @@ func (d *Deployment) RunRoundVia(ctx context.Context, rs *RoundState, hooks *Rou
 	res.Traces = out.Traces
 	res.Iterations = out.Iterations
 	res.Duration = time.Since(start)
+	res.Admitted = sealed.admitted
+	res.Rejected = sealed.rejected
+	res.SealedBatch = sealed.BatchSize()
 	// A finished current round rotates automatically so the legacy
 	// surface keeps its auto-reset semantics (and the trap variant
 	// its per-round trustee key).

@@ -138,6 +138,13 @@ func (c *Config) Validate() error {
 	if c.MessageSize < 1 {
 		return fmt.Errorf("protocol: message size %d", c.MessageSize)
 	}
+	// padMessage frames the plaintext with a uint16 length prefix, so a
+	// message of more than 65535 bytes silently could not round-trip —
+	// reject such configurations here rather than corrupting payloads.
+	if c.MessageSize-2 > 65535 {
+		return fmt.Errorf("protocol: message size %d exceeds the %d-byte framing limit (uint16 length prefix)",
+			c.MessageSize, 65535+2)
+	}
 	if c.Iterations < 1 {
 		c.Iterations = 10
 	}

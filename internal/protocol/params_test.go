@@ -1,0 +1,48 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateMessageSizeBound: padMessage length-prefixes with a
+// uint16, so plaintexts above 65535 bytes cannot round-trip —
+// configurations that would allow them must be rejected up front, not
+// silently corrupt payloads at the exit layer.
+func TestValidateMessageSizeBound(t *testing.T) {
+	base := Config{NumServers: 4, NumGroups: 2, GroupSize: 2, Variant: VariantNIZK}
+
+	ok := base
+	ok.MessageSize = 65535 + 2 // largest frameable plaintext
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("MessageSize %d should validate: %v", ok.MessageSize, err)
+	}
+
+	bad := base
+	bad.MessageSize = 65535 + 3
+	err := bad.Validate()
+	if err == nil {
+		t.Fatalf("MessageSize %d validated but cannot round-trip the uint16 length prefix", bad.MessageSize)
+	}
+	if !strings.Contains(err.Error(), "framing limit") {
+		t.Errorf("error %q does not name the framing limit", err)
+	}
+
+	// The boundary size actually round-trips end to end through the
+	// padding helpers.
+	msg := make([]byte, 65535)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	padded, err := padMessage(msg, ok.MessageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := unpadMessage(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(msg) {
+		t.Fatal("65535-byte message did not round-trip")
+	}
+}

@@ -70,8 +70,12 @@ type RoundState struct {
 	// its own leftover commitments).
 	mixing atomic.Bool
 
-	// pending counts accepted submissions (trap pairs count once).
-	pending atomic.Int64
+	// pending counts accepted submissions (trap pairs count once);
+	// rejected counts submissions turned away by admission control
+	// (failed proofs, duplicates, late arrivals) — the ingestion
+	// accounting the continuous service reports per round.
+	pending  atomic.Int64
+	rejected atomic.Int64
 }
 
 // OpenRound creates a fresh round: empty buffers and, in the trap
@@ -92,6 +96,19 @@ func (rs *RoundState) Variant() Variant { return rs.variant }
 
 // Pending returns the number of submissions accepted so far.
 func (rs *RoundState) Pending() int { return int(rs.pending.Load()) }
+
+// Rejected returns the number of submissions admission control turned
+// away (failed proofs, duplicates, late arrivals after sealing).
+func (rs *RoundState) Rejected() int { return int(rs.rejected.Load()) }
+
+// noteRejected folds a submission failure into the round's admission
+// accounting.
+func (rs *RoundState) noteRejected(err error) error {
+	if err != nil {
+		rs.rejected.Add(1)
+	}
+	return err
+}
 
 // Sealed reports whether the round has been sealed for mixing.
 func (rs *RoundState) Sealed() bool { return rs.sealed.Load() }
@@ -148,6 +165,10 @@ func (rs *RoundState) release(fp string) {
 // shards prevent byte-identical replays within the round). Safe for
 // concurrent use.
 func (rs *RoundState) SubmitUser(user int, sub *Submission) error {
+	return rs.noteRejected(rs.submitUser(user, sub))
+}
+
+func (rs *RoundState) submitUser(user int, sub *Submission) error {
 	if rs.variant != VariantNIZK {
 		return fmt.Errorf("%w: SubmitUser requires the NIZK variant", ErrWrongVariant)
 	}
@@ -185,6 +206,10 @@ func (rs *RoundState) SubmitUser(user int, sub *Submission) error {
 // independent messages, and the trap commitment is stored (§4.4). Safe
 // for concurrent use.
 func (rs *RoundState) SubmitTrapUser(user int, sub *TrapSubmission) error {
+	return rs.noteRejected(rs.submitTrapUser(user, sub))
+}
+
+func (rs *RoundState) submitTrapUser(user int, sub *TrapSubmission) error {
 	if rs.variant != VariantTrap {
 		return fmt.Errorf("%w: SubmitTrapUser requires the trap variant", ErrWrongVariant)
 	}
@@ -241,13 +266,13 @@ func (rs *RoundState) SubmitEncoded(user int, wire []byte) error {
 	case VariantNIZK:
 		sub, err := DecodeSubmission(wire)
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadSubmission, err)
+			return rs.noteRejected(fmt.Errorf("%w: %v", ErrBadSubmission, err))
 		}
 		return rs.SubmitUser(user, sub)
 	default:
 		sub, err := DecodeTrapSubmission(wire)
 		if err != nil {
-			return fmt.Errorf("%w: %v", ErrBadSubmission, err)
+			return rs.noteRejected(fmt.Errorf("%w: %v", ErrBadSubmission, err))
 		}
 		return rs.SubmitTrapUser(user, sub)
 	}

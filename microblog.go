@@ -42,6 +42,37 @@ func (m *Microblog) Post(user int, text string) error {
 	return wrapErr(m.svc.Post(user, text, rand.Reader))
 }
 
+// PostOpen submits one message through a continuous Service, into
+// whichever round is currently open, returning that round's id — the
+// application's continuous mode: posters never wait for an explicit
+// Publish, the service's round scheduler seals and mixes on its own
+// cadence and PublishOutcome lands each batch on the board.
+func (m *Microblog) PostOpen(svc *Service, user int, text string) error {
+	if err := microblog.ValidatePost(text); err != nil {
+		return wrapErr(err)
+	}
+	_, err := svc.Submit(user, []byte(text))
+	return err
+}
+
+// PublishOutcome records a continuous round's outcome on the bulletin
+// board and returns the published posts. Failed rounds (outcome.Err set)
+// publish nothing and return the round's error.
+func (m *Microblog) PublishOutcome(out *RoundOutcome) ([]Post, error) {
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	posts, err := m.svc.PublishResult(out.Round, out.Messages)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	pub := make([]Post, len(posts))
+	for i, p := range posts {
+		pub[i] = Post{Round: p.Round, Seq: p.Seq, Message: string(p.Message)}
+	}
+	return pub, nil
+}
+
 // Publish mixes the round and publishes the anonymized posts, returning
 // them in board order.
 func (m *Microblog) Publish() ([]Post, error) {

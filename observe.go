@@ -52,6 +52,29 @@ func (s IterationStats) Utilization() float64 {
 	return float64(s.WorkerBusy) / float64(slots)
 }
 
+// IngestStats reports a round's ingestion-frontend accounting — what
+// the admission control and the round scheduler did before mixing
+// started.
+type IngestStats struct {
+	// Admitted is how many submissions the round accepted.
+	Admitted int
+	// Rejected is how many submissions admission control turned away:
+	// failed proofs of plaintext knowledge, duplicate ciphertexts or
+	// reused trap commitments, and arrivals after the round sealed.
+	Rejected int
+	// SealedBatch is the ciphertext-vector count sealed into the
+	// layer-0 batches (trap rounds carry two vectors per submission).
+	SealedBatch int
+	// Queued is the sealed-batch queue depth when this round sealed:
+	// rounds sealed but not yet published, this one included. Only the
+	// continuous service (Network.Serve) fills it; one-shot rounds
+	// report 0.
+	Queued int
+	// InFlight is how many rounds were actively mixing when this round
+	// sealed — the pipeline depth. Only the continuous service fills it.
+	InFlight int
+}
+
 // RoundStats summarizes a completed round.
 type RoundStats struct {
 	// Round is the round's sequence number.
@@ -77,6 +100,9 @@ type RoundStats struct {
 	// workers' in-task time across the whole round.
 	Workers    int
 	WorkerBusy time.Duration
+	// Ingest reports the round's admission-control and round-scheduler
+	// accounting.
+	Ingest IngestStats
 }
 
 // Utilization reports the round-wide fraction of worker-pool capacity
@@ -103,7 +129,14 @@ type Observer struct {
 	RoundOpened func(round uint64)
 	// SubmissionAccepted fires for every accepted submission.
 	SubmissionAccepted func(round uint64, user, gid int)
-	// IterationDone fires after each mixing iteration.
+	// RoundSealed fires when the continuous service's round scheduler
+	// seals a round — at its RoundInterval deadline or its target batch
+	// size, whichever came first. The stats carry the ingestion queue
+	// depth and the rounds-in-flight count at seal time.
+	RoundSealed func(round uint64, ingest IngestStats)
+	// IterationDone fires after each mixing iteration. Under a pipelined
+	// service, iterations of different rounds interleave; key off the
+	// stats' Round field.
 	IterationDone func(IterationStats)
 	// RoundMixed fires when a round completes successfully.
 	RoundMixed func(RoundStats)
@@ -134,6 +167,11 @@ func statsFromResult(res *protocol.RoundResult, submissions int) RoundStats {
 		Messages:    len(res.Messages),
 		Iterations:  len(res.Iterations),
 		Duration:    res.Duration,
+		Ingest: IngestStats{
+			Admitted:    res.Admitted,
+			Rejected:    res.Rejected,
+			SealedBatch: res.SealedBatch,
+		},
 	}
 	for _, it := range res.Iterations {
 		st.PerIteration = append(st.PerIteration, IterationStats{

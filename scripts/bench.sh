@@ -3,19 +3,25 @@
 # JSON summary (BENCH_<ref>.json) so the performance trajectory is
 # comparable across PRs.
 #
-#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps
+#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps + serve throughput
 #   BENCHTIME=1x scripts/bench.sh   # smoke (what CI runs)
+#   SERVE_ROUNDS=0 scripts/bench.sh # skip the sustained-throughput run
 #   scripts/bench.sh out.json       # explicit output path
 #
 # The Figure 7 benchmarks drive the real deployment path
 # (Network/OpenRound/Round.Mix with Config.MixWorkers), so the recorded
 # numbers are the protocol as shipped; the summary also derives the
-# workers=N vs workers=1 speed-up per variant.
+# workers=N vs workers=1 speed-up per variant. The serve run drives the
+# continuous service end to end (daemon ingestion over TCP, distributed
+# actors over a latency memnet, cross-round pipelining) and records the
+# sustained throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${PATTERN:-BenchmarkFigure7|BenchmarkTable3}"
+SERVE_ROUNDS="${SERVE_ROUNDS:-3}"
+SERVE_MSGS="${SERVE_MSGS:-8}"
 REF="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${1:-BENCH_${REF}.json}"
 
@@ -23,7 +29,25 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 go test -run='^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
-awk -v ref="$REF" -v benchtime="$BENCHTIME" '
+# Sustained throughput of the continuous service: back-to-back
+# pipelined rounds over the WAN-latency cluster, fed over the wire. A
+# failed serve run fails the script — silently recording zeros would
+# corrupt the very trajectory this summary exists to track.
+MSGS_SEC=0
+ROUNDS_MIN=0
+if [ "$SERVE_ROUNDS" -gt 0 ]; then
+    SERVE_RAW="$(mktemp)"
+    go run ./cmd/atomsim -serve -rounds "$SERVE_ROUNDS" -livemsgs "$SERVE_MSGS" \
+        -wanmin 5ms -wanmax 15ms | tee "$SERVE_RAW" >&2
+    SERVE_LINE="$(grep '^sustained:' "$SERVE_RAW")"
+    rm -f "$SERVE_RAW"
+    MSGS_SEC="$(echo "$SERVE_LINE" | sed -E 's|^sustained: ([0-9.]+) msgs/sec.*|\1|')"
+    ROUNDS_MIN="$(echo "$SERVE_LINE" | sed -E 's|.*, ([0-9.]+) rounds/min.*|\1|')"
+fi
+
+awk -v ref="$REF" -v benchtime="$BENCHTIME" \
+    -v msgssec="$MSGS_SEC" -v roundsmin="$ROUNDS_MIN" \
+    -v serverounds="$SERVE_ROUNDS" -v servemsgs="$SERVE_MSGS" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
@@ -55,7 +79,10 @@ END {
             sep = ",\n"
         }
     }
-    printf "\n  }\n}\n"
+    printf "\n  },\n  \"serve_sustained\": {\n"
+    printf "    \"rounds\": %d,\n    \"msgs_per_round\": %d,\n", serverounds, servemsgs
+    printf "    \"msgs_per_sec\": %s,\n    \"rounds_per_min\": %s\n", msgssec, roundsmin
+    printf "  }\n}\n"
 }' "$RAW" > "$OUT"
 
 echo "bench summary written to $OUT" >&2
