@@ -167,6 +167,31 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return &Network{d: d, client: client}, nil
 }
 
+// MarshalState serializes the network's durable key material — group
+// rosters, threshold keys with their Feldman commitments, buddy
+// escrows and the round sequencer — for a persistence layer (typically
+// internal/store) to journal. RestoreNetwork is the inverse.
+func (n *Network) MarshalState() []byte { return n.d.MarshalState() }
+
+// RestoreNetwork rebuilds a network from persisted state instead of
+// running a fresh key generation: the group keys come back exactly as
+// journaled, so submissions encrypted before a crash stay decryptable
+// after the restart. lastRound is the highest round id the caller's
+// journal has seen (store.State.MaxRound); the round sequencer resumes
+// past it. Damaged state fails with ErrStateCorrupt.
+func RestoreNetwork(cfg Config, state []byte, lastRound uint64) (*Network, error) {
+	d, err := protocol.RestoreDeployment(cfg.internal(), state, lastRound)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	valid := d.Config()
+	client, err := protocol.NewClient(&valid)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return &Network{d: d, client: client}, nil
+}
+
 // Groups returns G, the number of groups per layer.
 func (n *Network) Groups() int { return n.d.NumGroups() }
 

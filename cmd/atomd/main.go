@@ -30,12 +30,26 @@
 // related — the member's heartbeat period, the coordinator's liveness
 // timeout, re-planning after a loss, buddy-group recovery — is
 // configured by the coordinator (distributed.Options) and arrives in
-// the join message; a -member process needs no tuning flags. If this
-// process dies, the coordinator detects the silence within its
-// liveness timeout, re-plans the group's chain over the survivors (or
-// fails the round with atom.ErrMemberLost when the h−1 budget is
-// spent), and a restarted host can be re-adopted at its old address on
-// the next round's provisioning.
+// the join message; a -member process needs no tuning flags.
+//
+// Durable state (-state-dir): with a state directory, atomd persists
+// its durable material in an fsync'd journal (internal/store) — a
+// member's provisioned config on every join/reconfig, a coordinator's
+// key material, sealed batches and published outcomes — and a
+// restarted process replays it: a -member host re-adopts its old
+// identity at its old address and announces the rejoin (the
+// coordinator re-admits it without burning h−1 budget, when its
+// Options.RestartGrace allows), and a full-mode coordinator restores
+// its keys and re-dispatches any sealed-but-unmixed rounds instead of
+// re-running the DKG. Without -state-dir a crash falls back to the
+// live churn path: loss detection, re-planning, buddy recovery.
+//
+// A group-config file (-config, JSON — see store.GroupConfig) replaces
+// the roster/topology/crypto flags, and its canonical hash rides the
+// provisioning wire: a member started with one config file refuses a
+// coordinator provisioned from another (atom.ErrConfigMismatch).
+//
+// -metrics serves Prometheus text-format counters at /metrics.
 package main
 
 import (
@@ -51,6 +65,7 @@ import (
 	"atom"
 	"atom/internal/daemon"
 	"atom/internal/distributed"
+	"atom/internal/store"
 	"atom/internal/transport"
 )
 
@@ -73,87 +88,139 @@ func main() {
 		interval    = flag.Duration("interval", time.Second, "-serve: round scheduler's seal deadline (Options.RoundInterval)")
 		capacity    = flag.Int("capacity", 0, "-serve: seal a round early at this many submissions (0 = deadline only)")
 		inflight    = flag.Int("inflight", 2, "-serve: rounds mixing concurrently (bounded pipeline depth)")
+		stateDir    = flag.String("state-dir", "", "persist durable state (journal + snapshots) here and resume from it on restart")
+		configPath  = flag.String("config", "", "group-config file (JSON); replaces the roster/topology/crypto flags and gates joins by its hash")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text-format counters at this address under /metrics (empty = off)")
 	)
 	flag.Parse()
 
+	var gc *store.GroupConfig
+	if *configPath != "" {
+		var err error
+		if gc, err = store.LoadGroupConfig(*configPath); err != nil {
+			log.Fatalf("atomd: %v", err)
+		}
+	}
+
 	if *member {
-		hostMember(*listen)
+		hostMember(*listen, *stateDir, *metricsAddr, gc)
 		return
 	}
 
-	v := atom.Trap
-	switch *variant {
-	case "trap":
-	case "nizk":
-		v = atom.NIZK
-	default:
-		log.Fatalf("atomd: unknown variant %q (want nizk or trap)", *variant)
+	var cfg atom.Config
+	if gc != nil {
+		cfg = configFromFile(gc)
+		log.Printf("atomd: group config %s (hash %x)", *configPath, gc.Hash()[:8])
+	} else {
+		v := atom.Trap
+		switch *variant {
+		case "trap":
+		case "nizk":
+			v = atom.NIZK
+		default:
+			log.Fatalf("atomd: unknown variant %q (want nizk or trap)", *variant)
+		}
+		cfg = atom.Config{
+			Servers:       *servers,
+			Groups:        *groups,
+			GroupSize:     *groupSize,
+			HonestServers: *honest,
+			MessageSize:   *messageSize,
+			Variant:       v,
+			Iterations:    *iterations,
+			Topology:      *topo,
+			MixWorkers:    *workers,
+			Seed:          []byte(*seed),
+		}
 	}
 
-	cfg := atom.Config{
-		Servers:       *servers,
-		Groups:        *groups,
-		GroupSize:     *groupSize,
-		HonestServers: *honest,
-		MessageSize:   *messageSize,
-		Variant:       v,
-		Iterations:    *iterations,
-		Topology:      *topo,
-		MixWorkers:    *workers,
-		Seed:          []byte(*seed),
+	var st *store.Store
+	if *stateDir != "" {
+		var err error
+		if st, err = store.Open(*stateDir); err != nil {
+			log.Fatalf("atomd: opening state dir: %v", err)
+		}
+		defer st.Close()
 	}
-	log.Printf("atomd: forming %d groups of %d from %d servers (%s variant, T=%d)…",
-		cfg.Groups, cfg.GroupSize, cfg.Servers, *variant, cfg.Iterations)
-	srv, err := daemon.NewServer(*listen, cfg)
+
+	// Build the network: restored from the journal when the state dir
+	// holds a deployment record, a fresh DKG otherwise (persisted
+	// immediately, so the next start restores).
+	var network *atom.Network
+	if st != nil {
+		if state := st.State(); len(state.Deployment) > 0 {
+			var err error
+			if network, err = atom.RestoreNetwork(cfg, state.Deployment, state.MaxRound()); err != nil {
+				log.Fatalf("atomd: restoring from %s: %v", *stateDir, err)
+			}
+			m := st.Metrics()
+			log.Printf("atomd: restored keys and %d pending sealed rounds from %s (%d records in %v)",
+				len(st.PendingSealed()), *stateDir, m.ReplayRecords, m.ReplayDuration)
+		}
+	}
+	if network == nil {
+		log.Printf("atomd: forming %d groups of %d from %d servers (T=%d)…",
+			cfg.Groups, cfg.GroupSize, cfg.Servers, cfg.Iterations)
+		var err error
+		if network, err = atom.NewNetwork(cfg); err != nil {
+			log.Fatalf("atomd: %v", err)
+		}
+		if st != nil {
+			if err := st.PutDeployment(network.MarshalState()); err != nil {
+				log.Fatalf("atomd: persisting keys: %v", err)
+			}
+			var hash []byte
+			if gc != nil {
+				hash = gc.Hash()
+			}
+			if err := st.PutEpoch(0, hash); err != nil {
+				log.Fatalf("atomd: persisting epoch: %v", err)
+			}
+		}
+	}
+
+	srv, err := daemon.NewServerWith(*listen, cfg, network)
 	if err != nil {
 		log.Fatalf("atomd: %v", err)
 	}
+
+	var obs *atom.Observer
 	if *verbose {
-		// Round lifecycle observability through the public hook surface.
-		srv.Network().SetObserver(&atom.Observer{
-			RoundOpened: func(round uint64) {
-				log.Printf("atomd: round %d open for submissions", round)
-			},
-			RoundSealed: func(round uint64, ing atom.IngestStats) {
-				log.Printf("atomd: round %d sealed: %d admitted, %d rejected, %d ciphertexts; queue depth %d, %d rounds in flight",
-					round, ing.Admitted, ing.Rejected, ing.SealedBatch, ing.Queued, ing.InFlight)
-			},
-			IterationDone: func(it atom.IterationStats) {
-				log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization, %d live members)",
-					it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified,
-					it.Workers, 100*it.Utilization(), it.Members)
-			},
-			RoundMixed: func(st atom.RoundStats) {
-				log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations (%d admitted, %d rejected at ingest)",
-					st.Round, st.Messages, st.Duration, st.Iterations, st.Ingest.Admitted, st.Ingest.Rejected)
-			},
-			RoundFailed: func(round uint64, err error) {
-				// Operator triage: blame (a malicious server — exclude
-				// it), member-lost (a crash — recover), and everything
-				// else (cancellation, trap trip) are different runbooks.
-				switch {
-				case errors.Is(err, atom.ErrProofRejected):
-					gid, member, _ := atom.BlamedMember(err)
-					log.Printf("atomd: round %d FAILED: proof rejected — group %d member %d is misbehaving: %v", round, gid, member, err)
-				case errors.Is(err, atom.ErrMemberLost):
-					gid, member, _ := atom.LostMember(err)
-					log.Printf("atomd: round %d FAILED: member lost — group %d member %d crashed (recovery needed: %v): %v",
-						round, gid, member, errors.Is(err, atom.ErrRecoveryNeeded), err)
-				default:
-					log.Printf("atomd: round %d FAILED: %v", round, err)
-				}
-			},
-		})
+		obs = verboseObserver()
 	}
+	if *metricsAddr != "" {
+		m := daemon.NewMetrics()
+		if st != nil {
+			m.SetStore(st)
+		}
+		obs = m.Instrument(obs)
+		go func() {
+			if err := daemon.ServeMetrics(*metricsAddr, m); err != nil {
+				log.Printf("atomd: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("atomd: metrics on %s/metrics", *metricsAddr)
+	}
+	if obs != nil {
+		srv.Network().SetObserver(obs)
+	}
+
 	if *serve {
 		// Continuous mode: the round scheduler seals at -interval (or
 		// -capacity) and rounds mix back to back, up to -inflight
-		// concurrently; clients use ServeInfo/SubmitInto/Await.
-		if err := srv.EnableService(context.Background(), atom.ServeOptions{
+		// concurrently; clients use ServeInfo/SubmitInto/Await. With a
+		// state dir the pipeline journals through it: seals before
+		// dispatch, outcomes on publish, pending rounds re-dispatched at
+		// the next start.
+		opts := atom.ServeOptions{
 			RoundInterval: *interval,
 			MaxBatch:      *capacity,
 			MaxInFlight:   *inflight,
-		}); err != nil {
+		}
+		if st != nil {
+			opts.Journal = st
+		}
+		if err := srv.EnableService(context.Background(), opts); err != nil {
 			log.Fatalf("atomd: starting continuous service: %v", err)
 		}
 		log.Printf("atomd: continuous service up (interval %v, capacity %d, %d rounds in flight)",
@@ -171,20 +238,113 @@ func main() {
 	}
 }
 
+// configFromFile maps the operator's group-config file onto the public
+// Config.
+func configFromFile(gc *store.GroupConfig) atom.Config {
+	v := atom.NIZK
+	if gc.Variant == "trap" {
+		v = atom.Trap
+	}
+	return atom.Config{
+		Servers:       gc.Servers,
+		Groups:        gc.Groups,
+		GroupSize:     gc.GroupSize,
+		HonestServers: gc.Honest,
+		MessageSize:   gc.MessageSize,
+		Variant:       v,
+		Iterations:    gc.Iterations,
+		Topology:      gc.Topology,
+		MixWorkers:    gc.Workers,
+		Buddies:       gc.Buddies,
+		Seed:          []byte(gc.Seed),
+	}
+}
+
+// verboseObserver is the -verbose round-lifecycle logger.
+func verboseObserver() *atom.Observer {
+	return &atom.Observer{
+		RoundOpened: func(round uint64) {
+			log.Printf("atomd: round %d open for submissions", round)
+		},
+		RoundSealed: func(round uint64, ing atom.IngestStats) {
+			log.Printf("atomd: round %d sealed: %d admitted, %d rejected, %d ciphertexts; queue depth %d, %d rounds in flight",
+				round, ing.Admitted, ing.Rejected, ing.SealedBatch, ing.Queued, ing.InFlight)
+		},
+		IterationDone: func(it atom.IterationStats) {
+			log.Printf("atomd: round %d iteration %d: %d msgs in %v (%d proofs, %d workers/group at %.0f%% utilization, %d live members)",
+				it.Round, it.Layer, it.Messages, it.Duration, it.ProofsVerified,
+				it.Workers, 100*it.Utilization(), it.Members)
+		},
+		RoundMixed: func(st atom.RoundStats) {
+			log.Printf("atomd: round %d mixed: %d msgs in %v over %d iterations (%d admitted, %d rejected at ingest)",
+				st.Round, st.Messages, st.Duration, st.Iterations, st.Ingest.Admitted, st.Ingest.Rejected)
+		},
+		RoundFailed: func(round uint64, err error) {
+			// Operator triage: blame (a malicious server — exclude
+			// it), member-lost (a crash — recover), and everything
+			// else (cancellation, trap trip) are different runbooks.
+			switch {
+			case errors.Is(err, atom.ErrProofRejected):
+				gid, member, _ := atom.BlamedMember(err)
+				log.Printf("atomd: round %d FAILED: proof rejected — group %d member %d is misbehaving: %v", round, gid, member, err)
+			case errors.Is(err, atom.ErrMemberLost):
+				gid, member, _ := atom.LostMember(err)
+				log.Printf("atomd: round %d FAILED: member lost — group %d member %d crashed (recovery needed: %v): %v",
+					round, gid, member, errors.Is(err, atom.ErrRecoveryNeeded), err)
+			default:
+				log.Printf("atomd: round %d FAILED: %v", round, err)
+			}
+		},
+	}
+}
+
 // hostMember serves one distributed-round member actor over TCP until
 // interrupted. The member's key material and wiring arrive in the
-// coordinator's join message.
-func hostMember(listen string) {
+// coordinator's join message — or, with -state-dir, replay from the
+// journal so a crashed host resumes its old identity at its old
+// address.
+func hostMember(listen, stateDir, metricsAddr string, gc *store.GroupConfig) {
 	node, err := transport.ListenTCP(listen, 4096)
 	if err != nil {
 		log.Fatalf("atomd: %v", err)
 	}
-	fmt.Printf("atomd: member actor listening on %s (waiting for a coordinator's join)\n", node.Addr())
+
+	var opts distributed.HostOptions
+	var st *store.Store
+	if stateDir != "" {
+		if st, err = store.Open(stateDir); err != nil {
+			log.Fatalf("atomd: opening state dir: %v", err)
+		}
+		defer st.Close()
+		opts.OnConfig = st.PutMember
+		opts.Resume = st.State().Member
+	}
+	if gc != nil {
+		opts.ConfigHash = gc.Hash()
+		log.Printf("atomd: member gated on group-config hash %x", opts.ConfigHash[:8])
+	}
+	if metricsAddr != "" {
+		m := daemon.NewMetrics()
+		if st != nil {
+			m.SetStore(st)
+		}
+		go func() {
+			if err := daemon.ServeMetrics(metricsAddr, m); err != nil {
+				log.Printf("atomd: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("atomd: metrics on %s/metrics", metricsAddr)
+	}
+	if len(opts.Resume) > 0 {
+		fmt.Printf("atomd: member actor resuming on %s from %s (rejoining fleet)\n", node.Addr(), stateDir)
+	} else {
+		fmt.Printf("atomd: member actor listening on %s (waiting for a coordinator's join)\n", node.Addr())
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- distributed.HostMember(ctx, node) }()
+	go func() { done <- distributed.HostMemberOpts(ctx, node, opts) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

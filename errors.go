@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"atom/internal/protocol"
+	"atom/internal/store"
 )
 
 // The public error taxonomy. Every error the package returns can be
@@ -75,6 +76,19 @@ var (
 
 	// ErrNoSuchGroup is returned for out-of-range entry group ids.
 	ErrNoSuchGroup = errors.New("atom: no such group")
+
+	// ErrStateCorrupt is returned when persisted state — a store journal
+	// record, a snapshot, or a serialized deployment — fails decoding or
+	// cryptographic validation (e.g. a restored DVSS share that does not
+	// open its Feldman commitments). The state directory needs operator
+	// attention; the server must not rejoin from it.
+	ErrStateCorrupt = errors.New("atom: persisted state corrupt")
+
+	// ErrConfigMismatch is returned when two parties disagree on the
+	// canonical group-configuration hash: a member provisioned against a
+	// different config file refuses to join rather than mix under the
+	// wrong parameters.
+	ErrConfigMismatch = errors.New("atom: group-config hash mismatch")
 )
 
 // BlamedMember extracts the offending group and member (DVSS index)
@@ -150,6 +164,10 @@ func wrapErr(err error) error {
 		return &apiError{sentinel: ErrVariantMismatch, err: err}
 	case errors.Is(err, protocol.ErrNoSuchGroup):
 		return &apiError{sentinel: ErrNoSuchGroup, err: err}
+	case errors.Is(err, protocol.ErrStateCorrupt), errors.Is(err, store.ErrCorrupt):
+		return &apiError{sentinel: ErrStateCorrupt, err: err}
+	case errors.Is(err, protocol.ErrConfigMismatch):
+		return &apiError{sentinel: ErrConfigMismatch, err: err}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return &apiError{sentinel: ErrRoundAborted, err: err}
 	default:

@@ -96,6 +96,8 @@ const (
 	errRecoveryNeeded
 	errVariantMismatch
 	errNoSuchGroup
+	errStateCorrupt
+	errConfigMismatch
 )
 
 // classify maps an error to its wire kind.
@@ -122,6 +124,10 @@ func classify(err error) errorKind {
 		return errVariantMismatch
 	case errors.Is(err, atom.ErrNoSuchGroup):
 		return errNoSuchGroup
+	case errors.Is(err, atom.ErrStateCorrupt):
+		return errStateCorrupt
+	case errors.Is(err, atom.ErrConfigMismatch):
+		return errConfigMismatch
 	default:
 		return errGeneric
 	}
@@ -158,6 +164,10 @@ func unclassify(kind errorKind, msg string) error {
 		return wrap(atom.ErrVariantMismatch)
 	case errNoSuchGroup:
 		return wrap(atom.ErrNoSuchGroup)
+	case errStateCorrupt:
+		return wrap(atom.ErrStateCorrupt)
+	case errConfigMismatch:
+		return wrap(atom.ErrConfigMismatch)
 	default:
 		return fmt.Errorf("daemon: %s", msg)
 	}
@@ -216,6 +226,13 @@ func NewServer(addr string, cfg atom.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewServerWith(addr, cfg, network)
+}
+
+// NewServerWith hosts an existing network — the crash-restart path,
+// where the deployment was rebuilt from a state directory
+// (atom.RestoreNetwork) instead of a fresh key generation.
+func NewServerWith(addr string, cfg atom.Config, network *atom.Network) (*Server, error) {
 	node, err := transport.ListenTCP(addr, 1024)
 	if err != nil {
 		return nil, err

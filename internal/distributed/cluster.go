@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"atom/internal/dvss"
@@ -90,9 +92,45 @@ type Options struct {
 	// from its sealed batches, so a loss during round r never corrupts
 	// round r+1.
 	MaxInFlight int
+	// RestartGrace, when positive, separates "restarting, state
+	// intact" from "lost": a member that goes silent (or unreachable)
+	// mid-round gets this long to come back — a crash-restarted atomd
+	// replaying its -state-dir resumes heartbeating under its old
+	// identity at its old address — before the coordinator burns h−1
+	// budget on a re-plan. A member that returns within the grace
+	// restarts the round attempt with the fleet unchanged: no re-plan,
+	// no buddy recovery, no key material spent. Zero (the default)
+	// disables the grace and keeps the PR 4 behavior: every silence is
+	// a loss. Requires heartbeats — a rejoin is only observable as the
+	// restarted member's resumed beacon.
+	RestartGrace time.Duration
+	// ConfigHash is the canonical group-config hash
+	// (store.GroupConfig.Hash) stamped into every member's provisioning
+	// config. Hosts started with their own hash (atomd -config) refuse
+	// joins carrying a different one, and the cluster treats such a
+	// refusal as a terminal protocol.ErrConfigMismatch, not churn.
+	ConfigHash []byte
 	// Log, when non-nil, receives operator-grade churn events
 	// (detections, re-plans, recoveries). Printf-shaped.
 	Log func(format string, args ...any)
+}
+
+// ClusterStats counts the cluster's churn-handling activity since
+// construction — the observability surface fault-injection tests assert
+// against: a crash-restart with state intact must show up as a rejoin
+// with zero re-plans and zero recoveries.
+type ClusterStats struct {
+	// Rejoins counts members re-admitted within Options.RestartGrace
+	// after a silence — restarts with state intact.
+	Rejoins uint64
+	// Replans counts fleet re-plans: losses that burned h−1 budget and
+	// re-chained groups over survivors.
+	Replans uint64
+	// Recoveries counts completed §4.5 buddy-group share recoveries.
+	Recoveries uint64
+	// SharesSolicited counts lost shares reconstructed from buddy
+	// escrow pieces over the wire.
+	SharesSolicited uint64
 }
 
 // localActor is one locally hosted member: its actor loop, endpoint,
@@ -233,6 +271,13 @@ type Cluster struct {
 	memberOf map[string]MemberID
 	chains   [][]int  // gid → member positions (0-based), chain order
 	entry    []string // gid → first chain member's address
+	// restarts records each known member's last crash-restart
+	// announcement (the unsolicited rejoin greeting a resumed host
+	// sends). A member can restart so fast it never misses a liveness
+	// beat — yet its in-flight round state died with the old process, so
+	// any attempt older than the announcement would stall forever.
+	// attemptRound checks this on every liveness tick.
+	restarts map[MemberID]time.Time
 
 	// The pump goroutine owns the coordinator inbox and routes traffic:
 	// heartbeats to the liveness tracker, join/reconfig acks to joinCh,
@@ -262,9 +307,25 @@ type Cluster struct {
 	epoch   uint64
 	epochCh chan struct{}
 
+	// Churn-activity counters (Stats).
+	rejoins         atomic.Uint64
+	replans         atomic.Uint64
+	recoveries      atomic.Uint64
+	sharesSolicited atomic.Uint64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+}
+
+// Stats returns the cluster's churn-activity counters.
+func (c *Cluster) Stats() ClusterStats {
+	return ClusterStats{
+		Rejoins:         c.rejoins.Load(),
+		Replans:         c.replans.Load(),
+		Recoveries:      c.recoveries.Load(),
+		SharesSolicited: c.sharesSolicited.Load(),
+	}
 }
 
 // NewCluster builds the full network of member actors for the
@@ -325,6 +386,7 @@ func NewCluster(d *protocol.Deployment, opts Options) (*Cluster, error) {
 		memberOf: make(map[string]MemberID),
 		chains:   make([][]int, G),
 		entry:    make([]string, G),
+		restarts: make(map[MemberID]time.Time),
 		rounds:   make(map[uint64]chan *transport.Message),
 		joinCh:   make(chan *transport.Message, 64),
 		sem:      make(chan struct{}, opts.MaxInFlight),
@@ -386,6 +448,21 @@ func (c *Cluster) pump() {
 			}
 			c.live.observe(id, round, layer, phase)
 		case msgJoined:
+			if _, reason := decodeJoinAck(msg.Payload); reason == joinAckRejoin {
+				// A resumed host's unsolicited greeting: its state is
+				// intact but its in-flight round state is gone. Stamp the
+				// restart so attempts older than it replay instead of
+				// stalling — the member may come back faster than the
+				// liveness timeout and never look lost at all.
+				c.mu.Lock()
+				if id, known := c.memberOf[msg.From]; known {
+					c.restarts[id] = time.Now()
+					c.mu.Unlock()
+					c.logf("distributed: g%d/m%d at %s announced a crash-restart (state intact)", id.GID, id.Pos, msg.From)
+				} else {
+					c.mu.Unlock()
+				}
+			}
 			select {
 			case c.joinCh <- msg:
 			default:
@@ -599,6 +676,7 @@ func (c *Cluster) provision(ctx context.Context, fresh bool) ([]MemberID, error)
 			Topo:        spec,
 			Heartbeat:   c.opts.Heartbeat,
 			Escrows:     c.d.EscrowPieces(id.GID, id.Pos+1),
+			ConfigHash:  c.opts.ConfigHash,
 		}
 		switch {
 		case isNew[id] && newLocal[id] != nil:
@@ -655,7 +733,28 @@ func (c *Cluster) provision(ctx context.Context, fresh bool) ([]MemberID, error)
 			}
 			// Only the host we actually contacted may acknowledge — a
 			// forged ack must not mask a member that never joined.
+			ackOK, reason := decodeJoinAck(msg.Payload)
+			if reason == joinAckRejoin {
+				// A restarted member's unsolicited greeting, not an
+				// acknowledgment of THIS config — counting it would let
+				// a host still holding its pre-crash wiring pass for
+				// provisioned.
+				continue
+			}
 			if id, pending := await[msg.From]; pending {
+				if !ackOK {
+					if strings.Contains(reason, "hash mismatch") {
+						// Not churn: the fleet disagrees on its group
+						// config. Retrying cannot help.
+						return nil, fmt.Errorf("%w: member g%d/m%d at %s refused provisioning: %s",
+							protocol.ErrConfigMismatch, id.GID, id.Pos, msg.From, reason)
+					}
+					if fresh {
+						return nil, fmt.Errorf("distributed: member g%d/m%d at %s refused provisioning: %s",
+							id.GID, id.Pos, msg.From, reason)
+					}
+					return []MemberID{id}, nil
+				}
 				delete(await, msg.From)
 				c.live.reset(id, time.Now())
 			}
@@ -793,6 +892,66 @@ func (c *Cluster) ConcurrentRounds() int { return c.opts.MaxInFlight }
 // because another round's loss handling re-planned the fleet.
 var errReplanned = errors.New("distributed: fleet re-planned mid-attempt")
 
+// errRejoined restarts a round attempt after a silent member came back
+// within Options.RestartGrace with its state intact: the fleet is
+// unchanged — no re-plan, no budget burned — but the restarted process
+// lost its per-round actor state, so the attempt must replay from its
+// sealed batches.
+var errRejoined = errors.New("distributed: member rejoined with state intact")
+
+// restartedSince reports which of the attempt's chain members announced
+// a crash-restart after the attempt began — alive, heartbeating, state
+// dir intact, but with the attempt's in-flight mixing state gone.
+func (c *Cluster) restartedSince(began time.Time, v *attemptView) []MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []MemberID
+	for id, at := range c.restarts {
+		if at.After(began) && v.inChain(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// awaitRejoin gives the lost members Options.RestartGrace to come back
+// before they are declared dead: a restarted member re-adopting its
+// persisted identity resumes heartbeating at its old address, which
+// refreshes its liveness record. It reports whether every lost member
+// returned within the grace.
+func (c *Cluster) awaitRejoin(ctx context.Context, lost []MemberID) bool {
+	if c.opts.RestartGrace <= 0 || c.opts.Heartbeat <= 0 {
+		return false // no grace, or no beacon to observe a rejoin by
+	}
+	deadline := time.After(c.opts.RestartGrace)
+	tick := time.NewTicker(c.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			snap := c.live.snapshot()
+			now := time.Now()
+			back := 0
+			for _, id := range lost {
+				if p, ok := snap[id]; ok && now.Sub(p.Seen) <= c.opts.LivenessTimeout {
+					back++
+				}
+			}
+			if back == len(lost) {
+				c.rejoins.Add(uint64(len(lost)))
+				for _, id := range lost {
+					c.logf("distributed: member g%d/m%d rejoined within the restart grace; fleet unchanged", id.GID, id.Pos)
+				}
+				return true
+			}
+		case <-deadline:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
 // MixRound implements protocol.Mixer: inject the sealed batches at
 // every group's first member, collect per-layer reports, exit outputs
 // and aborts — and, when a member is lost mid-round, re-plan the
@@ -836,6 +995,16 @@ func (c *Cluster) MixRound(job *protocol.MixJob) (*protocol.MixOutcome, error) {
 					"%w: round %d exceeded %d churn restarts", protocol.ErrMemberLost, job.Round, c.opts.MaxRestarts)}
 			}
 			c.logf("distributed: round %d: fleet re-planned elsewhere, restarting (attempt %d)", job.Round, attempt+1)
+			continue
+		case errors.Is(err, errRejoined):
+			// A silent member came back within the restart grace with its
+			// persisted state intact: same fleet, same keys, no budget
+			// burned — just replay the attempt from the sealed batches.
+			if attempt+1 > c.opts.MaxRestarts {
+				return nil, &protocol.Loss{GID: -1, Member: -1, Err: fmt.Errorf(
+					"%w: round %d exceeded %d churn restarts", protocol.ErrMemberLost, job.Round, c.opts.MaxRestarts)}
+			}
+			c.logf("distributed: round %d: restarting after rejoin (attempt %d)", job.Round, attempt+1)
 			continue
 		case err != nil || out != nil:
 			return out, err
@@ -907,6 +1076,7 @@ func (c *Cluster) replan(ctx context.Context, round uint64, lost []MemberID, att
 	}
 	// The fleet is re-wired: tell every in-flight attempt its snapshot
 	// is stale.
+	c.replans.Add(1)
 	c.epoch++
 	close(c.epochCh)
 	c.epochCh = make(chan struct{})
@@ -937,6 +1107,7 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, inbox chan *transport.Messa
 	G := c.topo.Groups()
 	T := c.topo.Iterations()
 	wire := wireRound(job.Round, attempt)
+	began := time.Now() // restart announcements after this invalidate the attempt
 	// Snapshot the wiring and the epoch signal together: if a re-plan
 	// lands between them the stale epochCh is already closed and the
 	// attempt restarts immediately instead of mixing over dead wiring.
@@ -1087,6 +1258,11 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, inbox chan *transport.Messa
 					}
 					c.logf("distributed: round %d: g%d/m%d reports %s", job.Round, reporter.GID, reporter.Pos, text)
 					c.cancelRound(wire)
+					// The unreachable member may be mid-restart with its
+					// state intact: grant the grace before burning budget.
+					if c.awaitRejoin(ctx, []MemberID{lost}) {
+						return nil, nil, errRejoined
+					}
 					return nil, []MemberID{lost}, nil
 				}
 				if reporter.GID != gid {
@@ -1101,6 +1277,21 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, inbox chan *transport.Messa
 			c.cancelRound(wire)
 			return nil, nil, errReplanned
 		case <-liveTick:
+			// A member that crash-restarted after this attempt began is
+			// alive and heartbeating — but the attempt's mixing state died
+			// with its old process, so the attempt can only stall. Replay
+			// it over the unchanged fleet (the same errRejoined path a
+			// detected-then-rejoined silence takes).
+			if c.opts.RestartGrace > 0 {
+				if ids := c.restartedSince(began, v); len(ids) > 0 {
+					c.cancelRound(wire)
+					for _, id := range ids {
+						c.logf("distributed: round %d: g%d/m%d restarted mid-attempt with state intact; replaying the attempt", job.Round, id.GID, id.Pos)
+					}
+					c.rejoins.Add(uint64(len(ids)))
+					return nil, nil, errRejoined
+				}
+			}
 			var lost []MemberID
 			for _, id := range c.live.expired(c.opts.LivenessTimeout) {
 				if v.inChain(id) {
@@ -1109,6 +1300,14 @@ func (c *Cluster) attemptRound(job *protocol.MixJob, inbox chan *transport.Messa
 			}
 			if len(lost) > 0 {
 				c.cancelRound(wire)
+				// "Restarting, state intact" vs "lost": a crashed member
+				// restarted from its -state-dir resumes heartbeating
+				// under its old identity within the grace, and the round
+				// replays over the unchanged fleet; only members that
+				// stay silent past it go down the re-plan path.
+				if c.awaitRejoin(ctx, lost) {
+					return nil, nil, errRejoined
+				}
 				return nil, lost, nil
 			}
 		case <-ctx.Done():
@@ -1245,6 +1444,7 @@ func (c *Cluster) RecoverGroup(ctx context.Context, gid int, replacements []int)
 			return err
 		}
 		if len(lost) == 0 {
+			c.recoveries.Add(1)
 			return nil
 		}
 		if budget >= c.opts.MaxRestarts {
@@ -1350,6 +1550,7 @@ func (c *Cluster) solicitShare(ctx context.Context, plan *protocol.RecoveryPlan,
 			lastErr = err
 			continue
 		}
+		c.sharesSolicited.Add(1)
 		return share, nil
 	}
 	if lastErr == nil {

@@ -1,10 +1,34 @@
 package distributed
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 
+	"atom/internal/protocol"
 	"atom/internal/transport"
 )
+
+// HostOptions tunes a remotely hosted member (HostMemberOpts).
+type HostOptions struct {
+	// ConfigHash is the canonical hash of the group-config file this
+	// host was provisioned from (store.GroupConfig.Hash). When set, a
+	// join or reconfiguration carrying a different hash is refused with
+	// an explicit negative acknowledgment instead of adopted — the
+	// coordinator and every member must agree on the file. Empty
+	// disables the check.
+	ConfigHash []byte
+	// OnConfig persists an accepted config's wire form before it is
+	// acknowledged, so a crash after the ack can always replay it. A
+	// persistence failure refuses the join: a config the host cannot
+	// make durable is a config it must not promise to hold.
+	OnConfig func(cfg []byte) error
+	// Resume is a previously persisted member config (the bytes OnConfig
+	// received). When set, the host re-adopts it immediately — skipping
+	// the join wait — and announces itself to the coordinator as a
+	// rejoin, the restart-with-state-intact path.
+	Resume []byte
+}
 
 // HostMember serves one group member on an endpoint whose material
 // arrives over the wire: it waits for the coordinator's join message
@@ -19,6 +43,16 @@ import (
 // production deployment and must be protected accordingly (the §2.1
 // TLS assumption).
 func HostMember(ctx context.Context, ep transport.Endpoint) error {
+	return HostMemberOpts(ctx, ep, HostOptions{})
+}
+
+// HostMemberOpts is HostMember with a config-hash gate, a persistence
+// hook, and crash-restart resumption — the `atomd -member -state-dir`
+// surface.
+func HostMemberOpts(ctx context.Context, ep transport.Endpoint, opts HostOptions) error {
+	if len(opts.Resume) > 0 {
+		return resumeMember(ctx, ep, opts)
+	}
 	for {
 		select {
 		case msg, ok := <-ep.Inbox():
@@ -34,11 +68,33 @@ func HostMember(ctx context.Context, ep transport.Endpoint) error {
 				if err != nil {
 					continue
 				}
+				if len(opts.ConfigHash) > 0 && !bytes.Equal(cfg.ConfigHash, opts.ConfigHash) {
+					// The refusal is explicit: a coordinator provisioned
+					// from a different group-config file must learn it
+					// immediately, not via an ack timeout.
+					_ = ep.SendCtx(ctx, msg.From, &transport.Message{
+						Type: msgJoined, Payload: encodeJoinAck(false, "group-config hash mismatch"),
+					})
+					continue
+				}
 				actor, err := NewActor(*cfg, ep)
 				if err != nil {
 					continue
 				}
-				if err := ep.SendCtx(ctx, msg.From, &transport.Message{Type: msgJoined}); err != nil {
+				if opts.OnConfig != nil {
+					// Durable before acknowledged: after the ack the
+					// coordinator counts on this exact config surviving
+					// a crash of this host.
+					if err := opts.OnConfig(msg.Payload); err != nil {
+						_ = ep.SendCtx(ctx, msg.From, &transport.Message{
+							Type: msgJoined, Payload: encodeJoinAck(false, "state persistence failed"),
+						})
+						continue
+					}
+				}
+				actor.requireHash = opts.ConfigHash
+				actor.onConfig = opts.OnConfig
+				if err := ep.SendCtx(ctx, msg.From, &transport.Message{Type: msgJoined, Payload: encodeJoinAck(true, "")}); err != nil {
 					continue
 				}
 				return actor.Serve(ctx)
@@ -49,4 +105,31 @@ func HostMember(ctx context.Context, ep transport.Endpoint) error {
 			return ctx.Err()
 		}
 	}
+}
+
+// resumeMember re-adopts a persisted config after a crash: the actor
+// comes back under its old identity at its old address, announces the
+// rejoin to the coordinator (whose liveness tracker re-admits it
+// without re-planning), and serves as if the process had never died.
+func resumeMember(ctx context.Context, ep transport.Endpoint, opts HostOptions) error {
+	cfg, err := UnmarshalMemberConfig(opts.Resume)
+	if err != nil {
+		return fmt.Errorf("%w: persisted member config: %v", protocol.ErrStateCorrupt, err)
+	}
+	if len(opts.ConfigHash) > 0 && len(cfg.ConfigHash) > 0 && !bytes.Equal(cfg.ConfigHash, opts.ConfigHash) {
+		return fmt.Errorf("%w: persisted member config was provisioned under a different group config", protocol.ErrConfigMismatch)
+	}
+	actor, err := NewActor(*cfg, ep)
+	if err != nil {
+		return fmt.Errorf("%w: persisted member config: %v", protocol.ErrStateCorrupt, err)
+	}
+	actor.requireHash = opts.ConfigHash
+	actor.onConfig = opts.OnConfig
+	// Unsolicited rejoin announcement: distinguishable from a join ack
+	// by its reason, so a coordinator mid-provision never mistakes a
+	// restarted member's greeting for a fresh config acknowledgment.
+	_ = ep.SendCtx(ctx, cfg.Coordinator, &transport.Message{
+		Type: msgJoined, Payload: encodeJoinAck(true, joinAckRejoin),
+	})
+	return actor.Serve(ctx)
 }

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"errors"
@@ -84,6 +85,11 @@ type MemberConfig struct {
 	// other groups' §4.5 recovery, provisioned at setup exactly like the
 	// member's own secret.
 	Escrows []protocol.EscrowPiece
+	// ConfigHash is the canonical hash of the deployment's group-config
+	// file (store.GroupConfig.Hash). A host started with its own hash
+	// refuses joins carrying a different one — both parties must be
+	// provisioned from the same file. Empty disables the check.
+	ConfigHash []byte
 }
 
 // assembly accumulates a layer's inbound batches at the first member.
@@ -126,6 +132,13 @@ type Actor struct {
 	// dropped marks rounds canceled by the coordinator.
 	dropped  map[uint64]bool
 	maxRound uint64
+
+	// requireHash, when set, makes the actor refuse reconfigurations
+	// whose ConfigHash differs (the host's own group-config hash).
+	// onConfig, when set, persists each accepted config's wire form
+	// before it is acknowledged — the crash-recovery hook.
+	requireHash []byte
+	onConfig    func([]byte) error
 
 	mu     sync.Mutex
 	tamper *tamperHook
@@ -322,15 +335,31 @@ func (a *Actor) handle(ctx context.Context, msg *transport.Message) {
 	case msgReconfig:
 		// In-place re-provisioning after churn. A bad payload is simply
 		// not acknowledged — the coordinator's ack timeout treats the
-		// member as lost rather than trusting a half-applied config.
+		// member as lost rather than trusting a half-applied config. A
+		// config-hash mismatch, by contrast, is answered explicitly: the
+		// coordinator must learn the fleet disagrees on its parameters.
 		cfg, err := UnmarshalMemberConfig(msg.Payload)
 		if err != nil {
+			return
+		}
+		if len(a.requireHash) > 0 && !bytes.Equal(cfg.ConfigHash, a.requireHash) {
+			_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{
+				Type: msgJoined, Payload: encodeJoinAck(false, "group-config hash mismatch"),
+			})
 			return
 		}
 		if err := a.reconfigure(*cfg); err != nil {
 			return
 		}
-		_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{Type: msgJoined})
+		if a.onConfig != nil {
+			// Persist before acknowledging: once the coordinator has the
+			// ack it will count on this member re-adopting this exact
+			// config after a crash.
+			if err := a.onConfig(msg.Payload); err != nil {
+				return
+			}
+		}
+		_ = a.ep.SendCtx(ctx, a.cfg.Coordinator, &transport.Message{Type: msgJoined, Payload: encodeJoinAck(true, "")})
 		return
 	case msgShareReq:
 		a.handleShareReq(ctx, msg)

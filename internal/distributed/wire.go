@@ -447,6 +447,7 @@ func (c *MemberConfig) Marshal() []byte {
 		e.I(esc.Pos)
 		e.Scalar(esc.Piece)
 	}
+	e.Bytes(c.ConfigHash)
 	return e.Out()
 }
 
@@ -526,8 +527,49 @@ func UnmarshalMemberConfig(b []byte) (*MemberConfig, error) {
 			return nil, err
 		}
 	}
+	if c.ConfigHash, err = d.Bytes(); err != nil {
+		return nil, err
+	}
 	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// ---------------------------------------------------------------------
+// msgJoined payload: join/reconfig acknowledgment with verdict.
+
+// joinAckRejoin is the reason a restarted host reports when it
+// re-adopts from persisted state without being provisioned: the
+// coordinator's liveness tracker treats it as a rejoin, not a join ack.
+const joinAckRejoin = "rejoin"
+
+// encodeJoinAck encodes a join/reconfig verdict. An empty payload (the
+// pre-persistence wire form) decodes as a plain acceptance, so mixed
+// fleets interoperate.
+func encodeJoinAck(ok bool, reason string) []byte {
+	var e wirecodec.Enc
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	e.Byte(b)
+	e.Str(reason)
+	return e.Out()
+}
+
+func decodeJoinAck(b []byte) (ok bool, reason string) {
+	if len(b) == 0 {
+		return true, ""
+	}
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return false, "malformed ack"
+	}
+	reason, err = d.Str()
+	if err != nil {
+		return false, "malformed ack"
+	}
+	return v == 1, reason
 }

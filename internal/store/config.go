@@ -1,0 +1,107 @@
+package store
+
+import (
+	"crypto/sha3"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// GroupConfig is the operator-authored group configuration file: the
+// roster, topology and crypto parameters that every party of one
+// deployment must agree on — drand's group file, transplanted. It
+// replaces ad-hoc flag wiring: the coordinator loads it to build its
+// deployment, each member loads the same file, and both sides carry
+// its canonical hash on the join wire so a member provisioned against
+// a different configuration refuses to join (ErrConfigMismatch at the
+// public layer) instead of silently mixing under the wrong parameters.
+//
+// The on-disk format is JSON; field order, whitespace and key case in
+// the operator's file are irrelevant to the hash (see Hash).
+type GroupConfig struct {
+	// Servers is the total roster size N.
+	Servers int `json:"servers"`
+	// Groups is G, groups per topology layer.
+	Groups int `json:"groups"`
+	// GroupSize is k, servers per group.
+	GroupSize int `json:"group_size"`
+	// Honest is h: the per-group failure budget is h−1.
+	Honest int `json:"honest"`
+	// MessageSize is the fixed plaintext size in bytes.
+	MessageSize int `json:"message_size"`
+	// Variant is "nizk" or "trap".
+	Variant string `json:"variant"`
+	// Iterations is T, the mixing iteration count.
+	Iterations int `json:"iterations"`
+	// Topology is "square" or "butterfly".
+	Topology string `json:"topology"`
+	// Workers bounds each member's crypto pool (0 = auto).
+	Workers int `json:"workers,omitempty"`
+	// Buddies is the buddy-group count for §4.5 share escrow.
+	Buddies int `json:"buddies,omitempty"`
+	// Seed seeds the group-formation beacon; every party must use the
+	// same seed or the rosters diverge.
+	Seed string `json:"seed,omitempty"`
+	// Coordinator is the coordinator's listen address.
+	Coordinator string `json:"coordinator,omitempty"`
+	// Members lists pre-started member host addresses (atomd -member),
+	// in MemberID order group-major.
+	Members []string `json:"members,omitempty"`
+}
+
+// LoadGroupConfig reads and validates a group-config file.
+func LoadGroupConfig(path string) (*GroupConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: group config: %w", err)
+	}
+	var c GroupConfig
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("store: group config %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("store: group config %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// Validate checks the fields a deployment cannot default.
+func (c *GroupConfig) Validate() error {
+	switch {
+	case c.Servers < 1:
+		return fmt.Errorf("servers must be positive")
+	case c.Groups < 1:
+		return fmt.Errorf("groups must be positive")
+	case c.GroupSize < 1:
+		return fmt.Errorf("group_size must be positive")
+	case c.MessageSize < 1:
+		return fmt.Errorf("message_size must be positive")
+	case c.Variant != "nizk" && c.Variant != "trap":
+		return fmt.Errorf("variant must be nizk or trap (got %q)", c.Variant)
+	}
+	return nil
+}
+
+// Canonical returns the configuration's canonical encoding: the compact
+// JSON re-serialization of the parsed struct, with fields in declaration
+// order. Two files that parse to the same configuration — regardless of
+// key order, whitespace or comments-by-omission — canonicalize
+// identically.
+func (c *GroupConfig) Canonical() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// A GroupConfig of plain ints/strings cannot fail to marshal.
+		panic(fmt.Sprintf("store: canonicalizing group config: %v", err))
+	}
+	return b
+}
+
+// Hash returns the SHA3-256 digest of the canonical encoding — the
+// value members and coordinator compare before joining.
+func (c *GroupConfig) Hash() []byte {
+	sum := sha3.Sum256(c.Canonical())
+	return sum[:]
+}

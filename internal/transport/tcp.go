@@ -173,11 +173,18 @@ func (n *TCPNode) SendCtx(ctx context.Context, to string, msg *Message) error {
 		}
 		tc = &tcpConn{conn: conn}
 		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
 		if existing, race := n.conns[to]; race {
 			conn.Close()
 			tc = existing
 		} else {
 			n.conns[to] = tc
+			n.wg.Add(1)
+			go n.watchStale(to, tc)
 		}
 		n.mu.Unlock()
 	}
@@ -242,6 +249,28 @@ func (n *TCPNode) SendCtx(ctx context.Context, to string, msg *Message) error {
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
+}
+
+// watchStale evicts an outbound connection the moment its peer hangs
+// up. The framing protocol never delivers data on outbound connections
+// (peers reply by dialing the sender's listen address), so the only
+// thing a blocking read can ever return is the peer's FIN or RST — or
+// garbage, equally disqualifying. Without this, a crashed peer leaves a
+// half-closed connection in the cache and the FIRST frame written to it
+// disappears into the kernel buffer without an error: the write
+// "succeeds", the peer is gone, and a peer restarted at the same
+// address never sees the message. The prompt eviction makes the next
+// send redial — and reach the restarted process.
+func (n *TCPNode) watchStale(to string, tc *tcpConn) {
+	defer n.wg.Done()
+	var buf [1]byte
+	_, _ = tc.conn.Read(buf[:]) // blocks until the peer closes (or misbehaves)
+	n.mu.Lock()
+	if n.conns[to] == tc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	tc.conn.Close()
 }
 
 // Close implements Endpoint.

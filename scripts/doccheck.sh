@@ -16,7 +16,18 @@ while IFS=$'\t' read -r pkg doc; do
 	fi
 done < <(go list -f $'{{.ImportPath}}\t{{.Doc}}' ./...)
 
+# Every package must also be placed in the operator docs: a package
+# that neither README.md's package map nor docs/ARCHITECTURE.md
+# mentions is invisible to someone navigating the repo top-down.
+for pkg in $(go list ./internal/... ./cmd/...); do
+	rel="${pkg#atom/}"
+	if ! grep -q "${rel}" README.md docs/ARCHITECTURE.md; then
+		echo "doccheck: ${rel} is not mentioned in README.md or docs/ARCHITECTURE.md" >&2
+		missing=1
+	fi
+done
+
 if [ "${missing}" -ne 0 ]; then
 	exit 1
 fi
-echo "doccheck: every package has a package comment"
+echo "doccheck: every package has a package comment and a docs mention"

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,27 @@ type ServeOptions struct {
 	// Mixer runs the rounds' mixing. Nil selects the in-process engine;
 	// an internal/distributed.Cluster runs them over its transport.
 	Mixer Mixer
+	// Journal, when set, makes the pipeline crash-safe: every sealed
+	// round is journaled before it is queued for mixing and every
+	// published outcome is journaled after. At startup, sealed rounds the
+	// journal still holds unpublished are restored and re-dispatched
+	// ahead of new work, so a coordinator crash between seal and publish
+	// loses no admitted message. internal/store's Store implements this.
+	Journal RoundJournal
+}
+
+// RoundJournal is the persistence surface a Service writes through when
+// ServeOptions.Journal is set. *store.Store satisfies it.
+type RoundJournal interface {
+	// RecordSealed journals a sealed round's stable encoding
+	// (protocol.SealedRound.Marshal) keyed by round id.
+	RecordSealed(round uint64, sealed []byte) error
+	// RecordOutcome journals a published outcome (failure is the error
+	// text, empty on success) and retires the round's sealed record.
+	RecordOutcome(round uint64, messages [][]byte, failure string) error
+	// PendingSealed returns the sealed records journaled but never
+	// published — the rounds a restarted service must re-dispatch.
+	PendingSealed() map[uint64][]byte
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -127,11 +149,32 @@ type Service struct {
 	waiters    map[uint64][]chan *RoundOutcome
 	results    chan RoundOutcome
 
+	// jmu guards the journal: a write failure disables further
+	// journaling (the pipeline keeps serving from memory) and the first
+	// error surfaces from Close.
+	jmu        sync.Mutex
+	journal    RoundJournal
+	journalErr error
+
 	ctx     context.Context
 	cancel  context.CancelFunc
 	stop    chan struct{} // closes on graceful Close: sealer seals the remainder and exits
 	closing atomic.Bool
 	wg      sync.WaitGroup
+}
+
+// record applies one journal write, disabling the journal on its first
+// failure rather than stalling the mixing pipeline on a sick disk.
+func (s *Service) record(write func(RoundJournal) error) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journal == nil {
+		return
+	}
+	if err := write(s.journal); err != nil {
+		s.journalErr = fmt.Errorf("atom: journal disabled: %w", err)
+		s.journal = nil
+	}
 }
 
 // resultHistory bounds how many published outcomes WaitRound can still
@@ -145,16 +188,44 @@ const resultHistory = 128
 // not mixed.
 func (n *Network) Serve(ctx context.Context, opts ServeOptions) (*Service, error) {
 	opts = opts.withDefaults()
+	// Resume journaled sealed-but-unpublished rounds first: restoring
+	// them advances the deployment's round sequencer past their ids, so
+	// this must happen before the first round opens. Corrupt records
+	// fail Serve — a coordinator must not silently drop admitted
+	// messages it promised to mix.
+	var resumed []*sealedJob
+	if opts.Journal != nil {
+		pending := opts.Journal.PendingSealed()
+		for _, blob := range pending {
+			sealed, err := n.d.RestoreSealedRound(blob)
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			resumed = append(resumed, &sealedJob{
+				round:  sealed.Round(),
+				sealed: sealed,
+				ingest: IngestStats{
+					Admitted:    sealed.Admitted(),
+					Rejected:    sealed.Rejected(),
+					SealedBatch: sealed.BatchSize(),
+				},
+			})
+		}
+		sort.Slice(resumed, func(i, j int) bool { return resumed[i].round < resumed[j].round })
+	}
 	s := &Service{
-		n:         n,
-		opts:      opts,
-		sealNow:   make(chan struct{}, 1),
-		queue:     make(chan *sealedJob, opts.QueueDepth),
+		n:       n,
+		opts:    opts,
+		sealNow: make(chan struct{}, 1),
+		// The queue must hold every resumed round beyond its configured
+		// depth, or Serve would deadlock before the dispatchers start.
+		queue:     make(chan *sealedJob, opts.QueueDepth+len(resumed)),
 		done:      make(map[uint64]*RoundOutcome),
 		sealedSet: make(map[uint64]bool),
 		waiters:   make(map[uint64][]chan *RoundOutcome),
 		results:   make(chan RoundOutcome, 4*opts.QueueDepth+64),
 		stop:      make(chan struct{}),
+		journal:   opts.Journal,
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
 	first, err := n.OpenRound(s.ctx)
@@ -163,6 +234,14 @@ func (n *Network) Serve(ctx context.Context, opts ServeOptions) (*Service, error
 		return nil, err
 	}
 	s.open = first
+	for _, job := range resumed {
+		job.ingest.Queued = int(s.queued.Add(1))
+		s.sealedSet[job.round] = true
+		if obs := n.observer(); obs != nil && obs.RoundSealed != nil {
+			obs.RoundSealed(job.round, job.ingest)
+		}
+		s.queue <- job // capacity reserved above; never blocks
+	}
 	s.wg.Add(1 + opts.MaxInFlight)
 	go s.schedule()
 	for i := 0; i < opts.MaxInFlight; i++ {
@@ -364,6 +443,11 @@ func (s *Service) rotate(final bool) bool {
 	if sealed.BatchSize() == 0 {
 		return !final // the final rotation's empty seal just closes ingestion
 	}
+	// Journal before queueing: once the seal record is durable, a crash
+	// anywhere downstream re-dispatches the round at the next Serve.
+	s.record(func(j RoundJournal) error {
+		return j.RecordSealed(old.ID(), sealed.Marshal())
+	})
 	job := &sealedJob{
 		round:  old.ID(),
 		sealed: sealed,
@@ -423,6 +507,15 @@ func (s *Service) dispatch() {
 // publish records an outcome, wakes its waiters and streams it to
 // Results.
 func (s *Service) publish(out RoundOutcome) {
+	// The outcome record retires the round's sealed record: after this,
+	// a restart no longer re-dispatches it.
+	s.record(func(j RoundJournal) error {
+		failure := ""
+		if out.Err != nil {
+			failure = out.Err.Error()
+		}
+		return j.RecordOutcome(out.Round, out.Messages, failure)
+	})
 	s.resMu.Lock()
 	delete(s.sealedSet, out.Round)
 	s.done[out.Round] = &out
@@ -531,7 +624,7 @@ func (s *Service) dropWaiter(round uint64, ch chan *RoundOutcome) {
 func (s *Service) Close() error {
 	if !s.closing.CompareAndSwap(false, true) {
 		s.wg.Wait()
-		return nil
+		return s.takeJournalErr()
 	}
 	// The scheduler's final rotation seals the open round (ingestion
 	// stops: the rotation installs no successor, so later submissions
@@ -550,5 +643,13 @@ func (s *Service) Close() error {
 		delete(s.waiters, round)
 	}
 	s.resMu.Unlock()
-	return nil
+	return s.takeJournalErr()
+}
+
+// takeJournalErr reports the first journal write failure, if any — the
+// one fact a gracefully drained pipeline still owes its operator.
+func (s *Service) takeJournalErr() error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.journalErr
 }
