@@ -91,6 +91,7 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "persist durable state (journal + snapshots) here and resume from it on restart")
 		configPath  = flag.String("config", "", "group-config file (JSON); replaces the roster/topology/crypto flags and gates joins by its hash")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text-format counters at this address under /metrics (empty = off)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof at this address under /debug/pprof/ (empty = off; may equal -metrics to share one listener)")
 	)
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func main() {
 	}
 
 	if *member {
-		hostMember(*listen, *stateDir, *metricsAddr, gc)
+		hostMember(*listen, *stateDir, *metricsAddr, *pprofAddr, gc)
 		return
 	}
 
@@ -195,11 +196,19 @@ func main() {
 		}
 		obs = m.Instrument(obs)
 		go func() {
-			if err := daemon.ServeMetrics(*metricsAddr, m); err != nil {
+			if err := daemon.ServeDebug(*metricsAddr, m, *pprofAddr == *metricsAddr); err != nil {
 				log.Printf("atomd: metrics listener: %v", err)
 			}
 		}()
 		log.Printf("atomd: metrics on %s/metrics", *metricsAddr)
+	}
+	if *pprofAddr != "" && *pprofAddr != *metricsAddr {
+		go func() {
+			if err := daemon.ServeDebug(*pprofAddr, nil, true); err != nil {
+				log.Printf("atomd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("atomd: pprof on %s/debug/pprof/", *pprofAddr)
 	}
 	if obs != nil {
 		srv.Network().SetObserver(obs)
@@ -303,7 +312,7 @@ func verboseObserver() *atom.Observer {
 // coordinator's join message — or, with -state-dir, replay from the
 // journal so a crashed host resumes its old identity at its old
 // address.
-func hostMember(listen, stateDir, metricsAddr string, gc *store.GroupConfig) {
+func hostMember(listen, stateDir, metricsAddr, pprofAddr string, gc *store.GroupConfig) {
 	node, err := transport.ListenTCP(listen, 4096)
 	if err != nil {
 		log.Fatalf("atomd: %v", err)
@@ -329,11 +338,19 @@ func hostMember(listen, stateDir, metricsAddr string, gc *store.GroupConfig) {
 			m.SetStore(st)
 		}
 		go func() {
-			if err := daemon.ServeMetrics(metricsAddr, m); err != nil {
+			if err := daemon.ServeDebug(metricsAddr, m, pprofAddr == metricsAddr); err != nil {
 				log.Printf("atomd: metrics listener: %v", err)
 			}
 		}()
 		log.Printf("atomd: metrics on %s/metrics", metricsAddr)
+	}
+	if pprofAddr != "" && pprofAddr != metricsAddr {
+		go func() {
+			if err := daemon.ServeDebug(pprofAddr, nil, true); err != nil {
+				log.Printf("atomd: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("atomd: pprof on %s/debug/pprof/", pprofAddr)
 	}
 	if len(opts.Resume) > 0 {
 		fmt.Printf("atomd: member actor resuming on %s from %s (rejoining fleet)\n", node.Addr(), stateDir)

@@ -90,8 +90,17 @@ func main() {
 		rounds   = flag.Int("rounds", 3, "-serve: how many back-to-back rounds the fleet drives")
 		inflight = flag.Int("inflight", 2, "-serve: rounds mixing concurrently")
 		interval = flag.Duration("interval", 2*time.Second, "-serve: round scheduler's seal deadline (the fleet's full batches normally seal first)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof at this address under /debug/pprof/ (empty = off)")
 	)
 	flag.Parse()
+	if *pprof != "" {
+		go func() {
+			if err := daemon.ServeDebug(*pprof, nil, true); err != nil {
+				log.Printf("atomsim: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("atomsim: pprof on %s/debug/pprof/", *pprof)
+	}
 	if !*all && *fig == 0 && *table == 0 && !*live && !*dist && !*serve && !*crash {
 		*all = true
 	}

@@ -46,6 +46,14 @@ func KeyGen(rnd io.Reader) (*KeyPair, error) {
 	return &KeyPair{SK: sk, PK: ecc.BaseMul(sk)}, nil
 }
 
+// WarmEncryptionKey precomputes a fixed-base comb for pk so that bulk
+// Encrypt calls against it (every user submission of a round encrypts to
+// the same trustee key) cost a table-driven exponentiation instead of a
+// generic one. Safe to call more than once; the table is cached.
+func WarmEncryptionKey(pk *ecc.Point) {
+	ecc.WarmBase(pk)
+}
+
 // deriveAEAD turns the raw ECDH shared point into an AES-256-GCM AEAD.
 func deriveAEAD(shared *ecc.Point, kemPub *ecc.Point) (cipher.AEAD, error) {
 	h := sha3.New256()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
@@ -138,14 +139,39 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// debugMux builds the daemon's debug handler: /metrics when m is
+// non-nil, net/http/pprof under /debug/pprof/ when withPprof is set.
+// Both endpoints share one mux so a single listener can expose both.
+func debugMux(m *Metrics, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	index := "atomd debug:"
+	if m != nil {
+		mux.Handle("/metrics", m)
+		index += " /metrics"
+	}
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		index += " /debug/pprof/"
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, index+"\n")
+	})
+	return mux
+}
+
 // ServeMetrics serves m (at /metrics, plus a bare / index) on addr
 // until the listener fails — intended for `go ServeMetrics(...)` from
 // a daemon main. It returns http.ListenAndServe's error.
 func ServeMetrics(addr string, m *Metrics) error {
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", m)
-	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		io.WriteString(w, "atomd metrics: see /metrics\n")
-	})
-	return http.ListenAndServe(addr, mux)
+	return http.ListenAndServe(addr, debugMux(m, false))
+}
+
+// ServeDebug is ServeMetrics plus optional net/http/pprof on the same
+// mux. m may be nil to serve pprof alone (the atomsim -pprof case).
+func ServeDebug(addr string, m *Metrics, withPprof bool) error {
+	return http.ListenAndServe(addr, debugMux(m, withPprof))
 }

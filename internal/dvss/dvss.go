@@ -76,13 +76,13 @@ func evalPoly(coeffs []*ecc.Scalar, x int) *ecc.Scalar {
 // public image of participant idx's share.
 func ShareCommitment(commitments []*ecc.Point, idx int) *ecc.Point {
 	x := ecc.NewScalar(int64(idx))
+	pows := make([]*ecc.Scalar, len(commitments))
 	xPow := ecc.NewScalar(1)
-	acc := ecc.Identity()
-	for _, c := range commitments {
-		acc = acc.Add(c.Mul(xPow))
+	for j := range pows {
+		pows[j] = xPow
 		xPow = xPow.Mul(x)
 	}
-	return acc
+	return ecc.MultiScalarMul(pows, commitments)
 }
 
 // VerifyShare checks that share is participant idx's valid share under

@@ -1,0 +1,293 @@
+package ecc
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Differential tests: every group operation of the fixed-width backend
+// is cross-checked against crypto/elliptic's P-256 — the reference
+// implementation this package's wire formats are frozen against. The
+// reference works on big.Int affine coordinates, so comparisons go
+// through the frozen compressed encoding in both directions.
+
+var refCurve = elliptic.P256()
+
+// refPoint is a point in the reference representation. The identity is
+// (nil, nil), matching the legacy crypto/elliptic convention of never
+// materializing it.
+type refPoint struct{ x, y *big.Int }
+
+func (r refPoint) isIdentity() bool { return r.x == nil }
+
+func toRef(t *testing.T, p *Point) refPoint {
+	t.Helper()
+	if p.IsIdentity() {
+		return refPoint{}
+	}
+	x, y := elliptic.UnmarshalCompressed(refCurve, p.Bytes())
+	if x == nil {
+		t.Fatalf("reference rejected encoding %x", p.Bytes())
+	}
+	return refPoint{x, y}
+}
+
+func fromRef(t *testing.T, r refPoint) *Point {
+	t.Helper()
+	if r.isIdentity() {
+		return Identity()
+	}
+	p, err := PointFromBytes(elliptic.MarshalCompressed(refCurve, r.x, r.y))
+	if err != nil {
+		t.Fatalf("decoding reference point: %v", err)
+	}
+	return p
+}
+
+func refEqual(a, b refPoint) bool {
+	if a.isIdentity() || b.isIdentity() {
+		return a.isIdentity() == b.isIdentity()
+	}
+	return a.x.Cmp(b.x) == 0 && a.y.Cmp(b.y) == 0
+}
+
+// refAdd adds in the reference representation, handling the identity
+// and inverse cases the legacy API leaves undefined.
+func refAdd(a, b refPoint) refPoint {
+	switch {
+	case a.isIdentity():
+		return b
+	case b.isIdentity():
+		return a
+	}
+	if a.x.Cmp(b.x) == 0 {
+		if a.y.Cmp(b.y) != 0 {
+			return refPoint{} // P + (−P)
+		}
+		x, y := refCurve.Double(a.x, a.y)
+		return refPoint{x, y}
+	}
+	x, y := refCurve.Add(a.x, a.y, b.x, b.y)
+	return refPoint{x, y}
+}
+
+func refNeg(a refPoint) refPoint {
+	if a.isIdentity() {
+		return a
+	}
+	return refPoint{a.x, new(big.Int).Sub(refCurve.Params().P, a.y)}
+}
+
+func refMul(a refPoint, k *Scalar) refPoint {
+	if a.isIdentity() || k.IsZero() {
+		return refPoint{}
+	}
+	x, y := refCurve.ScalarMult(a.x, a.y, k.Bytes())
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return refPoint{}
+	}
+	return refPoint{x, y}
+}
+
+func refBaseMul(k *Scalar) refPoint {
+	if k.IsZero() {
+		return refPoint{}
+	}
+	x, y := refCurve.ScalarBaseMult(k.Bytes())
+	return refPoint{x, y}
+}
+
+// testScalars returns the adversarial scalar set plus count random ones.
+func testScalars(t *testing.T, rng *rand.Rand, count int) []*Scalar {
+	t.Helper()
+	qm1 := ScalarFromBig(new(big.Int).Sub(Order, big.NewInt(1)))
+	out := []*Scalar{NewScalar(0), NewScalar(1), NewScalar(2), qm1}
+	for i := 0; i < count; i++ {
+		var b [32]byte
+		rng.Read(b[:])
+		out = append(out, ScalarFromBytes(b[:]))
+	}
+	return out
+}
+
+// testPoints returns identity, the generator, −G, and count random
+// multiples of G.
+func testPoints(t *testing.T, rng *rand.Rand, count int) []*Point {
+	t.Helper()
+	out := []*Point{Identity(), Generator(), Generator().Neg()}
+	for i := 0; i < count; i++ {
+		var b [32]byte
+		rng.Read(b[:])
+		out = append(out, BaseMul(ScalarFromBytes(b[:])))
+	}
+	return out
+}
+
+func TestDifferentialAddSubNeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	pts := testPoints(t, rng, 12)
+	for _, p := range pts {
+		for _, q := range pts {
+			rp, rq := toRef(t, p), toRef(t, q)
+			if got, want := toRef(t, p.Add(q)), refAdd(rp, rq); !refEqual(got, want) {
+				t.Fatalf("Add mismatch: %v + %v", p, q)
+			}
+			if got, want := toRef(t, p.Sub(q)), refAdd(rp, refNeg(rq)); !refEqual(got, want) {
+				t.Fatalf("Sub mismatch: %v - %v", p, q)
+			}
+		}
+		if got, want := toRef(t, p.Neg()), refNeg(toRef(t, p)); !refEqual(got, want) {
+			t.Fatalf("Neg mismatch: %v", p)
+		}
+		// Doubling and the inverse pair, explicitly.
+		if got, want := toRef(t, p.Add(p)), refAdd(toRef(t, p), toRef(t, p)); !refEqual(got, want) {
+			t.Fatalf("doubling mismatch: %v", p)
+		}
+		if !p.Add(p.Neg()).IsIdentity() {
+			t.Fatalf("P + (−P) ≠ O for %v", p)
+		}
+	}
+}
+
+func TestDifferentialMulAndBaseMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	pts := testPoints(t, rng, 6)
+	scs := testScalars(t, rng, 6)
+	for _, k := range scs {
+		if got, want := toRef(t, BaseMul(k)), refBaseMul(k); !refEqual(got, want) {
+			t.Fatalf("BaseMul mismatch at k=%x", k.Bytes())
+		}
+		for _, p := range pts {
+			if got, want := toRef(t, p.Mul(k)), refMul(toRef(t, p), k); !refEqual(got, want) {
+				t.Fatalf("Mul mismatch: k=%x p=%v", k.Bytes(), p)
+			}
+		}
+	}
+}
+
+func TestDifferentialBatchAPIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	scs := testScalars(t, rng, 60)
+	base := BaseMul(NewScalar(7919))
+	WarmBase(base)
+	fromBatch := BaseMulBatch(scs)
+	fromMulBatch := MulBatch(base, scs)
+	rbase := toRef(t, base)
+	for i, k := range scs {
+		if got, want := toRef(t, fromBatch[i]), refBaseMul(k); !refEqual(got, want) {
+			t.Fatalf("BaseMulBatch[%d] mismatch at k=%x", i, k.Bytes())
+		}
+		if got, want := toRef(t, fromMulBatch[i]), refMul(rbase, k); !refEqual(got, want) {
+			t.Fatalf("MulBatch[%d] mismatch at k=%x", i, k.Bytes())
+		}
+	}
+	// Fused add-then-multiply forms.
+	seeds := testPoints(t, rng, len(scs)-3)
+	fused := BaseMulAddBatch(seeds, scs[:len(seeds)])
+	fusedP := MulAddBatch(base, seeds, scs[:len(seeds)])
+	for i := range seeds {
+		rs := toRef(t, seeds[i])
+		if got, want := toRef(t, fused[i]), refAdd(rs, refBaseMul(scs[i])); !refEqual(got, want) {
+			t.Fatalf("BaseMulAddBatch[%d] mismatch", i)
+		}
+		if got, want := toRef(t, fusedP[i]), refAdd(rs, refMul(rbase, scs[i])); !refEqual(got, want) {
+			t.Fatalf("MulAddBatch[%d] mismatch", i)
+		}
+	}
+}
+
+func TestDifferentialMultiScalarMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, n := range []int{1, 2, 3, 4, 7, 33, 200} {
+		ks := make([]*Scalar, n)
+		ps := make([]*Point, n)
+		want := refPoint{}
+		for i := range ks {
+			var b [32]byte
+			rng.Read(b[:])
+			ks[i] = ScalarFromBytes(b[:])
+			rng.Read(b[:])
+			ps[i] = BaseMul(ScalarFromBytes(b[:]))
+			switch i % 5 {
+			case 3:
+				ks[i] = NewScalar(0) // zero-scalar terms must vanish
+			case 4:
+				ps[i] = Identity() // identity-point terms must vanish
+			}
+			want = refAdd(want, refMul(toRef(t, ps[i]), ks[i]))
+		}
+		if got := toRef(t, MultiScalarMul(ks, ps)); !refEqual(got, want) {
+			t.Fatalf("MultiScalarMul mismatch at n=%d", n)
+		}
+	}
+}
+
+// TestDifferentialConcurrent exercises the shared table registry and the
+// batch pipelines from 16 goroutines at once; run under -race it is the
+// concurrency half of the differential suite.
+func TestDifferentialConcurrent(t *testing.T) {
+	base := BaseMul(NewScalar(65537))
+	rbase := toRef(t, base)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ks := make([]*Scalar, 72)
+			for i := range ks {
+				var b [32]byte
+				rng.Read(b[:])
+				ks[i] = ScalarFromBytes(b[:])
+			}
+			got := MulBatch(base, ks)
+			gotG := BaseMulBatch(ks)
+			for i, k := range ks {
+				if string(got[i].Bytes()) != string(fromRefBytes(refMul(rbase, k))) ||
+					string(gotG[i].Bytes()) != string(fromRefBytes(refBaseMul(k))) {
+					errs <- "concurrent batch mismatch"
+					return
+				}
+			}
+		}(int64(w) + 900)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// fromRefBytes renders a reference point in the frozen encoding.
+func fromRefBytes(r refPoint) []byte {
+	if r.isIdentity() {
+		return []byte{0x00}
+	}
+	return elliptic.MarshalCompressed(refCurve, r.x, r.y)
+}
+
+// FuzzPointFromBytes asserts the decode–encode round trip: any input
+// PointFromBytes accepts must re-encode to the identical bytes, and any
+// accepted point must be on the curve.
+func FuzzPointFromBytes(f *testing.F) {
+	f.Add(Generator().Bytes())
+	f.Add([]byte{0x00})
+	f.Add(BaseMul(NewScalar(42)).Bytes())
+	f.Add([]byte{0x02, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := PointFromBytes(data)
+		if err != nil {
+			return
+		}
+		if !p.IsIdentity() && !p.OnCurve() {
+			t.Fatalf("accepted off-curve point from %x", data)
+		}
+		if got := p.Bytes(); string(got) != string(data) {
+			t.Fatalf("round trip %x -> %x", data, got)
+		}
+	})
+}

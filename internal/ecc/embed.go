@@ -3,7 +3,6 @@ package ecc
 import (
 	"errors"
 	"fmt"
-	"math/big"
 )
 
 // Message embedding (§6.1 of the paper: "we use more points to embed
@@ -36,14 +35,14 @@ func EmbedChunk(chunk []byte) (*Point, error) {
 	var buf [embedLen]byte
 	buf[1] = byte(len(chunk))
 	copy(buf[2:], chunk)
-	x := new(big.Int)
+	var x fe
 	for counter := 0; counter < 256; counter++ {
 		buf[0] = byte(counter)
-		x.SetBytes(buf[:])
-		if x.Cmp(P) >= 0 {
-			continue
+		if !feFromBytes(&x, &buf) {
+			continue // candidate x ≥ p
 		}
-		if pt := pointWithX(x); pt != nil {
+		pt := new(Point)
+		if pointWithX(pt, &x) {
 			return pt, nil
 		}
 	}
@@ -56,7 +55,8 @@ func ExtractChunk(p *Point) ([]byte, error) {
 		return nil, fmt.Errorf("%w: identity point carries no message", ErrEmbed)
 	}
 	var buf [embedLen]byte
-	p.x.FillBytes(buf[:])
+	x, _ := p.affine()
+	feToBytes(&buf, &x)
 	n := int(buf[1])
 	if n > PointPayload {
 		return nil, fmt.Errorf("%w: invalid embedded length %d", ErrEmbed, n)

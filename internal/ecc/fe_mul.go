@@ -1,0 +1,154 @@
+package ecc
+
+// Fully-unrolled CIOS Montgomery multiplication specialized to the two
+// moduli, with the limb constants inlined so the compiler keeps them in
+// registers instead of reloading through a fieldParams pointer each
+// round. These carry the hot paths; the generic montMul remains for
+// cold conversions. Correctness of the transcribed constants is
+// asserted against math/big at package init (see curve.go).
+
+import "math/bits"
+
+const (
+	pm0 = 0xffffffffffffffff
+	pm1 = 0x00000000ffffffff
+	pm2 = 0x0000000000000000
+	pm3 = 0xffffffff00000001
+	pn0 = 1
+
+	qm0 = 0xf3b9cac2fc632551
+	qm1 = 0xbce6faada7179e84
+	qm2 = 0xffffffffffffffff
+	qm3 = 0xffffffff00000000
+	qn0 = 0xccd1c8aaee00bc4f
+)
+
+// p256MulGeneric is the portable CIOS multiplier: z = x·y·R⁻¹ mod p.
+// z may alias x or y.
+func p256MulGeneric(z, x, y *[4]uint64) {
+	var t0, t1, t2, t3, t4, t5 uint64
+	var c, hi, lo, cc uint64
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+
+	for i := 0; i < 4; i++ {
+		xi := x[i]
+		// t += xi·y
+		hi, lo = bits.Mul64(xi, y0)
+		t0, cc = bits.Add64(t0, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y1)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t1, cc = bits.Add64(t1, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y2)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t2, cc = bits.Add64(t2, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y3)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t3, cc = bits.Add64(t3, lo, 0)
+		c = hi + cc
+		t4, t5 = bits.Add64(t4, c, 0)
+
+		// reduce: u·p with u = t0·n0 = t0 (n0 = 1 for p256)
+		u := t0 * pn0
+		hi, lo = bits.Mul64(u, pm0)
+		_, cc = bits.Add64(t0, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, pm1)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t0, cc = bits.Add64(t1, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, pm2)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t1, cc = bits.Add64(t2, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, pm3)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t2, cc = bits.Add64(t3, lo, 0)
+		c = hi + cc
+		t3, cc = bits.Add64(t4, c, 0)
+		t4 = t5 + cc
+	}
+
+	var r0, r1, r2, r3, b uint64
+	r0, b = bits.Sub64(t0, pm0, 0)
+	r1, b = bits.Sub64(t1, pm1, b)
+	r2, b = bits.Sub64(t2, pm2, b)
+	r3, b = bits.Sub64(t3, pm3, b)
+	if t4 != 0 || b == 0 {
+		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}
+
+// ordMulGeneric is the portable CIOS multiplier: z = x·y·R⁻¹ mod q (the
+// group order). z may alias x or y.
+func ordMulGeneric(z, x, y *[4]uint64) {
+	var t0, t1, t2, t3, t4, t5 uint64
+	var c, hi, lo, cc uint64
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+
+	for i := 0; i < 4; i++ {
+		xi := x[i]
+		hi, lo = bits.Mul64(xi, y0)
+		t0, cc = bits.Add64(t0, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y1)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t1, cc = bits.Add64(t1, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y2)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t2, cc = bits.Add64(t2, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(xi, y3)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t3, cc = bits.Add64(t3, lo, 0)
+		c = hi + cc
+		t4, t5 = bits.Add64(t4, c, 0)
+
+		u := t0 * qn0
+		hi, lo = bits.Mul64(u, qm0)
+		_, cc = bits.Add64(t0, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, qm1)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t0, cc = bits.Add64(t1, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, qm2)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t1, cc = bits.Add64(t2, lo, 0)
+		c = hi + cc
+		hi, lo = bits.Mul64(u, qm3)
+		lo, cc = bits.Add64(lo, c, 0)
+		hi += cc
+		t2, cc = bits.Add64(t3, lo, 0)
+		c = hi + cc
+		t3, cc = bits.Add64(t4, c, 0)
+		t4 = t5 + cc
+	}
+
+	var r0, r1, r2, r3, b uint64
+	r0, b = bits.Sub64(t0, qm0, 0)
+	r1, b = bits.Sub64(t1, qm1, b)
+	r2, b = bits.Sub64(t2, qm2, b)
+	r3, b = bits.Sub64(t3, qm3, b)
+	if t4 != 0 || b == 0 {
+		z[0], z[1], z[2], z[3] = r0, r1, r2, r3
+	} else {
+		z[0], z[1], z[2], z[3] = t0, t1, t2, t3
+	}
+}

@@ -1,0 +1,480 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Fully-unrolled 4-limb CIOS Montgomery multiplication using MULX with
+// the ADCX/ADOX dual carry chains: each round's multiply-accumulate
+// keeps the low-word adds on the carry flag and the high-word adds on
+// the overflow flag, so the four MULX products retire back-to-back
+// instead of serializing on one flag.
+//
+// Register plan (both functions):
+//
+//	SI           x pointer
+//	CX DI R14 R15  y limbs (loaded once; reused as the subtraction
+//	               scratch after the rounds, when y is dead)
+//	R8..R13      the six-word accumulator t, rotating one register
+//	             per round — after a round's reduction the old t0
+//	             register holds exactly 0 (u is chosen so the low
+//	             word cancels) and becomes the next round's carry
+//	             spill word, so no register moves are needed:
+//	               round 1: t = (R8  R9  R10 R11 R12), spill R13
+//	               round 2: t = (R9  R10 R11 R12 R13), spill R8
+//	               round 3: t = (R10 R11 R12 R13 R8 ), spill R9
+//	               round 4: t = (R11 R12 R13 R8  R9 ), spill R10
+//	             leaving t = (R12 R13 R8 R9), carry word R10.
+//	DX           MULX implicit multiplicand (x limb, then u)
+//	AX BX        MULX product scratch / zero for carry folding
+//
+// The final conditional subtraction matches the portable code: subtract
+// the modulus, keep the difference when the carry word is set or the
+// subtraction did not borrow.
+
+// func p256MulADX(z, x, y *[4]uint64)
+TEXT ·p256MulADX(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DX
+	MOVQ 0(DX), CX
+	MOVQ 8(DX), DI
+	MOVQ 16(DX), R14
+	MOVQ 24(DX), R15
+	XORQ R8, R8
+	XORQ R9, R9
+	XORQ R10, R10
+	XORQ R11, R11
+	XORQ R12, R12
+	XORQ R13, R13
+
+	// ---- round 1: t += x[0]·y ----
+	MOVQ  0(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MULXQ DI, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MULXQ R14, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ R15, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0, AX
+	ADCXQ AX, R12
+	ADOXQ AX, R13
+	ADCXQ AX, R13
+
+	// reduce: u = t0 (n0 = 1); t = (t + u·p) >> 64
+	MOVQ  R8, DX
+	XORQ  AX, AX
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0x00000000ffffffff, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MOVQ  $0, AX
+	ADCXQ AX, R10
+	ADOXQ AX, R11
+	MOVQ  $0xffffffff00000001, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0, AX
+	ADCXQ AX, R12
+	ADOXQ AX, R13
+	ADCXQ AX, R13
+
+	// ---- round 2: t += x[1]·y ----
+	MOVQ  8(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MULXQ DI, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ R14, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ R15, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0, AX
+	ADCXQ AX, R13
+	ADOXQ AX, R8
+	ADCXQ AX, R8
+
+	MOVQ  R9, DX
+	XORQ  AX, AX
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MOVQ  $0x00000000ffffffff, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MOVQ  $0, AX
+	ADCXQ AX, R11
+	ADOXQ AX, R12
+	MOVQ  $0xffffffff00000001, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0, AX
+	ADCXQ AX, R13
+	ADOXQ AX, R8
+	ADCXQ AX, R8
+
+	// ---- round 3: t += x[2]·y ----
+	MOVQ  16(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ DI, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ R14, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MULXQ R15, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MOVQ  $0, AX
+	ADCXQ AX, R8
+	ADOXQ AX, R9
+	ADCXQ AX, R9
+
+	MOVQ  R10, DX
+	XORQ  AX, AX
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MOVQ  $0x00000000ffffffff, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0, AX
+	ADCXQ AX, R12
+	ADOXQ AX, R13
+	MOVQ  $0xffffffff00000001, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MOVQ  $0, AX
+	ADCXQ AX, R8
+	ADOXQ AX, R9
+	ADCXQ AX, R9
+
+	// ---- round 4: t += x[3]·y ----
+	MOVQ  24(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ DI, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MULXQ R14, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MULXQ R15, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0, AX
+	ADCXQ AX, R9
+	ADOXQ AX, R10
+	ADCXQ AX, R10
+
+	MOVQ  R11, DX
+	XORQ  AX, AX
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0x00000000ffffffff, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0, AX
+	ADCXQ AX, R13
+	ADOXQ AX, R8
+	MOVQ  $0xffffffff00000001, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0, AX
+	ADCXQ AX, R9
+	ADOXQ AX, R10
+	ADCXQ AX, R10
+
+	// t = (R12 R13 R8 R9), carry word R10; y registers are dead.
+	MOVQ R12, CX
+	MOVQ R13, DI
+	MOVQ R8, R14
+	MOVQ R9, R15
+	MOVQ $-1, AX
+	SUBQ AX, CX
+	MOVQ $0x00000000ffffffff, AX
+	SBBQ AX, DI
+	SBBQ $0, R14
+	MOVQ $0xffffffff00000001, AX
+	SBBQ AX, R15
+	SBBQ $0, R10
+
+	// CF set ⇔ carry word was 0 and t−p borrowed ⇔ t < p: keep t.
+	CMOVQCS R12, CX
+	CMOVQCS R13, DI
+	CMOVQCS R8, R14
+	CMOVQCS R9, R15
+	MOVQ    z+0(FP), DX
+	MOVQ    CX, 0(DX)
+	MOVQ    DI, 8(DX)
+	MOVQ    R14, 16(DX)
+	MOVQ    R15, 24(DX)
+	RET
+
+// func ordMulADX(z, x, y *[4]uint64)
+TEXT ·ordMulADX(SB), NOSPLIT, $0-24
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DX
+	MOVQ 0(DX), CX
+	MOVQ 8(DX), DI
+	MOVQ 16(DX), R14
+	MOVQ 24(DX), R15
+	XORQ R8, R8
+	XORQ R9, R9
+	XORQ R10, R10
+	XORQ R11, R11
+	XORQ R12, R12
+	XORQ R13, R13
+
+	// ---- round 1: t += x[0]·y ----
+	MOVQ  0(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MULXQ DI, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MULXQ R14, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ R15, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0, AX
+	ADCXQ AX, R12
+	ADOXQ AX, R13
+	ADCXQ AX, R13
+
+	// reduce: u = t0·n0'; t = (t + u·q) >> 64
+	MOVQ  $0xccd1c8aaee00bc4f, DX
+	IMULQ R8, DX
+	XORQ  AX, AX
+	MOVQ  $0xf3b9cac2fc632551, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0xbce6faada7179e84, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MOVQ  $0xffffffff00000000, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0, AX
+	ADCXQ AX, R12
+	ADOXQ AX, R13
+	ADCXQ AX, R13
+
+	// ---- round 2: t += x[1]·y ----
+	MOVQ  8(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MULXQ DI, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ R14, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ R15, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0, AX
+	ADCXQ AX, R13
+	ADOXQ AX, R8
+	ADCXQ AX, R8
+
+	MOVQ  $0xccd1c8aaee00bc4f, DX
+	IMULQ R9, DX
+	XORQ  AX, AX
+	MOVQ  $0xf3b9cac2fc632551, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R9
+	ADOXQ BX, R10
+	MOVQ  $0xbce6faada7179e84, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0xffffffff00000000, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0, AX
+	ADCXQ AX, R13
+	ADOXQ AX, R8
+	ADCXQ AX, R8
+
+	// ---- round 3: t += x[2]·y ----
+	MOVQ  16(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MULXQ DI, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ R14, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MULXQ R15, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MOVQ  $0, AX
+	ADCXQ AX, R8
+	ADOXQ AX, R9
+	ADCXQ AX, R9
+
+	MOVQ  $0xccd1c8aaee00bc4f, DX
+	IMULQ R10, DX
+	XORQ  AX, AX
+	MOVQ  $0xf3b9cac2fc632551, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R10
+	ADOXQ BX, R11
+	MOVQ  $0xbce6faada7179e84, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $0xffffffff00000000, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MOVQ  $0, AX
+	ADCXQ AX, R8
+	ADOXQ AX, R9
+	ADCXQ AX, R9
+
+	// ---- round 4: t += x[3]·y ----
+	MOVQ  24(SI), DX
+	XORQ  AX, AX
+	MULXQ CX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MULXQ DI, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MULXQ R14, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MULXQ R15, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0, AX
+	ADCXQ AX, R9
+	ADOXQ AX, R10
+	ADCXQ AX, R10
+
+	MOVQ  $0xccd1c8aaee00bc4f, DX
+	IMULQ R11, DX
+	XORQ  AX, AX
+	MOVQ  $0xf3b9cac2fc632551, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R11
+	ADOXQ BX, R12
+	MOVQ  $0xbce6faada7179e84, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R12
+	ADOXQ BX, R13
+	MOVQ  $-1, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R13
+	ADOXQ BX, R8
+	MOVQ  $0xffffffff00000000, BX
+	MULXQ BX, AX, BX
+	ADCXQ AX, R8
+	ADOXQ BX, R9
+	MOVQ  $0, AX
+	ADCXQ AX, R9
+	ADOXQ AX, R10
+	ADCXQ AX, R10
+
+	// t = (R12 R13 R8 R9), carry word R10.
+	MOVQ R12, CX
+	MOVQ R13, DI
+	MOVQ R8, R14
+	MOVQ R9, R15
+	MOVQ $0xf3b9cac2fc632551, AX
+	SUBQ AX, CX
+	MOVQ $0xbce6faada7179e84, AX
+	SBBQ AX, DI
+	MOVQ $-1, AX
+	SBBQ AX, R14
+	MOVQ $0xffffffff00000000, AX
+	SBBQ AX, R15
+	SBBQ $0, R10
+
+	CMOVQCS R12, CX
+	CMOVQCS R13, DI
+	CMOVQCS R8, R14
+	CMOVQCS R9, R15
+	MOVQ    z+0(FP), DX
+	MOVQ    CX, 0(DX)
+	MOVQ    DI, 8(DX)
+	MOVQ    R14, 16(DX)
+	MOVQ    R15, 24(DX)
+	RET
+
+// func cpuSupportsADX() bool
+TEXT ·cpuSupportsADX(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  noadx
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+
+	// BMI2 is EBX bit 8 (MULX), ADX is EBX bit 19 (ADCX/ADOX).
+	ANDL $0x00080100, BX
+	CMPL BX, $0x00080100
+	JNE  noadx
+	MOVB $1, ret+0(FP)
+	RET
+
+noadx:
+	MOVB $0, ret+0(FP)
+	RET

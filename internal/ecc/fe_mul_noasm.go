@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package ecc
+
+// p256Mul sets z = x·y·R⁻¹ mod p. z may alias x or y.
+func p256Mul(z, x, y *[4]uint64) { p256MulGeneric(z, x, y) }
+
+// ordMul sets z = x·y·R⁻¹ mod q (the group order). z may alias x or y.
+func ordMul(z, x, y *[4]uint64) { ordMulGeneric(z, x, y) }

@@ -1,0 +1,237 @@
+package ecc
+
+import (
+	"crypto/rand"
+	"crypto/sha3"
+	"fmt"
+	"io"
+	"math/big"
+	"math/bits"
+)
+
+// Scalar is an element of the scalar field Z_q where q is the order of
+// the P-256 base point, held as 4×64-bit Montgomery-form limbs. The
+// zero value is the scalar 0. All methods are allocation-free apart
+// from the returned result.
+type Scalar struct {
+	v [4]uint64
+}
+
+// NewScalar returns a scalar with the given int64 value reduced mod q.
+func NewScalar(v int64) *Scalar {
+	s := new(Scalar)
+	if v >= 0 {
+		lim := [4]uint64{uint64(v)}
+		montMul(&s.v, &lim, &qParams.rr, &qParams)
+	} else {
+		lim := [4]uint64{uint64(-v)}
+		montMul(&s.v, &lim, &qParams.rr, &qParams)
+		montNeg(&s.v, &s.v, &qParams)
+	}
+	return s
+}
+
+// RandomScalar returns a uniformly random nonzero scalar read from r.
+// If r is nil, crypto/rand.Reader is used.
+//
+// The draw goes through crypto/rand.Int exactly as the previous
+// backend's did, so deterministic deployments seeded through
+// Config.Seed reproduce the same keys and permutations bit for bit.
+func RandomScalar(r io.Reader) (*Scalar, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	for {
+		k, err := rand.Int(r, Order)
+		if err != nil {
+			return nil, fmt.Errorf("ecc: sampling scalar: %w", err)
+		}
+		if k.Sign() != 0 {
+			return ScalarFromBig(k), nil
+		}
+	}
+}
+
+// MustRandomScalar is RandomScalar with a panic on failure; it is intended
+// for tests and for callers using crypto/rand where failure means the
+// platform RNG is broken.
+func MustRandomScalar(r io.Reader) *Scalar {
+	s, err := RandomScalar(r)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ScalarFromBytes interprets b as a big-endian integer reduced mod q.
+func ScalarFromBytes(b []byte) *Scalar {
+	s := new(Scalar)
+	if len(b) <= 32 {
+		var buf [32]byte
+		copy(buf[32-len(b):], b)
+		var v [4]uint64
+		limbsFromBytes(&v, &buf)
+		// v < 2^256 < 2q, so one conditional subtraction reduces.
+		var r [4]uint64
+		var bb uint64
+		r[0], bb = bits.Sub64(v[0], qParams.m[0], 0)
+		r[1], bb = bits.Sub64(v[1], qParams.m[1], bb)
+		r[2], bb = bits.Sub64(v[2], qParams.m[2], bb)
+		r[3], bb = bits.Sub64(v[3], qParams.m[3], bb)
+		if bb == 0 {
+			v = r
+		}
+		montMul(&s.v, &v, &qParams.rr, &qParams)
+		return s
+	}
+	return ScalarFromBig(new(big.Int).SetBytes(b))
+}
+
+// ScalarFromBig returns a scalar equal to v mod q. v is not retained.
+func ScalarFromBig(v *big.Int) *Scalar {
+	s := new(Scalar)
+	var buf [32]byte
+	new(big.Int).Mod(v, Order).FillBytes(buf[:])
+	var lim [4]uint64
+	limbsFromBytes(&lim, &buf)
+	montMul(&s.v, &lim, &qParams.rr, &qParams)
+	return s
+}
+
+// HashToScalar hashes the concatenation of the given byte slices with
+// SHA3-256 and reduces the digest mod q. It is used to derive Fiat–Shamir
+// challenges; domain separation is the caller's responsibility (by
+// prefixing a domain tag as the first slice).
+func HashToScalar(parts ...[]byte) *Scalar {
+	h := sha3.New256()
+	for _, p := range parts {
+		// Length-prefix each part so concatenation is unambiguous.
+		var ln [4]byte
+		ln[0] = byte(len(p) >> 24)
+		ln[1] = byte(len(p) >> 16)
+		ln[2] = byte(len(p) >> 8)
+		ln[3] = byte(len(p))
+		h.Write(ln[:])
+		h.Write(p)
+	}
+	return ScalarFromBytes(h.Sum(nil))
+}
+
+// Big returns a copy of the scalar's value as a big.Int.
+func (s *Scalar) Big() *big.Int {
+	var buf [32]byte
+	s.fillBytes(&buf)
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// fillBytes writes the canonical 32-byte big-endian encoding into buf.
+func (s *Scalar) fillBytes(buf *[32]byte) {
+	var v [4]uint64
+	one := [4]uint64{1, 0, 0, 0}
+	montMul(&v, &s.v, &one, &qParams)
+	limbsToBytes(buf, &v)
+}
+
+// canonical returns the scalar's value out of Montgomery form, as
+// little-endian limbs, for bit-window extraction in scalar-mul code.
+func (s *Scalar) canonical() [4]uint64 {
+	var v [4]uint64
+	one := [4]uint64{1, 0, 0, 0}
+	ordMul(&v, &s.v, &one)
+	return v
+}
+
+// Bytes returns the scalar as a fixed 32-byte big-endian encoding.
+func (s *Scalar) Bytes() []byte {
+	out := make([]byte, 32)
+	s.fillBytes((*[32]byte)(out))
+	return out
+}
+
+// Clone returns an independent copy of s.
+func (s *Scalar) Clone() *Scalar {
+	c := new(Scalar)
+	c.v = s.v
+	return c
+}
+
+// IsZero reports whether s is the zero scalar.
+func (s *Scalar) IsZero() bool { return limbsIsZero(&s.v) }
+
+// Equal reports whether s and t are the same scalar.
+func (s *Scalar) Equal(t *Scalar) bool { return limbsEqual(&s.v, &t.v) }
+
+// Add returns s + t mod q.
+func (s *Scalar) Add(t *Scalar) *Scalar {
+	r := new(Scalar)
+	montAdd(&r.v, &s.v, &t.v, &qParams)
+	return r
+}
+
+// Sub returns s - t mod q.
+func (s *Scalar) Sub(t *Scalar) *Scalar {
+	r := new(Scalar)
+	montSub(&r.v, &s.v, &t.v, &qParams)
+	return r
+}
+
+// Mul returns s * t mod q.
+func (s *Scalar) Mul(t *Scalar) *Scalar {
+	r := new(Scalar)
+	ordMul(&r.v, &s.v, &t.v)
+	return r
+}
+
+// Neg returns -s mod q.
+func (s *Scalar) Neg() *Scalar {
+	r := new(Scalar)
+	montNeg(&r.v, &s.v, &qParams)
+	return r
+}
+
+// Inv returns s⁻¹ mod q. It panics if s is zero, which indicates a protocol
+// bug (challenges and blinding factors are sampled nonzero).
+func (s *Scalar) Inv() *Scalar {
+	if s.IsZero() {
+		panic("ecc: inverse of zero scalar")
+	}
+	r := new(Scalar)
+	montPow(&r.v, &s.v, &qParams.mm2, &qParams)
+	return r
+}
+
+// InvertBatch returns the elementwise inverses of ks using Montgomery's
+// batch-inversion trick: one field inversion plus 3(n-1) multiplications
+// for the whole slice instead of n full exponentiations. It panics if
+// any element is zero, matching Inv.
+func InvertBatch(ks []*Scalar) []*Scalar {
+	n := len(ks)
+	out := make([]*Scalar, n)
+	if n == 0 {
+		return out
+	}
+	slab := make([]Scalar, n)
+	prefix := make([][4]uint64, n)
+	acc := qParams.one
+	for i, k := range ks {
+		if k.IsZero() {
+			panic("ecc: inverse of zero scalar")
+		}
+		prefix[i] = acc
+		ordMul(&acc, &acc, &k.v)
+	}
+	var inv [4]uint64
+	montPow(&inv, &acc, &qParams.mm2, &qParams)
+	for i := n - 1; i >= 0; i-- {
+		ordMul(&slab[i].v, &inv, &prefix[i])
+		ordMul(&inv, &inv, &ks[i].v)
+		out[i] = &slab[i]
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a short hex prefix for debugging.
+func (s *Scalar) String() string {
+	b := s.Bytes()
+	return fmt.Sprintf("scalar(%x…)", b[:4])
+}

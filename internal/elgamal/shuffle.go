@@ -70,17 +70,59 @@ func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.P
 		}
 		rands[i] = rs
 	}
-	out = make([]Vector, n)
-	if err := pool.Each(n, func(i int) error {
+	// Flatten every (vector, component) slot so the rerandomization runs
+	// as two fused batch comb evaluations per worker chunk — R' =
+	// g^r + R seeded into the generator comb, C' = pk^r + C into pk's
+	// cached per-key comb — instead of four generic exponentiations per
+	// component. Each chunk shares one field inversion per comb step, so
+	// the whole shuffle allocates O(1) per component.
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + len(in[perm[i]])
+	}
+	total := offs[n]
+	seedR := make([]*ecc.Point, total)
+	seedC := make([]*ecc.Point, total)
+	flatK := make([]*ecc.Scalar, total)
+	for i := 0; i < n; i++ {
 		src := in[perm[i]]
-		v := make(Vector, len(src))
 		for j, ct := range src {
-			v[j] = RerandomizeWithRandomness(pk, ct, rands[i][j])
+			seedR[offs[i]+j] = ct.R
+			seedC[offs[i]+j] = ct.C
+			flatK[offs[i]+j] = rands[i][j]
 		}
-		out[i] = v
+	}
+	outR := make([]*ecc.Point, total)
+	outC := make([]*ecc.Point, total)
+	chunks := pool.Workers()
+	if chunks > (total+255)/256 {
+		chunks = (total + 255) / 256
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if err := pool.Each(chunks, func(c int) error {
+		lo, hi := c*total/chunks, (c+1)*total/chunks
+		if lo == hi {
+			return nil
+		}
+		copy(outR[lo:hi], ecc.BaseMulAddBatch(seedR[lo:hi], flatK[lo:hi]))
+		copy(outC[lo:hi], ecc.MulAddBatch(pk, seedC[lo:hi], flatK[lo:hi]))
 		return nil
 	}); err != nil {
 		return nil, nil, nil, err
+	}
+	out = make([]Vector, n)
+	cts := make([]Ciphertext, total)
+	for i := 0; i < n; i++ {
+		v := make(Vector, offs[i+1]-offs[i])
+		for j := range v {
+			ct := &cts[offs[i]+j]
+			ct.R = outR[offs[i]+j]
+			ct.C = outC[offs[i]+j]
+			v[j] = ct
+		}
+		out[i] = v
 	}
 	return out, perm, rands, nil
 }
@@ -112,16 +154,90 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 		}
 		rands[i] = rs
 	}
-	out := make([]Vector, len(batch))
-	if err := pool.Each(len(batch), func(i int) error {
-		v := make(Vector, len(batch[i]))
+	// Flatten as in ShuffleBatchPar. The peel step C − Y^sk is a
+	// variable-base multiplication with no shared structure (every Y
+	// differs), but the re-encryption halves — g^r + R into the generator
+	// comb, nextPK^r + C into nextPK's cached per-key comb — batch the
+	// same way the shuffle does.
+	n := len(batch)
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + len(batch[i])
+	}
+	total := offs[n]
+	ys := make([]*ecc.Point, total)   // peel base per slot (Y, or first-touch R)
+	rrs := make([]*ecc.Point, total)  // carried R per slot
+	srcC := make([]*ecc.Point, total) // input C per slot
+	peel := make([]*ecc.Point, total) // C − Y^sk
+	flatK := make([]*ecc.Scalar, total)
+	for i := 0; i < n; i++ {
 		for j, ct := range batch[i] {
-			v[j] = ReEncWithRandomness(sk, nextPK, ct, rands[i][j])
+			t := offs[i] + j
+			// First touch within a group: the accumulated randomness moves
+			// into the Y slot and R resets to the identity.
+			y, rr := ct.Y, ct.R
+			if y == nil {
+				y = ct.R
+				rr = ecc.Identity()
+			}
+			ys[t] = y
+			rrs[t] = rr
+			srcC[t] = ct.C
+			flatK[t] = rands[i][j]
 		}
-		out[i] = v
+	}
+	outR := make([]*ecc.Point, total)
+	chunks := pool.Workers()
+	if chunks > (total+63)/64 {
+		chunks = (total + 63) / 64
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if err := pool.Each(chunks, func(c int) error {
+		lo, hi := c*total/chunks, (c+1)*total/chunks
+		if lo == hi {
+			return nil
+		}
+		for j := lo; j < hi; j++ {
+			peel[j] = srcC[j].Sub(ys[j].Mul(sk))
+		}
+		if nextPK == nil {
+			// Exit layer: pure decryption, R carries through untouched.
+			for j := lo; j < hi; j++ {
+				outR[j] = rrs[j].Clone()
+			}
+			return nil
+		}
+		copy(outR[lo:hi], ecc.BaseMulAddBatch(rrs[lo:hi], flatK[lo:hi]))
 		return nil
 	}); err != nil {
 		return nil, nil, err
+	}
+	if nextPK != nil {
+		if err := pool.Each(chunks, func(c int) error {
+			lo, hi := c*total/chunks, (c+1)*total/chunks
+			if lo < hi {
+				copy(peel[lo:hi], ecc.MulAddBatch(nextPK, peel[lo:hi], flatK[lo:hi]))
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	out := make([]Vector, n)
+	cts := make([]Ciphertext, total)
+	for i := 0; i < n; i++ {
+		v := make(Vector, offs[i+1]-offs[i])
+		for j := range v {
+			t := offs[i] + j
+			ct := &cts[t]
+			ct.R = outR[t]
+			ct.C = peel[t]
+			ct.Y = ys[t].Clone()
+			v[j] = ct
+		}
+		out[i] = v
 	}
 	return out, rands, nil
 }

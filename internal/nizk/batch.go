@@ -58,7 +58,12 @@ func VerifyReEncBatch(serverPK, nextPK *ecc.Point, ins, outs []elgamal.Vector, p
 		tr.AppendPoints("commit-c", proof.CommitC)
 		gamma := tr.Challenge("gamma")
 
-		p := partial{acc: ecc.Identity(), baseExp: ecc.NewScalar(0), serverExp: ecc.NewScalar(0), nextExp: ecc.NewScalar(0)}
+		p := partial{baseExp: ecc.NewScalar(0), serverExp: ecc.NewScalar(0), nextExp: ecc.NewScalar(0)}
+		// Every variable-base term of the combination lands in one
+		// multi-scalar multiplication per vector instead of its own
+		// generic exponentiation.
+		ks := make([]*ecc.Scalar, 0, 6*n)
+		ps := make([]*ecc.Point, 0, 6*n)
 		for i := 0; i < n; i++ {
 			rIn, y := normalizeY(in[i])
 			if out[i].Y == nil || !out[i].Y.Equal(y) {
@@ -74,7 +79,8 @@ func VerifyReEncBatch(serverPK, nextPK *ecc.Point, ins, outs []elgamal.Vector, p
 			}
 			p.baseExp = p.baseExp.Add(rho1.Mul(proof.RespX[i]))
 			p.serverExp = p.serverExp.Sub(rho1.Mul(gamma))
-			p.acc = p.acc.Add(proof.CommitKey[i].Mul(rho1.Neg()))
+			ks = append(ks, rho1.Neg())
+			ps = append(ps, proof.CommitKey[i])
 			if nextPK != nil {
 				// Equation 2 × ρ2: g^{zr} − CommitR − (R'/R)^γ = 0.
 				rho2, err := ecc.RandomScalar(nil)
@@ -83,20 +89,24 @@ func VerifyReEncBatch(serverPK, nextPK *ecc.Point, ins, outs []elgamal.Vector, p
 				}
 				p.baseExp = p.baseExp.Add(rho2.Mul(proof.RespR[i]))
 				dR := out[i].R.Sub(rIn)
-				p.acc = p.acc.Add(proof.CommitR[i].Mul(rho2.Neg())).Add(dR.Mul(rho2.Mul(gamma).Neg()))
+				ks = append(ks, rho2.Neg(), rho2.Mul(gamma).Neg())
+				ps = append(ps, proof.CommitR[i], dR)
 			}
 			// Equation 3 × ρ3: Y^{−zx} [+ X'^{zr}] − CommitC − (C'/C)^γ = 0.
 			rho3, err := ecc.RandomScalar(nil)
 			if err != nil {
 				return partial{}, fmt.Errorf("nizk: batch verify: %w", err)
 			}
-			p.acc = p.acc.Add(y.Mul(rho3.Mul(proof.RespX[i]).Neg()))
+			ks = append(ks, rho3.Mul(proof.RespX[i]).Neg())
+			ps = append(ps, y)
 			if nextPK != nil {
 				p.nextExp = p.nextExp.Add(rho3.Mul(proof.RespR[i]))
 			}
 			dC := out[i].C.Sub(in[i].C)
-			p.acc = p.acc.Add(proof.CommitC[i].Mul(rho3.Neg())).Add(dC.Mul(rho3.Mul(gamma).Neg()))
+			ks = append(ks, rho3.Neg(), rho3.Mul(gamma).Neg())
+			ps = append(ps, proof.CommitC[i], dC)
 		}
+		p.acc = ecc.MultiScalarMul(ks, ps)
 		return p, nil
 	})
 	if err != nil {

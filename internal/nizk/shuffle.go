@@ -53,38 +53,32 @@ type ShufProof struct {
 	ZS     []*ecc.Scalar // per component
 }
 
-// multiExp computes Π points[i]^{scalars[i]}.
+// multiExp computes Π points[i]^{scalars[i]} as one Pippenger
+// multi-scalar multiplication.
 func multiExp(points []*ecc.Point, scalars []*ecc.Scalar) *ecc.Point {
-	acc := ecc.Identity()
-	for i, p := range points {
-		acc = acc.Add(p.Mul(scalars[i]))
-	}
-	return acc
+	return ecc.MultiScalarMul(scalars, points)
 }
 
-// multiExpPar is multiExp with the scalar multiplications chunked over
-// the pool's workers; partial products are folded at the end. A nil
-// pool (or a short input) computes serially. The only possible error is
-// the pool's context expiring mid-computation, which must surface — a
-// half-folded product is not a result.
+// multiExpPar is multiExp with the multi-scalar multiplication split
+// into per-worker sub-MSMs whose partial products fold at the end. A
+// nil pool (or a short input) computes as one MSM. Sub-MSMs below a few
+// hundred points lose more to per-window bucket overhead than they gain
+// from parallelism, so the worker count is capped by the input size.
+// The only possible error is the pool's context expiring
+// mid-computation, which must surface — a half-folded product is not a
+// result.
 func multiExpPar(points []*ecc.Point, scalars []*ecc.Scalar, pool *parallel.Pool) (*ecc.Point, error) {
 	n := len(points)
 	w := pool.Workers()
-	if w > n {
-		w = n
+	if w > n/256 {
+		w = n / 256
 	}
-	if w <= 1 || n < 16 {
-		return multiExp(points, scalars), nil
+	if w <= 1 {
+		return ecc.MultiScalarMul(scalars, points), nil
 	}
-	chunk := (n + w - 1) / w
 	parts, err := parallel.Map(pool, w, func(k int) (*ecc.Point, error) {
-		lo := k * chunk
-		hi := min(lo+chunk, n)
-		acc := ecc.Identity()
-		for i := lo; i < hi; i++ {
-			acc = acc.Add(points[i].Mul(scalars[i]))
-		}
-		return acc, nil
+		lo, hi := k*n/w, (k+1)*n/w
+		return ecc.MultiScalarMul(scalars[lo:hi], points[lo:hi]), nil
 	})
 	if err != nil {
 		return nil, err
@@ -96,12 +90,25 @@ func multiExpPar(points []*ecc.Point, scalars []*ecc.Scalar, pool *parallel.Pool
 	return acc, nil
 }
 
-// baseMulsPar fills out[i] = g^{exps[i]} over the pool's workers. As
-// with multiExpPar the only error is a context cancellation, which
-// leaves out partially nil and must not be ignored.
+// baseMulsPar fills out[i] = g^{exps[i]} with per-worker comb batch
+// evaluations (one shared inversion per chunk instead of one generic
+// exponentiation per element). As with multiExpPar the only error is a
+// context cancellation, which leaves out partially nil and must not be
+// ignored.
 func baseMulsPar(exps []*ecc.Scalar, out []*ecc.Point, pool *parallel.Pool) error {
-	return pool.Each(len(exps), func(i int) error {
-		out[i] = ecc.BaseMul(exps[i])
+	n := len(exps)
+	w := pool.Workers()
+	if w > (n+255)/256 {
+		w = (n + 255) / 256
+	}
+	if w < 1 {
+		w = 1
+	}
+	return pool.Each(w, func(c int) error {
+		lo, hi := c*n/w, (c+1)*n/w
+		if lo < hi {
+			copy(out[lo:hi], ecc.BaseMulBatch(exps[lo:hi]))
+		}
 		return nil
 	})
 }
@@ -362,13 +369,45 @@ func VerifyShufflePar(pk *ecc.Point, in, out []elgamal.Vector, proof *ShufProof,
 			outC[j][i] = out[i][j].C
 		}
 	}
-	if err := pool.Each(n, func(i int) error {
-		if !ecc.BaseMul(proof.ZU[i]).Equal(proof.AU[i].Add(proof.U[i].Mul(gammaA))) {
-			return fmt.Errorf("%w: shuffle proof (a), element %d", ErrVerify, i)
+	// The n per-element equations g^{z_i} = AU_i·U_i^{γa} collapse into
+	// one random-linear-combination check: with fresh random ρ_i,
+	// g^{Σρ_i z_i} − Σρ_i·AU_i − γa·Σρ_i·U_i = O vouches for all of them
+	// except with negligible probability. On a nonzero sum (or if
+	// randomness fails) the per-element scan runs to attribute the lowest
+	// offender with the same error the serial verifier produces.
+	checkElems := func() error {
+		return pool.Each(n, func(i int) error {
+			if !ecc.BaseMul(proof.ZU[i]).Equal(proof.AU[i].Add(proof.U[i].Mul(gammaA))) {
+				return fmt.Errorf("%w: shuffle proof (a), element %d", ErrVerify, i)
+			}
+			return nil
+		})
+	}
+	zSum := ecc.NewScalar(0)
+	ks := make([]*ecc.Scalar, 0, 2*n)
+	ps := make([]*ecc.Point, 0, 2*n)
+	batchedA := true
+	for i := 0; i < n; i++ {
+		rho, rerr := ecc.RandomScalar(nil)
+		if rerr != nil {
+			batchedA = false
+			break
 		}
-		return nil
-	}); err != nil {
-		return err
+		zSum = zSum.Add(rho.Mul(proof.ZU[i]))
+		ks = append(ks, rho.Neg(), rho.Mul(gammaA).Neg())
+		ps = append(ps, proof.AU[i], proof.U[i])
+	}
+	if !batchedA {
+		if err := checkElems(); err != nil {
+			return err
+		}
+	} else if !ecc.BaseMul(zSum).Add(ecc.MultiScalarMul(ks, ps)).IsIdentity() {
+		// The combination is nonzero: scan per element to attribute the
+		// lowest offender deterministically.
+		if err := checkElems(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: batched shuffle proof (a) combination nonzero", ErrVerify)
 	}
 	for j := 0; j < l; j++ {
 		zuR, err := multiExpPar(outR[j], proof.ZU, pool)

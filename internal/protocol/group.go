@@ -38,6 +38,9 @@ func newGroupState(info *groupmgr.Group, threshold int, rnd io.Reader) (*GroupSt
 	if err != nil {
 		return nil, fmt.Errorf("protocol: group %d DKG: %w", info.ID, err)
 	}
+	// The group key is the base of every rerandomization this group's
+	// batches undergo; precompute its comb once at setup.
+	ecc.WarmBase(keys[0].PK)
 	return &GroupState{
 		Info:      info,
 		Keys:      keys,

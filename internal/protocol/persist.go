@@ -7,6 +7,7 @@ import (
 
 	"atom/internal/beacon"
 	"atom/internal/dvss"
+	"atom/internal/ecc"
 	"atom/internal/elgamal"
 	"atom/internal/groupmgr"
 	"atom/internal/wirecodec"
@@ -145,6 +146,9 @@ func RestoreDeployment(cfg Config, state []byte, lastRound uint64) (*Deployment,
 		if g.PK, err = dec.Point(); err != nil || g.PK == nil {
 			return nil, corrupt("group %d public key", i)
 		}
+		// Restored groups mix immediately; re-warm the key's comb as
+		// newGroupState would have.
+		ecc.WarmBase(g.PK)
 		if g.threshold, err = dec.I(); err != nil {
 			return nil, corrupt("group %d threshold: %v", i, err)
 		}

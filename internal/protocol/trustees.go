@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"atom/internal/cca2"
 	"atom/internal/ecc"
 )
 
@@ -41,6 +42,10 @@ func NewTrustees(n int, rnd io.Reader) (*Trustees, error) {
 		pk = pk.Add(ecc.BaseMul(s))
 	}
 	t.pk = pk
+	// Every submission of the round CCA2-encrypts to this key; warm its
+	// fixed-base table once here instead of paying a generic
+	// multiplication per submission.
+	cca2.WarmEncryptionKey(pk)
 	return t, nil
 }
 

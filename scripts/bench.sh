@@ -33,6 +33,13 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 go test -run='^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
+# Baseline for the speed-up column: the committed BENCH.json (last PR's
+# run), read before this run overwrites it. Missing file = no baseline.
+BASE_JSON=""
+if [ -f BENCH.json ]; then
+    BASE_JSON="BENCH.json"
+fi
+
 # Sustained throughput of the continuous service: back-to-back
 # pipelined rounds over the WAN-latency cluster, fed over the wire. A
 # failed serve run fails the script — silently recording zeros would
@@ -51,11 +58,41 @@ fi
 
 awk -v ref="$REF" -v benchtime="$BENCHTIME" \
     -v msgssec="$MSGS_SEC" -v roundsmin="$ROUNDS_MIN" \
-    -v serverounds="$SERVE_ROUNDS" -v servemsgs="$SERVE_MSGS" '
+    -v serverounds="$SERVE_ROUNDS" -v servemsgs="$SERVE_MSGS" \
+    -v basejson="$BASE_JSON" '
+BEGIN {
+    # Prior run: pull "BenchmarkX": ns pairs out of the committed
+    # summary, plus its ref, for the speed-up column.
+    if (basejson != "") {
+        # Only the "benchmarks" object holds ns values; later sections
+        # ("allocs_per_op", the speed-up ratios) reuse the same
+        # benchmark names and must not clobber them.
+        inbench = 0
+        while ((getline line < basejson) > 0) {
+            if (line ~ /"ref":/) {
+                gsub(/.*"ref": *"|".*/, "", line)
+                if (baseref == "") baseref = line
+            } else if (line ~ /"benchmarks": *\{/) {
+                inbench = 1
+            } else if (inbench && line ~ /\}/) {
+                inbench = 0
+            } else if (inbench && line ~ /^    "Benchmark/) {
+                key = line; gsub(/^    "|".*/, "", key)
+                val = line; gsub(/.*: *|,.*/, "", val)
+                if (val + 0 > 0) basens[key] = val + 0
+            }
+        }
+        close(basejson)
+    }
+}
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
-    ns[name] = $3
+    # Columns shift when custom metrics are present; find each unit.
+    for (f = 3; f <= NF; f++) {
+        if ($f == "ns/op") ns[name] = $(f-1)
+        if ($f == "allocs/op") allocs[name] = $(f-1)
+    }
     order[n++] = name
 }
 END {
@@ -64,7 +101,23 @@ END {
     for (i = 0; i < n; i++) {
         printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
     }
-    printf "  },\n  \"figure7_speedup_vs_workers1\": {\n"
+    printf "  },\n  \"allocs_per_op\": {\n"
+    sep = ""
+    for (i = 0; i < n; i++) {
+        if (order[i] in allocs) {
+            printf "%s    \"%s\": %s", sep, order[i], allocs[order[i]]
+            sep = ",\n"
+        }
+    }
+    printf "\n  },\n  \"speedup_vs_baseline\": {\n"
+    printf "    \"baseline_ref\": \"%s\"", baseref
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name in basens && ns[name] + 0 > 0) {
+            printf ",\n    \"%s\": %.2f", name, basens[name] / ns[name]
+        }
+    }
+    printf "\n  },\n  \"figure7_speedup_vs_workers1\": {\n"
     sep = ""
     for (i = 0; i < n; i++) {
         name = order[i]

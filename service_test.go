@@ -184,8 +184,10 @@ func TestServicePipelineOverlap(t *testing.T) {
 
 	// Latency-dominated layers make the overlap deterministic: each of
 	// the T=3 layers costs several network hops, so round r+1's layer 0
-	// lands long before round r's exit.
-	net := transport.NewMemNetwork(transport.UniformLatency(10*time.Millisecond), 256)
+	// lands long before round r's exit. 30 ms keeps the layers dominant
+	// over race-instrumented ingestion now that the crypto core mixes a
+	// 6-message batch in single-digit milliseconds.
+	net := transport.NewMemNetwork(transport.UniformLatency(30*time.Millisecond), 256)
 	cluster, err := distributed.NewCluster(n.Deployment(), distributed.Options{
 		Attach:      distributed.MemAttach(net),
 		Workers:     1,
