@@ -27,6 +27,15 @@
 //
 //	atomclient -server host:9000 -submit "load %d" -count 256 -ingest -await
 //	atomclient -server host:9000 -submit-file messages.txt -ingest
+//
+// With -fast the batch rides the daemon's multiplexed binary submit
+// path instead of one gob RPC per message: submissions are pipelined
+// over a single connection and verdicts arrive as coalesced async acks,
+// so one process drives thousands of logical users at wire speed. The
+// daemon advertises the fast-path address through Info (atomd
+// -fastpath); -fast requires -ingest:
+//
+//	atomclient -server host:9000 -submit "load %d" -count 4096 -ingest -fast -await
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"atom"
@@ -59,8 +69,12 @@ func main() {
 		file    = flag.String("submit-file", "", "batch mode: submit every line of this file as one message")
 		ingest  = flag.Bool("ingest", false, "target the continuous service's open round (atomd -serve)")
 		await   = flag.Bool("await", false, "with -ingest: wait for the submitted round to publish and print it")
+		fast    = flag.Bool("fast", false, "with -ingest: pipeline the batch over the daemon's binary submit path (atomd -fastpath)")
 	)
 	flag.Parse()
+	if *fast && !*ingest {
+		log.Fatal("atomclient: -fast needs -ingest (the fast path feeds the continuous service)")
+	}
 	if *submit == "" && *file == "" && !*run && !*open && !*mix {
 		log.Fatal("atomclient: nothing to do (use -open, -submit, -submit-file, -mix and/or -run)")
 	}
@@ -117,7 +131,12 @@ func main() {
 		if *ingest {
 			// Continuous service: submit the batch into whichever round
 			// is open, re-fetching when a seal lands mid-batch.
-			published := ingestBatch(ctx, cli, ac, info, *user, msgs, *timeout)
+			var published []uint64
+			if *fast {
+				published = fastIngestBatch(ctx, info, ac, *user, msgs, *timeout)
+			} else {
+				published = ingestBatch(ctx, cli, ac, info, *user, msgs, *timeout)
+			}
 			if *await {
 				for _, rid := range published {
 					rctx, cancel := withDeadline()
@@ -264,6 +283,89 @@ func ingestBatch(ctx context.Context, cli *daemon.Client, ac *atom.Client, info 
 		if err != nil && !errors.Is(err, atom.ErrRoundClosed) {
 			log.Fatalf("atomclient: submitting (after %d accepted): %v", len(msgs)-len(remaining), err)
 		}
+	}
+	return published
+}
+
+// fastIngestBatch drives a batch through the daemon's multiplexed
+// binary submit path: every message is encrypted for the open round and
+// pipelined over one connection, verdicts arrive as async acks, and
+// anything rejected because its round sealed mid-flight is retried
+// against the successor. Returns every round id the batch landed in.
+func fastIngestBatch(ctx context.Context, info *daemon.Info, ac *atom.Client,
+	base int, msgs [][]byte, timeout time.Duration) []uint64 {
+	if info.SubmitAddr == "" {
+		log.Fatal("atomclient: the daemon advertises no fast path (start atomd with -fastpath)")
+	}
+	fc, err := daemon.DialFast(info.SubmitAddr)
+	if err != nil {
+		log.Fatalf("atomclient: dialing fast path %s: %v", info.SubmitAddr, err)
+	}
+	defer fc.Close()
+
+	type item struct {
+		user int
+		msg  []byte
+	}
+	pending := make([]item, len(msgs))
+	for i, m := range msgs {
+		pending[i] = item{base + i, m}
+	}
+	var published []uint64
+	seen := map[uint64]bool{}
+	for len(pending) > 0 {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		ri, err := fc.ServeInfo(rctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("atomclient: fetching open round: %v", err)
+		}
+		errs := make([]error, len(pending))
+		rounds := make([]uint64, len(pending))
+		var wg sync.WaitGroup
+		for i, it := range pending {
+			gid := it.user % info.Groups
+			wire, err := ac.EncryptSubmission(it.msg, info.EntryKeys[gid], ri.TrusteeKey, gid)
+			if err != nil {
+				log.Fatalf("atomclient: encrypting for user %d: %v", it.user, err)
+			}
+			wg.Add(1)
+			i := i
+			fc.Submit(ri.ID, it.user, wire, func(round uint64, err error) {
+				rounds[i], errs[i] = round, err
+				wg.Done()
+			})
+		}
+		if err := fc.Flush(); err != nil {
+			log.Fatalf("atomclient: fast path flush: %v", err)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(timeout * time.Duration(len(pending))):
+			log.Fatalf("atomclient: fast path acks never arrived for round %d", ri.ID)
+		}
+		admitted := 0
+		var retry []item
+		for i, e := range errs {
+			switch {
+			case e == nil:
+				admitted++
+				if !seen[rounds[i]] {
+					seen[rounds[i]] = true
+					published = append(published, rounds[i])
+				}
+			case errors.Is(e, atom.ErrRoundClosed):
+				retry = append(retry, pending[i])
+			default:
+				log.Fatalf("atomclient: user %d rejected: %v", pending[i].user, e)
+			}
+		}
+		if admitted > 0 {
+			fmt.Printf("submitted %d message(s) into round %d over the fast path\n", admitted, ri.ID)
+		}
+		pending = retry
 	}
 	return published
 }

@@ -88,6 +88,7 @@ func main() {
 		interval    = flag.Duration("interval", time.Second, "-serve: round scheduler's seal deadline (Options.RoundInterval)")
 		capacity    = flag.Int("capacity", 0, "-serve: seal a round early at this many submissions (0 = deadline only)")
 		inflight    = flag.Int("inflight", 2, "-serve: rounds mixing concurrently (bounded pipeline depth)")
+		fastAddr    = flag.String("fastpath", "", "-serve: multiplexed binary submit listener address (\":0\" = ephemeral; advertised to clients via Info)")
 		stateDir    = flag.String("state-dir", "", "persist durable state (journal + snapshots) here and resume from it on restart")
 		configPath  = flag.String("config", "", "group-config file (JSON); replaces the roster/topology/crypto flags and gates joins by its hash")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text-format counters at this address under /metrics (empty = off)")
@@ -189,8 +190,9 @@ func main() {
 	if *verbose {
 		obs = verboseObserver()
 	}
+	var m *daemon.Metrics
 	if *metricsAddr != "" {
-		m := daemon.NewMetrics()
+		m = daemon.NewMetrics()
 		if st != nil {
 			m.SetStore(st)
 		}
@@ -234,6 +236,16 @@ func main() {
 		}
 		log.Printf("atomd: continuous service up (interval %v, capacity %d, %d rounds in flight)",
 			*interval, *capacity, *inflight)
+	}
+	if *fastAddr != "" {
+		if !*serve {
+			log.Printf("atomd: -fastpath without -serve: submissions will be rejected until a service runs")
+		}
+		fa, err := srv.EnableFastPath(*fastAddr, daemon.FastPathOptions{Metrics: m})
+		if err != nil {
+			log.Fatalf("atomd: fast path listener: %v", err)
+		}
+		log.Printf("atomd: binary submit path on %s", fa)
 	}
 	fmt.Printf("atomd: serving on %s\n", srv.Addr())
 

@@ -11,6 +11,16 @@
 //	atomsim -distributed -churn 2   # exceed the budget: ErrMemberLost → wire recovery
 //	atomsim -serve -rounds 3        # continuous service: back-to-back pipelined rounds
 //	atomsim -crash                  # crash-restart smoke: SIGKILL a member mid-round, resume from its state dir
+//	atomsim -storm -clients 10000 -conns 4   # ingestion load test over the binary fast path
+//
+// -storm measures the ingestion frontend in isolation: it pre-encrypts
+// one submission per logical client, multiplexes the whole fleet over a
+// few fast-path TCP connections (-conns), shapes arrivals with -rate
+// and -arrival (uniform, poisson, or flash crowd; rate 0 floods), and
+// reports the sustained admission throughput with p50/p99 admit
+// latency. The round never seals during the window, so the number is
+// pure ingestion — framing, batched proof verification, duplicate
+// detection — with mixing out of the picture.
 //
 // -serve runs the continuous pipeline end to end: a daemon hosts the
 // deployment with its ingestion frontend enabled, the mixing runs as
@@ -87,6 +97,12 @@ func main() {
 		churn    = flag.Int("churn", 0, "-distributed: kill this many members of group 0 after the first iteration (1 = degraded completion, 2 = member-lost + wire recovery)")
 		serve    = flag.Bool("serve", false, "run the continuous service: a client fleet drives back-to-back pipelined rounds over the distributed cluster")
 		crash    = flag.Bool("crash", false, "crash-restart smoke: hard-kill a TCP-hosted member mid-round, restart it from its state dir, assert rejoin without re-plan or recovery")
+		storm    = flag.Bool("storm", false, "ingestion load test: a huge multiplexed client fleet floods the binary submit path; reports sustained msgs/sec and p50/p99 admit latency")
+		clients  = flag.Int("clients", 10000, "-storm: logical clients (one pre-encrypted submission each)")
+		conns    = flag.Int("conns", 4, "-storm: TCP connections the fleet multiplexes over")
+		rate     = flag.Float64("rate", 0, "-storm: aggregate arrival rate in msgs/sec (0 = flood: closed-loop maximum)")
+		arrival  = flag.String("arrival", "uniform", "-storm: arrival process: uniform, poisson, or flash")
+		stormTO  = flag.Duration("timeout", 5*time.Minute, "-storm: hard deadline for all submissions to be acked")
 		rounds   = flag.Int("rounds", 3, "-serve: how many back-to-back rounds the fleet drives")
 		inflight = flag.Int("inflight", 2, "-serve: rounds mixing concurrently")
 		interval = flag.Duration("interval", 2*time.Second, "-serve: round scheduler's seal deadline (the fleet's full batches normally seal first)")
@@ -101,8 +117,15 @@ func main() {
 		}()
 		log.Printf("atomsim: pprof on %s/debug/pprof/", *pprof)
 	}
-	if !*all && *fig == 0 && *table == 0 && !*live && !*dist && !*serve && !*crash {
+	if !*all && *fig == 0 && *table == 0 && !*live && !*dist && !*serve && !*crash && !*storm {
 		*all = true
+	}
+
+	if *storm {
+		if err := runStorm(*clients, *conns, *rate, *arrival, *stormTO, *workers); err != nil {
+			log.Fatalf("atomsim: storm: %v", err)
+		}
+		return
 	}
 
 	if *crash {

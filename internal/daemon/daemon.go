@@ -27,6 +27,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,9 @@ type Info struct {
 	Trap        bool
 	EntryKeys   [][]byte
 	TrusteeKey  []byte
+	// SubmitAddr is the binary fast-path listener's address, empty when
+	// the daemon runs gob-only (see EnableFastPath).
+	SubmitAddr string
 }
 
 // RoundInfo describes one opened round.
@@ -183,15 +187,32 @@ type reply struct {
 	Messages  [][]byte
 }
 
+// gobBufs pools the scratch buffers the control RPCs encode through.
+// The gob encoders themselves cannot be pooled — a gob.Encoder writes
+// type descriptors once per stream, so reusing one across independent
+// frames would emit frames the peer's fresh decoder cannot parse — but
+// the buffer allocations can.
+var gobBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeFallbackLog reports an unencodable reply once per process: it is
+// a programming error worth a log line, not one worth a log flood.
+var encodeFallbackLog sync.Once
+
 func encodeReply(r *reply) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
-		// A reply that cannot be encoded is a programming error; encode a
-		// plain failure instead.
+	buf := gobBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer gobBufs.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(r); err != nil {
+		// A reply that cannot be encoded is a programming error; log it
+		// once and encode a plain failure instead of dropping the request.
+		encodeFallbackLog.Do(func() {
+			log.Printf("daemon: reply encoding failed (replying with a generic error): %v", err)
+		})
 		buf.Reset()
-		_ = gob.NewEncoder(&buf).Encode(&reply{Error: "internal encoding error"})
+		_ = gob.NewEncoder(buf).Encode(&reply{Error: "internal encoding error"})
 	}
-	return buf.Bytes()
+	// The transport frame outlives the pooled buffer; copy out.
+	return append([]byte(nil), buf.Bytes()...)
 }
 
 func decodeReply(b []byte) (*reply, error) {
@@ -214,6 +235,10 @@ type Server struct {
 	// svc, when non-nil, is the continuous ingestion-and-mixing
 	// pipeline the serve-mode messages target.
 	svc atomic.Pointer[atom.Service]
+
+	// fast, when non-nil, is the binary multiplexed ingestion listener
+	// (see EnableFastPath).
+	fast *fastPath
 
 	mixes sync.WaitGroup
 	done  chan struct{}
@@ -307,6 +332,7 @@ func (s *Server) handle(msg *transport.Message) *transport.Message {
 			}
 			info.TrusteeKey = key
 		}
+		info.SubmitAddr = s.FastAddr()
 		return &transport.Message{Type: msgInfoReply, Payload: encodeReply(&reply{OK: true, Info: info})}
 
 	case msgOpen:
@@ -472,10 +498,14 @@ func fail(typ string, err error) *transport.Message {
 	return &transport.Message{Type: typ, Payload: encodeReply(&reply{Error: err.Error(), ErrorKind: classify(err)})}
 }
 
-// Close shuts the daemon down: the continuous service (if enabled)
-// drains gracefully, then the endpoint closes and in-flight mixes and
-// awaits finish.
+// Close shuts the daemon down: the fast path stops accepting (its
+// queued submissions flush), the continuous service (if enabled) drains
+// gracefully, then the endpoint closes and in-flight mixes and awaits
+// finish.
 func (s *Server) Close() error {
+	if s.fast != nil {
+		s.fast.close()
+	}
 	if svc := s.svc.Load(); svc != nil {
 		_ = svc.Close()
 	}

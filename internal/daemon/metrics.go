@@ -35,6 +35,14 @@ type Metrics struct {
 	queueDepth    atomic.Int64
 	inFlight      atomic.Int64
 
+	// Admission-plane series (the batched ingestion frontend).
+	admitBatches   atomic.Uint64
+	admitBatchSubs atomic.Uint64
+	admitBatchSize atomic.Int64
+	admitVerifyNs  atomic.Uint64
+	submitConns    atomic.Int64
+	submitQueueHWM atomic.Int64
+
 	st atomic.Pointer[store.Store]
 }
 
@@ -60,6 +68,15 @@ func (m *Metrics) Instrument(next *atom.Observer) *atom.Observer {
 			m.subsAccepted.Add(1)
 			if next != nil && next.SubmissionAccepted != nil {
 				next.SubmissionAccepted(round, user, gid)
+			}
+		},
+		AdmissionBatch: func(round uint64, st atom.AdmitBatchStats) {
+			m.admitBatches.Add(1)
+			m.admitBatchSubs.Add(uint64(st.Size))
+			m.admitBatchSize.Store(int64(st.Size))
+			m.admitVerifyNs.Add(uint64(st.VerifyTime))
+			if next != nil && next.AdmissionBatch != nil {
+				next.AdmissionBatch(round, st)
 			}
 		},
 		RoundSealed: func(round uint64, ingest atom.IngestStats) {
@@ -128,6 +145,12 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	counter("atom_proofs_verified_total", "NIZK proofs verified.", m.proofsChecked.Load())
 	gauge("atom_queue_depth", "Sealed rounds awaiting mixing at the last seal.", m.queueDepth.Load())
 	gauge("atom_rounds_in_flight", "Rounds actively mixing at the last seal.", m.inFlight.Load())
+	counter("atom_admit_batches_total", "Batches pushed through the combined admission-proof verification.", m.admitBatches.Load())
+	counter("atom_admit_batch_subs_total", "Submissions admitted or rejected through batched admission.", m.admitBatchSubs.Load())
+	gauge("atom_admit_batch_size", "Size of the most recent admission batch.", m.admitBatchSize.Load())
+	counter("atom_admit_verify_ns", "Nanoseconds spent in combined admission-proof verification.", m.admitVerifyNs.Load())
+	gauge("atom_submit_conns", "Open fast-path submit connections.", m.submitConns.Load())
+	gauge("atom_submit_queue_hwm", "High-water mark of the fast-path admission queue depth.", m.submitQueueHWM.Load())
 	if st := m.st.Load(); st != nil {
 		sm := st.Metrics()
 		counter("store_journal_bytes_total", "Bytes appended to the state journal.", sm.JournalBytes)

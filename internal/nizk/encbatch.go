@@ -1,0 +1,80 @@
+package nizk
+
+import (
+	"fmt"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// VerifyEncBatch verifies many users' EncProofs — the admission-time
+// proofs of plaintext knowledge — with a single random-linear-combination
+// check (small-exponent batching à la Bellare–Garay–Rabin), the frontend
+// counterpart of VerifyReEncBatch: every per-component equation
+// g^u = Commit · R^t is multiplied by an independent fresh random scalar
+// and the results are summed, so one multi-scalar multiplication plus one
+// fixed-base multiplication vouches for the whole batch. The entry
+// group's public key enters each proof only through its transcript
+// challenge, never the verification equation, so one batch may span
+// submissions to different entry groups — exactly what a multiplexed
+// ingestion frontend collects.
+//
+// If any equation of any proof is violated the combined sum is nonzero
+// except with probability ~2⁻²⁵⁶, in which case the batch is re-verified
+// proof by proof to attribute the failure to the lowest offending
+// submission — a batched rejection is therefore byte-for-byte the error
+// serial verification would have produced.
+func VerifyEncBatch(pks []*ecc.Point, vecs []elgamal.Vector, gids []uint64, proofs []*EncProof) error {
+	k := len(vecs)
+	if len(pks) != k || len(gids) != k || len(proofs) != k {
+		return fmt.Errorf("%w: enc batch sizes %d/%d/%d/%d", ErrVerify, len(pks), k, len(gids), len(proofs))
+	}
+	if k == 0 {
+		return nil
+	}
+
+	total := 0
+	for pi, v := range vecs {
+		proof := proofs[pi]
+		if proof == nil || len(proof.Commit) != len(v) || len(proof.Resp) != len(v) {
+			return fmt.Errorf("%w: malformed EncProof, submission %d", ErrVerify, pi)
+		}
+		total += len(v)
+	}
+
+	// Fold every term of the combination: the response exponents land on
+	// the one shared fixed base g, the commitments and ciphertext R
+	// components in one multi-scalar multiplication.
+	baseExp := ecc.NewScalar(0)
+	ks := make([]*ecc.Scalar, 0, 2*total)
+	ps := make([]*ecc.Point, 0, 2*total)
+	for pi, v := range vecs {
+		proof := proofs[pi]
+		tr := encTranscript(pks[pi], v, gids[pi])
+		tr.AppendPoints("commit", proof.Commit)
+		t := tr.Challenge("t")
+		for i, ct := range v {
+			// (g^u − Commit − R^t) × ρ = 0 for an honest component.
+			rho, err := ecc.RandomScalar(nil)
+			if err != nil {
+				return fmt.Errorf("nizk: enc batch verify: %w", err)
+			}
+			baseExp = baseExp.Add(rho.Mul(proof.Resp[i]))
+			ks = append(ks, rho.Neg(), rho.Mul(t).Neg())
+			ps = append(ps, proof.Commit[i], ct.R)
+		}
+	}
+	acc := ecc.MultiScalarMul(ks, ps).Add(ecc.BaseMul(baseExp))
+	if acc.IsIdentity() {
+		return nil
+	}
+
+	// The combination is nonzero, so at least one proof is bad: find the
+	// lowest offender serially for a deterministic, attributable error.
+	for pi := range proofs {
+		if err := VerifyEnc(pks[pi], vecs[pi], gids[pi], proofs[pi]); err != nil {
+			return fmt.Errorf("submission %d: %w", pi, err)
+		}
+	}
+	return fmt.Errorf("%w: batched EncProof combination nonzero", ErrVerify)
+}

@@ -1,0 +1,133 @@
+package nizk
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// encBatch builds k honest submissions spread across nkeys entry groups
+// (each with its own key), the shape a multiplexed frontend collects.
+func encBatch(t testing.TB, k, nkeys int) ([]*ecc.Point, []elgamal.Vector, []uint64, []*EncProof) {
+	t.Helper()
+	keys := make([]*elgamal.KeyPair, nkeys)
+	for i := range keys {
+		keys[i] = mustKey(t)
+	}
+	pks := make([]*ecc.Point, k)
+	vecs := make([]elgamal.Vector, k)
+	gids := make([]uint64, k)
+	proofs := make([]*EncProof, k)
+	for i := 0; i < k; i++ {
+		g := i % nkeys
+		pks[i] = keys[g].PK
+		gids[i] = uint64(g)
+		v, rs := encryptMsg(t, pks[i], fmt.Sprintf("batch message %d", i), 2)
+		proof, err := ProveEnc(pks[i], v, rs, gids[i], rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs[i] = v
+		proofs[i] = proof
+	}
+	return pks, vecs, gids, proofs
+}
+
+func TestEncBatchRoundTrip(t *testing.T) {
+	pks, vecs, gids, proofs := encBatch(t, 8, 1)
+	if err := VerifyEncBatch(pks, vecs, gids, proofs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncBatchSpansEntryGroups(t *testing.T) {
+	// The group key feeds only the transcript, never the verification
+	// equation, so one combined check covers mixed-group batches.
+	pks, vecs, gids, proofs := encBatch(t, 9, 3)
+	if err := VerifyEncBatch(pks, vecs, gids, proofs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncBatchEmpty(t *testing.T) {
+	if err := VerifyEncBatch(nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncBatchMismatchedLengths(t *testing.T) {
+	pks, vecs, gids, proofs := encBatch(t, 3, 1)
+	if err := VerifyEncBatch(pks[:2], vecs, gids, proofs); !errors.Is(err, ErrVerify) {
+		t.Fatalf("mismatched sizes: got %v", err)
+	}
+}
+
+func TestEncBatchAttributesTamperedProof(t *testing.T) {
+	pks, vecs, gids, proofs := encBatch(t, 6, 2)
+	proofs[4].Resp[0] = proofs[4].Resp[0].Add(ecc.NewScalar(1))
+	err := VerifyEncBatch(pks, vecs, gids, proofs)
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("tampered batch: got %v", err)
+	}
+	// Attribution must name the offender and carry the serial error text.
+	serial := VerifyEnc(pks[4], vecs[4], gids[4], proofs[4])
+	want := fmt.Sprintf("submission 4: %v", serial)
+	if err.Error() != want {
+		t.Fatalf("attribution mismatch:\n got %q\nwant %q", err.Error(), want)
+	}
+}
+
+func TestEncBatchAttributesLowestOffender(t *testing.T) {
+	pks, vecs, gids, proofs := encBatch(t, 5, 1)
+	proofs[1].Resp[0] = proofs[1].Resp[0].Add(ecc.NewScalar(1))
+	proofs[3].Resp[0] = proofs[3].Resp[0].Add(ecc.NewScalar(1))
+	err := VerifyEncBatch(pks, vecs, gids, proofs)
+	if err == nil || !strings.HasPrefix(err.Error(), "submission 1:") {
+		t.Fatalf("want lowest offender (submission 1), got %v", err)
+	}
+}
+
+func TestEncBatchRejectsWrongGroupBinding(t *testing.T) {
+	// Replaying an honest submission at a different entry group shifts its
+	// transcript challenge; the combined check must catch it.
+	pks, vecs, gids, proofs := encBatch(t, 4, 1)
+	gids[2] = 99
+	if err := VerifyEncBatch(pks, vecs, gids, proofs); !errors.Is(err, ErrVerify) {
+		t.Fatalf("wrong gid: got %v", err)
+	}
+}
+
+func TestEncBatchRejectsNilProof(t *testing.T) {
+	pks, vecs, gids, proofs := encBatch(t, 3, 1)
+	proofs[1] = nil
+	if err := VerifyEncBatch(pks, vecs, gids, proofs); !errors.Is(err, ErrVerify) {
+		t.Fatalf("nil proof: got %v", err)
+	}
+}
+
+func BenchmarkEncVerify64(b *testing.B) {
+	pks, vecs, gids, proofs := encBatch(b, 64, 1)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := range vecs {
+			if err := VerifyEnc(pks[i], vecs[i], gids[i], proofs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEncVerifyBatch64(b *testing.B) {
+	pks, vecs, gids, proofs := encBatch(b, 64, 1)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := VerifyEncBatch(pks, vecs, gids, proofs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

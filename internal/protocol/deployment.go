@@ -275,7 +275,11 @@ func (d *Deployment) groupFor(gid int) (*GroupState, error) {
 	return d.groups[gid], nil
 }
 
-func verifySubmissionVector(pk *ecc.Point, v elgamal.Vector, gid int, proof *nizk.EncProof, numPoints int) error {
+// checkSubmissionShape runs the structural half of submission admission
+// — everything that precedes the (expensive) proof verification. The
+// batched admission plane runs it separately so only well-formed vectors
+// enter the combined proof check.
+func checkSubmissionShape(v elgamal.Vector, numPoints int) error {
 	if len(v) != numPoints {
 		return fmt.Errorf("%w: submission has %d points, want %d", ErrBadSubmission, len(v), numPoints)
 	}
@@ -283,6 +287,13 @@ func verifySubmissionVector(pk *ecc.Point, v elgamal.Vector, gid int, proof *niz
 		if ct.Y != nil {
 			return fmt.Errorf("%w: submission carries a mid-chain Y slot", ErrBadSubmission)
 		}
+	}
+	return nil
+}
+
+func verifySubmissionVector(pk *ecc.Point, v elgamal.Vector, gid int, proof *nizk.EncProof, numPoints int) error {
+	if err := checkSubmissionShape(v, numPoints); err != nil {
+		return err
 	}
 	if err := nizk.VerifyEnc(pk, v, uint64(gid), proof); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSubmission, err)

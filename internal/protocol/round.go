@@ -183,22 +183,7 @@ func (rs *RoundState) submitUser(user int, sub *Submission) error {
 	if err := verifySubmissionVector(g.PK, sub.Ciphertext, sub.GID, sub.Proof, rs.d.cfg.NumPoints()); err != nil {
 		return err
 	}
-	fp := string(sub.Ciphertext.Fingerprint())
-	if err := rs.reserve(fp); err != nil {
-		return err
-	}
-	rg := &rs.groups[sub.GID]
-	rg.mu.Lock()
-	if rs.sealed.Load() {
-		rg.mu.Unlock()
-		rs.release(fp)
-		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
-	}
-	rg.batch = append(rg.batch, sub.Ciphertext.Clone())
-	rg.entries = append(rg.entries, entryRecord{User: user, Sub: sub})
-	rg.mu.Unlock()
-	rs.pending.Add(1)
-	return nil
+	return rs.admitVerified(user, sub)
 }
 
 // SubmitTrapUser accepts a trap-variant submission: both EncProofs are
@@ -225,38 +210,7 @@ func (rs *RoundState) submitTrapUser(user int, sub *TrapSubmission) error {
 			return fmt.Errorf("ciphertext %d: %w", i, err)
 		}
 	}
-	if len(sub.Commitment) != 32 {
-		return fmt.Errorf("%w: trap commitment must be 32 bytes, got %d", ErrBadSubmission, len(sub.Commitment))
-	}
-	fp0 := string(sub.Ciphertexts[0].Fingerprint())
-	fp1 := string(sub.Ciphertexts[1].Fingerprint())
-	if err := rs.reserve(fp0); err != nil {
-		return err
-	}
-	if err := rs.reserve(fp1); err != nil {
-		rs.release(fp0)
-		return err
-	}
-	rg := &rs.groups[sub.GID]
-	rg.mu.Lock()
-	if rs.sealed.Load() {
-		rg.mu.Unlock()
-		rs.release(fp0)
-		rs.release(fp1)
-		return fmt.Errorf("%w: round %d is mixing", ErrRoundClosed, rs.id)
-	}
-	if _, dup := rg.commitments[string(sub.Commitment)]; dup {
-		rg.mu.Unlock()
-		rs.release(fp0)
-		rs.release(fp1)
-		return fmt.Errorf("%w: trap commitment reused", ErrDuplicateSubmission)
-	}
-	rg.batch = append(rg.batch, sub.Ciphertexts[0].Clone(), sub.Ciphertexts[1].Clone())
-	rg.commitments[string(sub.Commitment)] = user
-	rg.entries = append(rg.entries, entryRecord{User: user, Trap: sub})
-	rg.mu.Unlock()
-	rs.pending.Add(1)
-	return nil
+	return rs.admitVerifiedTrap(user, sub)
 }
 
 // SubmitEncoded accepts a wire-encoded submission in whichever format

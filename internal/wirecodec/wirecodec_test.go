@@ -1,0 +1,154 @@
+package wirecodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"atom/internal/ecc"
+	"atom/internal/elgamal"
+)
+
+// canonicalEnc builds one encoding that exercises every Enc appender.
+func canonicalEnc() []byte {
+	g := ecc.BaseMul(ecc.NewScalar(7))
+	var e Enc
+	e.Byte(0xA5)
+	e.U64(1 << 40)
+	e.I(-12345)
+	e.Bytes([]byte("payload bytes"))
+	e.Str("a string")
+	e.Point(g)
+	e.Point(nil)
+	e.Scalar(ecc.NewScalar(99))
+	e.Scalar(nil)
+	e.Points([]*ecc.Point{g, nil, ecc.BaseMul(ecc.NewScalar(3))})
+	e.Scalars([]*ecc.Scalar{ecc.NewScalar(1), nil})
+	e.Strs([]string{"x", "", "yz"})
+	e.Ints([]int{0, -7, 1 << 20})
+	e.Vectors([]elgamal.Vector{{}})
+	return e.Out()
+}
+
+// decodeCanonical drives every Dec accessor against the canonical
+// schema, returning the first error.
+func decodeCanonical(d *Dec) error {
+	steps := []func() error{
+		func() error { _, err := d.Byte(); return err },
+		func() error { _, err := d.U64(); return err },
+		func() error { _, err := d.I(); return err },
+		func() error { _, err := d.Bytes(); return err },
+		func() error { _, err := d.Str(); return err },
+		func() error { _, err := d.Point(); return err },
+		func() error { _, err := d.Point(); return err },
+		func() error { _, err := d.Scalar(); return err },
+		func() error { _, err := d.Scalar(); return err },
+		func() error { _, err := d.Points(); return err },
+		func() error { _, err := d.Scalars(); return err },
+		func() error { _, err := d.Strs(); return err },
+		func() error { _, err := d.Ints(); return err },
+		func() error { _, err := d.Vectors(); return err },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestDecRoundTrip(t *testing.T) {
+	if err := decodeCanonical(NewDec(canonicalEnc())); err != nil {
+		t.Fatalf("canonical encoding does not decode: %v", err)
+	}
+}
+
+// TestDecTruncation decodes every strict prefix of the canonical
+// encoding: each must fail with an error (or decode a shorter valid
+// prefix of the schema), never panic or over-read.
+func TestDecTruncation(t *testing.T) {
+	full := canonicalEnc()
+	for n := 0; n < len(full); n++ {
+		decodeCanonical(NewDec(full[:n])) // must not panic
+	}
+}
+
+// TestDecOversizedLength rejects length and count prefixes that exceed
+// the remaining input before any allocation happens.
+func TestDecOversizedLength(t *testing.T) {
+	huge := binary.AppendUvarint(nil, 1<<50)
+	huge = append(huge, 'x')
+	if _, err := NewDec(huge).Bytes(); err == nil {
+		t.Fatal("Bytes accepted a 2^50 length with 1 byte remaining")
+	}
+	if _, err := NewDec(huge).Count(); err == nil {
+		t.Fatal("Count accepted a 2^50 count with 1 byte remaining")
+	}
+	if _, err := NewDec(huge).Points(); err == nil {
+		t.Fatal("Points accepted a 2^50 count with 1 byte remaining")
+	}
+	if _, err := NewDec(huge).Vectors(); err == nil {
+		t.Fatal("Vectors accepted a 2^50 count with 1 byte remaining")
+	}
+}
+
+// FuzzDecRoundTrip feeds arbitrary bytes to every Dec accessor — each
+// must fail cleanly on truncated, corrupted, or oversized input, never
+// panic or over-read — and checks that data making a round trip through
+// Enc comes back byte-identical.
+func FuzzDecRoundTrip(f *testing.F) {
+	f.Add(canonicalEnc())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(binary.AppendUvarint(nil, 1<<60))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary input through the full schema: errors are expected,
+		// panics and over-reads are not.
+		decodeCanonical(NewDec(data))
+		// And through each accessor on a fresh reader, so every one
+		// sees the raw head of the input.
+		accessors := []func(*Dec) error{
+			func(d *Dec) error { _, err := d.Byte(); return err },
+			func(d *Dec) error { _, err := d.U64(); return err },
+			func(d *Dec) error { _, err := d.I(); return err },
+			func(d *Dec) error { _, err := d.Bytes(); return err },
+			func(d *Dec) error { _, err := d.Str(); return err },
+			func(d *Dec) error { _, err := d.Count(); return err },
+			func(d *Dec) error { _, err := d.Point(); return err },
+			func(d *Dec) error { _, err := d.Scalar(); return err },
+			func(d *Dec) error { _, err := d.Points(); return err },
+			func(d *Dec) error { _, err := d.Scalars(); return err },
+			func(d *Dec) error { _, err := d.Strs(); return err },
+			func(d *Dec) error { _, err := d.Ints(); return err },
+			func(d *Dec) error { _, err := d.Vectors(); return err },
+		}
+		for _, acc := range accessors {
+			acc(NewDec(data))
+		}
+
+		// Round trip: the fuzz input as payload must survive Enc→Dec
+		// byte-identically.
+		var e Enc
+		e.Bytes(data)
+		e.U64(uint64(len(data)))
+		e.I(-len(data))
+		e.Str(string(data))
+		d := NewDec(e.Out())
+		b, err := d.Bytes()
+		if err != nil || !bytes.Equal(b, data) {
+			t.Fatalf("Bytes round trip: got %x (%v), want %x", b, err, data)
+		}
+		u, err := d.U64()
+		if err != nil || u != uint64(len(data)) {
+			t.Fatalf("U64 round trip: got %d (%v), want %d", u, err, len(data))
+		}
+		i, err := d.I()
+		if err != nil || i != -len(data) {
+			t.Fatalf("I round trip: got %d (%v), want %d", i, err, -len(data))
+		}
+		s, err := d.Str()
+		if err != nil || s != string(data) {
+			t.Fatalf("Str round trip: got %q (%v)", s, err)
+		}
+	})
+}

@@ -75,6 +75,24 @@ type IngestStats struct {
 	InFlight int
 }
 
+// AdmitBatchStats reports one batch of the admission plane: how many
+// wire submissions were admitted together, how long the combined proof
+// verification took, and how the batch split. Surfaced through
+// Observer.AdmissionBatch into the daemon's /metrics.
+type AdmitBatchStats struct {
+	// Size is the number of submissions in the batch; Verified is how
+	// many reached the combined proof check (structurally broken
+	// submissions never do).
+	Size     int
+	Verified int
+	// VerifyTime is the wall time of the combined verification, including
+	// the serial attribution re-scan when the batch check fails.
+	VerifyTime time.Duration
+	// Admitted and Rejected partition the batch.
+	Admitted int
+	Rejected int
+}
+
 // RoundStats summarizes a completed round.
 type RoundStats struct {
 	// Round is the round's sequence number.
@@ -129,6 +147,10 @@ type Observer struct {
 	RoundOpened func(round uint64)
 	// SubmissionAccepted fires for every accepted submission.
 	SubmissionAccepted func(round uint64, user, gid int)
+	// AdmissionBatch fires once per batch the admission plane pushes
+	// through the combined proof verification (Round.SubmitEncodedBatch).
+	// Individual acceptances still fire SubmissionAccepted.
+	AdmissionBatch func(round uint64, stats AdmitBatchStats)
 	// RoundSealed fires when the continuous service's round scheduler
 	// seals a round — at its RoundInterval deadline or its target batch
 	// size, whichever came first. The stats carry the ingestion queue

@@ -86,6 +86,33 @@ func (r *Round) SubmitEncoded(user int, wire []byte) error {
 	return nil
 }
 
+// SubmitEncodedBatch admits many wire-encoded submissions at once,
+// verifying their admission proofs as a single batch (users[i] submitted
+// wires[i]). The returned slice has one entry per submission: nil if
+// admitted, otherwise the same typed error SubmitEncoded would have
+// produced. Safe for concurrent use.
+func (r *Round) SubmitEncodedBatch(users []int, wires [][]byte) []error {
+	errs, stats := r.rs.SubmitEncodedBatch(users, wires)
+	obs := r.n.observer()
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = wrapErr(err)
+		} else if obs != nil && obs.SubmissionAccepted != nil {
+			obs.SubmissionAccepted(r.rs.ID(), users[i], -1)
+		}
+	}
+	if obs != nil && obs.AdmissionBatch != nil {
+		obs.AdmissionBatch(r.rs.ID(), AdmitBatchStats{
+			Size:       stats.Size,
+			Verified:   stats.Verified,
+			VerifyTime: stats.VerifyTime,
+			Admitted:   stats.Admitted,
+			Rejected:   stats.Rejected,
+		})
+	}
+	return errs
+}
+
 // TrusteeKey returns the wire encoding of this round's trustee public
 // key (trap variant only). Remote clients must encrypt against the key
 // of the round they submit into — trustee keys rotate every round.

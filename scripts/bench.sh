@@ -3,9 +3,10 @@
 # JSON summary (BENCH_<ref>.json) so the performance trajectory is
 # comparable across PRs.
 #
-#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps + serve throughput
+#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps + serve + storm throughput
 #   BENCHTIME=1x scripts/bench.sh   # smoke (what CI runs)
 #   SERVE_ROUNDS=0 scripts/bench.sh # skip the sustained-throughput run
+#   STORM_CLIENTS=0 scripts/bench.sh # skip the ingestion storm run
 #   scripts/bench.sh out.json       # explicit output path
 #
 # Without an explicit path the summary lands in BENCH_<ref>.json AND is
@@ -26,6 +27,8 @@ BENCHTIME="${BENCHTIME:-3x}"
 PATTERN="${PATTERN:-BenchmarkFigure7|BenchmarkTable3}"
 SERVE_ROUNDS="${SERVE_ROUNDS:-3}"
 SERVE_MSGS="${SERVE_MSGS:-8}"
+STORM_CLIENTS="${STORM_CLIENTS:-10000}"
+STORM_CONNS="${STORM_CONNS:-4}"
 REF="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${1:-BENCH_${REF}.json}"
 
@@ -56,9 +59,27 @@ if [ "$SERVE_ROUNDS" -gt 0 ]; then
     ROUNDS_MIN="$(echo "$SERVE_LINE" | sed -E 's|.*, ([0-9.]+) rounds/min.*|\1|')"
 fi
 
+# Sustained ingestion throughput: the storm load generator floods the
+# multiplexed binary submit path with pre-encrypted submissions and
+# reports the admission rate plus p50/p99 admit latency.
+STORM_SEC=0
+STORM_P50=0
+STORM_P99=0
+if [ "$STORM_CLIENTS" -gt 0 ]; then
+    STORM_RAW="$(mktemp)"
+    go run ./cmd/atomsim -storm -clients "$STORM_CLIENTS" -conns "$STORM_CONNS" \
+        | tee "$STORM_RAW" >&2
+    STORM_SEC="$(grep '^sustained:' "$STORM_RAW" | sed -E 's|^sustained: ([0-9.]+) msgs/sec.*|\1|')"
+    STORM_P50="$(grep '^admit latency:' "$STORM_RAW" | sed -E 's|^admit latency: p50 ([0-9.]+) ms.*|\1|')"
+    STORM_P99="$(grep '^admit latency:' "$STORM_RAW" | sed -E 's|.*p99 ([0-9.]+) ms.*|\1|')"
+    rm -f "$STORM_RAW"
+fi
+
 awk -v ref="$REF" -v benchtime="$BENCHTIME" \
     -v msgssec="$MSGS_SEC" -v roundsmin="$ROUNDS_MIN" \
     -v serverounds="$SERVE_ROUNDS" -v servemsgs="$SERVE_MSGS" \
+    -v stormclients="$STORM_CLIENTS" -v stormconns="$STORM_CONNS" \
+    -v stormsec="$STORM_SEC" -v stormp50="$STORM_P50" -v stormp99="$STORM_P99" \
     -v basejson="$BASE_JSON" '
 BEGIN {
     # Prior run: pull "BenchmarkX": ns pairs out of the committed
@@ -139,6 +160,10 @@ END {
     printf "\n  },\n  \"serve_sustained\": {\n"
     printf "    \"rounds\": %d,\n    \"msgs_per_round\": %d,\n", serverounds, servemsgs
     printf "    \"msgs_per_sec\": %s,\n    \"rounds_per_min\": %s\n", msgssec, roundsmin
+    printf "  },\n  \"storm_sustained\": {\n"
+    printf "    \"clients\": %d,\n    \"conns\": %d,\n", stormclients, stormconns
+    printf "    \"msgs_per_sec\": %s,\n", stormsec
+    printf "    \"admit_p50_ms\": %s,\n    \"admit_p99_ms\": %s\n", stormp50, stormp99
     printf "  }\n}\n"
 }' "$RAW" > "$OUT"
 

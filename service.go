@@ -295,6 +295,104 @@ func (s *Service) SubmitEncoded(round uint64, user int, wire []byte) (uint64, er
 	return r.ID(), nil
 }
 
+// SubmitEncodedBatch admits many wire-encoded submissions into whichever
+// round is open, verifying their admission proofs as a single batch —
+// the daemon's multiplexed ingestion frontend lands here. rounds[i] is
+// the round that admitted wires[i] (0 when errs[i] is non-nil).
+// Submissions racing the scheduler's seal retry into the successor
+// round, so one batch can straddle a rotation; everything else keeps the
+// serial path's typed errors.
+func (s *Service) SubmitEncodedBatch(users []int, wires [][]byte) (rounds []uint64, errs []error) {
+	rounds = make([]uint64, len(wires))
+	errs = make([]error, len(wires))
+	// remaining indexes the submissions still without a verdict; seal
+	// races shrink it across attempts.
+	remaining := make([]int, len(wires))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for attempt := 0; len(remaining) > 0; attempt++ {
+		s.mu.Lock()
+		r := s.open
+		s.mu.Unlock()
+		if r == nil {
+			for _, i := range remaining {
+				errs[i] = ErrServiceClosed
+			}
+			return rounds, errs
+		}
+		subUsers := make([]int, len(remaining))
+		subWires := make([][]byte, len(remaining))
+		for k, i := range remaining {
+			subUsers[k], subWires[k] = users[i], wires[i]
+		}
+		batchErrs := r.SubmitEncodedBatch(subUsers, subWires)
+		var retry []int
+		admitted := false
+		for k, err := range batchErrs {
+			i := remaining[k]
+			switch {
+			case err == nil:
+				rounds[i] = r.ID()
+				admitted = true
+			case errors.Is(err, ErrRoundClosed) && attempt < 3:
+				retry = append(retry, i)
+			default:
+				errs[i] = err
+			}
+		}
+		if admitted {
+			s.account(r)
+		}
+		remaining = retry
+	}
+	return rounds, errs
+}
+
+// SubmitEncodedBatchInto is SubmitEncodedBatch pinned to a specific
+// round — the batched analog of SubmitEncoded's nonzero-round form
+// (trap-variant encodings bind to a round's trustee key, so they must
+// not silently retry into a successor round). round 0 delegates to
+// SubmitEncodedBatch. If the pinned round is no longer open every
+// submission fails with ErrRoundClosed and the client re-fetches the
+// open round.
+func (s *Service) SubmitEncodedBatchInto(round uint64, users []int, wires [][]byte) (rounds []uint64, errs []error) {
+	if round == 0 {
+		return s.SubmitEncodedBatch(users, wires)
+	}
+	rounds = make([]uint64, len(wires))
+	errs = make([]error, len(wires))
+	fill := func(err error) ([]uint64, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return rounds, errs
+	}
+	s.mu.Lock()
+	r := s.open
+	s.mu.Unlock()
+	if r == nil {
+		return fill(ErrServiceClosed)
+	}
+	if r.ID() != round {
+		return fill(fmt.Errorf("%w: round %d is not open for submissions (round %d is)", ErrRoundClosed, round, r.ID()))
+	}
+	batchErrs := r.SubmitEncodedBatch(users, wires)
+	admitted := false
+	for i, err := range batchErrs {
+		if err == nil {
+			rounds[i] = r.ID()
+			admitted = true
+		} else {
+			errs[i] = err
+		}
+	}
+	if admitted {
+		s.account(r)
+	}
+	return rounds, errs
+}
+
 // submit runs fn against the open round, retrying into the next round
 // when a seal races the submission.
 func (s *Service) submit(fn func(*Round) error) (uint64, error) {

@@ -522,3 +522,107 @@ func TestServiceDuplicateRejection(t *testing.T) {
 		t.Fatalf("submission into sealed round %d: %v, want ErrRoundClosed", r1, err)
 	}
 }
+
+// TestServiceBatchSubmit drives the batched admission plane end to end:
+// one SubmitEncodedBatch call admits a mixed batch into the open round,
+// rejections keep their typed attribution, the AdmissionBatch observer
+// fires, and the admitted plaintexts come out of the mix.
+func TestServiceBatchSubmit(t *testing.T) {
+	cfg := Config{
+		Servers: 8, Groups: 2, GroupSize: 2,
+		MessageSize: 32, Variant: NIZK, Iterations: 2,
+		MixWorkers: 1, Seed: []byte("service-batch"),
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchMu sync.Mutex
+	var batches []AdmitBatchStats
+	n.SetObserver(&Observer{
+		AdmissionBatch: func(round uint64, st AdmitBatchStats) {
+			batchMu.Lock()
+			batches = append(batches, st)
+			batchMu.Unlock()
+		},
+	})
+	svc, err := n.Serve(context.Background(), ServeOptions{
+		RoundInterval: time.Hour,
+		MaxBatch:      5,
+		MaxInFlight:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	users := make([]int, 6)
+	wires := make([][]byte, 6)
+	want := make(map[string]bool, 5)
+	for u := 0; u < 5; u++ {
+		gid := u % 2
+		key, err := n.EntryKey(gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := fmt.Sprintf("batched message %d", u)
+		want[msg] = true
+		wire, err := client.EncryptSubmission([]byte(msg), key, nil, gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users[u], wires[u] = u, wire
+	}
+	// A byte-identical replay of the first submission rides along.
+	users[5], wires[5] = 5, append([]byte(nil), wires[0]...)
+
+	rounds, errs := svc.SubmitEncodedBatch(users, wires)
+	for i := 0; i < 5; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submission %d rejected: %v", i, errs[i])
+		}
+		if rounds[i] != rounds[0] {
+			t.Fatalf("submission %d landed in round %d, want %d", i, rounds[i], rounds[0])
+		}
+	}
+	if !errors.Is(errs[5], ErrDuplicateSubmission) {
+		t.Fatalf("replay: got %v, want ErrDuplicateSubmission", errs[5])
+	}
+
+	batchMu.Lock()
+	nb := len(batches)
+	var st AdmitBatchStats
+	if nb > 0 {
+		st = batches[0]
+	}
+	batchMu.Unlock()
+	if nb != 1 {
+		t.Fatalf("AdmissionBatch fired %d times, want 1", nb)
+	}
+	if st.Size != 6 || st.Admitted != 5 || st.Rejected != 1 {
+		t.Fatalf("AdmissionBatch stats: %+v", st)
+	}
+
+	// MaxBatch=5 was reached, so the round seals and mixes on its own.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := svc.WaitRound(ctx, rounds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if len(out.Messages) != len(want) {
+		t.Fatalf("round published %d messages, want %d", len(out.Messages), len(want))
+	}
+	for _, m := range out.Messages {
+		if !want[string(m)] {
+			t.Errorf("unexpected plaintext %q", m)
+		}
+	}
+}
