@@ -53,10 +53,12 @@ package atom
 
 import (
 	"context"
-	"crypto/rand"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"atom/internal/beacon"
+	"atom/internal/dvss"
 	"atom/internal/protocol"
 )
 
@@ -149,6 +151,14 @@ type Network struct {
 	d      *protocol.Deployment
 	client *protocol.Client
 	obs    atomic.Value // *observerBox
+
+	// Trust-complete setup state (NewNetworkDKG / RestoreTrust): the
+	// verifiable randomness chain, the beacon committee's threshold
+	// keys, and the ceremony window resharing epochs reuse. All nil/zero
+	// on trusted-dealer networks.
+	chain      *beacon.Chain
+	beaconKeys []*dvss.GroupKey
+	dkgWindow  time.Duration
 }
 
 // NewNetwork forms groups from the beacon, runs distributed key
@@ -226,7 +236,7 @@ func (n *Network) submitTo(rs *protocol.RoundState, user, gid int, msg []byte) e
 	}
 	switch rs.Variant() {
 	case protocol.VariantNIZK:
-		sub, err := n.client.Submit(msg, pk, gid, rand.Reader)
+		sub, err := n.client.Submit(msg, pk, gid, entropy())
 		if err != nil {
 			return wrapErr(err)
 		}
@@ -236,7 +246,7 @@ func (n *Network) submitTo(rs *protocol.RoundState, user, gid int, msg []byte) e
 		if err != nil {
 			return wrapErr(err)
 		}
-		sub, err := n.client.SubmitTrap(msg, pk, tpk, gid, rand.Reader)
+		sub, err := n.client.SubmitTrap(msg, pk, tpk, gid, entropy())
 		if err != nil {
 			return wrapErr(err)
 		}

@@ -1,7 +1,6 @@
 package atom
 
 import (
-	"crypto/rand"
 	"fmt"
 
 	"atom/internal/ecc"
@@ -45,7 +44,7 @@ func (c *Client) EncryptSubmission(msg, entryKey, trusteeKey []byte, gid int) ([
 	}
 	switch c.cfg.Variant {
 	case protocol.VariantNIZK:
-		sub, err := c.c.Submit(msg, pk, gid, rand.Reader)
+		sub, err := c.c.Submit(msg, pk, gid, entropy())
 		if err != nil {
 			return nil, wrapErr(err)
 		}
@@ -55,7 +54,7 @@ func (c *Client) EncryptSubmission(msg, entryKey, trusteeKey []byte, gid int) ([
 		if err != nil {
 			return nil, fmt.Errorf("atom: bad trustee key: %w", err)
 		}
-		sub, err := c.c.SubmitTrap(msg, pk, tpk, gid, rand.Reader)
+		sub, err := c.c.SubmitTrap(msg, pk, tpk, gid, entropy())
 		if err != nil {
 			return nil, wrapErr(err)
 		}

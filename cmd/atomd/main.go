@@ -44,6 +44,18 @@
 // re-running the DKG. Without -state-dir a crash falls back to the
 // live churn path: loss detection, re-planning, buddy recovery.
 //
+// With -dkg, setup establishes trust without a dealer: a joint-Feldman
+// ceremony elects a beacon committee whose threshold VRF drives a
+// chained, publicly verifiable randomness beacon; group formation
+// samples from a produced beacon round; and every group's threshold key
+// comes from its own per-group ceremony, so no party ever holds a group
+// secret. -beacon-interval keeps producing verified rounds while
+// serving. With -state-dir the trust transcript and every beacon round
+// journal too, and a restart re-validates the transcript and RESUMES
+// the chain (deterministic partials make the restart fork-free):
+//
+//	atomd -listen :9000 -dkg -beacon-interval 30s -state-dir /var/lib/atomd
+//
 // A group-config file (-config, JSON — see store.GroupConfig) replaces
 // the roster/topology/crypto flags, and its canonical hash rides the
 // provisioning wire: a member started with one config file refuses a
@@ -90,6 +102,9 @@ func main() {
 		inflight    = flag.Int("inflight", 2, "-serve: rounds mixing concurrently (bounded pipeline depth)")
 		fastAddr    = flag.String("fastpath", "", "-serve: multiplexed binary submit listener address (\":0\" = ephemeral; advertised to clients via Info)")
 		stateDir    = flag.String("state-dir", "", "persist durable state (journal + snapshots) here and resume from it on restart")
+		dkgMode     = flag.Bool("dkg", false, "establish trust with the dealerless setup ceremony: per-group joint-Feldman DKGs and a chained verifiable randomness beacon (persisted and resumed with -state-dir)")
+		dkgWindow   = flag.Duration("dkg-window", 500*time.Millisecond, "-dkg: per-phase ceremony message window (honest phases early-advance; this bounds the straggler wait)")
+		beaconTick  = flag.Duration("beacon-interval", 0, "-dkg: produce a verified beacon round this often (0 = only the setup rounds)")
 		configPath  = flag.String("config", "", "group-config file (JSON); replaces the roster/topology/crypto flags and gates joins by its hash")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus text-format counters at this address under /metrics (empty = off)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof at this address under /debug/pprof/ (empty = off; may equal -metrics to share one listener)")
@@ -158,18 +173,39 @@ func main() {
 			m := st.Metrics()
 			log.Printf("atomd: restored keys and %d pending sealed rounds from %s (%d records in %v)",
 				len(st.PendingSealed()), *stateDir, m.ReplayRecords, m.ReplayDuration)
+			// A trust transcript in the journal means this deployment was
+			// set up dealerless: re-validate it and RESUME the beacon
+			// chain (deterministic partials make a restart fork-free).
+			if state.DKG != nil {
+				if err := network.RestoreTrust(st); err != nil {
+					log.Fatalf("atomd: restoring trust transcript: %v", err)
+				}
+				head, _ := network.BeaconChain().Head()
+				log.Printf("atomd: beacon chain resumed at round %d", head)
+			}
 		}
 	}
 	if network == nil {
 		log.Printf("atomd: forming %d groups of %d from %d servers (T=%d)…",
 			cfg.Groups, cfg.GroupSize, cfg.Servers, cfg.Iterations)
 		var err error
-		if network, err = atom.NewNetwork(cfg); err != nil {
+		if *dkgMode {
+			log.Printf("atomd: dealerless setup: committee DKG, verifiable beacon, per-group ceremonies (window %v)…", *dkgWindow)
+			network, err = atom.NewNetworkDKG(cfg, *dkgWindow)
+		} else {
+			network, err = atom.NewNetwork(cfg)
+		}
+		if err != nil {
 			log.Fatalf("atomd: %v", err)
 		}
 		if st != nil {
 			if err := st.PutDeployment(network.MarshalState()); err != nil {
 				log.Fatalf("atomd: persisting keys: %v", err)
+			}
+			if *dkgMode {
+				if err := network.PersistTrust(st); err != nil {
+					log.Fatalf("atomd: persisting trust transcript: %v", err)
+				}
 			}
 			var hash []byte
 			if gc != nil {
@@ -214,6 +250,28 @@ func main() {
 	}
 	if obs != nil {
 		srv.Network().SetObserver(obs)
+	}
+
+	if *beaconTick > 0 {
+		if network.BeaconChain() == nil {
+			log.Fatalf("atomd: -beacon-interval needs a beacon committee: start with -dkg (or restore a -dkg state dir)")
+		}
+		go func() {
+			// Each tick is produced by the committee's threshold VRF,
+			// verified, appended, and (with -state-dir) journaled by the
+			// chain's append hook.
+			for range time.Tick(*beaconTick) {
+				head, err := network.BeaconTick()
+				if err != nil {
+					log.Printf("atomd: beacon tick: %v", err)
+					continue
+				}
+				if *verbose {
+					log.Printf("atomd: beacon round %d produced", head)
+				}
+			}
+		}()
+		log.Printf("atomd: producing beacon rounds every %v", *beaconTick)
 	}
 
 	if *serve {

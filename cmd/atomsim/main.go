@@ -12,6 +12,7 @@
 //	atomsim -serve -rounds 3        # continuous service: back-to-back pipelined rounds
 //	atomsim -crash                  # crash-restart smoke: SIGKILL a member mid-round, resume from its state dir
 //	atomsim -storm -clients 10000 -conns 4   # ingestion load test over the binary fast path
+//	atomsim -dkg -churn 1           # trust-complete setup smoke: DKG under churn, verifiable beacon, resharing, persistence
 //
 // -storm measures the ingestion frontend in isolation: it pre-encrypts
 // one submission per logical client, multiplexes the whole fleet over a
@@ -58,6 +59,15 @@
 // round completes with full plaintext parity AND the cluster's churn
 // counters show exactly a rejoin: zero re-plans, zero buddy recoveries,
 // zero shares solicited.
+//
+// -dkg is the trust-complete setup smoke (CI runs it race-instrumented,
+// with and without -churn): a joint-Feldman committee ceremony that
+// must survive -churn members crashing mid-deal with the crashes
+// attributed, a chained threshold-VRF beacon, a full dealerless network
+// round (NewNetworkDKG), a resharing epoch that provably preserves the
+// group public key, a store persistence round-trip that must resume the
+// chain without forking, and a laggard catchup through full
+// verification. Any drift fails the run.
 package main
 
 import (
@@ -96,6 +106,7 @@ func main() {
 		wanMax   = flag.Duration("wanmax", 160*time.Millisecond, "-distributed: maximum pairwise one-way latency")
 		churn    = flag.Int("churn", 0, "-distributed: kill this many members of group 0 after the first iteration (1 = degraded completion, 2 = member-lost + wire recovery)")
 		serve    = flag.Bool("serve", false, "run the continuous service: a client fleet drives back-to-back pipelined rounds over the distributed cluster")
+		dkgDemo  = flag.Bool("dkg", false, "trust-complete setup smoke: committee DKG under -churn, chained beacon, dealerless network round, resharing epoch, persistence round-trip, laggard catchup")
 		crash    = flag.Bool("crash", false, "crash-restart smoke: hard-kill a TCP-hosted member mid-round, restart it from its state dir, assert rejoin without re-plan or recovery")
 		storm    = flag.Bool("storm", false, "ingestion load test: a huge multiplexed client fleet floods the binary submit path; reports sustained msgs/sec and p50/p99 admit latency")
 		clients  = flag.Int("clients", 10000, "-storm: logical clients (one pre-encrypted submission each)")
@@ -117,8 +128,15 @@ func main() {
 		}()
 		log.Printf("atomsim: pprof on %s/debug/pprof/", *pprof)
 	}
-	if !*all && *fig == 0 && *table == 0 && !*live && !*dist && !*serve && !*crash && !*storm {
+	if !*all && *fig == 0 && *table == 0 && !*live && !*dist && !*serve && !*crash && !*storm && !*dkgDemo {
 		*all = true
+	}
+
+	if *dkgDemo {
+		if err := runDKGDemo(*churn, *workers); err != nil {
+			log.Fatalf("atomsim: trust-complete setup smoke FAILED: %v", err)
+		}
+		return
 	}
 
 	if *storm {

@@ -1,7 +1,6 @@
 package atom
 
 import (
-	"crypto/rand"
 	"fmt"
 
 	"atom/internal/dialing"
@@ -25,7 +24,7 @@ type DialIdentity struct {
 
 // NewDialIdentity generates a fresh identity.
 func NewDialIdentity() (*DialIdentity, error) {
-	id, err := dialing.NewIdentity(rand.Reader)
+	id, err := dialing.NewIdentity(entropy())
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +62,7 @@ func NewDialRequest(recipientPublic, callerPublic []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("atom: bad caller key: %w", err)
 	}
-	return dialing.Dial(bobPK, alicePK, rand.Reader)
+	return dialing.Dial(bobPK, alicePK, entropy())
 }
 
 // Mailboxes sorts a round's anonymized dialing output into m mailboxes
@@ -120,9 +119,10 @@ type DialNoise struct {
 // submit through the network alongside real traffic.
 func (dn DialNoise) SampleDummies() ([][]byte, error) {
 	nc := dialing.NoiseConfig{Mu: dn.Mu, Scale: dn.Scale}
-	count, err := nc.SampleDummyCount(rand.Reader)
+	rnd := entropy()
+	count, err := nc.SampleDummyCount(rnd)
 	if err != nil {
 		return nil, err
 	}
-	return dialing.GenerateDummies(count, rand.Reader)
+	return dialing.GenerateDummies(count, rnd)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"atom/internal/dkg"
 	"atom/internal/protocol"
 	"atom/internal/store"
 )
@@ -89,6 +90,19 @@ var (
 	// different config file refuses to join rather than mix under the
 	// wrong parameters.
 	ErrConfigMismatch = errors.New("atom: group-config hash mismatch")
+
+	// ErrSetupFailed is returned when trust establishment fails: a
+	// group's joint-Feldman DKG ceremony or a resharing epoch could not
+	// produce a usable threshold key. The underlying chain carries the
+	// per-member fault attribution (see the dkg package's blame
+	// taxonomy).
+	ErrSetupFailed = errors.New("atom: trust setup failed")
+
+	// ErrDKGInsufficient is the specific setup failure where, after
+	// disqualifying misbehaving dealers, fewer qualified participants
+	// remain than the ceremony requires. It matches ErrSetupFailed under
+	// errors.Is.
+	ErrDKGInsufficient = fmt.Errorf("%w: too few qualified participants", ErrSetupFailed)
 )
 
 // BlamedMember extracts the offending group and member (DVSS index)
@@ -168,6 +182,11 @@ func wrapErr(err error) error {
 		return &apiError{sentinel: ErrStateCorrupt, err: err}
 	case errors.Is(err, protocol.ErrConfigMismatch):
 		return &apiError{sentinel: ErrConfigMismatch, err: err}
+	case errors.Is(err, dkg.ErrInsufficient):
+		// Checked before the ErrDKG parent so the specific sentinel wins.
+		return &apiError{sentinel: ErrDKGInsufficient, err: err}
+	case errors.Is(err, dkg.ErrDKG):
+		return &apiError{sentinel: ErrSetupFailed, err: err}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return &apiError{sentinel: ErrRoundAborted, err: err}
 	default:

@@ -2,20 +2,48 @@
 // needs to form anytrust groups (paper §4.1, citing Bitcoin beacons [14]
 // and RandHound/RandHerd [68]).
 //
-// The implementation is a deterministic SHA3 hash chain over an agreed
-// seed: Round(i) is computable by every participant, unpredictable
-// before the seed is fixed, and unbiasable by any single party once the
-// seed is committed. Deployments would feed the seed from an external
-// beacon (a blockchain header, drand, etc.); the protocol only requires
-// that all participants agree on the per-round value, which this
-// construction supplies. The package also exposes a deterministic
-// io.Reader (an expandable output stream) for seeded sampling.
+// Two implementations of the Source contract live here:
+//
+//   - Beacon, a deterministic SHA3 hash chain over an agreed seed:
+//     Round(i) is computable by every participant and unbiasable by any
+//     single party once the seed is committed. Deployments feed the seed
+//     from an external beacon or from a Chain output.
+//   - Chain, a drand-style chained, publicly-verifiable threshold
+//     randomness beacon (chain.go): each round's value is a threshold
+//     VRF over the previous round's output under a DKG-generated group
+//     key, carried with Chaum–Pedersen DLEQ proofs so anyone holding
+//     the ChainInfo can verify every link without trusting any member.
+//
+// The package also exposes a deterministic io.Reader (an expandable
+// output stream) for seeded sampling.
 package beacon
 
 import (
 	"crypto/sha3"
 	"encoding/binary"
 )
+
+// Source is the per-round public randomness contract consumers sample
+// from (group formation, trap derivation): any implementation whose
+// Round values all participants agree on. Round returns the 32-byte
+// value for the given round, or nil when the source has not (yet)
+// produced that round — callers must treat nil as "not available", not
+// as randomness.
+type Source interface {
+	Round(round uint64) []byte
+}
+
+// StreamFrom returns the deterministic expandable stream derived from a
+// beacon round value and a purpose label. Distinct purposes yield
+// independent streams; every Source shares this derivation, so a value
+// obtained from a verifiable Chain seeds exactly the same sampling as
+// the hash-chain Beacon.
+func StreamFrom(value []byte, purpose string) *Stream {
+	h := sha3.New256()
+	h.Write(value)
+	h.Write([]byte(purpose))
+	return &Stream{state: h.Sum(nil)}
+}
 
 // Beacon is a deterministic per-round randomness source.
 type Beacon struct {
@@ -43,10 +71,7 @@ func (b *Beacon) Round(round uint64) []byte {
 // purpose label, suitable for seeded sampling (group formation, topology
 // assignment). Distinct purposes yield independent streams.
 func (b *Beacon) Stream(round uint64, purpose string) *Stream {
-	h := sha3.New256()
-	h.Write(b.Round(round))
-	h.Write([]byte(purpose))
-	return &Stream{state: h.Sum(nil)}
+	return StreamFrom(b.Round(round), purpose)
 }
 
 // Stream is a deterministic expandable output stream implementing

@@ -1,0 +1,310 @@
+package beacon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"atom/internal/dvss"
+	"atom/internal/ecc"
+)
+
+// testChain builds a (t, n) threshold key via the in-process DKG and
+// returns the chain description plus every member's share.
+func testChain(t *testing.T, threshold, n int) (*ChainInfo, []*ecc.Scalar) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(42))
+	keys, err := dvss.RunDKG(n, threshold, rnd)
+	if err != nil {
+		t.Fatalf("RunDKG: %v", err)
+	}
+	shares := make([]*ecc.Scalar, n)
+	for i, k := range keys {
+		shares[i] = k.Share
+	}
+	return InfoFromKey(keys[0], []byte("test-genesis")), shares
+}
+
+// produceRound signs partials with the given member indices (1-based)
+// and aggregates them into the next round after prev.
+func produceRound(t *testing.T, ci *ChainInfo, shares []*ecc.Scalar, number uint64, prev []byte, members []int) *Round {
+	t.Helper()
+	var partials []*Partial
+	for _, i := range members {
+		p, err := ci.SignPartial(i, shares[i-1], number, prev)
+		if err != nil {
+			t.Fatalf("SignPartial(%d): %v", i, err)
+		}
+		partials = append(partials, p)
+	}
+	r, err := ci.Aggregate(number, prev, partials)
+	if err != nil {
+		t.Fatalf("Aggregate round %d: %v", number, err)
+	}
+	return r
+}
+
+// extend appends n freshly produced rounds to the chain.
+func extend(t *testing.T, c *Chain, shares []*ecc.Scalar, n int, members []int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		head, prev := c.Head()
+		r := produceRound(t, c.Info(), shares, head+1, prev, members)
+		if err := c.Append(r); err != nil {
+			t.Fatalf("Append round %d: %v", head+1, err)
+		}
+	}
+}
+
+func TestChainAppendAndVerify(t *testing.T) {
+	ci, shares := testChain(t, 3, 5)
+	c, err := NewChain(ci)
+	if err != nil {
+		t.Fatalf("NewChain: %v", err)
+	}
+	head, out := c.Head()
+	if head != 0 || !bytes.Equal(out, ci.Genesis()) {
+		t.Fatalf("fresh chain head = (%d, %x), want genesis", head, out)
+	}
+	extend(t, c, shares, 5, []int{1, 2, 3})
+	head, _ = c.Head()
+	if head != 5 {
+		t.Fatalf("head = %d after 5 appends", head)
+	}
+	// Any threshold subset must produce the identical output for the
+	// next round — the value is a function of the key, not the subset.
+	head, prev := c.Head()
+	r1 := produceRound(t, ci, shares, head+1, prev, []int{1, 2, 3})
+	r2 := produceRound(t, ci, shares, head+1, prev, []int{2, 4, 5})
+	if !bytes.Equal(r1.Output, r2.Output) {
+		t.Fatal("different threshold subsets produced different beacon outputs")
+	}
+	// Oversupplied partials: aggregate takes exactly threshold.
+	r3 := produceRound(t, ci, shares, head+1, prev, []int{1, 2, 3, 4, 5})
+	if !bytes.Equal(r3.Output, r1.Output) {
+		t.Fatal("oversupplied aggregation changed the output")
+	}
+	if len(r3.Partials) != ci.Threshold {
+		t.Fatalf("aggregate kept %d partials, want threshold %d", len(r3.Partials), ci.Threshold)
+	}
+}
+
+func TestChainRejectsForksGapsAndForgeries(t *testing.T) {
+	ci, shares := testChain(t, 3, 5)
+	c, _ := NewChain(ci)
+	extend(t, c, shares, 3, []int{1, 2, 3})
+	head, prev := c.Head()
+
+	// A round linking to a stale output (fork) is rejected.
+	staleRound := c.Record(2)
+	fork := produceRound(t, ci, shares, head+1, staleRound.Prev, []int{1, 2, 3})
+	if err := c.Append(fork); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("fork append: %v, want ErrBadLink", err)
+	}
+	// A gap (skipping a round number) is rejected.
+	gap := produceRound(t, ci, shares, head+2, prev, []int{1, 2, 3})
+	if err := c.Append(gap); !errors.Is(err, ErrBadLink) {
+		t.Fatalf("gap append: %v, want ErrBadLink", err)
+	}
+	// A replay at or below the head is rejected.
+	if err := c.Append(c.Record(head)); !errors.Is(err, ErrBadLink) {
+		t.Fatal("replay of the head round accepted")
+	}
+
+	good := produceRound(t, ci, shares, head+1, prev, []int{1, 2, 3})
+	// Tampered output.
+	bad := *good
+	bad.Output = append([]byte(nil), good.Output...)
+	bad.Output[0] ^= 1
+	if err := c.Append(&bad); !errors.Is(err, ErrBadRound) {
+		t.Fatalf("tampered output: %v, want ErrBadRound", err)
+	}
+	// Forged partial: valid DLEQ under the wrong share.
+	wrong, err := ci.SignPartial(1, shares[1], head+1, prev) // member 1 claiming with member 2's share
+	if err != nil {
+		t.Fatalf("SignPartial: %v", err)
+	}
+	forged := *good
+	forged.Partials = append([]*Partial{wrong}, good.Partials[1:]...)
+	if err := c.Append(&forged); !errors.Is(err, ErrBadRound) {
+		t.Fatalf("forged partial: %v, want ErrBadRound", err)
+	}
+	// Duplicate partial indices.
+	dup := *good
+	dup.Partials = []*Partial{good.Partials[0], good.Partials[0], good.Partials[1]}
+	if err := c.Append(&dup); !errors.Is(err, ErrBadRound) {
+		t.Fatalf("duplicate partials: %v, want ErrBadRound", err)
+	}
+	// Sub-threshold partial count.
+	short := *good
+	short.Partials = good.Partials[:ci.Threshold-1]
+	if err := c.Append(&short); !errors.Is(err, ErrBadRound) {
+		t.Fatalf("sub-threshold round: %v, want ErrBadRound", err)
+	}
+	// None of the rejections moved the head.
+	if h, _ := c.Head(); h != head {
+		t.Fatalf("head moved to %d after rejected appends", h)
+	}
+	// The untampered round still lands.
+	if err := c.Append(good); err != nil {
+		t.Fatalf("good append after rejections: %v", err)
+	}
+}
+
+func TestChainAggregateSkipsInvalidPartials(t *testing.T) {
+	ci, shares := testChain(t, 3, 5)
+	prev := ci.Genesis()
+	good1, _ := ci.SignPartial(1, shares[0], 1, prev)
+	good2, _ := ci.SignPartial(2, shares[1], 1, prev)
+	good3, _ := ci.SignPartial(3, shares[2], 1, prev)
+	junk, _ := ci.SignPartial(4, shares[0], 1, prev) // wrong share → invalid proof
+	r, err := ci.Aggregate(1, prev, []*Partial{junk, good1, good2, good1, good3})
+	if err != nil {
+		t.Fatalf("Aggregate with junk mixed in: %v", err)
+	}
+	if err := ci.VerifyRound(r, prev); err != nil {
+		t.Fatalf("VerifyRound: %v", err)
+	}
+	// Too few valid partials is a typed failure.
+	if _, err := ci.Aggregate(1, prev, []*Partial{junk, good1, good2}); !errors.Is(err, ErrBadRound) {
+		t.Fatalf("sub-threshold aggregate: %v, want ErrBadRound", err)
+	}
+}
+
+func TestChainCatchup(t *testing.T) {
+	ci, shares := testChain(t, 3, 5)
+	ahead, _ := NewChain(ci)
+	extend(t, ahead, shares, 20, []int{1, 2, 3})
+
+	// A laggard N=20 rounds behind syncs purely from the peer's records.
+	behind, _ := NewChain(ci)
+	if err := behind.SyncFrom(func(after uint64) ([]*Round, error) {
+		return ahead.Records(after), nil
+	}, 20); err != nil {
+		t.Fatalf("SyncFrom: %v", err)
+	}
+	bh, bo := behind.Head()
+	ah, ao := ahead.Head()
+	if bh != ah || !bytes.Equal(bo, ao) {
+		t.Fatalf("catchup head (%d, %x) != source head (%d, %x)", bh, bo, ah, ao)
+	}
+
+	// Catchup is idempotent: replaying already-held rounds is a no-op.
+	n, err := behind.Catchup(ahead.Records(10))
+	if err != nil || n != 0 {
+		t.Fatalf("idempotent catchup accepted %d rounds (%v)", n, err)
+	}
+
+	// A lying peer (tampered round mid-batch) surfaces as a typed error
+	// and the laggard keeps only the verified prefix.
+	liar, _ := NewChain(ci)
+	batch := ahead.Records(0)
+	tampered := *batch[5]
+	tampered.Output = append([]byte(nil), batch[5].Output...)
+	tampered.Output[0] ^= 1
+	batch[5] = &tampered
+	accepted, err := liar.Catchup(batch)
+	if !errors.Is(err, ErrChain) {
+		t.Fatalf("tampered catchup: %v, want ErrChain", err)
+	}
+	if accepted != 5 {
+		t.Fatalf("accepted %d rounds before the tampered one, want 5", accepted)
+	}
+	if h, _ := liar.Head(); h != 5 {
+		t.Fatalf("liar-fed head = %d, want 5", h)
+	}
+	// A peer with nothing newer than the laggard's head is also typed.
+	stuck, _ := NewChain(ci)
+	if err := stuck.SyncFrom(func(after uint64) ([]*Round, error) { return nil, nil }, 3); !errors.Is(err, ErrChain) {
+		t.Fatalf("empty-peer sync: %v, want ErrChain", err)
+	}
+}
+
+func TestChainWindowEviction(t *testing.T) {
+	ci, shares := testChain(t, 2, 3)
+	c, _ := NewChain(ci)
+	c.window = 4
+	extend(t, c, shares, 10, []int{1, 2})
+	if c.Record(3) != nil {
+		t.Fatal("round 3 record not evicted from a window of 4")
+	}
+	if c.Record(7) == nil || c.Round(7) == nil {
+		t.Fatal("round 7 inside the window was evicted")
+	}
+	if c.Round(0) == nil {
+		t.Fatal("genesis output evicted")
+	}
+	// A laggard whose head predates the window gets nothing (a gapped
+	// batch could never link); one inside the window gets the tail.
+	if got := len(c.Records(0)); got != 0 {
+		t.Fatalf("Records(0) returned %d rounds despite the gap, want 0", got)
+	}
+	if got := len(c.Records(6)); got != 4 {
+		t.Fatalf("Records(6) returned %d rounds, want the 4-round tail", got)
+	}
+}
+
+func TestChainDeterministicSigning(t *testing.T) {
+	ci, shares := testChain(t, 2, 3)
+	prev := ci.Genesis()
+	p1, err := ci.SignPartial(1, shares[0], 1, prev)
+	if err != nil {
+		t.Fatalf("SignPartial: %v", err)
+	}
+	p2, _ := ci.SignPartial(1, shares[0], 1, prev)
+	if !bytes.Equal(p1.Marshal(), p2.Marshal()) {
+		t.Fatal("partial signing is not deterministic")
+	}
+}
+
+func TestChainImplementsSource(t *testing.T) {
+	ci, shares := testChain(t, 2, 3)
+	c, _ := NewChain(ci)
+	var src Source = c
+	if out := src.Round(1); out != nil {
+		t.Fatalf("unreached round returned %x, want nil", out)
+	}
+	extend(t, c, shares, 2, []int{1, 3})
+	if out := src.Round(2); out == nil {
+		t.Fatal("reached round returned nil")
+	}
+	// The Source value feeds the same stream derivation as the hash
+	// chain beacon: StreamFrom is shared.
+	s1 := StreamFrom(src.Round(1), "group-formation")
+	s2 := StreamFrom(c.Round(1), "group-formation")
+	if s1.Intn(1<<30) != s2.Intn(1<<30) {
+		t.Fatal("StreamFrom not deterministic over a chain output")
+	}
+}
+
+func TestChainOnAppendObserver(t *testing.T) {
+	ci, shares := testChain(t, 2, 3)
+	c, _ := NewChain(ci)
+	var seen []uint64
+	c.OnAppend(func(r *Round) { seen = append(seen, r.Number) })
+	extend(t, c, shares, 3, []int{1, 2})
+	if fmt.Sprint(seen) != "[1 2 3]" {
+		t.Fatalf("observer saw %v, want [1 2 3]", seen)
+	}
+}
+
+func TestChainInfoMismatchedKeysDisagree(t *testing.T) {
+	ci1, shares := testChain(t, 2, 3)
+	// A second, independent key: chains cannot share links.
+	rnd := rand.New(rand.NewSource(7))
+	keys, err := dvss.RunDKG(3, 2, rnd)
+	if err != nil {
+		t.Fatalf("RunDKG: %v", err)
+	}
+	ci2 := InfoFromKey(keys[0], []byte("test-genesis"))
+	if bytes.Equal(ci1.Hash(), ci2.Hash()) {
+		t.Fatal("independent chain infos hash equal")
+	}
+	c2, _ := NewChain(ci2)
+	r := produceRound(t, ci1, shares, 1, ci1.Genesis(), []int{1, 2})
+	if err := c2.Append(r); err == nil {
+		t.Fatal("chain accepted a round produced under a different key")
+	}
+}

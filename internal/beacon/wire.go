@@ -1,0 +1,178 @@
+package beacon
+
+import (
+	"fmt"
+
+	"atom/internal/wirecodec"
+)
+
+// Wire codecs for the beacon chain: ChainInfo (shipped to verifiers and
+// persisted with DKG transcripts), Partial (gossiped each round), and
+// Round (the chain link — gossiped, served for catchup, journaled in
+// internal/store). All use the shared wirecodec framing; versioned so
+// the formats can evolve without breaking persisted chains.
+
+const (
+	chainInfoVersion = 1
+	partialVersion   = 1
+	roundVersion     = 1
+)
+
+// Marshal encodes the chain description canonically.
+func (ci *ChainInfo) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(chainInfoVersion)
+	e.Point(ci.PK)
+	e.Points(ci.Commitments)
+	e.I(ci.Threshold)
+	e.I(ci.Size)
+	e.Bytes(ci.GenesisSeed)
+	return e.Out()
+}
+
+// DecodeChainInfo decodes and validates a chain description.
+func DecodeChainInfo(b []byte) (*ChainInfo, error) {
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if v != chainInfoVersion {
+		return nil, fmt.Errorf("beacon: chain info version %d unsupported", v)
+	}
+	ci := &ChainInfo{}
+	if ci.PK, err = d.Point(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if ci.Commitments, err = d.Points(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if ci.Threshold, err = d.I(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if ci.Size, err = d.I(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if ci.GenesisSeed, err = d.Bytes(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("beacon: chain info: %w", err)
+	}
+	for _, c := range ci.Commitments {
+		if c == nil {
+			return nil, fmt.Errorf("beacon: chain info with nil commitment")
+		}
+	}
+	if err := ci.validate(); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+// Marshal encodes one member's round partial.
+func (p *Partial) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(partialVersion)
+	e.I(p.Index)
+	e.Point(p.V)
+	e.Scalar(p.E)
+	e.Scalar(p.S)
+	return e.Out()
+}
+
+// DecodePartial decodes a round partial. Structural checks only; the
+// proof itself is checked by VerifyPartial.
+func DecodePartial(b []byte) (*Partial, error) {
+	d := wirecodec.NewDec(b)
+	p, err := decodePartial(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	return p, nil
+}
+
+func decodePartial(d *wirecodec.Dec) (*Partial, error) {
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	if v != partialVersion {
+		return nil, fmt.Errorf("beacon: partial version %d unsupported", v)
+	}
+	p := &Partial{}
+	if p.Index, err = d.I(); err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	if p.V, err = d.Point(); err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	if p.E, err = d.Scalar(); err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	if p.S, err = d.Scalar(); err != nil {
+		return nil, fmt.Errorf("beacon: partial: %w", err)
+	}
+	if p.V == nil || p.E == nil || p.S == nil {
+		return nil, fmt.Errorf("beacon: partial with absent fields")
+	}
+	return p, nil
+}
+
+// Marshal encodes a full chain link.
+func (r *Round) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(roundVersion)
+	e.U64(r.Number)
+	e.Bytes(r.Prev)
+	e.Bytes(r.Output)
+	e.U64(uint64(len(r.Partials)))
+	for _, p := range r.Partials {
+		e.Bytes(p.Marshal())
+	}
+	return e.Out()
+}
+
+// DecodeRound decodes a chain link. Structural checks only; link and
+// proof verification happen in Chain.Append / ChainInfo.VerifyRound.
+func DecodeRound(b []byte) (*Round, error) {
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	if v != roundVersion {
+		return nil, fmt.Errorf("beacon: round version %d unsupported", v)
+	}
+	r := &Round{}
+	if r.Number, err = d.U64(); err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	if r.Prev, err = d.Bytes(); err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	if r.Output, err = d.Bytes(); err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	n, err := d.Count()
+	if err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	r.Partials = make([]*Partial, n)
+	for i := range r.Partials {
+		pb, err := d.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("beacon: round: %w", err)
+		}
+		if r.Partials[i], err = DecodePartial(pb); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("beacon: round: %w", err)
+	}
+	return r, nil
+}

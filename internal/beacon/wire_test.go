@@ -1,0 +1,138 @@
+package beacon
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"atom/internal/dvss"
+)
+
+func wireFixtures(t *testing.T) (*ChainInfo, *Partial, *Round) {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(9))
+	keys, err := dvss.RunDKG(4, 2, rnd)
+	if err != nil {
+		t.Fatalf("RunDKG: %v", err)
+	}
+	ci := InfoFromKey(keys[0], []byte("wire-genesis"))
+	prev := ci.Genesis()
+	p1, err := ci.SignPartial(1, keys[0].Share, 1, prev)
+	if err != nil {
+		t.Fatalf("SignPartial: %v", err)
+	}
+	p3, err := ci.SignPartial(3, keys[2].Share, 1, prev)
+	if err != nil {
+		t.Fatalf("SignPartial: %v", err)
+	}
+	r, err := ci.Aggregate(1, prev, []*Partial{p1, p3})
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	return ci, p1, r
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	ci, p, r := wireFixtures(t)
+
+	ci2, err := DecodeChainInfo(ci.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeChainInfo: %v", err)
+	}
+	if !bytes.Equal(ci2.Marshal(), ci.Marshal()) || !bytes.Equal(ci2.Hash(), ci.Hash()) {
+		t.Fatal("ChainInfo re-encode not canonical")
+	}
+
+	p2, err := DecodePartial(p.Marshal())
+	if err != nil {
+		t.Fatalf("DecodePartial: %v", err)
+	}
+	if !bytes.Equal(p2.Marshal(), p.Marshal()) {
+		t.Fatal("Partial re-encode not canonical")
+	}
+	if err := ci.VerifyPartial(p2, 1, ci.Genesis()); err != nil {
+		t.Fatalf("decoded partial fails verification: %v", err)
+	}
+
+	r2, err := DecodeRound(r.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeRound: %v", err)
+	}
+	if !bytes.Equal(r2.Marshal(), r.Marshal()) {
+		t.Fatal("Round re-encode not canonical")
+	}
+	if err := ci.VerifyRound(r2, ci.Genesis()); err != nil {
+		t.Fatalf("decoded round fails verification: %v", err)
+	}
+}
+
+func TestWireTruncation(t *testing.T) {
+	ci, p, r := wireFixtures(t)
+	for _, enc := range [][]byte{ci.Marshal(), p.Marshal(), r.Marshal()} {
+		for n := 0; n < len(enc); n++ {
+			prefix := enc[:n]
+			if _, err := DecodeChainInfo(prefix); err == nil && n < len(ci.Marshal()) && bytes.Equal(enc, ci.Marshal()) {
+				t.Fatalf("ChainInfo decoded from %d-byte prefix", n)
+			}
+			DecodePartial(prefix) // must not panic
+			DecodeRound(prefix)   // must not panic
+		}
+	}
+	// Trailing garbage is rejected, not silently ignored.
+	if _, err := DecodeRound(append(r.Marshal(), 0)); err == nil {
+		t.Fatal("Round decoded with trailing bytes")
+	}
+	if _, err := DecodePartial(append(p.Marshal(), 0)); err == nil {
+		t.Fatal("Partial decoded with trailing bytes")
+	}
+	if _, err := DecodeChainInfo(append(ci.Marshal(), 0)); err == nil {
+		t.Fatal("ChainInfo decoded with trailing bytes")
+	}
+}
+
+// FuzzBeaconWire feeds arbitrary bytes to every beacon decoder — each
+// must fail cleanly, never panic or over-read — and checks canonical
+// re-encode for inputs that do decode.
+func FuzzBeaconWire(f *testing.F) {
+	rnd := rand.New(rand.NewSource(9))
+	keys, err := dvss.RunDKG(4, 2, rnd)
+	if err != nil {
+		f.Fatalf("RunDKG: %v", err)
+	}
+	ci := InfoFromKey(keys[0], []byte("wire-genesis"))
+	prev := ci.Genesis()
+	p1, _ := ci.SignPartial(1, keys[0].Share, 1, prev)
+	p3, _ := ci.SignPartial(3, keys[2].Share, 1, prev)
+	r, _ := ci.Aggregate(1, prev, []*Partial{p1, p3})
+	f.Add(ci.Marshal())
+	f.Add(p1.Marshal())
+	f.Add(r.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoders must fail cleanly; successful decodes must re-encode
+		// to a stable canonical form (non-minimal varints and unreduced
+		// scalars normalize on the first re-encode).
+		if ci, err := DecodeChainInfo(data); err == nil {
+			enc := ci.Marshal()
+			ci2, err := DecodeChainInfo(enc)
+			if err != nil || !bytes.Equal(ci2.Marshal(), enc) {
+				t.Fatalf("ChainInfo re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+		if p, err := DecodePartial(data); err == nil {
+			enc := p.Marshal()
+			p2, err := DecodePartial(enc)
+			if err != nil || !bytes.Equal(p2.Marshal(), enc) {
+				t.Fatalf("Partial re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+		if r, err := DecodeRound(data); err == nil {
+			enc := r.Marshal()
+			r2, err := DecodeRound(enc)
+			if err != nil || !bytes.Equal(r2.Marshal(), enc) {
+				t.Fatalf("Round re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+	})
+}

@@ -102,6 +102,8 @@ const (
 	errNoSuchGroup
 	errStateCorrupt
 	errConfigMismatch
+	errSetupFailed
+	errDKGInsufficient
 )
 
 // classify maps an error to its wire kind.
@@ -132,6 +134,11 @@ func classify(err error) errorKind {
 		return errStateCorrupt
 	case errors.Is(err, atom.ErrConfigMismatch):
 		return errConfigMismatch
+	case errors.Is(err, atom.ErrDKGInsufficient):
+		// Before the ErrSetupFailed parent so the specific kind wins.
+		return errDKGInsufficient
+	case errors.Is(err, atom.ErrSetupFailed):
+		return errSetupFailed
 	default:
 		return errGeneric
 	}
@@ -172,6 +179,10 @@ func unclassify(kind errorKind, msg string) error {
 		return wrap(atom.ErrStateCorrupt)
 	case errConfigMismatch:
 		return wrap(atom.ErrConfigMismatch)
+	case errSetupFailed:
+		return wrap(atom.ErrSetupFailed)
+	case errDKGInsufficient:
+		return wrap(atom.ErrDKGInsufficient)
 	default:
 		return fmt.Errorf("daemon: %s", msg)
 	}

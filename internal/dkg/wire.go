@@ -1,0 +1,182 @@
+package dkg
+
+import (
+	"fmt"
+
+	"atom/internal/wirecodec"
+)
+
+// Wire codecs for the three ceremony message kinds, on the shared
+// wirecodec framing. Deals carry a private share and travel
+// point-to-point; responses and justifications are broadcast and
+// echoed byte-identically, so canonical encoding matters — the echo
+// dedup and the vote union both key on the payload.
+
+const (
+	dealMsgVersion     = 1
+	responseMsgVersion = 1
+	justifyMsgVersion  = 1
+)
+
+// Marshal encodes a deal message.
+func (m *DealMsg) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(dealMsgVersion)
+	e.U64(m.Session)
+	e.I(m.Dealer)
+	e.Points(m.Commitments)
+	e.Scalar(m.Share)
+	return e.Out()
+}
+
+// DecodeDealMsg decodes a deal message. Structural checks only — share
+// and commitment validity are the tally's concern (they become votes).
+func DecodeDealMsg(b []byte) (*DealMsg, error) {
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	if v != dealMsgVersion {
+		return nil, fmt.Errorf("dkg: deal version %d unsupported", v)
+	}
+	m := &DealMsg{}
+	if m.Session, err = d.U64(); err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	if m.Dealer, err = d.I(); err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	if m.Commitments, err = d.Points(); err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	if m.Share, err = d.Scalar(); err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("dkg: deal: %w", err)
+	}
+	for _, c := range m.Commitments {
+		if c == nil {
+			return nil, fmt.Errorf("dkg: deal with nil commitment")
+		}
+	}
+	return m, nil
+}
+
+// Marshal encodes a response message.
+func (m *ResponseMsg) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(responseMsgVersion)
+	e.U64(m.Session)
+	e.I(m.Voter)
+	e.U64(uint64(len(m.Votes)))
+	for _, v := range m.Votes {
+		e.I(v.Dealer)
+		e.Byte(v.Code)
+		e.Bytes(v.CommitHash)
+	}
+	return e.Out()
+}
+
+// DecodeResponseMsg decodes a response message.
+func DecodeResponseMsg(b []byte) (*ResponseMsg, error) {
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("dkg: response: %w", err)
+	}
+	if v != responseMsgVersion {
+		return nil, fmt.Errorf("dkg: response version %d unsupported", v)
+	}
+	m := &ResponseMsg{}
+	if m.Session, err = d.U64(); err != nil {
+		return nil, fmt.Errorf("dkg: response: %w", err)
+	}
+	if m.Voter, err = d.I(); err != nil {
+		return nil, fmt.Errorf("dkg: response: %w", err)
+	}
+	n, err := d.Count()
+	if err != nil {
+		return nil, fmt.Errorf("dkg: response: %w", err)
+	}
+	m.Votes = make([]Vote, n)
+	for i := range m.Votes {
+		if m.Votes[i].Dealer, err = d.I(); err != nil {
+			return nil, fmt.Errorf("dkg: response: %w", err)
+		}
+		if m.Votes[i].Code, err = d.Byte(); err != nil {
+			return nil, fmt.Errorf("dkg: response: %w", err)
+		}
+		h, err := d.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("dkg: response: %w", err)
+		}
+		if len(h) > 0 {
+			m.Votes[i].CommitHash = h
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("dkg: response: %w", err)
+	}
+	return m, nil
+}
+
+// Marshal encodes a justification message.
+func (m *JustificationMsg) Marshal() []byte {
+	var e wirecodec.Enc
+	e.Byte(justifyMsgVersion)
+	e.U64(m.Session)
+	e.I(m.Dealer)
+	e.Points(m.Commitments)
+	e.U64(uint64(len(m.Shares)))
+	for _, js := range m.Shares {
+		e.I(js.Member)
+		e.Scalar(js.Share)
+	}
+	return e.Out()
+}
+
+// DecodeJustificationMsg decodes a justification message.
+func DecodeJustificationMsg(b []byte) (*JustificationMsg, error) {
+	d := wirecodec.NewDec(b)
+	v, err := d.Byte()
+	if err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	if v != justifyMsgVersion {
+		return nil, fmt.Errorf("dkg: justification version %d unsupported", v)
+	}
+	m := &JustificationMsg{}
+	if m.Session, err = d.U64(); err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	if m.Dealer, err = d.I(); err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	if m.Commitments, err = d.Points(); err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	n, err := d.Count()
+	if err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	m.Shares = make([]JustShare, n)
+	for i := range m.Shares {
+		if m.Shares[i].Member, err = d.I(); err != nil {
+			return nil, fmt.Errorf("dkg: justification: %w", err)
+		}
+		if m.Shares[i].Share, err = d.Scalar(); err != nil {
+			return nil, fmt.Errorf("dkg: justification: %w", err)
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("dkg: justification: %w", err)
+	}
+	for _, c := range m.Commitments {
+		if c == nil {
+			return nil, fmt.Errorf("dkg: justification with nil commitment")
+		}
+	}
+	return m, nil
+}

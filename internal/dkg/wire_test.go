@@ -1,0 +1,114 @@
+package dkg
+
+import (
+	"bytes"
+	"testing"
+
+	"atom/internal/ecc"
+)
+
+func wireFixtures() (*DealMsg, *ResponseMsg, *JustificationMsg) {
+	comms := []*ecc.Point{ecc.BaseMul(ecc.NewScalar(3)), ecc.BaseMul(ecc.NewScalar(5))}
+	deal := &DealMsg{Session: 7, Dealer: 2, Commitments: comms, Share: ecc.NewScalar(11)}
+	resp := &ResponseMsg{Session: 7, Voter: 4, Votes: []Vote{
+		{Dealer: 1, Code: VoteOK, CommitHash: CommitHash(1, comms)},
+		{Dealer: 2, Code: VoteComplaint, CommitHash: CommitHash(2, comms)},
+		{Dealer: 3, Code: VoteMissing},
+	}}
+	just := &JustificationMsg{Session: 7, Dealer: 2, Commitments: comms, Shares: []JustShare{
+		{Member: 4, Share: ecc.NewScalar(11)},
+	}}
+	return deal, resp, just
+}
+
+func TestDKGWireRoundTrip(t *testing.T) {
+	deal, resp, just := wireFixtures()
+
+	d2, err := DecodeDealMsg(deal.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeDealMsg: %v", err)
+	}
+	if !bytes.Equal(d2.Marshal(), deal.Marshal()) {
+		t.Fatal("DealMsg re-encode not canonical")
+	}
+	if d2.Session != 7 || d2.Dealer != 2 || !d2.Share.Equal(deal.Share) {
+		t.Fatal("DealMsg fields lost in round trip")
+	}
+
+	r2, err := DecodeResponseMsg(resp.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeResponseMsg: %v", err)
+	}
+	if !bytes.Equal(r2.Marshal(), resp.Marshal()) {
+		t.Fatal("ResponseMsg re-encode not canonical")
+	}
+	if len(r2.Votes) != 3 || r2.Votes[2].Code != VoteMissing || r2.Votes[2].CommitHash != nil {
+		t.Fatal("ResponseMsg votes lost in round trip")
+	}
+
+	j2, err := DecodeJustificationMsg(just.Marshal())
+	if err != nil {
+		t.Fatalf("DecodeJustificationMsg: %v", err)
+	}
+	if !bytes.Equal(j2.Marshal(), just.Marshal()) {
+		t.Fatal("JustificationMsg re-encode not canonical")
+	}
+}
+
+func TestDKGWireTruncationAndTrailing(t *testing.T) {
+	deal, resp, just := wireFixtures()
+	for _, enc := range [][]byte{deal.Marshal(), resp.Marshal(), just.Marshal()} {
+		for n := 0; n < len(enc); n++ {
+			// Must fail cleanly, never panic or over-read.
+			DecodeDealMsg(enc[:n])
+			DecodeResponseMsg(enc[:n])
+			DecodeJustificationMsg(enc[:n])
+		}
+	}
+	if _, err := DecodeDealMsg(append(deal.Marshal(), 0)); err == nil {
+		t.Fatal("DealMsg decoded with trailing bytes")
+	}
+	if _, err := DecodeResponseMsg(append(resp.Marshal(), 0)); err == nil {
+		t.Fatal("ResponseMsg decoded with trailing bytes")
+	}
+	if _, err := DecodeJustificationMsg(append(just.Marshal(), 0)); err == nil {
+		t.Fatal("JustificationMsg decoded with trailing bytes")
+	}
+}
+
+// FuzzDKGWire drives arbitrary bytes through every ceremony decoder:
+// each must fail cleanly (no panic, no over-read), and whatever decodes
+// must re-encode to a stable canonical form — decode(Marshal(m)) equals
+// m byte-for-byte, even when the original input used non-minimal
+// varints or unreduced scalars.
+func FuzzDKGWire(f *testing.F) {
+	deal, resp, just := wireFixtures()
+	f.Add(deal.Marshal())
+	f.Add(resp.Marshal())
+	f.Add(just.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeDealMsg(data); err == nil {
+			enc := m.Marshal()
+			m2, err := DecodeDealMsg(enc)
+			if err != nil || !bytes.Equal(m2.Marshal(), enc) {
+				t.Fatalf("DealMsg re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+		if m, err := DecodeResponseMsg(data); err == nil {
+			enc := m.Marshal()
+			m2, err := DecodeResponseMsg(enc)
+			if err != nil || !bytes.Equal(m2.Marshal(), enc) {
+				t.Fatalf("ResponseMsg re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+		if m, err := DecodeJustificationMsg(data); err == nil {
+			enc := m.Marshal()
+			m2, err := DecodeJustificationMsg(enc)
+			if err != nil || !bytes.Equal(m2.Marshal(), enc) {
+				t.Fatalf("JustificationMsg re-encode unstable (%v) for input %x", err, data)
+			}
+		}
+	})
+}

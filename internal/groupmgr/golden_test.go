@@ -1,0 +1,94 @@
+package groupmgr
+
+import (
+	"reflect"
+	"testing"
+
+	"atom/internal/beacon"
+)
+
+// TestFormGoldenVector pins the exact group assignment for a fixed
+// beacon seed and round. Group formation is consensus-critical: every
+// participant derives the layout independently from the beacon output,
+// so any drift in the sampling stream, the rotation, or the buddy
+// assignment silently partitions the fleet. This vector freezes all
+// three.
+func TestFormGoldenVector(t *testing.T) {
+	b := beacon.New([]byte("atom/golden/v1"))
+	cfg := Config{NumServers: 16, NumGroups: 4, GroupSize: 4, HonestMin: 2, Fraction: 0.2, BuddyCount: 1}
+	groups, err := Form(cfg, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*Group{
+		{ID: 0, Members: []int{7, 0, 12, 6}, Buddies: []int{1}},
+		{ID: 1, Members: []int{1, 9, 7, 0}, Buddies: []int{2}},
+		{ID: 2, Members: []int{14, 10, 4, 0}, Buddies: []int{3}},
+		{ID: 3, Members: []int{10, 15, 4, 14}, Buddies: []int{0}},
+	}
+	if len(groups) != len(want) {
+		t.Fatalf("%d groups, want %d", len(groups), len(want))
+	}
+	for i, g := range groups {
+		if !reflect.DeepEqual(g, want[i]) {
+			t.Errorf("group %d = %+v, want %+v", i, g, want[i])
+		}
+	}
+}
+
+// TestFormWeightedGoldenVector pins the weighted sampler on the same
+// seed: the inverse-transform draw order is as consensus-critical as
+// the uniform one.
+func TestFormWeightedGoldenVector(t *testing.T) {
+	b := beacon.New([]byte("atom/golden/v1"))
+	cfg := Config{NumServers: 16, NumGroups: 4, GroupSize: 4, HonestMin: 2, Fraction: 0.2, BuddyCount: 1}
+	weights := make([]float64, 16)
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+	}
+	groups, err := FormWeighted(cfg, weights, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{
+		{14, 9, 11, 0},
+		{5, 10, 15, 0},
+		{7, 14, 6, 12},
+		{13, 6, 7, 3},
+	}
+	for i, g := range groups {
+		if !reflect.DeepEqual(g.Members, want[i]) {
+			t.Errorf("weighted group %d members = %v, want %v", i, g.Members, want[i])
+		}
+	}
+}
+
+// TestFormPurposeSeparation checks the uniform and weighted samplers
+// consume domain-separated streams: the same beacon value must not
+// yield correlated draws across purposes.
+func TestFormPurposeSeparation(t *testing.T) {
+	b := beacon.New([]byte("atom/golden/v1"))
+	cfg := Config{NumServers: 16, NumGroups: 4, GroupSize: 4, HonestMin: 2}
+	uniform, err := Form(cfg, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, 16)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weighted, err := FormWeighted(cfg, weights, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range uniform {
+		if !reflect.DeepEqual(uniform[i].Members, weighted[i].Members) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("uniform and weighted (equal-weight) draws identical: purpose separation lost")
+	}
+}

@@ -193,13 +193,20 @@ func (c Config) Validate() error {
 // groups); member order is rotated by the group id to stagger positions
 // (§4.7); and each group is assigned BuddyCount buddy groups.
 //
-// The sampling is deterministic given the beacon and round, so every
-// participant computes the identical group layout without communication.
-func Form(cfg Config, b *beacon.Beacon, round uint64) ([]*Group, error) {
+// The sampling is deterministic given the beacon value and round, so
+// every participant computes the identical group layout without
+// communication. Any beacon.Source works — the deterministic hash
+// chain or a verifiable threshold Chain; a source that has not yet
+// produced the round returns an error rather than degenerate groups.
+func Form(cfg Config, src beacon.Source, round uint64) ([]*Group, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	stream := b.Stream(round, "group-formation")
+	value := src.Round(round)
+	if value == nil {
+		return nil, fmt.Errorf("groupmgr: beacon has no output for round %d", round)
+	}
+	stream := beacon.StreamFrom(value, "group-formation")
 	groups := make([]*Group, cfg.NumGroups)
 	for gid := 0; gid < cfg.NumGroups; gid++ {
 		// Sample k distinct servers via a partial Fisher–Yates over ids.

@@ -18,7 +18,7 @@ import (
 // probability proportional to its weight (e.g., core count or
 // bandwidth). Members within one group remain distinct; servers with
 // larger weights serve in more groups overall.
-func FormWeighted(cfg Config, weights []float64, b *beacon.Beacon, round uint64) ([]*Group, error) {
+func FormWeighted(cfg Config, weights []float64, src beacon.Source, round uint64) ([]*Group, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -39,7 +39,11 @@ func FormWeighted(cfg Config, weights []float64, b *beacon.Beacon, round uint64)
 		acc += w
 		cum[i] = acc / total
 	}
-	stream := b.Stream(round, "group-formation-weighted")
+	value := src.Round(round)
+	if value == nil {
+		return nil, fmt.Errorf("groupmgr: beacon has no output for round %d", round)
+	}
+	stream := beacon.StreamFrom(value, "group-formation-weighted")
 	draw := func() int {
 		// 53-bit uniform in [0,1).
 		u := float64(stream.Intn(1<<31)) / float64(1<<31)
@@ -82,13 +86,13 @@ func FormWeighted(cfg Config, weights []float64, b *beacon.Beacon, round uint64)
 // controls the given member set. It makes the §7 warning concrete: an
 // adversary that concentrates on high-weight servers gets a far larger
 // slice of each group than its head-count fraction suggests.
-func WeightedFailureProb(cfg Config, weights []float64, adversarial map[int]bool, trials int, b *beacon.Beacon) (float64, error) {
+func WeightedFailureProb(cfg Config, weights []float64, adversarial map[int]bool, trials int, src beacon.Source) (float64, error) {
 	if trials < 1 {
 		return 0, fmt.Errorf("groupmgr: need at least one trial")
 	}
 	bad := 0
 	for trial := 0; trial < trials; trial++ {
-		groups, err := FormWeighted(cfg, weights, b, uint64(trial))
+		groups, err := FormWeighted(cfg, weights, src, uint64(trial))
 		if err != nil {
 			return 0, err
 		}

@@ -57,7 +57,7 @@ type escrowKey struct {
 type Deployment struct {
 	cfg     Config
 	topo    topology.Topology
-	beacon  *beacon.Beacon
+	beacon  beacon.Source
 	groups  []*GroupState
 	rnd     io.Reader
 	escrows map[escrowKey]*dvss.Escrow
@@ -78,8 +78,15 @@ type Deployment struct {
 
 // NewDeployment forms groups from the beacon, runs every group's DVSS
 // (and the trustees' keygen in the trap variant), and escrows key shares
-// with buddy groups when configured.
+// with buddy groups when configured. Trust roots are the legacy
+// trusted-dealer defaults; NewDeploymentSetup makes them explicit.
 func NewDeployment(cfg Config) (*Deployment, error) {
+	return newDeployment(cfg, Setup{})
+}
+
+// newDeployment is the shared constructor body behind NewDeployment and
+// NewDeploymentSetup.
+func newDeployment(cfg Config, s Setup) (*Deployment, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -87,7 +94,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := beacon.New(cfg.Seed)
+	if s.Source == nil {
+		s.Source = beacon.New(cfg.Seed)
+	}
 	infos, err := groupmgr.Form(groupmgr.Config{
 		NumServers: cfg.NumServers,
 		NumGroups:  cfg.NumGroups,
@@ -95,7 +104,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		HonestMin:  cfg.HonestMin,
 		Fraction:   cfg.Fraction,
 		BuddyCount: cfg.BuddyCount,
-	}, b, 0)
+	}, s.Source, s.Round)
 	if err != nil {
 		return nil, err
 	}
@@ -103,21 +112,33 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	d := &Deployment{
 		cfg:     cfg,
 		topo:    topo,
-		beacon:  b,
+		beacon:  s.Source,
 		groups:  make([]*GroupState, len(infos)),
 		rnd:     rand.Reader,
 		escrows: make(map[escrowKey]*dvss.Escrow),
 	}
 
-	// DKGs are independent; run them in parallel (§4.1: "this operation
-	// will happen in the background").
+	// Group key establishment — the in-process trusted dealer or the
+	// Setup hook's ceremony. Either way the groups are independent; run
+	// them in parallel (§4.1: "this operation will happen in the
+	// background").
 	var wg sync.WaitGroup
 	errs := make([]error, len(infos))
 	for i, info := range infos {
 		wg.Add(1)
 		go func(i int, info *groupmgr.Group) {
 			defer wg.Done()
-			gs, err := newGroupState(info, cfg.Threshold(), rand.Reader)
+			var gs *GroupState
+			var err error
+			if s.GroupKeys != nil {
+				var keys []*dvss.GroupKey
+				keys, err = s.GroupKeys(info.ID, info.Members, cfg.Threshold())
+				if err == nil {
+					gs, err = newGroupStateFromKeys(info, cfg.Threshold(), keys)
+				}
+			} else {
+				gs, err = newGroupState(info, cfg.Threshold(), rand.Reader)
+			}
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,0 +1,51 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"atom/internal/beacon"
+)
+
+// TestTrapDerivationGolden pins trap derivation from a beacon output:
+// the trap plaintext and its commitment must be an exact deterministic
+// function of the beacon value when the nonce entropy comes from the
+// beacon's domain-separated stream. Trap accounting only works if every
+// honest member of the entry group derives the identical trap set, so
+// this byte-level vector guards the consensus.
+func TestTrapDerivationGolden(t *testing.T) {
+	value := beacon.New([]byte("atom/golden/v1")).Round(2)
+	if hex.EncodeToString(value) != "b851c001dac57cffe4ee9985f26a54246f7d26ac1012f77a1406220650ec09b0" {
+		t.Fatalf("beacon value drifted: %x", value)
+	}
+	trap, err := makeTrap(1, 64, beacon.StreamFrom(value, "trap-derivation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrap := "540000000000000001f03ff3c9620e70f401a77728c75dae15000000000000000000000000000000000000000000000000000000000000000000000000000000"
+	if hex.EncodeToString(trap) != wantTrap {
+		t.Errorf("trap plaintext drifted:\n got %x\nwant %s", trap, wantTrap)
+	}
+	wantCommit := "918dad8e900e341dd6bd3f28399e050abbac4bd1603d38e2331f92bd54aaa1a0"
+	if hex.EncodeToString(TrapCommitment(trap)) != wantCommit {
+		t.Errorf("trap commitment drifted: %x", TrapCommitment(trap))
+	}
+
+	// Re-deriving from the same beacon value is bit-identical; a
+	// different purpose string is not (domain separation).
+	again, err := makeTrap(1, 64, beacon.StreamFrom(value, "trap-derivation"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trap, again) {
+		t.Error("trap derivation not deterministic for one beacon value")
+	}
+	other, err := makeTrap(1, 64, beacon.StreamFrom(value, "other-purpose"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(trap, other) {
+		t.Error("purpose string does not separate trap derivation")
+	}
+}

@@ -1,12 +1,14 @@
 // Package store is the durable fleet state behind atomd: an
 // append-only, CRC-framed, fsync'd write-ahead journal plus periodic
-// snapshots, replayed on open. It persists four record classes — the
+// snapshots, replayed on open. It persists six record classes — the
 // member's identity (its marshaled MemberConfig, DVSS share and Feldman
 // commitments included), the deployment's group/epoch state, sealed
-// batches admitted by the continuous service, and published round
-// outcomes — so a killed-and-restarted atomd rejoins the cluster from
-// disk instead of triggering emergency buddy recovery, and a restarted
-// coordinator re-dispatches every sealed-but-unmixed batch.
+// batches admitted by the continuous service, published round outcomes,
+// verifiable-beacon rounds, and the DKG trust transcript — so a
+// killed-and-restarted atomd rejoins the cluster from disk instead of
+// triggering emergency buddy recovery, a restarted coordinator
+// re-dispatches every sealed-but-unmixed batch, and the randomness
+// beacon resumes its chain instead of forking it.
 //
 // The journal format is deliberately dumb: each frame is a 4-byte
 // little-endian payload length, a 4-byte CRC-32 (IEEE) of the payload,
@@ -47,6 +49,8 @@ const (
 	classEpoch      = 3 // epoch counter + group-config hash
 	classSealed     = 4 // sealed-but-unmixed batch, keyed by round
 	classOutcome    = 5 // published round outcome, keyed by round
+	classBeacon     = 6 // verifiable-beacon round record, keyed by beacon round
+	classDKG        = 7 // DKG trust transcript (chain info + committee keys)
 )
 
 // journalName and snapName are the store's two files inside the state
@@ -60,6 +64,12 @@ const (
 // matching the service's own published-result window; older outcomes
 // are compacted away.
 const outcomesRetained = 128
+
+// beaconRetained bounds the beacon-round history a snapshot keeps. It
+// exceeds the beacon chain's own verification window (beacon
+// DefaultWindow = 512) so a restarted node can always re-verify the
+// links it replays.
+const beaconRetained = 1024
 
 // defaultSnapshotEvery is how many journal records accumulate before
 // the store compacts them into a snapshot.
@@ -95,6 +105,13 @@ type State struct {
 	Sealed map[uint64][]byte
 	// Outcomes maps round id → published outcome (bounded history).
 	Outcomes map[uint64]Outcome
+	// DKG is the latest persisted trust transcript: the beacon chain
+	// info plus the committee's threshold keys, as the atom package
+	// marshals them (nil when this store never ran a setup ceremony).
+	DKG []byte
+	// Beacon maps beacon round → marshaled beacon.Round record (bounded
+	// history), the chain a restarted node resumes from.
+	Beacon map[uint64][]byte
 }
 
 // MaxRound returns the highest round id the state has seen across
@@ -108,6 +125,19 @@ func (st *State) MaxRound() uint64 {
 		}
 	}
 	for r := range st.Outcomes {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// MaxBeaconRound returns the highest beacon round the state retains —
+// the head a restarted beacon node catches up to. Beacon rounds are a
+// separate sequence from mix rounds and never feed MaxRound.
+func (st *State) MaxBeaconRound() uint64 {
+	var max uint64
+	for r := range st.Beacon {
 		if r > max {
 			max = r
 		}
@@ -166,6 +196,7 @@ func Open(dir string) (*Store, error) {
 		st: State{
 			Sealed:   make(map[uint64][]byte),
 			Outcomes: make(map[uint64]Outcome),
+			Beacon:   make(map[uint64][]byte),
 		},
 	}
 	start := time.Now()
@@ -213,12 +244,17 @@ func (s *Store) State() State {
 		ConfigHash: s.st.ConfigHash,
 		Sealed:     make(map[uint64][]byte, len(s.st.Sealed)),
 		Outcomes:   make(map[uint64]Outcome, len(s.st.Outcomes)),
+		DKG:        s.st.DKG,
+		Beacon:     make(map[uint64][]byte, len(s.st.Beacon)),
 	}
 	for r, b := range s.st.Sealed {
 		out.Sealed[r] = b
 	}
 	for r, o := range s.st.Outcomes {
 		out.Outcomes[r] = o
+	}
+	for r, b := range s.st.Beacon {
+		out.Beacon[r] = b
 	}
 	return out
 }
@@ -253,6 +289,20 @@ func (s *Store) PutDeployment(state []byte) error {
 // in force.
 func (s *Store) PutEpoch(epoch uint64, configHash []byte) error {
 	return s.append(classEpoch, epoch, configHash)
+}
+
+// PutDKG journals the trust transcript — the verifiable beacon's chain
+// info and the committee's threshold keys, as one opaque blob the atom
+// package marshals. Written once after the setup ceremony and again
+// after every resharing epoch.
+func (s *Store) PutDKG(transcript []byte) error {
+	return s.append(classDKG, 0, transcript)
+}
+
+// RecordBeacon journals one produced (or verified) beacon round so the
+// chain resumes, rather than forks, across a restart.
+func (s *Store) RecordBeacon(round uint64, record []byte) error {
+	return s.append(classBeacon, round, record)
 }
 
 // RecordSealed journals a sealed-but-unmixed batch. Implements the
@@ -323,6 +373,7 @@ func (s *Store) Snapshot() error {
 
 func (s *Store) snapshotLocked() error {
 	s.compactOutcomesLocked()
+	s.compactBeaconLocked()
 	payload := encodeState(&s.st)
 	frame := frameRecord(payload)
 	tmp := filepath.Join(s.dir, snapName+".tmp")
@@ -375,6 +426,22 @@ func (s *Store) compactOutcomesLocked() {
 	}
 }
 
+// compactBeaconLocked drops beacon rounds beyond the retained window,
+// oldest first — mirroring the chain's own eviction.
+func (s *Store) compactBeaconLocked() {
+	if len(s.st.Beacon) <= beaconRetained {
+		return
+	}
+	rounds := make([]uint64, 0, len(s.st.Beacon))
+	for r := range s.st.Beacon {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	for _, r := range rounds[:len(rounds)-beaconRetained] {
+		delete(s.st.Beacon, r)
+	}
+}
+
 // apply folds one record into the state. Replay and append share it, so
 // a record's semantics cannot drift between the live and recovery
 // paths.
@@ -398,6 +465,10 @@ func (s *Store) apply(class byte, key uint64, value []byte) error {
 		}
 		delete(s.st.Sealed, key)
 		s.st.Outcomes[key] = o
+	case classBeacon:
+		s.st.Beacon[key] = value
+	case classDKG:
+		s.st.DKG = value
 	default:
 		return fmt.Errorf("%w: unknown record class %d", ErrCorrupt, class)
 	}
@@ -563,7 +634,11 @@ func takeBytes(b []byte) (val, rest []byte, err error) {
 
 // --- state codec (the snapshot payload) ---
 
-const stateVersion = 1
+// stateVersion is what new snapshots are written as. Version 2 appends
+// the DKG transcript and the beacon-round map to the version-1 layout;
+// decodeState still accepts version-1 snapshots (written before the
+// trust classes existed), which simply restore with no beacon state.
+const stateVersion = 2
 
 func encodeState(st *State) []byte {
 	out := []byte{stateVersion}
@@ -595,6 +670,18 @@ func encodeState(st *State) []byte {
 		out = binary.AppendUvarint(out, r)
 		app(encodeOutcome(st.Outcomes[r].Messages, st.Outcomes[r].Failure))
 	}
+	// Version-2 suffix: trust transcript + beacon rounds.
+	app(st.DKG)
+	rounds = rounds[:0]
+	for r := range st.Beacon {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	out = binary.AppendUvarint(out, uint64(len(rounds)))
+	for _, r := range rounds {
+		out = binary.AppendUvarint(out, r)
+		app(st.Beacon[r])
+	}
 	return out
 }
 
@@ -602,9 +689,10 @@ func decodeState(b []byte, st *State) error {
 	fail := func(what string) error {
 		return fmt.Errorf("%w: snapshot %s", ErrCorrupt, what)
 	}
-	if len(b) < 1 || b[0] != stateVersion {
+	if len(b) < 1 || b[0] < 1 || b[0] > stateVersion {
 		return fail("version")
 	}
+	version := b[0]
 	b = b[1:]
 	var err error
 	if st.Member, b, err = takeBytes(b); err != nil {
@@ -668,6 +756,31 @@ func decodeState(b []byte, st *State) error {
 			return fail("outcome record")
 		}
 		st.Outcomes[r] = o
+	}
+	if version >= 2 {
+		if st.DKG, b, err = takeBytes(b); err != nil {
+			return fail("dkg transcript")
+		}
+		if len(st.DKG) == 0 {
+			st.DKG = nil
+		}
+		n, cnt = binary.Uvarint(b)
+		if cnt <= 0 || n > uint64(len(b)) {
+			return fail("beacon count")
+		}
+		b = b[cnt:]
+		for i := uint64(0); i < n; i++ {
+			r, cnt := binary.Uvarint(b)
+			if cnt <= 0 {
+				return fail("beacon key")
+			}
+			b = b[cnt:]
+			var v []byte
+			if v, b, err = takeBytes(b); err != nil {
+				return fail("beacon value")
+			}
+			st.Beacon[r] = v
+		}
 	}
 	if len(b) != 0 {
 		return fail("trailing bytes")

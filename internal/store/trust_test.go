@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrustRecordsReplay journals a DKG transcript and beacon rounds,
+// reopens the store, and checks they replay — both from the raw journal
+// and after folding into a snapshot.
+func TestTrustRecordsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDKG([]byte("transcript-v1")); err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(1); r <= 5; r++ {
+		if err := s.RecordBeacon(r, []byte(fmt.Sprintf("beacon-round-%d", r))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A later transcript (resharing epoch) replaces the earlier one.
+	if err := s.PutDKG([]byte("transcript-v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(s *Store) {
+		t.Helper()
+		st := s.State()
+		if string(st.DKG) != "transcript-v2" {
+			t.Errorf("DKG = %q", st.DKG)
+		}
+		if len(st.Beacon) != 5 || string(st.Beacon[3]) != "beacon-round-3" {
+			t.Errorf("beacon rounds = %v", st.Beacon)
+		}
+		if st.MaxBeaconRound() != 5 {
+			t.Errorf("MaxBeaconRound = %d", st.MaxBeaconRound())
+		}
+		// Beacon rounds are their own sequence; they must not leak into
+		// the mix-round sequencer floor.
+		if st.MaxRound() != 0 {
+			t.Errorf("MaxRound = %d, beacon rounds leaked in", st.MaxRound())
+		}
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(s2)
+	if err := s2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	check(s3)
+}
+
+// TestBeaconCompaction checks the snapshot drops only the oldest beacon
+// rounds beyond the retained window.
+func TestBeaconCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	total := beaconRetained + 10
+	for r := 1; r <= total; r++ {
+		if err := s.RecordBeacon(uint64(r), []byte{byte(r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.State()
+	if len(st.Beacon) != beaconRetained {
+		t.Fatalf("retained %d beacon rounds, want %d", len(st.Beacon), beaconRetained)
+	}
+	if _, ok := st.Beacon[uint64(total)]; !ok {
+		t.Fatal("newest beacon round compacted away")
+	}
+	if _, ok := st.Beacon[1]; ok {
+		t.Fatal("oldest beacon round survived compaction")
+	}
+}
+
+// encodeStateV1 reproduces the version-1 snapshot layout byte for byte
+// — what every store wrote before the trust classes existed.
+func encodeStateV1(st *State) []byte {
+	out := []byte{1}
+	app := func(b []byte) {
+		out = binary.AppendUvarint(out, uint64(len(b)))
+		out = append(out, b...)
+	}
+	app(st.Member)
+	app(st.Deployment)
+	out = binary.AppendUvarint(out, st.Epoch)
+	app(st.ConfigHash)
+	out = binary.AppendUvarint(out, uint64(len(st.Sealed)))
+	for r, v := range st.Sealed {
+		out = binary.AppendUvarint(out, r)
+		app(v)
+	}
+	out = binary.AppendUvarint(out, uint64(len(st.Outcomes)))
+	for r, o := range st.Outcomes {
+		out = binary.AppendUvarint(out, r)
+		app(encodeOutcome(o.Messages, o.Failure))
+	}
+	return out
+}
+
+// TestSnapshotV1Compat plants a version-1 snapshot on disk and opens
+// the store over it: every v1 field must restore, the new trust fields
+// must come back empty, and the next snapshot must upgrade to v2
+// without losing anything.
+func TestSnapshotV1Compat(t *testing.T) {
+	dir := t.TempDir()
+	old := &State{
+		Member:     []byte("m"),
+		Deployment: []byte("d"),
+		Epoch:      9,
+		ConfigHash: []byte("h"),
+		Sealed:     map[uint64][]byte{4: []byte("s4")},
+		Outcomes:   map[uint64]Outcome{3: {Round: 3, Messages: [][]byte{[]byte("x")}}},
+	}
+	frame := frameRecord(encodeStateV1(old))
+	if err := os.WriteFile(filepath.Join(dir, snapName), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open over v1 snapshot: %v", err)
+	}
+	st := s.State()
+	if string(st.Member) != "m" || string(st.Deployment) != "d" || st.Epoch != 9 {
+		t.Fatalf("v1 fields lost: %+v", st)
+	}
+	if string(st.Sealed[4]) != "s4" || string(st.Outcomes[3].Messages[0]) != "x" {
+		t.Fatalf("v1 maps lost: %+v", st)
+	}
+	if st.DKG != nil || len(st.Beacon) != 0 {
+		t.Fatalf("trust fields not empty after v1 restore: %+v", st)
+	}
+
+	// Append trust state and snapshot: the upgrade path.
+	if err := s.PutDKG([]byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordBeacon(1, []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := os.ReadFile(filepath.Join(dir, snapName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _, ok := readFrame(snap)
+	if !ok || payload[0] != stateVersion {
+		t.Fatalf("post-upgrade snapshot version = %d, want %d", payload[0], stateVersion)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2 := s2.State()
+	if string(st2.Member) != "m" || string(st2.DKG) != "t" || string(st2.Beacon[1]) != "b1" {
+		t.Fatalf("upgraded state lost fields: %+v", st2)
+	}
+}
+
+// TestStateCodecRoundTripV2 pins the v2 codec: encode → decode must be
+// identity across every field including the trust suffix.
+func TestStateCodecRoundTripV2(t *testing.T) {
+	in := &State{
+		Member:     []byte("m"),
+		Deployment: []byte("d"),
+		Epoch:      2,
+		ConfigHash: []byte("h"),
+		Sealed:     map[uint64][]byte{1: []byte("s")},
+		Outcomes:   map[uint64]Outcome{1: {Round: 1, Failure: "boom"}},
+		DKG:        []byte("transcript"),
+		Beacon:     map[uint64][]byte{7: []byte("r7"), 8: []byte("r8")},
+	}
+	out := &State{
+		Sealed:   make(map[uint64][]byte),
+		Outcomes: make(map[uint64]Outcome),
+		Beacon:   make(map[uint64][]byte),
+	}
+	if err := decodeState(encodeState(in), out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.DKG, in.DKG) || len(out.Beacon) != 2 || string(out.Beacon[8]) != "r8" {
+		t.Fatalf("trust fields lost: %+v", out)
+	}
+	if out.Outcomes[1].Failure != "boom" || string(out.Sealed[1]) != "s" {
+		t.Fatalf("v1 fields lost: %+v", out)
+	}
+	// Trailing garbage after the v2 suffix is corruption, not padding.
+	if err := decodeState(append(encodeState(in), 0), &State{
+		Sealed:   make(map[uint64][]byte),
+		Outcomes: make(map[uint64]Outcome),
+		Beacon:   make(map[uint64][]byte),
+	}); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -2,7 +2,6 @@ package atom
 
 import (
 	"context"
-	"crypto/rand"
 
 	"atom/internal/bulletin"
 	"atom/internal/microblog"
@@ -39,7 +38,7 @@ func NewMicroblog(n *Network) (*Microblog, error) {
 
 // Post submits one message for the given user into the current round.
 func (m *Microblog) Post(user int, text string) error {
-	return wrapErr(m.svc.Post(user, text, rand.Reader))
+	return wrapErr(m.svc.Post(user, text, entropy()))
 }
 
 // PostOpen submits one message through a continuous Service, into

@@ -1,0 +1,40 @@
+package atom
+
+import (
+	"crypto/rand"
+	"io"
+	"sync/atomic"
+)
+
+// The package's client-side randomness — submission onions, dialing
+// identities and requests, cover-traffic sampling, microblog posts —
+// flows through one injected source instead of scattered crypto/rand
+// reads. Production keeps the crypto/rand default; tests and
+// reproducibility harnesses inject a seeded source to make entire
+// client transcripts deterministic.
+
+// entropySource holds the current source behind an atomic so readers
+// never race a SetEntropySource call.
+var entropySource atomic.Pointer[entropyBox]
+
+// entropyBox exists because atomic.Pointer needs a concrete type to
+// wrap the io.Reader interface value.
+type entropyBox struct{ r io.Reader }
+
+func init() { entropySource.Store(&entropyBox{rand.Reader}) }
+
+// entropy returns the package's current randomness source.
+func entropy() io.Reader { return entropySource.Load().r }
+
+// SetEntropySource reroutes all client-side randomness in this package
+// — submission encryption, dialing identities and requests, noise
+// sampling, microblog posts — through r. Passing nil restores
+// crypto/rand. The source must be safe for concurrent use (wrap a
+// deterministic reader in a mutex if needed); server-side mixing
+// randomness is not affected.
+func SetEntropySource(r io.Reader) {
+	if r == nil {
+		r = rand.Reader
+	}
+	entropySource.Store(&entropyBox{r})
+}
