@@ -1,0 +1,270 @@
+package distributed
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"atom/internal/protocol"
+	"atom/internal/transport"
+)
+
+// countingAttach wraps every endpoint of an AttachFunc so outgoing
+// msgReEnc frames are counted — the observable difference between a
+// whole-batch chain and a chunk-streamed one.
+func countingAttach(inner AttachFunc, reencMsgs *atomic.Int64) AttachFunc {
+	return func(name string) (transport.Endpoint, error) {
+		ep, err := inner(name)
+		if err != nil {
+			return ep, err
+		}
+		return &countingEP{Endpoint: ep, reencMsgs: reencMsgs}, nil
+	}
+}
+
+type countingEP struct {
+	transport.Endpoint
+	reencMsgs *atomic.Int64
+}
+
+func (e *countingEP) Send(to string, msg *transport.Message) error {
+	if msg.Type == msgReEnc {
+		e.reencMsgs.Add(1)
+	}
+	return e.Endpoint.Send(to, msg)
+}
+
+func (e *countingEP) SendCtx(ctx context.Context, to string, msg *transport.Message) error {
+	if msg.Type == msgReEnc {
+		e.reencMsgs.Add(1)
+	}
+	return e.Endpoint.SendCtx(ctx, to, msg)
+}
+
+// traceCounts collapses a trace set to per-(group, layer) work counts so
+// a chunked chain's per-chunk accounting can be compared against the
+// whole-batch chain it must sum to.
+func traceCounts(t *testing.T, traces []protocol.StepTrace) map[[2]int][4]int {
+	t.Helper()
+	out := make(map[[2]int][4]int, len(traces))
+	for _, tr := range traces {
+		key := [2]int{tr.GID, tr.Layer}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate trace for group %d layer %d", tr.GID, tr.Layer)
+		}
+		out[key] = [4]int{tr.Shuffles, tr.ReEncs, tr.ProofsChecked, tr.Members}
+	}
+	return out
+}
+
+// TestChunkStreamParity: a chunk-streamed re-encryption chain recovers
+// the same plaintext set as the whole-batch chain and sums per-chunk
+// work to identical per-layer traces — while demonstrably sending more
+// (smaller) chain messages.
+func TestChunkStreamParity(t *testing.T) {
+	d, c := newDeployment(t, protocol.VariantNIZK, 2)
+
+	// Reference: in-process round.
+	rs, err := d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := submitAll(t, d, c, rs, 18)
+	res, err := d.RunRoundCtx(context.Background(), rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Messages, want) {
+		t.Fatalf("in-process round recovered %q, want %q", res.Messages, want)
+	}
+
+	// Whole-batch distributed round.
+	var plainMsgs atomic.Int64
+	plain, err := NewCluster(d, Options{
+		Attach:  countingAttach(MemAttach(transport.NewMemNetwork(wanDelay(), 256)), &plainMsgs),
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	rs, err = d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, d, c, rs, 18)
+	resPlain, err := plain.Run(context.Background(), rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resPlain.Messages, want) {
+		t.Fatalf("whole-batch round recovered %q, want %q", resPlain.Messages, want)
+	}
+
+	// Chunk-streamed distributed round: at most one vector per chunk, so
+	// every multi-vector destination batch crosses the chunk boundary.
+	var chunkMsgs atomic.Int64
+	chunked, err := NewCluster(d, Options{
+		Attach:    countingAttach(MemAttach(transport.NewMemNetwork(wanDelay(), 256)), &chunkMsgs),
+		Workers:   2,
+		ChunkSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chunked.Close()
+	rs, err = d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, d, c, rs, 18)
+	resChunk, err := chunked.Run(context.Background(), rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resChunk.Messages, want) {
+		t.Fatalf("chunked round recovered %q, want %q", resChunk.Messages, want)
+	}
+
+	// The stream must really have been chunked...
+	if chunkMsgs.Load() <= plainMsgs.Load() {
+		t.Fatalf("chunked run sent %d reenc messages, whole-batch sent %d — chain was not chunked",
+			chunkMsgs.Load(), plainMsgs.Load())
+	}
+	// ...and the per-chunk work reports must sum to the whole-batch
+	// chain's accounting, layer for layer.
+	plainTr := traceCounts(t, resPlain.Traces)
+	chunkTr := traceCounts(t, resChunk.Traces)
+	if !reflect.DeepEqual(plainTr, chunkTr) {
+		t.Fatalf("chunked traces %v do not sum to whole-batch traces %v", chunkTr, plainTr)
+	}
+}
+
+// TestChunkStreamTrapVariant: the trap variant's proof-less chain
+// (accountability via trap auditing, not per-step NIZKs) streams in
+// chunks too.
+func TestChunkStreamTrapVariant(t *testing.T) {
+	d, c := newDeployment(t, protocol.VariantTrap, 2)
+	cluster, err := NewCluster(d, Options{
+		Attach:    MemAttach(transport.NewMemNetwork(wanDelay(), 256)),
+		Workers:   2,
+		ChunkSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rs, err := d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := submitAll(t, d, c, rs, 9)
+	res, err := cluster.Run(context.Background(), rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Messages, want) {
+		t.Fatalf("chunked trap round recovered %q, want %q", res.Messages, want)
+	}
+}
+
+// chunkTamperEP corrupts exactly one in-flight chunk (the second chunk
+// of a streamed chain, so the receiver has already accepted chunk 0 of
+// the same layer) by decoding the frame, rerandomizing nothing but
+// doubling one output point, and re-encoding. The payload stays
+// well-formed on the wire — the corruption must be caught by proof
+// verification, not the decoder.
+type chunkTamperEP struct {
+	transport.Endpoint
+	mu    sync.Mutex
+	fired bool
+}
+
+func (e *chunkTamperEP) tamper(msg *transport.Message) {
+	if msg.Type != msgReEnc {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fired {
+		return
+	}
+	layer, w, step, chunk, chunks, batches, err := decodeReEncMsg(msg.Payload)
+	if err != nil || chunks < 2 || chunk != 1 {
+		return
+	}
+	for i := range batches {
+		if len(batches[i].Out) == 0 || len(batches[i].Out[0]) == 0 {
+			continue
+		}
+		ct := batches[i].Out[0][0]
+		ct.C = ct.C.Add(ct.C)
+		msg.Payload = encodeReEncMsg(layer, w, step, chunk, chunks, batches)
+		e.fired = true
+		return
+	}
+}
+
+func (e *chunkTamperEP) Send(to string, msg *transport.Message) error {
+	e.tamper(msg)
+	return e.Endpoint.Send(to, msg)
+}
+
+func (e *chunkTamperEP) SendCtx(ctx context.Context, to string, msg *transport.Message) error {
+	e.tamper(msg)
+	return e.Endpoint.SendCtx(ctx, to, msg)
+}
+
+// TestChunkTamperBlame: corrupting a mid-stream chunk aborts the round
+// with the same typed Blame attribution as whole-batch tampering —
+// verify-before-build-on holds per chunk — and the cluster completes an
+// honest chunked round afterwards, proving the partial chunk assembly
+// was torn down with the aborted round.
+func TestChunkTamperBlame(t *testing.T) {
+	d, c := newDeployment(t, protocol.VariantNIZK, 2)
+	const gid, member = 1, 1
+	target := "atom/g1/m1" // Options.Prefix default + the tampered member
+
+	inner := MemAttach(transport.NewMemNetwork(wanDelay(), 256))
+	cluster, err := NewCluster(d, Options{
+		Attach: func(name string) (transport.Endpoint, error) {
+			ep, err := inner(name)
+			if err != nil || name != target {
+				return ep, err
+			}
+			return &chunkTamperEP{Endpoint: ep}, nil
+		},
+		Workers:   2,
+		ChunkSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	rs, err := d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAll(t, d, c, rs, 18)
+	_, err = cluster.Run(context.Background(), rs, nil)
+	// The chunk left g1/m1 (chain step 2); its receiver blames the DVSS
+	// index of position 1.
+	checkBlame(t, "chunked", err, gid, member+1)
+
+	rs, err = d.OpenRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := submitAll(t, d, c, rs, 18)
+	res, err := cluster.Run(context.Background(), rs, nil)
+	if err != nil {
+		t.Fatalf("post-abort honest chunked round failed: %v", err)
+	}
+	if !reflect.DeepEqual(res.Messages, want) {
+		t.Fatalf("post-abort chunked round recovered %q, want %q", res.Messages, want)
+	}
+}

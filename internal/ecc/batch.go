@@ -137,6 +137,19 @@ func (l *batchLanes) skip(i int) {
 	l.denom[i] = feOne
 }
 
+// stageDbl stages lane i to double in place (for lockstep double-and-add
+// walks, where every live lane doubles at every digit level). Non-live
+// lanes sit the step out: identity doubled is identity.
+func (l *batchLanes) stageDbl(i int) {
+	if l.state[i] != laneLive {
+		l.kind[i] = stepSkip
+		l.denom[i] = feOne
+		return
+	}
+	l.kind[i] = stepDbl
+	feAdd(&l.denom[i], &l.y[i], &l.y[i])
+}
+
 // flush completes every staged addition with one shared inversion.
 // The prefix-product passes run four interleaved chains: a single
 // chain serializes on the multiplier latency, four independent ones

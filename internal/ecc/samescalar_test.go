@@ -1,0 +1,87 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMulSameScalarBatch checks the lockstep shared-wNAF path against
+// per-point Mul across the shapes that exercise its internal branches:
+// below and above the fallback threshold, straddling a block boundary,
+// with identity points mixed in, and with the zero scalar.
+func TestMulSameScalarBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randScalar := func() *Scalar {
+		var b [32]byte
+		rng.Read(b[:])
+		return ScalarFromBytes(b[:])
+	}
+	sizes := []int{0, 1, 3, sameScalarMin - 1, sameScalarMin, 257, sameScalarBlock + 5}
+	for _, n := range sizes {
+		k := randScalar()
+		ps := make([]*Point, n)
+		for i := range ps {
+			if i%17 == 5 {
+				ps[i] = Identity()
+				continue
+			}
+			ps[i] = BaseMul(randScalar())
+		}
+		got := MulSameScalarBatch(k, ps)
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d results", n, len(got))
+		}
+		for i := range ps {
+			want := ps[i].Mul(k)
+			if !got[i].Equal(want) {
+				t.Fatalf("n=%d: result %d mismatch (identity input: %v)", n, i, ps[i].IsIdentity())
+			}
+		}
+	}
+
+	// Zero scalar: every output is the identity.
+	ps := make([]*Point, sameScalarMin+3)
+	for i := range ps {
+		ps[i] = BaseMul(randScalar())
+	}
+	for _, p := range MulSameScalarBatch(NewScalar(0), ps) {
+		if !p.IsIdentity() {
+			t.Fatal("zero scalar must map every point to the identity")
+		}
+	}
+
+	// Small scalars hit the short-NAF start-up path (few digit levels).
+	for _, small := range []int64{1, 2, 3, 31, 32, 255} {
+		k := NewScalar(small)
+		got := MulSameScalarBatch(k, ps)
+		for i := range ps {
+			if !got[i].Equal(ps[i].Mul(k)) {
+				t.Fatalf("scalar %d: result %d mismatch", small, i)
+			}
+		}
+	}
+}
+
+func BenchmarkMulSameScalarBatch1024(b *testing.B) {
+	_, ps := benchPairs(1024)
+	k := ScalarFromBytes([]byte("drain bench: one member secret  "))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSameScalarBatch(k, ps)
+	}
+}
+
+// BenchmarkMulLoop1024 is the baseline the same-scalar batch replaces:
+// per-point variable-base Mul with the scalar fixed.
+func BenchmarkMulLoop1024(b *testing.B) {
+	_, ps := benchPairs(1024)
+	k := ScalarFromBytes([]byte("drain bench: one member secret  "))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			p.Mul(k)
+		}
+	}
+}

@@ -63,6 +63,87 @@ func MustRandomScalar(r io.Reader) *Scalar {
 	return s
 }
 
+// RandomScalars returns n uniformly random nonzero scalars drawn from r.
+// When r is nil or crypto/rand.Reader the draw is a wide reduction — 64
+// random bytes per scalar reduced mod q (bias < 2⁻²⁵⁶) — with all the
+// scalar storage in one slab, so a batch costs O(1) heap objects instead
+// of the several big.Int allocations per RandomScalar call. Any other
+// reader is a seeded deterministic deployment: those take the exact
+// RandomScalar path so the consumed randomness stream (and with it every
+// seeded key and permutation) stays bit-for-bit reproducible.
+func RandomScalars(r io.Reader, n int) ([]*Scalar, error) {
+	out := make([]*Scalar, n)
+	if n == 0 {
+		return out, nil
+	}
+	if r != nil && r != rand.Reader {
+		for i := range out {
+			s, err := RandomScalar(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	slab := make([]Scalar, n)
+	const perRead = 256 // scalars per ReadFull — bounds the buffer at 16 KiB
+	buf := make([]byte, 64*perRead)
+	for base := 0; base < n; base += perRead {
+		m := n - base
+		if m > perRead {
+			m = perRead
+		}
+		if _, err := io.ReadFull(rand.Reader, buf[:64*m]); err != nil {
+			return nil, fmt.Errorf("ecc: sampling scalars: %w", err)
+		}
+		for i := 0; i < m; i++ {
+			s := &slab[base+i]
+			wideReduce(&s.v, (*[64]byte)(buf[64*i:64*(i+1)]))
+			for limbsIsZero(&s.v) {
+				// Vanishing probability; redraw just this slot.
+				if _, err := io.ReadFull(rand.Reader, buf[:64]); err != nil {
+					return nil, fmt.Errorf("ecc: sampling scalars: %w", err)
+				}
+				wideReduce(&s.v, (*[64]byte)(buf[:64]))
+			}
+			out[base+i] = s
+		}
+	}
+	return out, nil
+}
+
+// wideReduce sets dst to the Montgomery form of the 512-bit big-endian
+// integer in buf reduced mod q. With value = hi·2²⁵⁶ + lo, the
+// Montgomery form hi·2²⁵⁶·R is montMul(montMul(hi, R²), R²) — each
+// montMul contributes one factor R = 2²⁵⁶ net of the reduction.
+func wideReduce(dst *[4]uint64, buf *[64]byte) {
+	var hi, lo [4]uint64
+	limbsFromBytes(&hi, (*[32]byte)(buf[:32]))
+	limbsFromBytes(&lo, (*[32]byte)(buf[32:]))
+	condSubQ(&hi)
+	condSubQ(&lo)
+	var hiM, loM [4]uint64
+	montMul(&hiM, &hi, &qParams.rr, &qParams)
+	montMul(&hiM, &hiM, &qParams.rr, &qParams)
+	montMul(&loM, &lo, &qParams.rr, &qParams)
+	montAdd(dst, &hiM, &loM, &qParams)
+}
+
+// condSubQ reduces a raw 256-bit limb value from [0, 2²⁵⁶) into [0, q)
+// with one conditional subtraction (2²⁵⁶ < 2q for the P-256 order).
+func condSubQ(v *[4]uint64) {
+	var r [4]uint64
+	var bb uint64
+	r[0], bb = bits.Sub64(v[0], qParams.m[0], 0)
+	r[1], bb = bits.Sub64(v[1], qParams.m[1], bb)
+	r[2], bb = bits.Sub64(v[2], qParams.m[2], bb)
+	r[3], bb = bits.Sub64(v[3], qParams.m[3], bb)
+	if bb == 0 {
+		*v = r
+	}
+}
+
 // ScalarFromBytes interprets b as a big-endian integer reduced mod q.
 func ScalarFromBytes(b []byte) *Scalar {
 	s := new(Scalar)
@@ -72,15 +153,7 @@ func ScalarFromBytes(b []byte) *Scalar {
 		var v [4]uint64
 		limbsFromBytes(&v, &buf)
 		// v < 2^256 < 2q, so one conditional subtraction reduces.
-		var r [4]uint64
-		var bb uint64
-		r[0], bb = bits.Sub64(v[0], qParams.m[0], 0)
-		r[1], bb = bits.Sub64(v[1], qParams.m[1], bb)
-		r[2], bb = bits.Sub64(v[2], qParams.m[2], bb)
-		r[3], bb = bits.Sub64(v[3], qParams.m[3], bb)
-		if bb == 0 {
-			v = r
-		}
+		condSubQ(&v)
 		montMul(&s.v, &v, &qParams.rr, &qParams)
 		return s
 	}

@@ -41,7 +41,7 @@ func RandomPerm(n int, rnd io.Reader) ([]int, error) {
 // (out[i] = Rerandomize(in[perm[i]], rands[i][j])), which the caller
 // feeds to nizk.ProveShuffle in the NIZK variant and then discards.
 func ShuffleBatch(pk *ecc.Point, in []Vector, rnd io.Reader) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
-	return ShuffleBatchPar(pk, in, rnd, nil)
+	return shuffleBatch(pk, in, rnd, nil, nil)
 }
 
 // ShuffleBatchPar is ShuffleBatch with the per-message point arithmetic
@@ -51,24 +51,37 @@ func ShuffleBatch(pk *ecc.Point, in []Vector, rnd io.Reader) (out []Vector, perm
 // be safe for concurrent use and the batch consumes the randomness
 // stream in the same order at every worker count.
 func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.Pool) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
+	return shuffleBatch(pk, in, rnd, pool, nil)
+}
+
+// ShuffleBatchPads is ShuffleBatchPar drawing its rerandomizers — and
+// the permutation entropy — from the pool of precomputed pads: every
+// padded slot costs two point additions instead of two fixed-base
+// evaluations. Slots past the bank (and the whole batch when pads is
+// nil or precomputed for a different base) fall back to the fresh-
+// randomness path mid-batch with no seam: the returned permutation and
+// randomness have identical semantics either way, so proof generation
+// is unchanged. Pads are consumed serially up front, preserving the
+// deterministic-output-at-any-worker-count contract.
+func ShuffleBatchPads(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.Pool, pads *PadPool) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
+	return shuffleBatch(pk, in, rnd, pool, pads)
+}
+
+func shuffleBatch(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.Pool, pads *PadPool) (out []Vector, perm []int, rands [][]*ecc.Scalar, err error) {
+	if pads != nil && !pads.base.Equal(pk) {
+		pads = nil // precomputed for another base; use fresh randomness
+	}
 	n := len(in)
-	perm, err = RandomPerm(n, rnd)
+	permRnd := rnd
+	if pads != nil {
+		// Banked entropy first, live reader past it. Fisher–Yates over n
+		// slots reads ~1 byte per draw at mixnet sizes with < 2 expected
+		// rejection retries, so 4n banked bytes nearly always cover it.
+		permRnd = pads.entropyReader(4*n, rnd)
+	}
+	perm, err = RandomPerm(n, permRnd)
 	if err != nil {
 		return nil, nil, nil, err
-	}
-	rands = make([][]*ecc.Scalar, n)
-	for i := 0; i < n; i++ {
-		src := in[perm[i]]
-		rs := make([]*ecc.Scalar, len(src))
-		for j, ct := range src {
-			if ct.Y != nil {
-				return nil, nil, nil, fmt.Errorf("%w: shuffle input (%d,%d)", ErrY, perm[i], j)
-			}
-			if rs[j], err = ecc.RandomScalar(rnd); err != nil {
-				return nil, nil, nil, err
-			}
-		}
-		rands[i] = rs
 	}
 	// Flatten every (vector, component) slot so the rerandomization runs
 	// as two fused batch comb evaluations per worker chunk — R' =
@@ -83,14 +96,33 @@ func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.P
 	total := offs[n]
 	seedR := make([]*ecc.Point, total)
 	seedC := make([]*ecc.Point, total)
-	flatK := make([]*ecc.Scalar, total)
 	for i := 0; i < n; i++ {
 		src := in[perm[i]]
 		for j, ct := range src {
+			if ct.Y != nil {
+				return nil, nil, nil, fmt.Errorf("%w: shuffle input (%d,%d)", ErrY, perm[i], j)
+			}
 			seedR[offs[i]+j] = ct.R
 			seedC[offs[i]+j] = ct.C
-			flatK[offs[i]+j] = rands[i][j]
 		}
+	}
+	// Precomputed pads cover the first m slots; the rest draw fresh
+	// scalars in one slab-allocated batch. rands sub-slices the flat
+	// scalar array, so the per-vector views cost no extra allocations.
+	taken := pads.take(total)
+	m := len(taken)
+	fresh, err := ecc.RandomScalars(rnd, total-m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	flatK := make([]*ecc.Scalar, total)
+	for t := 0; t < m; t++ {
+		flatK[t] = taken[t].K
+	}
+	copy(flatK[m:], fresh)
+	rands = make([][]*ecc.Scalar, n)
+	for i := 0; i < n; i++ {
+		rands[i] = flatK[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	outR := make([]*ecc.Point, total)
 	outC := make([]*ecc.Point, total)
@@ -106,6 +138,22 @@ func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.P
 		if lo == hi {
 			return nil
 		}
+		// Padded slots: R' = g^k + R and C' = pk^k + C with g^k, pk^k
+		// precomputed offline — two point additions per component.
+		padHi := hi
+		if padHi > m {
+			padHi = m
+		}
+		for t := lo; t < padHi; t++ {
+			outR[t] = taken[t].GK.Add(seedR[t])
+			outC[t] = taken[t].BK.Add(seedC[t])
+		}
+		if lo < m {
+			lo = m
+		}
+		if lo >= hi {
+			return nil
+		}
 		copy(outR[lo:hi], ecc.BaseMulAddBatch(seedR[lo:hi], flatK[lo:hi]))
 		copy(outC[lo:hi], ecc.MulAddBatch(pk, seedC[lo:hi], flatK[lo:hi]))
 		return nil
@@ -114,15 +162,15 @@ func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.P
 	}
 	out = make([]Vector, n)
 	cts := make([]Ciphertext, total)
+	ptrs := make(Vector, total)
+	for t := range ptrs {
+		ct := &cts[t]
+		ct.R = outR[t]
+		ct.C = outC[t]
+		ptrs[t] = ct
+	}
 	for i := 0; i < n; i++ {
-		v := make(Vector, offs[i+1]-offs[i])
-		for j := range v {
-			ct := &cts[offs[i]+j]
-			ct.R = outR[offs[i]+j]
-			ct.C = outC[offs[i]+j]
-			v[j] = ct
-		}
-		out[i] = v
+		out[i] = ptrs[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return out, perm, rands, nil
 }
@@ -130,47 +178,70 @@ func ShuffleBatchPar(pk *ecc.Point, in []Vector, rnd io.Reader, pool *parallel.P
 // ReEncBatch applies ReEncVector to every vector of a batch, returning
 // the per-vector outputs and randomness.
 func ReEncBatch(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader) ([]Vector, [][]*ecc.Scalar, error) {
-	return ReEncBatchPar(sk, nextPK, batch, rnd, nil)
+	return reencBatch(sk, nextPK, batch, rnd, nil, nil)
 }
 
 // ReEncBatchPar is ReEncBatch with the point arithmetic fanned over the
 // pool's workers (nil pool = serial). As with ShuffleBatchPar, all
 // randomness is drawn serially up front.
 func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader, pool *parallel.Pool) ([]Vector, [][]*ecc.Scalar, error) {
-	rands := make([][]*ecc.Scalar, len(batch))
-	for i, vec := range batch {
-		rs := make([]*ecc.Scalar, len(vec))
-		for j := range vec {
-			if nextPK == nil {
-				// Exit layer: pure decryption adds no randomness.
-				rs[j] = ecc.NewScalar(0)
-				continue
-			}
-			r, err := ecc.RandomScalar(rnd)
-			if err != nil {
-				return nil, nil, fmt.Errorf("elgamal: reenc batch: %w", err)
-			}
-			rs[j] = r
-		}
-		rands[i] = rs
+	return reencBatch(sk, nextPK, batch, rnd, pool, nil)
+}
+
+// ReEncBatchPads is ReEncBatchPar drawing the re-encryption randomness
+// from precomputed pads for nextPK: a padded slot's R' = g^k + R and
+// X'^k term come from the bank, leaving only the peel C − Y^sk (a
+// variable-base multiplication no precomputation can cover) online.
+// Slots past the bank fall back to the fresh path mid-batch; the exit
+// layer (nextPK = nil) adds no randomness and never consumes pads.
+func ReEncBatchPads(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader, pool *parallel.Pool, pads *PadPool) ([]Vector, [][]*ecc.Scalar, error) {
+	return reencBatch(sk, nextPK, batch, rnd, pool, pads)
+}
+
+func reencBatch(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Reader, pool *parallel.Pool, pads *PadPool) ([]Vector, [][]*ecc.Scalar, error) {
+	if pads != nil && (nextPK == nil || !pads.base.Equal(nextPK)) {
+		pads = nil
 	}
-	// Flatten as in ShuffleBatchPar. The peel step C − Y^sk is a
-	// variable-base multiplication with no shared structure (every Y
-	// differs), but the re-encryption halves — g^r + R into the generator
-	// comb, nextPK^r + C into nextPK's cached per-key comb — batch the
-	// same way the shuffle does.
+	// Flatten as in shuffleBatch. The peel step C − Y^sk is a
+	// variable-base multiplication (every Y differs) whose *scalar* is
+	// shared — the member's one secret — so it runs through the
+	// same-scalar lockstep batch; the re-encryption halves — g^r + R into
+	// the generator comb, nextPK^r + C into nextPK's cached per-key comb —
+	// batch the same way the shuffle does.
 	n := len(batch)
 	offs := make([]int, n+1)
 	for i := 0; i < n; i++ {
 		offs[i+1] = offs[i] + len(batch[i])
 	}
 	total := offs[n]
+	flatK := make([]*ecc.Scalar, total)
+	var taken []Pad
+	if nextPK == nil {
+		// Exit layer: pure decryption adds no randomness. The zero value
+		// of ecc.Scalar is the scalar 0, so one slab covers every slot.
+		zeros := make([]ecc.Scalar, total)
+		for t := range flatK {
+			flatK[t] = &zeros[t]
+		}
+	} else {
+		taken = pads.take(total)
+		fresh, err := ecc.RandomScalars(rnd, total-len(taken))
+		if err != nil {
+			return nil, nil, fmt.Errorf("elgamal: reenc batch: %w", err)
+		}
+		for t := range taken {
+			flatK[t] = taken[t].K
+		}
+		copy(flatK[len(taken):], fresh)
+	}
+	m := len(taken)
+	rands := make([][]*ecc.Scalar, n)
 	ys := make([]*ecc.Point, total)   // peel base per slot (Y, or first-touch R)
 	rrs := make([]*ecc.Point, total)  // carried R per slot
 	srcC := make([]*ecc.Point, total) // input C per slot
 	peel := make([]*ecc.Point, total) // C − Y^sk
-	flatK := make([]*ecc.Scalar, total)
 	for i := 0; i < n; i++ {
+		rands[i] = flatK[offs[i]:offs[i+1]:offs[i+1]]
 		for j, ct := range batch[i] {
 			t := offs[i] + j
 			// First touch within a group: the accumulated randomness moves
@@ -183,7 +254,6 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 			ys[t] = y
 			rrs[t] = rr
 			srcC[t] = ct.C
-			flatK[t] = rands[i][j]
 		}
 	}
 	outR := make([]*ecc.Point, total)
@@ -199,8 +269,8 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 		if lo == hi {
 			return nil
 		}
-		for j := lo; j < hi; j++ {
-			peel[j] = srcC[j].Sub(ys[j].Mul(sk))
+		for j, sky := range ecc.MulSameScalarBatch(sk, ys[lo:hi]) {
+			peel[lo+j] = srcC[lo+j].Sub(sky)
 		}
 		if nextPK == nil {
 			// Exit layer: pure decryption, R carries through untouched.
@@ -209,7 +279,20 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 			}
 			return nil
 		}
-		copy(outR[lo:hi], ecc.BaseMulAddBatch(rrs[lo:hi], flatK[lo:hi]))
+		// Padded slots: R' = g^k + R with g^k from the bank.
+		padHi := hi
+		if padHi > m {
+			padHi = m
+		}
+		for t := lo; t < padHi; t++ {
+			outR[t] = taken[t].GK.Add(rrs[t])
+		}
+		if lo < m {
+			lo = m
+		}
+		if lo < hi {
+			copy(outR[lo:hi], ecc.BaseMulAddBatch(rrs[lo:hi], flatK[lo:hi]))
+		}
 		return nil
 	}); err != nil {
 		return nil, nil, err
@@ -217,6 +300,20 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 	if nextPK != nil {
 		if err := pool.Each(chunks, func(c int) error {
 			lo, hi := c*total/chunks, (c+1)*total/chunks
+			if lo == hi {
+				return nil
+			}
+			// Padded slots: C' = peel + X'^k with X'^k from the bank.
+			padHi := hi
+			if padHi > m {
+				padHi = m
+			}
+			for t := lo; t < padHi; t++ {
+				peel[t] = peel[t].Add(taken[t].BK)
+			}
+			if lo < m {
+				lo = m
+			}
 			if lo < hi {
 				copy(peel[lo:hi], ecc.MulAddBatch(nextPK, peel[lo:hi], flatK[lo:hi]))
 			}
@@ -227,17 +324,16 @@ func ReEncBatchPar(sk *ecc.Scalar, nextPK *ecc.Point, batch []Vector, rnd io.Rea
 	}
 	out := make([]Vector, n)
 	cts := make([]Ciphertext, total)
+	ptrs := make(Vector, total)
+	for t := range ptrs {
+		ct := &cts[t]
+		ct.R = outR[t]
+		ct.C = peel[t]
+		ct.Y = ys[t].Clone()
+		ptrs[t] = ct
+	}
 	for i := 0; i < n; i++ {
-		v := make(Vector, offs[i+1]-offs[i])
-		for j := range v {
-			t := offs[i] + j
-			ct := &cts[t]
-			ct.R = outR[t]
-			ct.C = peel[t]
-			ct.Y = ys[t].Clone()
-			v[j] = ct
-		}
-		out[i] = v
+		out[i] = ptrs[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return out, rands, nil
 }

@@ -70,22 +70,31 @@ func ProveReEnc(sk *ecc.Scalar, serverPK, nextPK *ecc.Point, in, out elgamal.Vec
 		RespX:     make([]*ecc.Scalar, n),
 		RespR:     make([]*ecc.Scalar, n),
 	}
+	// One interleaved draw keeps the randomness stream identical to the
+	// historical per-component wx, wr, wx, wr… order for seeded readers.
+	ws, err := ecc.RandomScalars(rnd, 2*n)
+	if err != nil {
+		return nil, fmt.Errorf("nizk: provereenc: %w", err)
+	}
 	wx := make([]*ecc.Scalar, n)
 	wr := make([]*ecc.Scalar, n)
 	for i := 0; i < n; i++ {
-		var err error
-		if wx[i], err = ecc.RandomScalar(rnd); err != nil {
-			return nil, fmt.Errorf("nizk: provereenc: %w", err)
-		}
-		if wr[i], err = ecc.RandomScalar(rnd); err != nil {
-			return nil, fmt.Errorf("nizk: provereenc: %w", err)
-		}
+		wx[i], wr[i] = ws[2*i], ws[2*i+1]
+	}
+	// The fixed-base halves batch through the fused comb pipelines; only
+	// the Y^{-w_x} term is variable-base (every Y differs) and stays
+	// per-component.
+	copy(proof.CommitKey, ecc.BaseMulBatch(wx))
+	var pkWr []*ecc.Point
+	if nextPK != nil {
+		copy(proof.CommitR, ecc.BaseMulBatch(wr))
+		pkWr = ecc.MulBatch(nextPK, wr)
+	}
+	for i := 0; i < n; i++ {
 		_, y := normalizeY(in[i])
-		proof.CommitKey[i] = ecc.BaseMul(wx[i])
 		commitC := y.Mul(wx[i].Neg())
 		if nextPK != nil {
-			proof.CommitR[i] = ecc.BaseMul(wr[i])
-			commitC = commitC.Add(nextPK.Mul(wr[i]))
+			commitC = commitC.Add(pkWr[i])
 		} else {
 			proof.CommitR[i] = ecc.Identity()
 		}
@@ -119,6 +128,18 @@ func VerifyReEnc(serverPK, nextPK *ecc.Point, in, out elgamal.Vector, proof *ReE
 	tr.AppendPoints("commit-c", proof.CommitC)
 	gamma := tr.Challenge("gamma")
 
+	// Hoist the per-proof constants and batch the fixed-base halves —
+	// g^{zx} and g^{zr} run through the fused generator comb, X'^{zr}
+	// through the next key's cached comb — before the per-component
+	// walk. Check order (and every error string) is unchanged, so
+	// attribution on a bad component is identical to the serial path.
+	pkGamma := serverPK.Mul(gamma)
+	gZx := ecc.BaseMulBatch(proof.RespX)
+	var gZr, pkZr []*ecc.Point
+	if nextPK != nil {
+		gZr = ecc.BaseMulBatch(proof.RespR)
+		pkZr = ecc.MulBatch(nextPK, proof.RespR)
+	}
 	for i := 0; i < n; i++ {
 		rIn, y := normalizeY(in[i])
 		// Structural checks: Y' must carry the normalized Y forward.
@@ -126,13 +147,13 @@ func VerifyReEnc(serverPK, nextPK *ecc.Point, in, out elgamal.Vector, proof *ReE
 			return fmt.Errorf("%w: ReEnc output %d lost the Y slot", ErrVerify, i)
 		}
 		// Equation 1: g^{zx} = CommitKey · Xs^γ.
-		if !ecc.BaseMul(proof.RespX[i]).Equal(proof.CommitKey[i].Add(serverPK.Mul(gamma))) {
+		if !gZx[i].Equal(proof.CommitKey[i].Add(pkGamma)) {
 			return fmt.Errorf("%w: ReEncProof key equation, component %d", ErrVerify, i)
 		}
 		if nextPK != nil {
 			// Equation 2: g^{zr} = CommitR · (R'/R)^γ.
 			dR := out[i].R.Sub(rIn)
-			if !ecc.BaseMul(proof.RespR[i]).Equal(proof.CommitR[i].Add(dR.Mul(gamma))) {
+			if !gZr[i].Equal(proof.CommitR[i].Add(dR.Mul(gamma))) {
 				return fmt.Errorf("%w: ReEncProof randomness equation, component %d", ErrVerify, i)
 			}
 		} else if !out[i].R.Equal(rIn) {
@@ -141,7 +162,7 @@ func VerifyReEnc(serverPK, nextPK *ecc.Point, in, out elgamal.Vector, proof *ReE
 		// Equation 3: Y^{-zx} · X'^{zr} = CommitC · (C'/C)^γ.
 		lhs := y.Mul(proof.RespX[i].Neg())
 		if nextPK != nil {
-			lhs = lhs.Add(nextPK.Mul(proof.RespR[i]))
+			lhs = lhs.Add(pkZr[i])
 		}
 		dC := out[i].C.Sub(in[i].C)
 		rhs := proof.CommitC[i].Add(dC.Mul(gamma))

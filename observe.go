@@ -106,6 +106,10 @@ type RoundStats struct {
 	// Duration is the wall-clock time of the whole mixing phase
 	// (iterations plus the variant finale).
 	Duration time.Duration
+	// Drain is the seal→publish wall time: how long the sealed batch
+	// waited in the queue plus its mixing — the continuous service's
+	// end-to-end drain latency. One-shot rounds report 0.
+	Drain time.Duration
 	// PerIteration holds one entry per mixing iteration, in order.
 	PerIteration []IterationStats
 	// Shuffles, ReEncs and ProofsVerified total the work across

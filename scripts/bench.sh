@@ -3,10 +3,11 @@
 # JSON summary (BENCH_<ref>.json) so the performance trajectory is
 # comparable across PRs.
 #
-#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps + serve + storm throughput
+#   scripts/bench.sh                # full: Figure 7 + Table 3, 3 reps + serve + storm + drain
 #   BENCHTIME=1x scripts/bench.sh   # smoke (what CI runs)
 #   SERVE_ROUNDS=0 scripts/bench.sh # skip the sustained-throughput run
 #   STORM_CLIENTS=0 scripts/bench.sh # skip the ingestion storm run
+#   DRAIN_CLIENTS=0 scripts/bench.sh # skip the seal→publish drain runs
 #   scripts/bench.sh out.json       # explicit output path
 #
 # Without an explicit path the summary lands in BENCH_<ref>.json AND is
@@ -29,6 +30,9 @@ SERVE_ROUNDS="${SERVE_ROUNDS:-3}"
 SERVE_MSGS="${SERVE_MSGS:-8}"
 STORM_CLIENTS="${STORM_CLIENTS:-10000}"
 STORM_CONNS="${STORM_CONNS:-4}"
+DRAIN_CLIENTS="${DRAIN_CLIENTS:-10000}"
+DRAIN_CONNS="${DRAIN_CONNS:-8}"
+DRAIN_CHUNK="${DRAIN_CHUNK:-256}"
 REF="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 OUT="${1:-BENCH_${REF}.json}"
 
@@ -75,11 +79,48 @@ if [ "$STORM_CLIENTS" -gt 0 ]; then
     rm -f "$STORM_RAW"
 fi
 
+# Seal→publish drain of one flooded round — the offline/online split's
+# headline series. Four runs: in-process with the pad bank cold then
+# prewarmed (the bank caps at its configured maximum, so very large
+# rounds are partially covered — the pads: line records hits/misses),
+# and over the WAN-latency memnet with whole-batch then chunk-streamed
+# group chains. The drain rate is seal→publish; e2e p50/p99 is
+# submit→publish per message, reported from the prewarmed run.
+DRAIN_COLD=0
+DRAIN_WARM=0
+DRAIN_NET=0
+DRAIN_NET_CHUNK=0
+DRAIN_P50=0
+DRAIN_P99=0
+if [ "$DRAIN_CLIENTS" -gt 0 ]; then
+    drain_rate() { grep 'msgs/sec seal' "$1" | sed -E 's|^drain: ([0-9.]+) msgs/sec.*|\1|'; }
+    DRAIN_RAW="$(mktemp)"
+    go run ./cmd/atomsim -storm -drain -clients "$DRAIN_CLIENTS" -conns "$DRAIN_CONNS" \
+        | tee "$DRAIN_RAW" >&2
+    DRAIN_COLD="$(drain_rate "$DRAIN_RAW")"
+    go run ./cmd/atomsim -storm -drain -clients "$DRAIN_CLIENTS" -conns "$DRAIN_CONNS" \
+        -prewarm "$((2 * DRAIN_CLIENTS))" | tee "$DRAIN_RAW" >&2
+    DRAIN_WARM="$(drain_rate "$DRAIN_RAW")"
+    DRAIN_P50="$(grep '^e2e latency:' "$DRAIN_RAW" | sed -E 's|^e2e latency: p50 ([0-9.]+) ms.*|\1|')"
+    DRAIN_P99="$(grep '^e2e latency:' "$DRAIN_RAW" | sed -E 's|.*p99 ([0-9.]+) ms.*|\1|')"
+    go run ./cmd/atomsim -storm -drain -clients "$DRAIN_CLIENTS" -conns "$DRAIN_CONNS" \
+        -drain-memnet -wanmin 5ms -wanmax 20ms | tee "$DRAIN_RAW" >&2
+    DRAIN_NET="$(drain_rate "$DRAIN_RAW")"
+    go run ./cmd/atomsim -storm -drain -clients "$DRAIN_CLIENTS" -conns "$DRAIN_CONNS" \
+        -drain-memnet -chunk "$DRAIN_CHUNK" -wanmin 5ms -wanmax 20ms | tee "$DRAIN_RAW" >&2
+    DRAIN_NET_CHUNK="$(drain_rate "$DRAIN_RAW")"
+    rm -f "$DRAIN_RAW"
+fi
+
 awk -v ref="$REF" -v benchtime="$BENCHTIME" \
     -v msgssec="$MSGS_SEC" -v roundsmin="$ROUNDS_MIN" \
     -v serverounds="$SERVE_ROUNDS" -v servemsgs="$SERVE_MSGS" \
     -v stormclients="$STORM_CLIENTS" -v stormconns="$STORM_CONNS" \
     -v stormsec="$STORM_SEC" -v stormp50="$STORM_P50" -v stormp99="$STORM_P99" \
+    -v drainclients="$DRAIN_CLIENTS" -v drainconns="$DRAIN_CONNS" -v drainchunk="$DRAIN_CHUNK" \
+    -v draincold="$DRAIN_COLD" -v drainwarm="$DRAIN_WARM" \
+    -v drainnet="$DRAIN_NET" -v drainnetchunk="$DRAIN_NET_CHUNK" \
+    -v drainp50="$DRAIN_P50" -v drainp99="$DRAIN_P99" \
     -v basejson="$BASE_JSON" '
 BEGIN {
     # Prior run: pull "BenchmarkX": ns pairs out of the committed
@@ -164,6 +205,13 @@ END {
     printf "    \"clients\": %d,\n    \"conns\": %d,\n", stormclients, stormconns
     printf "    \"msgs_per_sec\": %s,\n", stormsec
     printf "    \"admit_p50_ms\": %s,\n    \"admit_p99_ms\": %s\n", stormp50, stormp99
+    printf "  },\n  \"drain_sustained\": {\n"
+    printf "    \"clients\": %d,\n    \"conns\": %d,\n    \"chunk\": %d,\n", drainclients, drainconns, drainchunk
+    printf "    \"inprocess_msgs_per_sec\": %s,\n", draincold
+    printf "    \"inprocess_prewarm_msgs_per_sec\": %s,\n", drainwarm
+    printf "    \"memnet_msgs_per_sec\": %s,\n", drainnet
+    printf "    \"memnet_chunk_msgs_per_sec\": %s,\n", drainnetchunk
+    printf "    \"e2e_p50_ms\": %s,\n    \"e2e_p99_ms\": %s\n", drainp50, drainp99
     printf "  }\n}\n"
 }' "$RAW" > "$OUT"
 
